@@ -1,0 +1,159 @@
+#include "bench_common.h"
+
+#include <filesystem>
+#include <iostream>
+
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "nn/trainer.h"
+#include "op/generator_profile.h"
+#include "naturalness/density_naturalness.h"
+
+namespace opad::bench {
+
+namespace {
+
+std::unique_ptr<Classifier> train_model(const Dataset& train,
+                                        std::size_t hidden,
+                                        std::size_t epochs, Rng& rng) {
+  Sequential net(train.dim());
+  net.emplace<Dense>(train.dim(), hidden, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(hidden, train.num_classes(), rng);
+  auto model =
+      std::make_unique<Classifier>(std::move(net), train.num_classes());
+  TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.learning_rate = 0.05;
+  config.momentum = 0.9;
+  train_classifier(*model, train.inputs(), train.labels(), config, rng);
+  return model;
+}
+
+}  // namespace
+
+MethodContext DigitsWorkload::context() const {
+  MethodContext ctx;
+  ctx.balanced_data = &test;
+  ctx.operational_data = &op.operational_dataset;
+  ctx.operational_stream = &operational_sample;
+  ctx.profile = op.profile;
+  ctx.metric = metric;
+  ctx.tau = tau;
+  ctx.ball = ball;
+  return ctx;
+}
+
+DigitsWorkload make_digits_workload(const DigitsWorkloadConfig& config) {
+  Rng rng(config.seed);
+  DigitsWorkload w;
+  w.train_generator = std::make_shared<SyntheticDigitsGenerator>(
+      SyntheticDigitsGenerator::training_distribution());
+  w.op_generator = std::make_shared<SyntheticDigitsGenerator>(
+      SyntheticDigitsGenerator::operational_distribution());
+  w.train = w.train_generator->make_dataset(config.train_n, rng);
+  w.test = w.train_generator->make_dataset(config.test_n, rng);
+  w.operational_sample =
+      w.op_generator->make_dataset(config.op_sample_n, rng);
+  w.model = train_model(w.train, config.hidden, config.epochs, rng);
+
+  SynthesizerConfig synth;
+  synth.synthetic_size = config.op_synthetic_n;
+  synth.gmm.components = 10;
+  synth.gmm.max_iterations = 40;
+  // RQ1's augmentation: expand the observed operational sample with
+  // label-preserving environmental transforms (shift / brightness /
+  // noise) so the synthetic operational dataset covers the OP's support,
+  // not just the observed points.
+  synth.augment = compose_augments(
+      {image_shift_augment(SyntheticDigitsGenerator::kSide, 1),
+       brightness_augment(0.06), gaussian_noise_augment(0.04, 0.0f, 1.0f)});
+  w.op = learn_operational_profile(w.operational_sample, synth, rng);
+
+  w.metric = std::make_shared<DensityNaturalness>(w.op.profile);
+  w.tau = naturalness_threshold(*w.metric, w.op.operational_dataset.inputs(),
+                                config.tau_quantile);
+  w.ball.eps = config.eps;
+  w.ball.input_lo = 0.0f;
+  w.ball.input_hi = 1.0f;
+  return w;
+}
+
+MethodContext RingWorkload::context() const {
+  MethodContext ctx;
+  ctx.balanced_data = &test;
+  ctx.operational_data = &op.operational_dataset;
+  ctx.operational_stream = &operational_sample;
+  ctx.profile = op.profile;
+  ctx.metric = metric;
+  ctx.tau = tau;
+  ctx.ball = ball;
+  return ctx;
+}
+
+RingWorkload make_ring_workload(const RingWorkloadConfig& config) {
+  Rng rng(config.seed);
+  auto balanced = GaussianClustersGenerator::make_ring(
+      config.classes, config.radius, config.variance);
+  RingWorkload w{balanced, balanced.with_class_priors(config.op_priors),
+                 {}, {}, {}, nullptr, {}, nullptr, 0.0, {}};
+  w.train = w.train_generator.make_dataset(config.train_n, rng);
+  w.test = w.train_generator.make_dataset(config.test_n, rng);
+  w.operational_sample = w.op_generator.make_dataset(config.op_sample_n, rng);
+  w.model = train_model(w.train, config.hidden, config.epochs, rng);
+
+  SynthesizerConfig synth;
+  synth.synthetic_size = config.op_synthetic_n;
+  synth.gmm.components = config.classes;
+  w.op = learn_operational_profile(w.operational_sample, synth, rng);
+
+  w.metric = std::make_shared<DensityNaturalness>(w.op.profile);
+  w.tau = naturalness_threshold(*w.metric, w.op.operational_dataset.inputs(),
+                                config.tau_quantile);
+  w.ball.eps = config.eps;
+  w.ball.input_lo = -6.0f;
+  w.ball.input_hi = 6.0f;
+  return w;
+}
+
+double true_operational_pmi(Classifier& model,
+                            const DataGenerator& generator,
+                            std::size_t samples, Rng& rng) {
+  OPAD_EXPECTS(samples > 0);
+  std::size_t wrong = 0;
+  const std::size_t batch_size = 256;
+  std::size_t done = 0;
+  while (done < samples) {
+    const std::size_t bs = std::min(batch_size, samples - done);
+    Tensor batch({bs, generator.dim()});
+    std::vector<int> labels(bs);
+    for (std::size_t i = 0; i < bs; ++i) {
+      LabeledSample s = generator.sample(rng);
+      batch.set_row(i, s.x.data());
+      labels[i] = s.y;
+    }
+    const auto preds = model.predict(batch);
+    for (std::size_t i = 0; i < bs; ++i) {
+      if (preds[i] != labels[i]) ++wrong;
+    }
+    done += bs;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(samples);
+}
+
+void emit_table(const Table& table, const std::string& name,
+                const std::vector<std::string>& csv_header,
+                const std::vector<std::vector<std::string>>& csv_rows) {
+  table.print(std::cout, name);
+  std::cout << std::endl;
+  try {
+    std::filesystem::create_directories("bench_results");
+    CsvWriter csv("bench_results/" + name + ".csv", csv_header);
+    for (const auto& row : csv_rows) csv.write_row(row);
+  } catch (const std::exception& e) {
+    std::cerr << "(csv mirror skipped: " << e.what() << ")\n";
+  }
+}
+
+}  // namespace opad::bench

@@ -1,0 +1,106 @@
+// Shared workload construction for the experiment harnesses.
+//
+// Two canonical workloads, mirroring DESIGN.md:
+//  - Ring: 2-D Gaussian-ring classification with an *analytically known*
+//    OP (exact densities and Bayes labels) — used wherever ground truth
+//    must be exact (T5, T6, F3).
+//  - Digits: the 64-dimensional synthetic-digits vision proxy with a
+//    skewed, more-distorted operational distribution — used for the
+//    headline detection/reliability experiments (F1, T1-T3, F2, T7).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/methods.h"
+#include "data/digits.h"
+#include "data/generators.h"
+#include "naturalness/metric.h"
+#include "nn/model.h"
+#include "op/synthesizer.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace opad::bench {
+
+/// Fully prepared digits workload.
+struct DigitsWorkload {
+  std::shared_ptr<SyntheticDigitsGenerator> train_generator;
+  std::shared_ptr<SyntheticDigitsGenerator> op_generator;
+  Dataset train;
+  Dataset test;                      // balanced held-out pool
+  Dataset operational_sample;        // observed operational stream
+  std::unique_ptr<Classifier> model; // trained on `train`
+  OperationalLearningResult op;      // RQ1 output
+  NaturalnessPtr metric;             // density naturalness on learned OP
+  double tau = 0.0;
+  BallConfig ball;
+
+  MethodContext context() const;
+};
+
+struct DigitsWorkloadConfig {
+  std::size_t train_n = 1500;
+  std::size_t test_n = 500;
+  std::size_t op_sample_n = 400;
+  std::size_t op_synthetic_n = 4000;
+  std::size_t hidden = 64;
+  std::size_t epochs = 18;
+  float eps = 0.08f;
+  /// tau = 25th percentile of operational-data naturalness: an AE counts
+  /// as operational only if it is at least as natural as the lower
+  /// quartile of real operational inputs. (0.05 is too lenient to
+  /// discriminate OP-aware from OP-agnostic attacks on this workload.)
+  double tau_quantile = 0.25;
+  std::uint64_t seed = 2021;
+};
+
+DigitsWorkload make_digits_workload(const DigitsWorkloadConfig& config);
+
+/// Fully prepared ring workload (exact ground truth available).
+struct RingWorkload {
+  GaussianClustersGenerator train_generator;  // balanced
+  GaussianClustersGenerator op_generator;     // skewed priors
+  Dataset train;
+  Dataset test;
+  Dataset operational_sample;
+  std::unique_ptr<Classifier> model;
+  OperationalLearningResult op;
+  NaturalnessPtr metric;
+  double tau = 0.0;
+  BallConfig ball;
+
+  MethodContext context() const;
+};
+
+struct RingWorkloadConfig {
+  std::size_t classes = 3;
+  double radius = 2.0;
+  double variance = 0.5;
+  std::vector<double> op_priors = {0.6, 0.3, 0.1};
+  std::size_t train_n = 600;
+  std::size_t test_n = 300;
+  std::size_t op_sample_n = 250;
+  std::size_t op_synthetic_n = 800;
+  std::size_t hidden = 24;
+  std::size_t epochs = 25;
+  float eps = 0.45f;
+  double tau_quantile = 0.05;
+  std::uint64_t seed = 2021;
+};
+
+RingWorkload make_ring_workload(const RingWorkloadConfig& config);
+
+/// True operational misclassification rate (Monte Carlo against the
+/// generator's oracle labels). `samples` forward passes.
+double true_operational_pmi(Classifier& model, const DataGenerator& generator,
+                            std::size_t samples, Rng& rng);
+
+/// Prints the table to stdout and mirrors it to bench_results/<name>.csv
+/// (directory created on demand; failures to write the CSV are reported
+/// but non-fatal so benches still run in read-only checkouts).
+void emit_table(const Table& table, const std::string& name,
+                const std::vector<std::string>& csv_header,
+                const std::vector<std::vector<std::string>>& csv_rows);
+
+}  // namespace opad::bench

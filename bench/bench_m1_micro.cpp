@@ -1,0 +1,160 @@
+// M1 — microbenchmarks of the computational substrates (google-benchmark):
+// tensor matmul, conv2d forward/backward, classifier input gradients (the
+// unit of attack cost), one PGD step, GMM density and EM fitting, KDE
+// density, and the naturalness-guided fuzzer step.
+#include <benchmark/benchmark.h>
+
+#include "attack/natural_fuzzer.h"
+#include "attack/pgd.h"
+#include "data/digits.h"
+#include "naturalness/density_naturalness.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "op/gmm.h"
+#include "op/kde.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace opad;
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  Conv2D conv({1, 8, 8}, 8, 3, 1, 1, rng);
+  const Tensor batch = Tensor::rand_uniform({32, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(batch, false));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  Conv2D conv({1, 8, 8}, 8, 3, 1, 1, rng);
+  const Tensor batch = Tensor::rand_uniform({32, 64}, rng);
+  const Tensor grad = Tensor::randn({32, conv.output_geometry().features()},
+                                    rng);
+  conv.forward(batch, true);
+  for (auto _ : state) {
+    conv.zero_gradients();
+    benchmark::DoNotOptimize(conv.backward(grad));
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+Classifier make_digit_model(Rng& rng) {
+  Sequential net(64);
+  net.emplace<Dense>(64, 64, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(64, 10, rng);
+  return Classifier(std::move(net), 10);
+}
+
+void BM_InputGradient(benchmark::State& state) {
+  Rng rng(4);
+  Classifier model = make_digit_model(rng);
+  const Tensor x = Tensor::rand_uniform({64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.input_gradient(x, 3));
+  }
+}
+BENCHMARK(BM_InputGradient);
+
+void BM_PgdAttack(benchmark::State& state) {
+  Rng rng(5);
+  Classifier model = make_digit_model(rng);
+  PgdConfig config;
+  config.ball.eps = 0.08f;
+  config.steps = 10;
+  config.restarts = 1;
+  const Pgd attack(config);
+  const auto generator = SyntheticDigitsGenerator::training_distribution();
+  const LabeledSample seed = generator.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack.run(model, seed.x, seed.y, rng));
+  }
+}
+BENCHMARK(BM_PgdAttack);
+
+void BM_GmmLogDensity(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Tensor data = Tensor::randn({400, 8}, rng);
+  GmmConfig config;
+  config.components = k;
+  config.max_iterations = 10;
+  const auto gmm = GaussianMixtureModel::fit(data, config, rng);
+  const Tensor x = Tensor::randn({8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmm.log_density(x));
+  }
+}
+BENCHMARK(BM_GmmLogDensity)->Arg(4)->Arg(16);
+
+void BM_GmmFit(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor data = Tensor::randn({300, 8}, rng);
+  GmmConfig config;
+  config.components = 4;
+  config.max_iterations = 20;
+  for (auto _ : state) {
+    Rng fit_rng(8);
+    benchmark::DoNotOptimize(
+        GaussianMixtureModel::fit(data, config, fit_rng));
+  }
+}
+BENCHMARK(BM_GmmFit);
+
+void BM_KdeLogDensity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const Tensor data = Tensor::randn({n, 8}, rng);
+  const KernelDensityEstimator kde(data, KdeConfig{}, rng);
+  const Tensor x = Tensor::randn({8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.log_density(x));
+  }
+}
+BENCHMARK(BM_KdeLogDensity)->Arg(100)->Arg(1000);
+
+void BM_NaturalFuzzerAttack(benchmark::State& state) {
+  Rng rng(10);
+  Classifier model = make_digit_model(rng);
+  const Tensor data = Tensor::rand_uniform({300, 64}, rng);
+  GmmConfig gmm_config;
+  gmm_config.components = 8;
+  gmm_config.max_iterations = 15;
+  auto profile = std::make_shared<GaussianMixtureModel>(
+      GaussianMixtureModel::fit(data, gmm_config, rng));
+  auto metric = std::make_shared<DensityNaturalness>(profile);
+  NaturalFuzzerConfig config;
+  config.ball.eps = 0.08f;
+  config.steps = 10;
+  config.restarts = 1;
+  config.lambda = 1.0;
+  const NaturalnessGuidedFuzzer attack(config, metric);
+  const auto generator = SyntheticDigitsGenerator::training_distribution();
+  const LabeledSample seed = generator.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack.run(model, seed.x, seed.y, rng));
+  }
+}
+BENCHMARK(BM_NaturalFuzzerAttack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

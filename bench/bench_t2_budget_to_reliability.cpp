@@ -1,0 +1,115 @@
+// T2 — the headline claim (§IV): testing budget needed to reach a target
+// delivered reliability, per method.
+//
+// Same scarce-label design as F2 (150 labelled operational samples, four
+// detect->retrain rounds, field-AE fix rate as the reliability measure).
+// The budget grid is swept in increasing order and the first budget
+// whose retrained model meets each fix-rate target is reported
+// ("-" = not reached within the grid).
+//
+// Paper-expected shape: OpAD needs a several-fold smaller budget than
+// every baseline. Observed (see F2 and EXPERIMENTS.md): OpAD does reach
+// every target at the smallest budget in the grid — a several-fold
+// advantage over PGD-Uniform — though with substantial run-to-run
+// variance at larger budgets where the gradient-based arms converge;
+// the black-box and observation-only baselines never reach the harder
+// targets.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "attack/pgd.h"
+#include "core/retrainer.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "util/stopwatch.h"
+
+using namespace opad;
+using namespace opad::bench;
+
+int main() {
+  Stopwatch watch;
+  std::cout << "T2: budget to reach target field-AE fix rate "
+               "(scarce-label regime, synthetic digits)\n\n";
+
+  DigitsWorkloadConfig wconfig;
+  wconfig.op_sample_n = 150;
+  wconfig.op_synthetic_n = 1200;
+  DigitsWorkload w = make_digits_workload(wconfig);
+  const MethodContext ctx = w.context();
+  const auto snapshot = snapshot_parameters(w.model->network());
+  const Dataset& anchor = w.operational_sample;
+
+  PgdConfig strong_config;
+  strong_config.ball = w.ball;
+  strong_config.steps = 20;
+  strong_config.restarts = 3;
+  const Pgd strong(strong_config);
+  std::vector<LabeledSample> field;
+  Rng field_rng(555);
+  while (field.size() < 400) {
+    const LabeledSample s = w.op_generator->sample(field_rng);
+    if (w.model->predict_single(s.x) != s.y) continue;
+    const AttackResult r = strong.run(*w.model, s.x, s.y, field_rng);
+    if (!r.success) continue;
+    if (w.metric->score(r.adversarial) < w.tau) continue;
+    field.push_back({r.adversarial, s.y});
+  }
+  auto field_fix_rate = [&field](Classifier& model) {
+    std::size_t fixed = 0;
+    for (const auto& s : field) {
+      if (model.predict_single(s.x) == s.y) ++fixed;
+    }
+    return static_cast<double>(fixed) / static_cast<double>(field.size());
+  };
+
+  RetrainConfig retrain_config;
+  retrain_config.epochs = 3;
+  retrain_config.ae_emphasis = 2.0;
+  const AdversarialRetrainer retrainer(retrain_config);
+
+  const std::vector<double> targets = {0.60, 0.64, 0.68};
+  const std::vector<std::uint64_t> budgets = {4000, 8000, 16000, 32000,
+                                              64000};
+  std::cout << "targets: fraction of 400 field AEs fixed\n\n";
+
+  Table table({"method", "target_fix_rate", "budget_needed",
+               "fix_rate_reached"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const auto& method : standard_method_suite(MethodSuiteConfig{})) {
+    std::map<std::uint64_t, double> rate_at;
+    for (const std::uint64_t budget : budgets) {
+      restore_parameters(w.model->network(), snapshot);
+      for (int round = 0; round < 4; ++round) {
+        Rng rng(100 * (round + 1) + budget);
+        const Detection d = method->detect(*w.model, ctx, budget / 4, rng);
+        Rng retrain_rng(17 + round);
+        retrainer.retrain(*w.model, anchor, d.aes, retrain_rng);
+      }
+      rate_at[budget] = field_fix_rate(*w.model);
+    }
+    for (const double target : targets) {
+      std::string needed = "-", reached = "-";
+      for (const std::uint64_t budget : budgets) {
+        if (rate_at[budget] >= target) {
+          needed = std::to_string(budget);
+          reached = Table::num(rate_at[budget], 4);
+          break;
+        }
+      }
+      std::vector<std::string> row = {method->name(), Table::num(target, 2),
+                                      needed, reached};
+      table.add_row(row);
+      csv_rows.push_back(row);
+    }
+  }
+  restore_parameters(w.model->network(), snapshot);
+
+  emit_table(table, "t2_budget_to_reliability",
+             {"method", "target_fix_rate", "budget_needed",
+              "fix_rate_reached"},
+             csv_rows);
+  std::cout << "elapsed: " << Table::num(watch.seconds(), 1) << "s\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// T9 — operational-profile drift monitoring (RQ1, deployment side).
+//
+// The paper notes the OP "is not ... constant after deployment". The
+// DriftMonitor watches the live stream and raises an alarm when its
+// windowed cell distribution diverges from the calibration reference —
+// the trigger to re-enter the Figure-1 loop.
+//
+// Ring workload. Two tables: (a) false-alarm behaviour on an
+// in-distribution stream across nominal rates; (b) detection delay (in
+// inputs after the change point) across drift magnitudes, for both
+// covariate shift and prior skew. Expected shape: observed false-alarm
+// rates near nominal; delay shrinks as drift grows; tiny drifts are
+// (correctly) indistinguishable and may not alarm within the horizon.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "op/drift.h"
+#include "util/stopwatch.h"
+
+using namespace opad;
+using namespace opad::bench;
+
+int main() {
+  Stopwatch watch;
+  std::cout << "T9: OP drift monitoring — false alarms and detection "
+               "delay (2-D ring)\n\n";
+
+  const auto reference_gen = GaussianClustersGenerator::make_ring(3, 2.0,
+                                                                  0.4);
+  Rng setup_rng(1);
+  const Dataset reference = reference_gen.make_dataset(1500, setup_rng);
+  auto partition = std::make_shared<const CellPartition>(
+      CellPartition::fit(reference.inputs(), 6, 2, setup_rng));
+
+  // (a) false alarms on an in-distribution stream.
+  {
+    Table table({"nominal_rate", "threshold", "alarm_windows",
+                 "observed_rate"});
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const double rate : {0.001, 0.01, 0.05}) {
+      DriftMonitorConfig config;
+      config.false_alarm_rate = rate;
+      Rng rng(11);
+      DriftMonitor monitor(partition, reference.inputs(), config, rng);
+      std::size_t alarms = 0, windows = 0;
+      const std::size_t n = 5000;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool alarm = monitor.observe(reference_gen.sample(rng).x);
+        if (monitor.window_full()) {
+          ++windows;
+          if (alarm) ++alarms;
+        }
+      }
+      std::vector<std::string> row = {
+          Table::num(rate, 3), Table::num(monitor.threshold(), 4),
+          std::to_string(alarms),
+          Table::num(static_cast<double>(alarms) /
+                         static_cast<double>(windows),
+                     4)};
+      table.add_row(row);
+      csv_rows.push_back(row);
+    }
+    emit_table(table, "t9_drift_false_alarms",
+               {"nominal_rate", "threshold", "alarm_windows",
+                "observed_rate"},
+               csv_rows);
+  }
+
+  // (b) detection delay vs. drift magnitude.
+  {
+    Table table({"drift_kind", "magnitude", "detected", "delay_inputs"});
+    std::vector<std::vector<std::string>> csv_rows;
+    auto run_case = [&](const std::string& kind, double magnitude,
+                        const GaussianClustersGenerator& drifted) {
+      DriftMonitorConfig config;
+      config.window = 200;
+      config.false_alarm_rate = 0.01;
+      Rng rng(13);
+      DriftMonitor monitor(partition, reference.inputs(), config, rng);
+      for (int i = 0; i < 400; ++i) {
+        monitor.observe(reference_gen.sample(rng).x);
+      }
+      bool detected = false;
+      std::size_t delay = 0;
+      const std::size_t horizon = 1500;
+      for (std::size_t i = 0; i < horizon; ++i) {
+        ++delay;
+        if (monitor.observe(drifted.sample(rng).x)) {
+          detected = true;
+          break;
+        }
+      }
+      std::vector<std::string> row = {
+          kind, Table::num(magnitude, 2),
+          detected ? "yes" : "no",
+          detected ? std::to_string(delay) : "-"};
+      table.add_row(row);
+      csv_rows.push_back(row);
+    };
+
+    for (const double shift : {0.25, 0.5, 1.0, 2.0}) {
+      run_case("covariate-shift", shift,
+               reference_gen.shifted({shift, shift}));
+    }
+    for (const double skew : {0.55, 0.7, 0.9}) {
+      const double rest = (1.0 - skew) / 2.0;
+      run_case("prior-skew", skew,
+               reference_gen.with_class_priors({skew, rest, rest}));
+    }
+    emit_table(table, "t9_drift_delay",
+               {"drift_kind", "magnitude", "detected", "delay_inputs"},
+               csv_rows);
+  }
+
+  std::cout << "elapsed: " << Table::num(watch.seconds(), 1) << "s\n";
+  return 0;
+}

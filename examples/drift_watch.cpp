@@ -1,0 +1,118 @@
+// Scenario: watching a deployed model's input stream for operational-
+// profile drift (RQ1's deployment side).
+//
+// A perception model is tested and certified against the OP observed at
+// commissioning time. Months later the environment changes (seasonal
+// covariate shift + usage skew). The DriftMonitor watches the live
+// stream; when it alarms, the certification no longer applies and the
+// Figure-1 loop must be re-entered. This example simulates the stream,
+// shows the divergence trace crossing the calibrated threshold, and then
+// demonstrates the re-entry: re-learning the OP from post-drift data and
+// noting how far the old profile's density has fallen on new inputs.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "data/generators.h"
+#include "op/drift.h"
+#include "op/gmm.h"
+#include "op/synthesizer.h"
+#include "util/table.h"
+
+using namespace opad;
+
+int main() {
+  Rng rng(7);
+
+  // Commissioning-time OP and its artefacts.
+  const auto commissioning = GaussianClustersGenerator::make_ring(4, 2.5,
+                                                                  0.35);
+  const Dataset reference = commissioning.make_dataset(1200, rng);
+  auto partition = std::make_shared<const CellPartition>(
+      CellPartition::fit(reference.inputs(), 6, 2, rng));
+  SynthesizerConfig synth;
+  synth.synthetic_size = 1500;
+  synth.gmm.components = 4;
+  const auto learned = learn_operational_profile(reference, synth, rng);
+
+  DriftMonitorConfig config;
+  config.window = 250;
+  config.false_alarm_rate = 0.002;
+  DriftMonitor monitor(partition, reference.inputs(), config, rng);
+  std::cout << "drift monitor calibrated: threshold KL = "
+            << Table::num(monitor.threshold(), 4)
+            << " (1% nominal false-alarm rate, window "
+            << config.window << ")\n\n";
+
+  // Simulated stream: 800 in-distribution inputs, then the environment
+  // changes (clusters drift and usage skews towards one class).
+  const auto post_drift =
+      commissioning.shifted({0.9, -0.6})
+          .with_class_priors({0.55, 0.25, 0.15, 0.05});
+  const std::size_t change_point = 800;
+  std::size_t alarm_at = 0;
+  std::cout << "streaming (change point at input " << change_point
+            << ")...\n";
+  // A *detection* requires the monitor to stay alarmed for a run of
+  // consecutive inputs — brief threshold grazes are the calibrated
+  // false-alarm budget at work and are logged but not acted on.
+  constexpr std::size_t kPersistence = 25;
+  std::cout << "input   windowKL  state\n";
+  std::size_t alarm_run = 0;
+  std::size_t grazes = 0;
+  bool graze_logged = false;
+  for (std::size_t i = 0; i < 1600; ++i) {
+    const bool drifted_regime = i >= change_point;
+    const Tensor x = drifted_regime ? post_drift.sample(rng).x
+                                    : commissioning.sample(rng).x;
+    const bool alarm = monitor.observe(x);
+    alarm_run = alarm ? alarm_run + 1 : 0;
+    const bool detected = alarm_run >= kPersistence;
+    if (i % 200 == 199 || detected) {
+      std::cout << std::setw(5) << i + 1 << "   "
+                << Table::num(monitor.current_divergence(), 4) << "    "
+                << (detected ? "DRIFT DETECTED" : (alarm ? "graze" : "ok"))
+                << "\n";
+    }
+    if (alarm && !detected && !graze_logged) {
+      ++grazes;
+      graze_logged = true;
+    }
+    if (!alarm) graze_logged = false;
+    if (detected) {
+      alarm_at = i + 1;
+      break;
+    }
+  }
+  if (grazes > 0) {
+    std::cout << "(" << grazes
+              << " transient threshold graze(s) before detection — the "
+                 "calibrated false-alarm budget at work)\n";
+  }
+
+  if (alarm_at == 0) {
+    std::cout << "\nno alarm raised — drift too small to matter.\n";
+    return 0;
+  }
+  std::cout << "\nalarm at input " << alarm_at << " — "
+            << alarm_at - change_point
+            << " inputs after the change point.\n\n";
+
+  // Re-entry: gather post-drift data, re-learn the OP, compare.
+  const Dataset fresh = post_drift.make_dataset(400, rng);
+  const auto relearned = learn_operational_profile(fresh, synth, rng);
+  double old_lp = 0.0, new_lp = 0.0;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    old_lp += learned.profile->log_density(fresh.sample(i).x);
+    new_lp += relearned.profile->log_density(fresh.sample(i).x);
+  }
+  const auto n = static_cast<double>(fresh.size());
+  std::cout << "post-drift data under the OLD learned OP: mean log-density "
+            << Table::num(old_lp / n, 3) << "\n";
+  std::cout << "post-drift data under the RE-LEARNED OP:  mean log-density "
+            << Table::num(new_lp / n, 3) << "\n";
+  std::cout << "\nthe certification pipeline must be re-run against the "
+               "re-learned profile\n(tau, seed weights, and the cell "
+               "weights all derive from it).\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Scenario: a utility meter-reading camera — a digit classifier whose
+// operational profile is heavily skewed (meters spend most of their life
+// with small leading digits) and whose optics degrade images (blur,
+// brightness drift, sensor noise).
+//
+// The example compares testing methods head to head on this workload:
+// given the same model-query budget, how many *operational* AEs does each
+// method surface for the maintenance team? It then digs into what the
+// detected AEs look like (class mix vs. the OP, perturbation sizes).
+#include <iomanip>
+#include <iostream>
+
+#include "core/methods.h"
+#include "data/digits.h"
+#include "naturalness/density_naturalness.h"
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+#include "op/synthesizer.h"
+#include "util/table.h"
+
+using namespace opad;
+
+int main() {
+  Rng rng(11);
+
+  // Train on balanced lab data.
+  const auto lab = SyntheticDigitsGenerator::training_distribution();
+  const Dataset train = lab.make_dataset(1500, rng);
+  const Dataset lab_test = lab.make_dataset(400, rng);
+  Sequential net(train.dim());
+  net.emplace<Dense>(train.dim(), 64, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(64, train.num_classes(), rng);
+  Classifier model(std::move(net), train.num_classes());
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.learning_rate = 0.05;
+  tc.momentum = 0.9;
+  train_classifier(model, train.inputs(), train.labels(), tc, rng);
+
+  // Field data from deployed cameras.
+  const auto field = SyntheticDigitsGenerator::operational_distribution();
+  const Dataset observed = field.make_dataset(350, rng);
+  std::cout << "lab accuracy " << std::setprecision(3)
+            << evaluate_accuracy(model, lab_test.inputs(),
+                                 lab_test.labels())
+            << ", field-sample accuracy "
+            << evaluate_accuracy(model, observed.inputs(),
+                                 observed.labels())
+            << "\n\n";
+
+  // RQ1: learn the OP from the field sample.
+  SynthesizerConfig synth;
+  synth.synthetic_size = 1200;
+  synth.gmm.components = 10;
+  synth.gmm.max_iterations = 40;
+  synth.augment = compose_augments(
+      {image_shift_augment(SyntheticDigitsGenerator::kSide, 1),
+       brightness_augment(0.06), gaussian_noise_augment(0.04, 0.0f, 1.0f)});
+  const auto op = learn_operational_profile(observed, synth, rng);
+  auto metric = std::make_shared<DensityNaturalness>(op.profile);
+  const double tau = naturalness_threshold(
+      *metric, op.operational_dataset.inputs(), 0.25);
+
+  std::cout << "learned operational class priors:";
+  for (double p : op.class_priors) {
+    std::cout << " " << Table::num(p, 2);
+  }
+  std::cout << "\n(true priors skew towards small digits)\n\n";
+
+  // Method shoot-out under a fixed budget.
+  MethodContext ctx;
+  ctx.balanced_data = &lab_test;
+  ctx.operational_data = &op.operational_dataset;
+  ctx.operational_stream = &observed;
+  ctx.profile = op.profile;
+  ctx.metric = metric;
+  ctx.tau = tau;
+  ctx.ball.eps = 0.08f;
+  ctx.ball.input_lo = 0.0f;
+  ctx.ball.input_hi = 1.0f;
+
+  const std::uint64_t budget = 10000;
+  Table table({"method", "operational AEs", "all AEs", "queries"});
+  std::vector<std::vector<std::size_t>> opad_class_mix;
+  for (const auto& method : standard_method_suite(MethodSuiteConfig{})) {
+    Rng method_rng(99);
+    const Detection d = method->detect(model, ctx, budget, method_rng);
+    table.add_row({method->name(),
+                   std::to_string(d.stats.operational_aes),
+                   std::to_string(d.stats.aes_found),
+                   std::to_string(d.stats.queries_used)});
+    if (method->name() == "OpAD") {
+      std::vector<std::size_t> mix(10, 0);
+      for (const auto& ae : d.aes) {
+        mix[static_cast<std::size_t>(ae.label)]++;
+      }
+      opad_class_mix.push_back(std::move(mix));
+    }
+  }
+  table.print(std::cout,
+              "operational AEs found with a 10k-query budget");
+
+  if (!opad_class_mix.empty()) {
+    std::cout << "\nOpAD AE class mix (digit: count): ";
+    for (int d = 0; d < 10; ++d) {
+      std::cout << d << ":" << opad_class_mix[0][static_cast<std::size_t>(d)]
+                << " ";
+    }
+    std::cout << "\n— concentrated on the digits the meters actually show,"
+                 "\n  which is where fixing failures buys reliability.\n";
+  }
+  return 0;
+}

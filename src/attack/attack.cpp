@@ -1,0 +1,19 @@
+#include "attack/attack.h"
+
+namespace opad {
+
+bool Attack::is_adversarial(Classifier& model, const Tensor& candidate,
+                            int label) {
+  return model.predict_single(candidate) != label;
+}
+
+AttackResult run_with_query_accounting(const Attack& attack,
+                                       Classifier& model, const Tensor& seed,
+                                       int label, Rng& rng) {
+  const std::uint64_t before = model.query_count();
+  AttackResult result = attack.run(model, seed, label, rng);
+  result.queries = model.query_count() - before;
+  return result;
+}
+
+}  // namespace opad

@@ -1,0 +1,59 @@
+// Attack / fuzzing abstraction.
+//
+// An Attack searches the L-inf ball of radius eps around a seed for an
+// input the model classifies differently from the seed's label — the
+// norm-ball adversarial-example convention of the paper (§I). Attacks are
+// budgeted in *model queries* (forward passes / gradient evaluations), the
+// unit in which all OpAD experiments account testing effort.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// Shared geometry of the search region.
+struct BallConfig {
+  float eps = 0.1f;        // L-inf radius around the seed
+  float input_lo = 0.0f;   // valid input box, applied after projection
+  float input_hi = 1.0f;
+};
+
+/// Outcome of attacking one seed.
+struct AttackResult {
+  bool success = false;       // model(adversarial) != seed label
+  Tensor adversarial;         // found AE on success; best attempt otherwise
+  float linf_distance = 0.0f; // from the seed
+  std::uint64_t queries = 0;  // model queries consumed by this attack
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Attacks `seed` (rank-1) whose reference label is `label`. The model
+  /// is non-const because forward passes mutate layer caches and the
+  /// query counter; attacks never change parameters.
+  virtual AttackResult run(Classifier& model, const Tensor& seed, int label,
+                           Rng& rng) const = 0;
+
+ protected:
+  /// True if `candidate` is misclassified w.r.t. `label`.
+  static bool is_adversarial(Classifier& model, const Tensor& candidate,
+                             int label);
+};
+
+using AttackPtr = std::shared_ptr<const Attack>;
+
+/// Convenience wrapper recording query usage around an attack run.
+AttackResult run_with_query_accounting(const Attack& attack,
+                                       Classifier& model, const Tensor& seed,
+                                       int label, Rng& rng);
+
+}  // namespace opad

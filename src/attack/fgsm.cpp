@@ -1,0 +1,30 @@
+#include "attack/fgsm.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+Fgsm::Fgsm(BallConfig ball) : ball_(ball) {
+  OPAD_EXPECTS(ball.eps > 0.0f && ball.input_lo < ball.input_hi);
+}
+
+AttackResult Fgsm::run(Classifier& model, const Tensor& seed, int label,
+                       Rng& /*rng*/) const {
+  OPAD_EXPECTS(seed.rank() == 1);
+  Tensor grad = model.input_gradient(seed, label);
+  Tensor candidate = seed;
+  auto c = candidate.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] += ball_.eps * (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f));
+  }
+  project_linf_ball(candidate, seed, ball_.eps, ball_.input_lo,
+                    ball_.input_hi);
+  AttackResult result;
+  result.success = is_adversarial(model, candidate, label);
+  result.linf_distance = linf_distance(candidate, seed);
+  result.adversarial = std::move(candidate);
+  return result;
+}
+
+}  // namespace opad

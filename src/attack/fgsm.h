@@ -1,0 +1,21 @@
+// Fast Gradient Sign Method (Goodfellow et al.): one signed-gradient step
+// of size eps. The cheapest gradient baseline.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace opad {
+
+class Fgsm : public Attack {
+ public:
+  explicit Fgsm(BallConfig ball);
+
+  std::string name() const override { return "FGSM"; }
+  AttackResult run(Classifier& model, const Tensor& seed, int label,
+                   Rng& rng) const override;
+
+ private:
+  BallConfig ball_;
+};
+
+}  // namespace opad

@@ -1,0 +1,117 @@
+#include "attack/genetic_fuzzer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+GeneticFuzzer::GeneticFuzzer(GeneticFuzzerConfig config)
+    : config_(std::move(config)) {
+  OPAD_EXPECTS(config_.ball.eps > 0.0f);
+  OPAD_EXPECTS(config_.population >= 4 && config_.generations >= 1);
+  OPAD_EXPECTS(config_.elite < config_.population);
+  OPAD_EXPECTS(config_.mutation_rate >= 0.0 && config_.mutation_rate <= 1.0);
+  OPAD_EXPECTS(config_.mutation_scale > 0.0);
+  OPAD_EXPECTS(config_.naturalness_weight == 0.0 ||
+               config_.naturalness != nullptr);
+}
+
+AttackResult GeneticFuzzer::run(Classifier& model, const Tensor& seed,
+                                int label, Rng& rng) const {
+  OPAD_EXPECTS(seed.rank() == 1);
+  const float eps = config_.ball.eps;
+  const std::size_t d = seed.dim(0);
+  const std::size_t pop_size = config_.population;
+
+  // Initial population: seed plus uniform perturbations.
+  std::vector<Tensor> population;
+  population.reserve(pop_size);
+  population.push_back(seed);
+  for (std::size_t i = 1; i < pop_size; ++i) {
+    Tensor x = seed;
+    for (float& v : x.data()) {
+      v += static_cast<float>(rng.uniform(-eps, eps));
+    }
+    project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                      config_.ball.input_hi);
+    population.push_back(std::move(x));
+  }
+
+  SoftmaxCrossEntropy xent;
+  AttackResult best;
+  best.adversarial = seed;
+
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    // Evaluate the whole population in one batch query.
+    Tensor batch({pop_size, d});
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      batch.set_row(i, population[i].data());
+    }
+    const Tensor logits = model.logits(batch);
+    std::vector<int> labels(pop_size, label);
+    const auto losses = xent.per_sample_loss(logits, labels);
+
+    // Success check (argmax per row) before any further evolution.
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      auto row = logits.row_span(i);
+      const auto pred = static_cast<int>(
+          std::max_element(row.begin(), row.end()) - row.begin());
+      if (pred != label) {
+        best.success = true;
+        best.adversarial = population[i];
+        best.linf_distance = linf_distance(population[i], seed);
+        return best;
+      }
+    }
+
+    std::vector<double> fitness = losses;
+    if (config_.naturalness_weight != 0.0) {
+      for (std::size_t i = 0; i < pop_size; ++i) {
+        fitness[i] += config_.naturalness_weight *
+                      config_.naturalness->score(population[i]);
+      }
+    }
+
+    // Rank by fitness descending.
+    std::vector<std::size_t> order(pop_size);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&fitness](auto a, auto b) {
+      return fitness[a] > fitness[b];
+    });
+
+    // Next generation: elites + crossover/mutation of tournament parents.
+    std::vector<Tensor> next;
+    next.reserve(pop_size);
+    for (std::size_t e = 0; e < config_.elite; ++e) {
+      next.push_back(population[order[e]]);
+    }
+    auto tournament_pick = [&]() -> const Tensor& {
+      const std::size_t a = rng.uniform_index(pop_size);
+      const std::size_t b = rng.uniform_index(pop_size);
+      return fitness[a] >= fitness[b] ? population[a] : population[b];
+    };
+    while (next.size() < pop_size) {
+      const Tensor& pa = tournament_pick();
+      const Tensor& pb = tournament_pick();
+      Tensor child({d});
+      for (std::size_t j = 0; j < d; ++j) {
+        child.at(j) = rng.bernoulli(0.5) ? pa.at(j) : pb.at(j);
+        if (rng.bernoulli(config_.mutation_rate)) {
+          child.at(j) += static_cast<float>(
+              rng.normal(0.0, config_.mutation_scale * eps));
+        }
+      }
+      project_linf_ball(child, seed, eps, config_.ball.input_lo,
+                        config_.ball.input_hi);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    best.adversarial = population.front();
+  }
+  best.linf_distance = linf_distance(best.adversarial, seed);
+  return best;
+}
+
+}  // namespace opad

@@ -1,0 +1,35 @@
+// Black-box genetic fuzzer: evolves a population inside the ball with the
+// model's cross-entropy loss as fitness (optionally blended with a
+// naturalness score). Serves as the coverage/search-based testing baseline.
+#pragma once
+
+#include "attack/attack.h"
+#include "naturalness/metric.h"
+
+namespace opad {
+
+struct GeneticFuzzerConfig {
+  BallConfig ball;
+  std::size_t population = 16;
+  std::size_t generations = 8;
+  double mutation_rate = 0.3;      // per-feature mutation probability
+  double mutation_scale = 0.4;     // mutation sd as a fraction of eps
+  std::size_t elite = 2;           // survivors copied unchanged
+  /// Optional naturalness blending: fitness += weight * score.
+  NaturalnessPtr naturalness;
+  double naturalness_weight = 0.0;
+};
+
+class GeneticFuzzer : public Attack {
+ public:
+  explicit GeneticFuzzer(GeneticFuzzerConfig config);
+
+  std::string name() const override { return "GeneticFuzz"; }
+  AttackResult run(Classifier& model, const Tensor& seed, int label,
+                   Rng& rng) const override;
+
+ private:
+  GeneticFuzzerConfig config_;
+};
+
+}  // namespace opad

@@ -1,0 +1,69 @@
+#include "attack/momentum_pgd.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+MomentumPgd::MomentumPgd(MomentumPgdConfig config) : config_(config) {
+  OPAD_EXPECTS(config.ball.eps > 0.0f);
+  OPAD_EXPECTS(config.steps > 0 && config.restarts > 0);
+  OPAD_EXPECTS(config.decay >= 0.0);
+}
+
+AttackResult MomentumPgd::run(Classifier& model, const Tensor& seed,
+                              int label, Rng& rng) const {
+  OPAD_EXPECTS(seed.rank() == 1);
+  const float eps = config_.ball.eps;
+  const float alpha = config_.step_size > 0.0f
+                          ? config_.step_size
+                          : eps / static_cast<float>(config_.steps);
+  AttackResult best;
+  best.adversarial = seed;
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    Tensor x = seed;
+    if (restart > 0) {
+      for (float& v : x.data()) {
+        v += static_cast<float>(rng.uniform(-eps, eps));
+      }
+      project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                        config_.ball.input_hi);
+    }
+    Tensor momentum({seed.dim(0)});
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      Tensor grad = model.input_gradient(x, label);
+      // L1-normalise the gradient, then accumulate momentum.
+      double l1 = 0.0;
+      for (float g : grad.data()) l1 += std::fabs(g);
+      if (l1 < 1e-12) l1 = 1e-12;
+      auto mv = momentum.data();
+      auto gv = grad.data();
+      for (std::size_t i = 0; i < mv.size(); ++i) {
+        mv[i] = static_cast<float>(config_.decay * mv[i] +
+                                   gv[i] / static_cast<float>(l1));
+      }
+      auto xv = x.data();
+      for (std::size_t i = 0; i < xv.size(); ++i) {
+        xv[i] += alpha *
+                 (mv[i] > 0.0f ? 1.0f : (mv[i] < 0.0f ? -1.0f : 0.0f));
+      }
+      project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                        config_.ball.input_hi);
+      if (is_adversarial(model, x, label)) {
+        AttackResult result;
+        result.success = true;
+        result.linf_distance = linf_distance(x, seed);
+        result.adversarial = std::move(x);
+        return result;
+      }
+    }
+    best.adversarial = x;
+  }
+  best.success = false;
+  best.linf_distance = linf_distance(best.adversarial, seed);
+  return best;
+}
+
+}  // namespace opad

@@ -1,0 +1,31 @@
+// Momentum Iterative FGSM (Dong et al., CVPR'18): PGD with an
+// accumulated, L1-normalised gradient momentum term. Typically transfers
+// better and escapes poor local structure; included as an additional
+// state-of-the-art white-box baseline.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace opad {
+
+struct MomentumPgdConfig {
+  BallConfig ball;
+  std::size_t steps = 20;
+  float step_size = 0.0f;  // <= 0 selects eps / steps (the MI-FGSM default)
+  double decay = 1.0;      // momentum decay factor mu
+  std::size_t restarts = 1;
+};
+
+class MomentumPgd : public Attack {
+ public:
+  explicit MomentumPgd(MomentumPgdConfig config);
+
+  std::string name() const override { return "MI-FGSM"; }
+  AttackResult run(Classifier& model, const Tensor& seed, int label,
+                   Rng& rng) const override;
+
+ private:
+  MomentumPgdConfig config_;
+};
+
+}  // namespace opad

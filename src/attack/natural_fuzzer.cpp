@@ -1,0 +1,122 @@
+#include "attack/natural_fuzzer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+NaturalnessGuidedFuzzer::NaturalnessGuidedFuzzer(NaturalFuzzerConfig config,
+                                                 NaturalnessPtr naturalness)
+    : config_(config), naturalness_(std::move(naturalness)) {
+  OPAD_EXPECTS(config.ball.eps > 0.0f);
+  OPAD_EXPECTS(config.steps > 0 && config.restarts > 0);
+  OPAD_EXPECTS(config.lambda >= 0.0);
+  OPAD_EXPECTS(naturalness_ != nullptr);
+  OPAD_EXPECTS_MSG(config.lambda == 0.0 || naturalness_->has_gradient(),
+                   "lambda > 0 requires a differentiable naturalness metric");
+}
+
+AttackResult NaturalnessGuidedFuzzer::run(Classifier& model,
+                                          const Tensor& seed, int label,
+                                          Rng& rng) const {
+  OPAD_EXPECTS(seed.rank() == 1);
+  const float eps = config_.ball.eps;
+  const float alpha = config_.step_size > 0.0f
+                          ? config_.step_size
+                          : 2.5f * eps / static_cast<float>(config_.steps);
+
+  // Track the most natural adversarial candidate seen across restarts.
+  bool found_any = false;
+  double best_score = -std::numeric_limits<double>::infinity();
+  Tensor best_x = seed;
+  Tensor last_attempt = seed;
+  // Extra steps allowed after the first sub-tau AE, shared across
+  // restarts: bounds the query premium paid for naturalness.
+  std::size_t polish_left = config_.polish_steps;
+
+  auto accepts = [this](double score) {
+    return !config_.tau || score >= *config_.tau;
+  };
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    Tensor x = seed;
+    if (restart > 0) {
+      for (float& v : x.data()) {
+        v += static_cast<float>(rng.uniform(-eps, eps));
+      }
+      project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                        config_.ball.input_hi);
+    }
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      // Composite ascent direction: sign of the loss gradient, plus the
+      // (scaled) naturalness gradient normalised to unit L-inf so lambda
+      // has a consistent meaning across metrics.
+      Tensor loss_grad = model.input_gradient(x, label);
+      Tensor direction({x.dim(0)});
+      auto dv = direction.data();
+      auto lg = loss_grad.data();
+      for (std::size_t i = 0; i < dv.size(); ++i) {
+        dv[i] = lg[i] > 0.0f ? 1.0f : (lg[i] < 0.0f ? -1.0f : 0.0f);
+      }
+      if (config_.lambda > 0.0) {
+        Tensor nat_grad = naturalness_->score_gradient(x);
+        const float norm = nat_grad.linf_norm();
+        if (norm > 1e-12f) {
+          nat_grad *= static_cast<float>(config_.lambda) / norm;
+          direction += nat_grad;
+        }
+      }
+      auto xv = x.data();
+      auto dir = direction.data();
+      for (std::size_t i = 0; i < xv.size(); ++i) {
+        xv[i] += alpha * dir[i];
+      }
+      project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                        config_.ball.input_hi);
+
+      if (is_adversarial(model, x, label)) {
+        const double s = naturalness_->score(x);
+        found_any = true;
+        if (s > best_score) {
+          best_score = s;
+          best_x = x;
+        }
+        if (accepts(s)) {
+          AttackResult result;
+          result.success = true;
+          result.adversarial = std::move(x);
+          result.linf_distance = linf_distance(result.adversarial, seed);
+          return result;
+        }
+        // Not natural enough: spend bounded polish budget ascending — the
+        // naturalness term pulls the iterate back towards the manifold.
+        if (polish_left == 0) {
+          AttackResult result;
+          result.success = true;
+          result.adversarial = best_x;
+          result.linf_distance = linf_distance(result.adversarial, seed);
+          return result;
+        }
+        --polish_left;
+      }
+    }
+    last_attempt = x;
+  }
+
+  AttackResult result;
+  if (found_any) {
+    // The most natural AE found, even if below tau; the caller decides
+    // whether it counts as operational.
+    result.success = true;
+    result.adversarial = best_x;
+  } else {
+    result.success = false;
+    result.adversarial = last_attempt;
+  }
+  result.linf_distance = linf_distance(result.adversarial, seed);
+  return result;
+}
+
+}  // namespace opad

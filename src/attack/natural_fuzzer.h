@@ -1,0 +1,65 @@
+// Naturalness-guided fuzzing attack — the paper's RQ3 contribution.
+//
+// Projected signed-gradient ascent on the composite objective
+//
+//     J(x') = loss(model(x'), y) + lambda * naturalness(x')
+//
+// inside the eps ball around the seed, with random restarts. The lambda
+// term steers the search towards high-local-OP (natural) failures instead
+// of the arbitrary worst-case points plain PGD finds; an optional
+// threshold tau makes the attack *keep searching* (for a bounded number
+// of polish steps) after an unnatural misclassification, returning the
+// most natural AE it saw. Classifying the result as operational is the
+// caller's job (TestCaseGenerator applies the same tau uniformly across
+// methods).
+//
+// With lambda = 0 and no tau this reduces exactly to PGD, which makes the
+// baseline a nested special case — the cleanest possible ablation.
+#pragma once
+
+#include <optional>
+
+#include "attack/attack.h"
+#include "naturalness/metric.h"
+
+namespace opad {
+
+struct NaturalFuzzerConfig {
+  BallConfig ball;
+  std::size_t steps = 20;
+  float step_size = 0.0f;     // <= 0 selects 2.5 * eps / steps
+  std::size_t restarts = 3;
+  /// Weight of the naturalness term. The loss gradient is sign-normalised,
+  /// so lambda is in units of "signed steps": lambda = 1 weights both
+  /// terms equally.
+  double lambda = 1.0;
+  /// Early-stop threshold on the naturalness score (see
+  /// naturalness_threshold()): the search returns immediately once it
+  /// finds an AE at least this natural. Unset = any AE stops the search.
+  std::optional<double> tau;
+  /// After the first (sub-tau) AE is found, at most this many further
+  /// ascent steps are spent trying to reach tau before the best AE found
+  /// so far is returned. Bounds the "naturalness premium" per seed.
+  std::size_t polish_steps = 4;
+};
+
+class NaturalnessGuidedFuzzer : public Attack {
+ public:
+  NaturalnessGuidedFuzzer(NaturalFuzzerConfig config,
+                          NaturalnessPtr naturalness);
+
+  std::string name() const override { return "OpFuzz"; }
+  AttackResult run(Classifier& model, const Tensor& seed, int label,
+                   Rng& rng) const override;
+
+  /// Naturalness score of the result's adversarial input.
+  double score(const Tensor& x) const { return naturalness_->score(x); }
+
+  const NaturalFuzzerConfig& config() const { return config_; }
+
+ private:
+  NaturalFuzzerConfig config_;
+  NaturalnessPtr naturalness_;
+};
+
+}  // namespace opad

@@ -1,0 +1,63 @@
+#include "attack/pgd.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+Pgd::Pgd(PgdConfig config) : config_(config) {
+  OPAD_EXPECTS(config.ball.eps > 0.0f);
+  OPAD_EXPECTS(config.steps > 0 && config.restarts > 0);
+}
+
+AttackResult Pgd::run(Classifier& model, const Tensor& seed, int label,
+                      Rng& rng) const {
+  OPAD_EXPECTS(seed.rank() == 1);
+  const float eps = config_.ball.eps;
+  const float alpha = config_.step_size > 0.0f
+                          ? config_.step_size
+                          : 2.5f * eps / static_cast<float>(config_.steps);
+  AttackResult best;
+  best.adversarial = seed;
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    Tensor x = seed;
+    if (config_.random_start && restart > 0) {
+      for (float& v : x.data()) {
+        v += static_cast<float>(rng.uniform(-eps, eps));
+      }
+      project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                        config_.ball.input_hi);
+    }
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      Tensor grad = model.input_gradient(x, label);
+      auto xv = x.data();
+      auto gv = grad.data();
+      for (std::size_t i = 0; i < xv.size(); ++i) {
+        xv[i] += alpha *
+                 (gv[i] > 0.0f ? 1.0f : (gv[i] < 0.0f ? -1.0f : 0.0f));
+      }
+      project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                        config_.ball.input_hi);
+      if (config_.early_stop && is_adversarial(model, x, label)) {
+        AttackResult result;
+        result.success = true;
+        result.linf_distance = linf_distance(x, seed);
+        result.adversarial = std::move(x);
+        return result;
+      }
+    }
+    if (!config_.early_stop && is_adversarial(model, x, label)) {
+      AttackResult result;
+      result.success = true;
+      result.linf_distance = linf_distance(x, seed);
+      result.adversarial = std::move(x);
+      return result;
+    }
+    best.adversarial = x;  // keep the last attempt as the best effort
+  }
+  best.success = is_adversarial(model, best.adversarial, label);
+  best.linf_distance = linf_distance(best.adversarial, seed);
+  return best;
+}
+
+}  // namespace opad

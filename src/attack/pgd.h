@@ -1,0 +1,33 @@
+// Projected Gradient Descent (Madry et al., ICLR'18) — the paper's cited
+// state-of-the-art attack baseline [11], and the lambda = 0 special case
+// of the naturalness-guided fuzzer.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace opad {
+
+struct PgdConfig {
+  BallConfig ball;
+  std::size_t steps = 20;
+  float step_size = 0.0f;   // <= 0 selects 2.5 * eps / steps
+  std::size_t restarts = 3; // random restarts inside the ball
+  bool random_start = true;
+  bool early_stop = true;   // stop a restart at the first misclassification
+};
+
+class Pgd : public Attack {
+ public:
+  explicit Pgd(PgdConfig config);
+
+  std::string name() const override { return "PGD"; }
+  AttackResult run(Classifier& model, const Tensor& seed, int label,
+                   Rng& rng) const override;
+
+  const PgdConfig& config() const { return config_; }
+
+ private:
+  PgdConfig config_;
+};
+
+}  // namespace opad

@@ -1,0 +1,82 @@
+#include "attack/pgd_l2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+void project_l2_ball(Tensor& x, const Tensor& center, float eps, float lo,
+                     float hi) {
+  OPAD_EXPECTS(x.shape() == center.shape());
+  OPAD_EXPECTS(eps >= 0.0f && lo <= hi);
+  auto dx = x.data();
+  auto dc = center.data();
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const double d = static_cast<double>(dx[i]) - dc[i];
+    norm_sq += d * d;
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm > eps && norm > 0.0) {
+    const auto scale = static_cast<float>(eps / norm);
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+      dx[i] = dc[i] + (dx[i] - dc[i]) * scale;
+    }
+  }
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx[i] = std::clamp(dx[i], lo, hi);
+  }
+}
+
+PgdL2::PgdL2(PgdL2Config config) : config_(config) {
+  OPAD_EXPECTS(config.eps > 0.0f);
+  OPAD_EXPECTS(config.input_lo < config.input_hi);
+  OPAD_EXPECTS(config.steps > 0 && config.restarts > 0);
+}
+
+AttackResult PgdL2::run(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const {
+  OPAD_EXPECTS(seed.rank() == 1);
+  const float eps = config_.eps;
+  const float alpha = config_.step_size > 0.0f
+                          ? config_.step_size
+                          : 2.5f * eps / static_cast<float>(config_.steps);
+  AttackResult best;
+  best.adversarial = seed;
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    Tensor x = seed;
+    if (config_.random_start && restart > 0) {
+      // Random direction scaled to a uniform radius within the ball.
+      Tensor noise = Tensor::randn({seed.dim(0)}, rng);
+      const float norm = std::max(noise.l2_norm(), 1e-12f);
+      const auto radius =
+          static_cast<float>(eps * std::pow(rng.uniform(), 1.0 / 3.0));
+      noise *= radius / norm;
+      x += noise;
+      project_l2_ball(x, seed, eps, config_.input_lo, config_.input_hi);
+    }
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      Tensor grad = model.input_gradient(x, label);
+      const float gnorm = std::max(grad.l2_norm(), 1e-12f);
+      grad *= alpha / gnorm;  // L2-normalised ascent step
+      x += grad;
+      project_l2_ball(x, seed, eps, config_.input_lo, config_.input_hi);
+      if (is_adversarial(model, x, label)) {
+        AttackResult result;
+        result.success = true;
+        result.linf_distance = linf_distance(x, seed);
+        result.adversarial = std::move(x);
+        return result;
+      }
+    }
+    best.adversarial = x;
+  }
+  best.success = false;
+  best.linf_distance = linf_distance(best.adversarial, seed);
+  return best;
+}
+
+}  // namespace opad

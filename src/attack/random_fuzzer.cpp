@@ -1,0 +1,36 @@
+#include "attack/random_fuzzer.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+RandomFuzzer::RandomFuzzer(RandomFuzzerConfig config) : config_(config) {
+  OPAD_EXPECTS(config.ball.eps > 0.0f && config.trials > 0);
+}
+
+AttackResult RandomFuzzer::run(Classifier& model, const Tensor& seed,
+                               int label, Rng& rng) const {
+  OPAD_EXPECTS(seed.rank() == 1);
+  const float eps = config_.ball.eps;
+  AttackResult best;
+  best.adversarial = seed;
+  for (std::size_t t = 0; t < config_.trials; ++t) {
+    Tensor x = seed;
+    for (float& v : x.data()) {
+      v += static_cast<float>(rng.uniform(-eps, eps));
+    }
+    project_linf_ball(x, seed, eps, config_.ball.input_lo,
+                      config_.ball.input_hi);
+    if (is_adversarial(model, x, label)) {
+      best.success = true;
+      best.linf_distance = linf_distance(x, seed);
+      best.adversarial = std::move(x);
+      return best;
+    }
+    if (t == 0) best.adversarial = x;
+  }
+  best.linf_distance = linf_distance(best.adversarial, seed);
+  return best;
+}
+
+}  // namespace opad

@@ -1,0 +1,25 @@
+// Black-box random fuzzing baseline: uniform trials inside the ball.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace opad {
+
+struct RandomFuzzerConfig {
+  BallConfig ball;
+  std::size_t trials = 60;
+};
+
+class RandomFuzzer : public Attack {
+ public:
+  explicit RandomFuzzer(RandomFuzzerConfig config);
+
+  std::string name() const override { return "RandomFuzz"; }
+  AttackResult run(Classifier& model, const Tensor& seed, int label,
+                   Rng& rng) const override;
+
+ private:
+  RandomFuzzerConfig config_;
+};
+
+}  // namespace opad

@@ -1,0 +1,69 @@
+#include "core/assessor.h"
+
+#include "op/histogram.h"
+
+namespace opad {
+
+ReliabilityAssessor::ReliabilityAssessor(AssessorConfig config,
+                                         const Dataset& operational_data,
+                                         AttackPtr probe_attack, Rng& rng)
+    : config_(config), probe_attack_(std::move(probe_attack)) {
+  OPAD_EXPECTS(!operational_data.empty());
+  OPAD_EXPECTS(probe_attack_ != nullptr);
+  OPAD_EXPECTS(config.bins_per_dim >= 2 && config.grid_dims >= 1);
+  OPAD_EXPECTS(config.confidence > 0.0 && config.confidence < 1.0);
+  OPAD_EXPECTS(config.target_pmi > 0.0 && config.target_pmi < 1.0);
+  OPAD_EXPECTS(config.probes_per_assessment > 0);
+
+  partition_ = std::make_shared<const CellPartition>(CellPartition::fit(
+      operational_data.inputs(), config.bins_per_dim, config.grid_dims, rng));
+  const HistogramProfile histogram(partition_, operational_data.inputs(),
+                                   config.histogram_alpha);
+  cell_weights_ = histogram.cell_probabilities();
+}
+
+Assessment ReliabilityAssessor::assess(Classifier& model,
+                                       const Dataset& operational_data,
+                                       BudgetTracker& budget, Rng& rng) {
+  // Fresh posteriors: assessment evidence is only valid for the current
+  // parameters (the pipeline retrains between assessments).
+  last_model_ = std::make_unique<CellReliabilityModel>(
+      partition_, cell_weights_, config_.prior_alpha, config_.prior_beta);
+
+  Assessment assessment;
+  const std::size_t probes =
+      std::min(config_.probes_per_assessment, operational_data.size());
+  const auto indices =
+      rng.sample_without_replacement(operational_data.size(), probes);
+  for (std::size_t index : indices) {
+    if (budget.exhausted()) break;
+    const std::uint64_t before = model.query_count();
+    const LabeledSample probe = operational_data.sample(index);
+    bool mishandled = model.predict_single(probe.x) != probe.y;
+    if (!mishandled) {
+      const AttackResult r =
+          probe_attack_->run(model, probe.x, probe.y, rng);
+      mishandled = r.success;
+    }
+    last_model_->record(probe.x, mishandled);
+    assessment.probes += 1;
+    const std::uint64_t delta = model.query_count() - before;
+    assessment.queries_used += delta;
+    budget.consume(delta);
+  }
+
+  assessment.pmi_mean = last_model_->pmi_mean();
+  assessment.pmi_upper = last_model_->pmi_upper_bound(
+      config_.confidence, config_.pmi_mc_samples, rng);
+  assessment.target_met = assessment.pmi_upper <= config_.target_pmi;
+  return assessment;
+}
+
+std::vector<std::size_t> ReliabilityAssessor::feedback_allocation(
+    std::size_t seeds) const {
+  OPAD_EXPECTS_MSG(last_model_ != nullptr,
+                   "feedback_allocation requires a prior assess() call");
+  return last_model_->allocate_budget(seeds);
+}
+
+}  // namespace opad

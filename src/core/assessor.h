@@ -1,0 +1,72 @@
+// RQ5 — reliability assessment, stopping rule, and feedback.
+//
+// Wraps the cell-based reliability substrate: builds a cell partition and
+// OP cell weights from the operational dataset once, then (per pipeline
+// iteration, because retraining changes the model) probes the current
+// model with fresh operational seeds — each probe is a clean prediction
+// plus a quick robustness check — and turns the outcomes into a pmi
+// posterior. The posterior yields (i) the stopping decision against the
+// target pmi and (ii) the per-cell seed allocation for the next RQ2 round.
+#pragma once
+
+#include <memory>
+
+#include "attack/attack.h"
+#include "core/types.h"
+#include "data/dataset.h"
+#include "reliability/cell_model.h"
+
+namespace opad {
+
+struct AssessorConfig {
+  std::size_t bins_per_dim = 8;
+  std::size_t grid_dims = 2;       // PCA projection when dim > grid_dims
+  double histogram_alpha = 0.5;    // Laplace smoothing of OP cell weights
+  double prior_alpha = 0.5;        // Jeffreys prior per cell
+  double prior_beta = 0.5;
+  double confidence = 0.95;
+  std::size_t pmi_mc_samples = 400;
+  std::size_t probes_per_assessment = 150;
+  double target_pmi = 0.02;
+};
+
+struct Assessment {
+  double pmi_mean = 0.0;
+  double pmi_upper = 0.0;   // one-sided upper credible bound
+  bool target_met = false;  // pmi_upper <= target
+  std::size_t probes = 0;
+  std::uint64_t queries_used = 0;
+};
+
+class ReliabilityAssessor {
+ public:
+  /// Builds the partition and OP weights from the operational dataset.
+  /// `probe_attack` is the robustness checker used on each probe (keep it
+  /// cheap: few steps, one restart).
+  ReliabilityAssessor(AssessorConfig config, const Dataset& operational_data,
+                      AttackPtr probe_attack, Rng& rng);
+
+  /// Probes `model` with fresh operational seeds drawn from
+  /// `operational_data` and returns the pmi assessment. Consumes budget.
+  Assessment assess(Classifier& model, const Dataset& operational_data,
+                    BudgetTracker& budget, Rng& rng);
+
+  /// Per-cell seed allocation for the next testing round, from the most
+  /// recent assessment's posteriors.
+  std::vector<std::size_t> feedback_allocation(std::size_t seeds) const;
+
+  const CellPartition& partition() const { return *partition_; }
+  std::shared_ptr<const CellPartition> partition_ptr() const {
+    return partition_;
+  }
+  const AssessorConfig& config() const { return config_; }
+
+ private:
+  AssessorConfig config_;
+  AttackPtr probe_attack_;
+  std::shared_ptr<const CellPartition> partition_;
+  std::vector<double> cell_weights_;
+  std::unique_ptr<CellReliabilityModel> last_model_;
+};
+
+}  // namespace opad

@@ -1,0 +1,42 @@
+// Detect -> retrain campaign: the workhorse loop of the evaluation
+// harnesses (F2, T2, T7) and the natural building block for users who
+// want the Figure-1 economics without the RQ5 assessment machinery —
+// "spend this query budget with this method, folding what it finds back
+// into the model every round".
+#pragma once
+
+#include "core/methods.h"
+#include "core/retrainer.h"
+
+namespace opad {
+
+struct CampaignConfig {
+  std::size_t rounds = 4;
+  std::uint64_t query_budget = 20000;  // total across rounds
+  RetrainConfig retrain;
+  std::uint64_t base_seed = 1;  // derives per-round rng streams
+};
+
+struct CampaignRound {
+  std::size_t round = 0;
+  DetectionStats detection;
+  RetrainResult retrain;
+};
+
+struct CampaignResult {
+  std::vector<CampaignRound> rounds;
+  std::size_t total_aes = 0;
+  std::size_t total_operational_aes = 0;
+  std::uint64_t total_queries = 0;
+};
+
+/// Runs `method` against `model` for config.rounds rounds, retraining on
+/// `anchor` + the round's findings after each round. The model is
+/// modified in place.
+CampaignResult run_detect_retrain_campaign(Classifier& model,
+                                           const TestingMethod& method,
+                                           const MethodContext& context,
+                                           const Dataset& anchor,
+                                           const CampaignConfig& config);
+
+}  // namespace opad

@@ -1,0 +1,312 @@
+#include "core/methods.h"
+
+#include <functional>
+#include <numeric>
+
+#include "attack/genetic_fuzzer.h"
+#include "attack/momentum_pgd.h"
+#include "attack/natural_fuzzer.h"
+#include "attack/pgd.h"
+#include "attack/random_fuzzer.h"
+
+namespace opad {
+
+namespace {
+
+void check_context(const MethodContext& context) {
+  OPAD_EXPECTS(context.balanced_data != nullptr &&
+               !context.balanced_data->empty());
+  OPAD_EXPECTS(context.operational_data != nullptr &&
+               !context.operational_data->empty());
+  OPAD_EXPECTS(context.metric != nullptr);
+}
+
+/// Shared attack-over-seeds loop: attacks the seeds in `order` (a full
+/// permutation of the pool produced by the method's seed strategy) until
+/// the budget is gone or the pool is exhausted — re-attacking the same
+/// input reveals no new failure, so each row is visited at most once.
+Detection budgeted_campaign(Classifier& model, const Dataset& pool,
+                            const MethodContext& context,
+                            const AttackPtr& attack,
+                            std::uint64_t query_budget, Rng& rng,
+                            std::vector<std::size_t> order) {
+  TestCaseGenerator generator(attack, context.metric, context.tau,
+                              context.profile);
+  BudgetTracker budget(query_budget);
+  Detection total;
+  const std::size_t batch = std::min<std::size_t>(32, pool.size());
+  std::size_t cursor = 0;
+  while (!budget.exhausted() && cursor < order.size()) {
+    const std::size_t take = std::min(batch, order.size() - cursor);
+    const std::span<const std::size_t> seeds(order.data() + cursor, take);
+    cursor += take;
+    Detection d = generator.generate(model, pool, seeds, budget, rng);
+    total.stats.seeds_attacked += d.stats.seeds_attacked;
+    total.stats.aes_found += d.stats.aes_found;
+    total.stats.clean_failures += d.stats.clean_failures;
+    total.stats.operational_aes += d.stats.operational_aes;
+    total.stats.queries_used += d.stats.queries_used;
+    for (auto& ae : d.aes) total.aes.push_back(std::move(ae));
+  }
+  return total;
+}
+
+/// Uniformly shuffled visit order over a pool.
+std::vector<std::size_t> uniform_order(const Dataset& pool, Rng& rng) {
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  return order;
+}
+
+class AttackOnUniformSeeds : public TestingMethod {
+ public:
+  AttackOnUniformSeeds(std::string name, AttackPtr attack, bool operational_pool)
+      : name_(std::move(name)),
+        attack_(std::move(attack)),
+        operational_pool_(operational_pool) {}
+
+  std::string name() const override { return name_; }
+
+  Detection detect(Classifier& model, const MethodContext& context,
+                   std::uint64_t query_budget, Rng& rng) const override {
+    check_context(context);
+    const Dataset& pool = operational_pool_ ? *context.operational_data
+                                            : *context.balanced_data;
+    return budgeted_campaign(model, pool, context, attack_, query_budget,
+                             rng, uniform_order(pool, rng));
+  }
+
+ private:
+  std::string name_;
+  AttackPtr attack_;
+  bool operational_pool_;
+};
+
+/// OpAD and its no-gradient ablation: weighted seeds over the operational
+/// pool; the attack differs.
+class WeightedSeedMethod : public TestingMethod {
+ public:
+  WeightedSeedMethod(std::string name, SeedSamplerConfig sampler_config,
+                     bool gradient_fuzzer, const MethodSuiteConfig& suite)
+      : name_(std::move(name)),
+        sampler_config_(std::move(sampler_config)),
+        gradient_fuzzer_(gradient_fuzzer),
+        suite_(suite) {}
+
+  std::string name() const override { return name_; }
+
+  Detection detect(Classifier& model, const MethodContext& context,
+                   std::uint64_t query_budget, Rng& rng) const override {
+    check_context(context);
+    const Dataset& pool = *context.operational_data;
+    AttackPtr attack;
+    if (gradient_fuzzer_) {
+      NaturalFuzzerConfig fc;
+      fc.ball = context.ball;
+      fc.steps = suite_.attack_steps;
+      fc.restarts = suite_.attack_restarts;
+      fc.lambda = suite_.opad_lambda;
+      fc.tau = context.tau;
+      attack = std::make_shared<NaturalnessGuidedFuzzer>(fc, context.metric);
+    } else {
+      RandomFuzzerConfig fc;
+      fc.ball = context.ball;
+      fc.trials = suite_.random_trials;
+      attack = std::make_shared<RandomFuzzer>(fc);
+    }
+    SeedSampler sampler(sampler_config_, context.profile);
+    // Weight-biased permutation of the whole pool: highest-priority seeds
+    // first, every row at most once.
+    std::vector<std::size_t> order =
+        sampler.sample(model, pool, pool.size(), rng);
+    return budgeted_campaign(model, pool, context, attack, query_budget,
+                             rng, std::move(order));
+  }
+
+ private:
+  std::string name_;
+  SeedSamplerConfig sampler_config_;
+  bool gradient_fuzzer_;
+  MethodSuiteConfig suite_;
+};
+
+/// Classic operational testing: execute OP-drawn inputs, record
+/// mispredictions. One query per test case; no ball search.
+class OperationalTestingMethod : public TestingMethod {
+ public:
+  std::string name() const override { return "OperationalTest"; }
+
+  Detection detect(Classifier& model, const MethodContext& context,
+                   std::uint64_t query_budget, Rng& rng) const override {
+    check_context(context);
+    const Dataset& pool = context.operational_stream != nullptr
+                              ? *context.operational_stream
+                              : *context.operational_data;
+    Detection total;
+    BudgetTracker budget(query_budget);
+    // Single pass over the pool: executing the same operational input
+    // twice reveals no new failure, so the pool (not the budget) may be
+    // the binding constraint — which is itself the point: operational
+    // data is a finite resource.
+    std::vector<std::size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    std::size_t cursor = 0;
+    while (!budget.exhausted() && cursor < order.size()) {
+      const LabeledSample probe = pool.sample(order[cursor++]);
+      const std::uint64_t before = model.query_count();
+      const bool mispredicted = model.predict_single(probe.x) != probe.y;
+      const std::uint64_t delta = model.query_count() - before;
+      budget.consume(delta);
+      total.stats.seeds_attacked += 1;
+      total.stats.queries_used += delta;
+      if (!mispredicted) continue;
+      total.stats.aes_found += 1;
+      total.stats.clean_failures += 1;
+      OperationalAE ae;
+      ae.seed = probe.x;
+      ae.label = probe.y;
+      ae.adversarial = probe.x;  // the failure point is the input itself
+      ae.linf_distance = 0.0f;
+      ae.seed_log_density =
+          context.profile ? context.profile->log_density(probe.x) : 0.0;
+      ae.naturalness = context.metric->score(ae.adversarial);
+      ae.is_operational = ae.naturalness >= context.tau;
+      if (ae.is_operational) total.stats.operational_aes += 1;
+      total.aes.push_back(std::move(ae));
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+MethodPtr make_opad_method(const MethodSuiteConfig& config) {
+  SeedSamplerConfig sc;
+  sc.gamma = config.opad_gamma;
+  sc.aux = config.opad_aux;
+  return std::make_unique<WeightedSeedMethod>("OpAD", sc,
+                                              /*gradient_fuzzer=*/true,
+                                              config);
+}
+
+MethodPtr make_opad_nograd_method(const MethodSuiteConfig& config) {
+  SeedSamplerConfig sc;
+  sc.gamma = config.opad_gamma;
+  sc.aux = config.opad_aux;
+  return std::make_unique<WeightedSeedMethod>("OpAD-NoGrad", sc,
+                                              /*gradient_fuzzer=*/false,
+                                              config);
+}
+
+MethodPtr make_pgd_uniform_method(const MethodSuiteConfig& config) {
+  PgdConfig pc;
+  pc.steps = config.attack_steps;
+  pc.restarts = config.attack_restarts;
+  // Ball is supplied per-context: PGD needs it at construction, so the
+  // method rebuilds the attack in detect(). Wrap via a thin adapter:
+  class PgdUniform : public TestingMethod {
+   public:
+    explicit PgdUniform(MethodSuiteConfig suite) : suite_(suite) {}
+    std::string name() const override { return "PGD-Uniform"; }
+    Detection detect(Classifier& model, const MethodContext& context,
+                     std::uint64_t query_budget, Rng& rng) const override {
+      PgdConfig pc;
+      pc.ball = context.ball;
+      pc.steps = suite_.attack_steps;
+      pc.restarts = suite_.attack_restarts;
+      AttackOnUniformSeeds inner("PGD-Uniform", std::make_shared<Pgd>(pc),
+                                 /*operational_pool=*/false);
+      return inner.detect(model, context, query_budget, rng);
+    }
+
+   private:
+    MethodSuiteConfig suite_;
+  };
+  return std::make_unique<PgdUniform>(config);
+}
+
+MethodPtr make_mifgsm_uniform_method(const MethodSuiteConfig& config) {
+  class MifgsmUniform : public TestingMethod {
+   public:
+    explicit MifgsmUniform(MethodSuiteConfig suite) : suite_(suite) {}
+    std::string name() const override { return "MIFGSM-Uniform"; }
+    Detection detect(Classifier& model, const MethodContext& context,
+                     std::uint64_t query_budget, Rng& rng) const override {
+      MomentumPgdConfig mc;
+      mc.ball = context.ball;
+      mc.steps = suite_.attack_steps;
+      mc.restarts = suite_.attack_restarts;
+      AttackOnUniformSeeds inner("MIFGSM-Uniform",
+                                 std::make_shared<MomentumPgd>(mc),
+                                 /*operational_pool=*/false);
+      return inner.detect(model, context, query_budget, rng);
+    }
+
+   private:
+    MethodSuiteConfig suite_;
+  };
+  return std::make_unique<MifgsmUniform>(config);
+}
+
+MethodPtr make_random_fuzz_method(const MethodSuiteConfig& config) {
+  class RandomUniform : public TestingMethod {
+   public:
+    explicit RandomUniform(MethodSuiteConfig suite) : suite_(suite) {}
+    std::string name() const override { return "RandomFuzz"; }
+    Detection detect(Classifier& model, const MethodContext& context,
+                     std::uint64_t query_budget, Rng& rng) const override {
+      RandomFuzzerConfig rc;
+      rc.ball = context.ball;
+      rc.trials = suite_.random_trials;
+      AttackOnUniformSeeds inner("RandomFuzz",
+                                 std::make_shared<RandomFuzzer>(rc),
+                                 /*operational_pool=*/false);
+      return inner.detect(model, context, query_budget, rng);
+    }
+
+   private:
+    MethodSuiteConfig suite_;
+  };
+  return std::make_unique<RandomUniform>(config);
+}
+
+MethodPtr make_genetic_fuzz_method(const MethodSuiteConfig& config) {
+  class GeneticUniform : public TestingMethod {
+   public:
+    explicit GeneticUniform(MethodSuiteConfig suite) : suite_(suite) {}
+    std::string name() const override { return "GeneticFuzz"; }
+    Detection detect(Classifier& model, const MethodContext& context,
+                     std::uint64_t query_budget, Rng& rng) const override {
+      GeneticFuzzerConfig gc;
+      gc.ball = context.ball;
+      AttackOnUniformSeeds inner("GeneticFuzz",
+                                 std::make_shared<GeneticFuzzer>(gc),
+                                 /*operational_pool=*/false);
+      return inner.detect(model, context, query_budget, rng);
+    }
+
+   private:
+    MethodSuiteConfig suite_;
+  };
+  return std::make_unique<GeneticUniform>(config);
+}
+
+MethodPtr make_operational_testing_method() {
+  return std::make_unique<OperationalTestingMethod>();
+}
+
+std::vector<MethodPtr> standard_method_suite(
+    const MethodSuiteConfig& config) {
+  std::vector<MethodPtr> methods;
+  methods.push_back(make_opad_method(config));
+  methods.push_back(make_opad_nograd_method(config));
+  methods.push_back(make_pgd_uniform_method(config));
+  methods.push_back(make_random_fuzz_method(config));
+  methods.push_back(make_genetic_fuzz_method(config));
+  methods.push_back(make_operational_testing_method());
+  return methods;
+}
+
+}  // namespace opad

@@ -1,0 +1,96 @@
+// Testing-method registry: the proposed OpAD method and the
+// state-of-the-art baselines it is evaluated against (T1, T2, F2, F3).
+//
+// Every method exposes the same contract — "given a model, the available
+// data, and a model-query budget, detect failure-revealing inputs" — and
+// every found input is judged by the *same* naturalness metric and tau,
+// so cross-method operational-AE counts are directly comparable.
+//
+// Baselines:
+//   - PGD-Uniform      PGD on seeds drawn uniformly from the balanced
+//                      dataset: state-of-the-art debug testing that
+//                      ignores the OP (the paper's §I criticism).
+//   - RandomFuzz       black-box uniform ball fuzzing, uniform seeds.
+//   - GeneticFuzz      search-based fuzzing, uniform seeds.
+//   - OperationalTest  classic operational testing (Frankl et al. [7]):
+//                      execute OP-drawn inputs, record mispredictions —
+//                      no ball search at all.
+//   - OpAD-NoGrad      ablation: operational seed sampling but black-box
+//                      random fuzzing (no gradient of loss, §II.c).
+//   - OpAD             the paper's method: weighted seeds + naturalness-
+//                      guided fuzzing.
+#pragma once
+
+#include <memory>
+
+#include "attack/attack.h"
+#include "core/seed_sampler.h"
+#include "core/test_generator.h"
+#include "core/types.h"
+#include "naturalness/metric.h"
+
+namespace opad {
+
+/// Shared data/context every method detects against.
+struct MethodContext {
+  const Dataset* balanced_data = nullptr;     // OP-agnostic seed pool
+  const Dataset* operational_data = nullptr;  // OP-aware seed pool
+                                              // (may be synthesised)
+  /// Real operational executions (observed OP draws). OperationalTest
+  /// runs on these — executing a synthetic augmentation is not a field
+  /// test. Null = fall back to operational_data.
+  const Dataset* operational_stream = nullptr;
+  ProfilePtr profile;                         // learned OP (density)
+  NaturalnessPtr metric;                      // shared naturalness judge
+  double tau = 0.0;                           // operational-AE threshold
+  BallConfig ball;
+};
+
+class TestingMethod {
+ public:
+  virtual ~TestingMethod() = default;
+  virtual std::string name() const = 0;
+
+  /// Detects failure-revealing inputs until `query_budget` model queries
+  /// are spent (checked between seeds).
+  virtual Detection detect(Classifier& model, const MethodContext& context,
+                           std::uint64_t query_budget, Rng& rng) const = 0;
+};
+
+using MethodPtr = std::unique_ptr<TestingMethod>;
+
+/// Knobs for the standard method set.
+struct MethodSuiteConfig {
+  std::size_t attack_steps = 15;
+  std::size_t attack_restarts = 2;
+  std::size_t random_trials = 40;
+  /// Naturalness-ascent weight: 0.5 keeps the attack direction dominant
+  /// while still steering towards high-density failures (the T1/T3
+  /// sweet spot; lambda ~ 1 noticeably blunts the attack in high
+  /// dimension because the density gradient cancels loss-sign dims).
+  double opad_lambda = 0.5;
+  /// Seed-weight exponent: density^gamma * failure-aux^(1-gamma).
+  /// 0.3 weights failure-proneness heavily while retaining the OP-density
+  /// pull; the full trade-off is the T4 ablation (gamma=0 maximises raw
+  /// operational-AE yield, higher gamma raises the OP mass of what gets
+  /// fixed).
+  double opad_gamma = 0.3;
+  AuxiliaryKind opad_aux = AuxiliaryKind::kMargin;
+};
+
+/// Builds {OpAD, OpAD-NoGrad, PGD-Uniform, RandomFuzz, GeneticFuzz,
+/// OperationalTest}.
+std::vector<MethodPtr> standard_method_suite(const MethodSuiteConfig& config);
+
+/// Individual factories (for ablation benches that vary one method).
+MethodPtr make_opad_method(const MethodSuiteConfig& config);
+MethodPtr make_opad_nograd_method(const MethodSuiteConfig& config);
+MethodPtr make_pgd_uniform_method(const MethodSuiteConfig& config);
+/// MI-FGSM (momentum iterative) on uniform balanced seeds; an additional
+/// state-of-the-art white-box baseline, not part of the standard suite.
+MethodPtr make_mifgsm_uniform_method(const MethodSuiteConfig& config);
+MethodPtr make_random_fuzz_method(const MethodSuiteConfig& config);
+MethodPtr make_genetic_fuzz_method(const MethodSuiteConfig& config);
+MethodPtr make_operational_testing_method();
+
+}  // namespace opad

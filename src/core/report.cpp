@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace opad {
+
+void write_pipeline_report(const PipelineResult& result,
+                           const PipelineConfig& config, std::ostream& os) {
+  os << "=== OpAD operational testing campaign report ===\n\n";
+  os << "configuration:\n";
+  os << "  eps (L-inf ball)        : " << config.rq3.ball.eps << "\n";
+  os << "  naturalness quantile    : " << config.naturalness_quantile
+     << " (tau = " << Table::num(result.tau, 4) << ")\n";
+  os << "  seed gamma / auxiliary  : " << config.rq2.gamma << " / "
+     << auxiliary_kind_name(config.rq2.aux) << "\n";
+  os << "  fuzzer lambda / steps   : " << config.rq3.lambda << " / "
+     << config.rq3.steps << "\n";
+  os << "  target pmi / confidence : " << config.rq5.target_pmi << " / "
+     << config.rq5.confidence << "\n";
+  os << "  query budget            : " << config.query_budget << "\n\n";
+
+  Table table({"iter", "seeds", "AEs", "opAEs", "clean_fails", "pmi_mean",
+               "pmi_upper", "cum_queries"});
+  for (const auto& record : result.iterations) {
+    table.add_row({std::to_string(record.iteration),
+                   std::to_string(record.detection.seeds_attacked),
+                   std::to_string(record.detection.aes_found),
+                   std::to_string(record.detection.operational_aes),
+                   std::to_string(record.detection.clean_failures),
+                   Table::num(record.assessment.pmi_mean, 4),
+                   Table::num(record.assessment.pmi_upper, 4),
+                   std::to_string(record.budget_used_total)});
+  }
+  table.print(os, "iterations");
+
+  std::size_t operational = 0;
+  for (const auto& ae : result.all_aes) {
+    if (ae.is_operational) ++operational;
+  }
+  os << "\nverdict: "
+     << (result.target_reached ? "RELIABILITY TARGET MET"
+                               : "target not met within budget")
+     << "\n";
+  os << "totals: " << result.iterations.size() << " iterations, "
+     << result.total_queries << " model queries, " << result.all_aes.size()
+     << " AEs (" << operational << " operational)\n";
+}
+
+void write_pipeline_csv(const PipelineResult& result,
+                        const std::string& path) {
+  CsvWriter csv(path, {"iter", "seeds", "aes", "op_aes", "clean_failures",
+                       "pmi_mean", "pmi_upper", "probes", "cum_queries"});
+  for (const auto& record : result.iterations) {
+    csv.write_row(std::vector<std::string>{
+        std::to_string(record.iteration),
+        std::to_string(record.detection.seeds_attacked),
+        std::to_string(record.detection.aes_found),
+        std::to_string(record.detection.operational_aes),
+        std::to_string(record.detection.clean_failures),
+        std::to_string(record.assessment.pmi_mean),
+        std::to_string(record.assessment.pmi_upper),
+        std::to_string(record.assessment.probes),
+        std::to_string(record.budget_used_total)});
+  }
+}
+
+}  // namespace opad

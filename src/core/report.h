@@ -1,0 +1,22 @@
+// Reporting utilities: render a pipeline run as a human-readable summary
+// and as machine-readable CSV — the artefacts a testing campaign files
+// with its safety case.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace opad {
+
+/// Writes a human-readable campaign summary (configuration echo,
+/// per-iteration table, verdict) to `os`.
+void write_pipeline_report(const PipelineResult& result,
+                           const PipelineConfig& config, std::ostream& os);
+
+/// Writes per-iteration rows as CSV to `path` (throws IoError).
+void write_pipeline_csv(const PipelineResult& result,
+                        const std::string& path);
+
+}  // namespace opad

@@ -1,0 +1,74 @@
+#include "core/retrainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/trainer.h"
+
+namespace opad {
+
+AdversarialRetrainer::AdversarialRetrainer(RetrainConfig config)
+    : config_(config) {
+  OPAD_EXPECTS(config.epochs > 0 && config.batch_size > 0);
+  OPAD_EXPECTS(config.learning_rate > 0.0);
+  OPAD_EXPECTS(config.ae_emphasis > 0.0);
+}
+
+RetrainResult AdversarialRetrainer::retrain(
+    Classifier& model, const Dataset& clean_data,
+    std::span<const OperationalAE> aes, Rng& rng) const {
+  RetrainResult result;
+  result.clean_count = clean_data.size();
+  result.ae_count = aes.size();
+  if (aes.empty()) return result;
+  OPAD_EXPECTS(!clean_data.empty());
+
+  const std::size_t n = clean_data.size() + aes.size();
+  const std::size_t d = clean_data.dim();
+  Tensor inputs({n, d});
+  std::vector<int> labels(n);
+  std::vector<double> weights(n, 1.0);
+
+  for (std::size_t i = 0; i < clean_data.size(); ++i) {
+    inputs.set_row(i, clean_data.row(i));
+    labels[i] = clean_data.label(i);
+  }
+
+  // AE weights: softmax-like normalisation of seed densities so the mean
+  // AE weight is ae_emphasis regardless of the density scale.
+  std::vector<double> ae_weights(aes.size(), 1.0);
+  if (config_.op_weighted) {
+    double max_lp = -std::numeric_limits<double>::infinity();
+    for (const auto& ae : aes) {
+      max_lp = std::max(max_lp, ae.seed_log_density);
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < aes.size(); ++i) {
+      ae_weights[i] =
+          std::exp(std::max(aes[i].seed_log_density - max_lp, -30.0));
+      total += ae_weights[i];
+    }
+    const double scale = static_cast<double>(aes.size()) / total;
+    for (double& w : ae_weights) w *= scale;
+  }
+  for (std::size_t i = 0; i < aes.size(); ++i) {
+    const std::size_t row = clean_data.size() + i;
+    OPAD_EXPECTS(aes[i].adversarial.rank() == 1 &&
+                 aes[i].adversarial.dim(0) == d);
+    inputs.set_row(row, aes[i].adversarial.data());
+    labels[row] = aes[i].label;
+    weights[row] = config_.ae_emphasis * ae_weights[i];
+  }
+
+  TrainConfig tc;
+  tc.epochs = config_.epochs;
+  tc.batch_size = config_.batch_size;
+  tc.learning_rate = config_.learning_rate;
+  tc.momentum = config_.momentum;
+  const TrainHistory history =
+      train_classifier(model, inputs, labels, tc, rng, weights);
+  result.final_loss = history.final_loss();
+  return result;
+}
+
+}  // namespace opad

@@ -1,0 +1,57 @@
+// RQ4 — OP-aware adversarial retraining.
+//
+// The detected operational AEs are folded back into the model by a short,
+// light-weight fine-tuning run over a mix of (i) the operational dataset
+// (so clean accuracy on the OP is not forgotten) and (ii) the AEs labelled
+// with their seeds' oracle labels. Unlike plain adversarial training, each
+// AE's loss is importance-weighted by its seed's OP density, so fixing
+// frequent failures takes precedence over fixing rare ones.
+#pragma once
+
+#include <span>
+
+#include "core/types.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "op/profile.h"
+
+namespace opad {
+
+struct RetrainConfig {
+  std::size_t epochs = 3;
+  std::size_t batch_size = 32;
+  double learning_rate = 5e-3;
+  double momentum = 0.9;
+  /// Weighting mode:
+  ///   true  — AE weight proportional to exp(seed log-density), normalised
+  ///           so the average AE weight equals ae_emphasis;
+  ///   false — every AE gets weight ae_emphasis (plain adversarial
+  ///           training, the T7 baseline arm).
+  bool op_weighted = true;
+  /// Mean weight of an AE relative to a clean sample (> 0).
+  double ae_emphasis = 2.0;
+};
+
+struct RetrainResult {
+  std::size_t ae_count = 0;
+  std::size_t clean_count = 0;
+  double final_loss = 0.0;
+};
+
+class AdversarialRetrainer {
+ public:
+  explicit AdversarialRetrainer(RetrainConfig config);
+
+  /// Fine-tunes `model` in place. `clean_data` is typically the
+  /// synthesised operational dataset. No-op (returns zeros) when `aes`
+  /// is empty.
+  RetrainResult retrain(Classifier& model, const Dataset& clean_data,
+                        std::span<const OperationalAE> aes, Rng& rng) const;
+
+  const RetrainConfig& config() const { return config_; }
+
+ private:
+  RetrainConfig config_;
+};
+
+}  // namespace opad

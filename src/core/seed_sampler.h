@@ -1,0 +1,74 @@
+// RQ2 — weight-based seed sampling.
+//
+// Seeds are drawn from the operational dataset with weights combining two
+// signals, per the paper's objective of hitting inputs that are both
+// *likely in operation* and *likely buggy*:
+//
+//     w(x)  ∝  p_OP(x)^gamma  *  aux(x)^(1 - gamma)
+//
+// where aux is an auxiliary failure-proneness score (after Guerriero et
+// al. [10]): small classification margin, high predictive entropy, or
+// distance-based surprise. gamma = 1 recovers pure operational sampling,
+// gamma = 0 pure failure-driven sampling (the T4 ablation axis).
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "op/cells.h"
+#include "op/profile.h"
+
+namespace opad {
+
+enum class AuxiliaryKind { kMargin, kEntropy, kSurprise, kNone };
+
+const char* auxiliary_kind_name(AuxiliaryKind kind);
+
+struct SeedSamplerConfig {
+  /// Density exponent; see T4 for the trade-off. The default mirrors
+  /// MethodSuiteConfig::opad_gamma.
+  double gamma = 0.3;
+  AuxiliaryKind aux = AuxiliaryKind::kMargin;
+  /// Reference inputs for kSurprise (typically the training set); the
+  /// surprise of x is its mean distance to the k nearest reference rows.
+  std::optional<Tensor> surprise_reference;
+  std::size_t surprise_k = 5;
+};
+
+class SeedSampler {
+ public:
+  /// `profile` may be null, in which case the density factor is uniform
+  /// (gamma becomes irrelevant); used by OP-agnostic baselines.
+  SeedSampler(SeedSamplerConfig config, ProfilePtr profile);
+
+  /// Unnormalised sampling weights over the rows of `pool`.
+  std::vector<double> weights(Classifier& model, const Dataset& pool) const;
+
+  /// Draws k distinct seed indices by weighted sampling w/o replacement.
+  std::vector<std::size_t> sample(Classifier& model, const Dataset& pool,
+                                  std::size_t k, Rng& rng) const;
+
+  /// Feedback-guided variant (RQ5 -> RQ2): `cell_allocation[c]` seeds are
+  /// drawn from the pool rows falling in cell c (weighted within the
+  /// cell); shortfalls in empty cells are redistributed by global weight.
+  std::vector<std::size_t> sample_with_allocation(
+      Classifier& model, const Dataset& pool, const CellPartition& partition,
+      std::span<const std::size_t> cell_allocation, Rng& rng) const;
+
+  /// Sampling density (normalised weight) of each pool row — the q(x)
+  /// needed by the importance-weighted reliability estimator.
+  std::vector<double> sampling_distribution(Classifier& model,
+                                            const Dataset& pool) const;
+
+  const SeedSamplerConfig& config() const { return config_; }
+
+ private:
+  std::vector<double> auxiliary_scores(Classifier& model,
+                                       const Dataset& pool) const;
+
+  SeedSamplerConfig config_;
+  ProfilePtr profile_;
+};
+
+}  // namespace opad

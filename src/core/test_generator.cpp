@@ -1,0 +1,62 @@
+#include "core/test_generator.h"
+
+namespace opad {
+
+TestCaseGenerator::TestCaseGenerator(AttackPtr attack, NaturalnessPtr metric,
+                                     std::optional<double> tau,
+                                     ProfilePtr profile)
+    : attack_(std::move(attack)),
+      metric_(std::move(metric)),
+      tau_(tau),
+      profile_(std::move(profile)) {
+  OPAD_EXPECTS(attack_ != nullptr);
+  OPAD_EXPECTS_MSG(!tau_ || metric_ != nullptr,
+                   "a tau threshold requires a naturalness metric");
+}
+
+Detection TestCaseGenerator::generate(
+    Classifier& model, const Dataset& pool,
+    std::span<const std::size_t> seed_indices, BudgetTracker& budget,
+    Rng& rng) const {
+  Detection detection;
+  for (std::size_t index : seed_indices) {
+    if (budget.exhausted()) break;
+    const LabeledSample seed = pool.sample(index);
+
+    // Pre-check: a seed the model already mispredicts is a clean
+    // operational failure — record it at zero distance instead of
+    // spending attack budget searching around it.
+    const std::uint64_t before = model.query_count();
+    const bool seed_fails = model.predict_single(seed.x) != seed.y;
+    AttackResult result;
+    if (seed_fails) {
+      result.success = true;
+      result.adversarial = seed.x;
+      result.linf_distance = 0.0f;
+    } else {
+      result = attack_->run(model, seed.x, seed.y, rng);
+    }
+    result.queries = model.query_count() - before;
+
+    budget.consume(result.queries);
+    detection.stats.seeds_attacked += 1;
+    detection.stats.queries_used += result.queries;
+    if (!result.success) continue;
+    detection.stats.aes_found += 1;
+    if (seed_fails) detection.stats.clean_failures += 1;
+
+    OperationalAE ae;
+    ae.seed = seed.x;
+    ae.label = seed.y;
+    ae.adversarial = result.adversarial;
+    ae.linf_distance = result.linf_distance;
+    ae.seed_log_density = profile_ ? profile_->log_density(seed.x) : 0.0;
+    ae.naturalness = metric_ ? metric_->score(ae.adversarial) : 0.0;
+    ae.is_operational = tau_ ? ae.naturalness >= *tau_ : false;
+    if (ae.is_operational) detection.stats.operational_aes += 1;
+    detection.aes.push_back(std::move(ae));
+  }
+  return detection;
+}
+
+}  // namespace opad

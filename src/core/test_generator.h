@@ -1,0 +1,40 @@
+// RQ3 wrapper — runs an attack over a set of seeds, classifies each found
+// misclassification as operational / non-operational via the naturalness
+// threshold tau, and accounts model queries against a shared budget.
+#pragma once
+
+#include <optional>
+
+#include "attack/attack.h"
+#include "core/types.h"
+#include "data/dataset.h"
+#include "naturalness/metric.h"
+#include "op/profile.h"
+
+namespace opad {
+
+class TestCaseGenerator {
+ public:
+  /// `metric`/`tau` define the operational-AE acceptance rule; both may be
+  /// absent for baselines that do not reason about naturalness (every AE
+  /// then counts as operational = false, naturalness = NaN -> 0).
+  /// `profile` (optional) annotates each AE with its seed's OP density.
+  TestCaseGenerator(AttackPtr attack, NaturalnessPtr metric,
+                    std::optional<double> tau, ProfilePtr profile);
+
+  /// Attacks pool rows `seed_indices` in order until the budget is
+  /// exhausted (checked between seeds) or the list ends.
+  Detection generate(Classifier& model, const Dataset& pool,
+                     std::span<const std::size_t> seed_indices,
+                     BudgetTracker& budget, Rng& rng) const;
+
+  const Attack& attack() const { return *attack_; }
+
+ private:
+  AttackPtr attack_;
+  NaturalnessPtr metric_;
+  std::optional<double> tau_;
+  ProfilePtr profile_;
+};
+
+}  // namespace opad

@@ -1,0 +1,66 @@
+// Core vocabulary types of the operational testing pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/error.h"
+
+namespace opad {
+
+/// An adversarial example found around an operational seed, with the
+/// evidence needed to classify it as *operational* (the paper's central
+/// notion): the OP density of its seed and the naturalness of the AE
+/// itself.
+struct OperationalAE {
+  Tensor seed;            // the natural input the search started from
+  int label = 0;          // the seed's (oracle) label
+  Tensor adversarial;     // the misclassified input found in the ball
+  float linf_distance = 0.0f;
+  double seed_log_density = 0.0;  // log p_OP(seed); 0 when no profile
+  double naturalness = 0.0;       // metric score of `adversarial`
+  bool is_operational = false;    // naturalness >= tau
+};
+
+/// Aggregate statistics of one detection campaign.
+struct DetectionStats {
+  std::size_t seeds_attacked = 0;
+  std::size_t aes_found = 0;          // any misclassification in the ball
+                                      // (clean failures included)
+  std::size_t clean_failures = 0;     // seeds mispredicted as-is (linf 0)
+  std::size_t operational_aes = 0;    // naturalness >= tau
+  std::uint64_t queries_used = 0;     // model queries consumed
+};
+
+/// Result of a detection campaign: the AEs plus accounting.
+struct Detection {
+  std::vector<OperationalAE> aes;
+  DetectionStats stats;
+};
+
+/// Testing budget in model queries. Components consume from a shared
+/// tracker so cross-method comparisons are query-for-query fair.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(std::uint64_t total) : total_(total) {
+    OPAD_EXPECTS(total > 0);
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t remaining() const {
+    return used_ >= total_ ? 0 : total_ - used_;
+  }
+  bool exhausted() const { return used_ >= total_; }
+
+  /// Records `n` consumed queries (may overshoot; campaigns check
+  /// exhausted() between seeds, not mid-attack).
+  void consume(std::uint64_t n) { used_ += n; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace opad

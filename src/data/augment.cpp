@@ -1,0 +1,98 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opad {
+
+AugmentFn gaussian_noise_augment(double sd, float lo, float hi) {
+  OPAD_EXPECTS(sd >= 0.0 && lo <= hi);
+  return [sd, lo, hi](const Tensor& x, Rng& rng) {
+    Tensor out = x;
+    for (float& v : out.data()) {
+      v = std::clamp(static_cast<float>(v + rng.normal(0.0, sd)), lo, hi);
+    }
+    return out;
+  };
+}
+
+AugmentFn feature_jitter_augment(double delta, float lo, float hi) {
+  OPAD_EXPECTS(delta >= 0.0 && lo <= hi);
+  return [delta, lo, hi](const Tensor& x, Rng& rng) {
+    Tensor out = x;
+    for (float& v : out.data()) {
+      v = std::clamp(static_cast<float>(v + rng.uniform(-delta, delta)), lo,
+                     hi);
+    }
+    return out;
+  };
+}
+
+AugmentFn image_shift_augment(std::size_t side, std::size_t max_shift) {
+  OPAD_EXPECTS(side > 0);
+  return [side, max_shift](const Tensor& x, Rng& rng) {
+    OPAD_EXPECTS_MSG(x.dim(0) == side * side,
+                     "image_shift_augment: expected " << side * side
+                                                      << " pixels");
+    const auto max_s = static_cast<std::int64_t>(max_shift);
+    const std::int64_t dr = rng.uniform_int(-max_s, max_s);
+    const std::int64_t dc = rng.uniform_int(-max_s, max_s);
+    Tensor out({x.dim(0)});
+    for (std::size_t r = 0; r < side; ++r) {
+      for (std::size_t c = 0; c < side; ++c) {
+        const std::int64_t sr = static_cast<std::int64_t>(r) - dr;
+        const std::int64_t sc = static_cast<std::int64_t>(c) - dc;
+        float v = 0.0f;
+        if (sr >= 0 && sc >= 0 && sr < static_cast<std::int64_t>(side) &&
+            sc < static_cast<std::int64_t>(side)) {
+          v = x.at(static_cast<std::size_t>(sr) * side +
+                   static_cast<std::size_t>(sc));
+        }
+        out.at(r * side + c) = v;
+      }
+    }
+    return out;
+  };
+}
+
+AugmentFn brightness_augment(double sd) {
+  OPAD_EXPECTS(sd >= 0.0);
+  return [sd](const Tensor& x, Rng& rng) {
+    const auto delta = static_cast<float>(rng.normal(0.0, sd));
+    Tensor out = x;
+    for (float& v : out.data()) v = std::clamp(v + delta, 0.0f, 1.0f);
+    return out;
+  };
+}
+
+AugmentFn compose_augments(std::vector<AugmentFn> fns) {
+  OPAD_EXPECTS(!fns.empty());
+  return [fns = std::move(fns)](const Tensor& x, Rng& rng) {
+    Tensor out = x;
+    for (const auto& f : fns) out = f(out, rng);
+    return out;
+  };
+}
+
+Dataset augment_dataset(const Dataset& source, const AugmentFn& augment,
+                        std::size_t target_size, Rng& rng) {
+  OPAD_EXPECTS(!source.empty());
+  OPAD_EXPECTS_MSG(target_size >= source.size(),
+                   "target size must be >= source size");
+  Tensor inputs({target_size, source.dim()});
+  std::vector<int> labels(target_size);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    inputs.set_row(i, source.row(i));
+    labels[i] = source.label(i);
+  }
+  for (std::size_t i = source.size(); i < target_size; ++i) {
+    const std::size_t src = rng.uniform_index(source.size());
+    const Tensor augmented = augment(source.sample(src).x, rng);
+    OPAD_ENSURES(augmented.rank() == 1 && augmented.dim(0) == source.dim());
+    inputs.set_row(i, augmented.data());
+    labels[i] = source.label(src);
+  }
+  return Dataset(std::move(inputs), std::move(labels), source.num_classes());
+}
+
+}  // namespace opad

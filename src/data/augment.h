@@ -1,0 +1,41 @@
+// Data augmentation (RQ1). The paper suggests data augmentation and
+// high-fidelity simulation as accelerators for learning the OP; the
+// OperationalDatasetSynthesizer uses these transforms to expand a small
+// operational sample into a synthetic operational dataset.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// A randomised input transform. Implementations must preserve the label
+/// of the input (they model benign environmental perturbations).
+using AugmentFn = std::function<Tensor(const Tensor&, Rng&)>;
+
+/// Adds i.i.d. Gaussian noise with the given sd, then clamps to [lo, hi].
+AugmentFn gaussian_noise_augment(double sd, float lo = 0.0f, float hi = 1.0f);
+
+/// Jitters each feature by U[-delta, delta], then clamps to [lo, hi].
+AugmentFn feature_jitter_augment(double delta, float lo, float hi);
+
+/// Integer-pixel translation of a square image row by up to `max_shift`
+/// pixels in each direction; vacated pixels are zero.
+AugmentFn image_shift_augment(std::size_t side, std::size_t max_shift);
+
+/// Brightness shift by N(0, sd) with clamping to [0, 1] (images).
+AugmentFn brightness_augment(double sd);
+
+/// Composes transforms left-to-right.
+AugmentFn compose_augments(std::vector<AugmentFn> fns);
+
+/// Expands `source` to `target_size` rows by applying `augment` to
+/// uniformly chosen source samples (labels are preserved). The original
+/// rows are always included; requires target_size >= source.size().
+Dataset augment_dataset(const Dataset& source, const AugmentFn& augment,
+                        std::size_t target_size, Rng& rng);
+
+}  // namespace opad

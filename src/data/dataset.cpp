@@ -1,0 +1,142 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+namespace opad {
+
+Dataset::Dataset(Tensor inputs, std::vector<int> labels,
+                 std::size_t num_classes)
+    : inputs_(std::move(inputs)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  OPAD_EXPECTS(num_classes >= 2);
+  OPAD_EXPECTS_MSG(inputs_.rank() == 2,
+                   "dataset inputs must be rank 2, got "
+                       << shape_to_string(inputs_.shape()));
+  OPAD_EXPECTS_MSG(inputs_.dim(0) == labels_.size(),
+                   "row count " << inputs_.dim(0) << " != label count "
+                                << labels_.size());
+  for (int y : labels_) {
+    OPAD_EXPECTS_MSG(y >= 0 && static_cast<std::size_t>(y) < num_classes_,
+                     "label " << y << " out of range");
+  }
+}
+
+std::size_t Dataset::dim() const {
+  OPAD_EXPECTS(!empty());
+  return inputs_.dim(1);
+}
+
+LabeledSample Dataset::sample(std::size_t i) const {
+  OPAD_EXPECTS(i < size());
+  return {inputs_.row(i), labels_[i]};
+}
+
+std::span<const float> Dataset::row(std::size_t i) const {
+  OPAD_EXPECTS(i < size());
+  return inputs_.row_span(i);
+}
+
+int Dataset::label(std::size_t i) const {
+  OPAD_EXPECTS(i < size());
+  return labels_[i];
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  OPAD_EXPECTS(other.dim() == dim());
+  OPAD_EXPECTS(other.num_classes() == num_classes_);
+  Tensor merged({size() + other.size(), dim()});
+  for (std::size_t i = 0; i < size(); ++i) merged.set_row(i, row(i));
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    merged.set_row(size() + i, other.row(i));
+  }
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  inputs_ = std::move(merged);
+}
+
+void Dataset::push_back(const LabeledSample& sample) {
+  OPAD_EXPECTS(sample.x.rank() == 1);
+  OPAD_EXPECTS(sample.y >= 0 &&
+               (num_classes_ == 0 ||
+                static_cast<std::size_t>(sample.y) < num_classes_));
+  if (empty() && inputs_.size() == 0) {
+    OPAD_EXPECTS_MSG(num_classes_ >= 2,
+                     "push_back into a default-constructed Dataset requires "
+                     "constructing with a class count first");
+  }
+  OPAD_EXPECTS(inputs_.size() == 0 || sample.x.dim(0) == dim());
+  Tensor merged({size() + 1, sample.x.dim(0)});
+  for (std::size_t i = 0; i < size(); ++i) merged.set_row(i, row(i));
+  merged.set_row(size(), sample.x.data());
+  labels_.push_back(sample.y);
+  inputs_ = std::move(merged);
+}
+
+Dataset Dataset::shuffled(Rng& rng) const {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  return subset(order);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  OPAD_EXPECTS(!empty());
+  Tensor out({indices.size(), dim()});
+  std::vector<int> labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    OPAD_EXPECTS(indices[i] < size());
+    out.set_row(i, row(indices[i]));
+    labels[i] = labels_[indices[i]];
+  }
+  return Dataset(std::move(out), std::move(labels), num_classes_);
+}
+
+std::pair<Dataset, Dataset> Dataset::split_at(std::size_t count) const {
+  OPAD_EXPECTS(count <= size());
+  Dataset first(inputs_.slice_rows(0, count),
+                std::vector<int>(labels_.begin(),
+                                 labels_.begin() + static_cast<std::ptrdiff_t>(count)),
+                num_classes_);
+  Dataset second(inputs_.slice_rows(count, size()),
+                 std::vector<int>(labels_.begin() + static_cast<std::ptrdiff_t>(count),
+                                  labels_.end()),
+                 num_classes_);
+  return {std::move(first), std::move(second)};
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (int y : labels_) counts[static_cast<std::size_t>(y)]++;
+  return counts;
+}
+
+std::vector<double> Dataset::class_distribution() const {
+  OPAD_EXPECTS(!empty());
+  const auto counts = class_counts();
+  std::vector<double> dist(counts.size());
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    dist[k] = static_cast<double>(counts[k]) / static_cast<double>(size());
+  }
+  return dist;
+}
+
+Dataset dataset_from_samples(std::span<const LabeledSample> samples,
+                             std::size_t num_classes) {
+  OPAD_EXPECTS(!samples.empty());
+  const std::size_t d = samples.front().x.dim(0);
+  Tensor inputs({samples.size(), d});
+  std::vector<int> labels(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    OPAD_EXPECTS(samples[i].x.rank() == 1 && samples[i].x.dim(0) == d);
+    inputs.set_row(i, samples[i].x.data());
+    labels[i] = samples[i].y;
+  }
+  return Dataset(std::move(inputs), std::move(labels), num_classes);
+}
+
+}  // namespace opad

@@ -1,0 +1,73 @@
+// Labelled dataset container and manipulation helpers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// A single labelled sample (flat feature vector + class index).
+struct LabeledSample {
+  Tensor x;  // rank 1
+  int y = 0;
+};
+
+/// A labelled dataset: inputs [n, d] plus integer labels [n].
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of inputs/labels. Labels must lie in
+  /// [0, num_classes).
+  Dataset(Tensor inputs, std::vector<int> labels, std::size_t num_classes);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t dim() const;
+  std::size_t num_classes() const { return num_classes_; }
+  bool empty() const { return labels_.empty(); }
+
+  const Tensor& inputs() const { return inputs_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Sample i as (copy of row, label).
+  LabeledSample sample(std::size_t i) const;
+
+  /// Row view of sample i.
+  std::span<const float> row(std::size_t i) const;
+  int label(std::size_t i) const;
+
+  /// Appends another dataset (same dim and class count).
+  void append(const Dataset& other);
+
+  /// Appends a single sample.
+  void push_back(const LabeledSample& sample);
+
+  /// Returns a dataset with rows permuted uniformly at random.
+  Dataset shuffled(Rng& rng) const;
+
+  /// Returns the subset selected by `indices` (may repeat / reorder).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Splits into (first `count` rows, rest). Requires count <= size.
+  std::pair<Dataset, Dataset> split_at(std::size_t count) const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_counts() const;
+
+  /// Empirical class distribution (counts / n).
+  std::vector<double> class_distribution() const;
+
+ private:
+  Tensor inputs_;  // [n, d]
+  std::vector<int> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+/// Builds a dataset from individual samples (all same dim).
+Dataset dataset_from_samples(std::span<const LabeledSample> samples,
+                             std::size_t num_classes);
+
+}  // namespace opad

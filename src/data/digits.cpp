@@ -1,0 +1,335 @@
+#include "data/digits.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opad {
+
+namespace {
+
+// 8x8 glyph templates; '#' = ink, '.' = background.
+constexpr std::array<std::array<const char*, 8>, 10> kGlyphs = {{
+    // 0
+    {{"..####..",
+      ".##..##.",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      ".##..##.",
+      "..####.."}},
+    // 1
+    {{"...##...",
+      "..###...",
+      "...##...",
+      "...##...",
+      "...##...",
+      "...##...",
+      "...##...",
+      ".######."}},
+    // 2
+    {{"..####..",
+      ".##..##.",
+      ".....##.",
+      "....##..",
+      "...##...",
+      "..##....",
+      ".##.....",
+      ".######."}},
+    // 3
+    {{".#####..",
+      "....##..",
+      "...##...",
+      "..####..",
+      ".....##.",
+      ".....##.",
+      ".##..##.",
+      "..####.."}},
+    // 4
+    {{"....##..",
+      "...###..",
+      "..####..",
+      ".##.##..",
+      "########",
+      "....##..",
+      "....##..",
+      "....##.."}},
+    // 5
+    {{".######.",
+      ".##.....",
+      ".##.....",
+      ".#####..",
+      ".....##.",
+      ".....##.",
+      ".##..##.",
+      "..####.."}},
+    // 6
+    {{"..####..",
+      ".##..##.",
+      ".##.....",
+      ".#####..",
+      ".##..##.",
+      ".##..##.",
+      ".##..##.",
+      "..####.."}},
+    // 7
+    {{".######.",
+      ".....##.",
+      "....##..",
+      "....##..",
+      "...##...",
+      "...##...",
+      "..##....",
+      "..##...."}},
+    // 8
+    {{"..####..",
+      ".##..##.",
+      ".##..##.",
+      "..####..",
+      ".##..##.",
+      ".##..##.",
+      ".##..##.",
+      "..####.."}},
+    // 9
+    {{"..####..",
+      ".##..##.",
+      ".##..##.",
+      ".##..##.",
+      "..#####.",
+      ".....##.",
+      ".##..##.",
+      "..####.."}},
+}};
+
+}  // namespace
+
+SyntheticDigitsGenerator::SyntheticDigitsGenerator(
+    DigitDistortion distortion, std::vector<double> priors)
+    : distortion_(distortion), priors_(std::move(priors)) {
+  OPAD_EXPECTS(priors_.size() == kClasses);
+  OPAD_EXPECTS(distortion.max_shift >= 0.0);
+  OPAD_EXPECTS(distortion.brightness_sd >= 0.0);
+  OPAD_EXPECTS(distortion.contrast_sd >= 0.0);
+  OPAD_EXPECTS(distortion.noise_sd >= 0.0);
+  OPAD_EXPECTS(distortion.blur >= 0.0 && distortion.blur < 1.0);
+}
+
+SyntheticDigitsGenerator SyntheticDigitsGenerator::training_distribution() {
+  DigitDistortion d;  // defaults: mild
+  return SyntheticDigitsGenerator(d, std::vector<double>(kClasses, 0.1));
+}
+
+SyntheticDigitsGenerator
+SyntheticDigitsGenerator::operational_distribution() {
+  DigitDistortion d;
+  d.max_shift = 1.2;
+  d.brightness_sd = 0.12;
+  d.contrast_sd = 0.12;
+  d.noise_sd = 0.06;
+  d.blur = 0.35;
+  // Deployment sees mostly a few classes: e.g. a meter-reading camera
+  // that encounters 0/1/2 far more often than 8/9.
+  std::vector<double> priors = {0.30, 0.22, 0.16, 0.10, 0.07,
+                                0.05, 0.04, 0.03, 0.02, 0.01};
+  return SyntheticDigitsGenerator(d, std::move(priors));
+}
+
+Tensor SyntheticDigitsGenerator::clean_digit(int digit) const {
+  OPAD_EXPECTS(digit >= 0 && static_cast<std::size_t>(digit) < kClasses);
+  Tensor img({kPixels});
+  const auto& glyph = kGlyphs[static_cast<std::size_t>(digit)];
+  for (std::size_t r = 0; r < kSide; ++r) {
+    for (std::size_t c = 0; c < kSide; ++c) {
+      img.at(r * kSide + c) = glyph[r][c] == '#' ? 1.0f : 0.0f;
+    }
+  }
+  return img;
+}
+
+Tensor SyntheticDigitsGenerator::render(int digit, Rng& rng) const {
+  Tensor base = clean_digit(digit);
+
+  // Sub-pixel translation via bilinear sampling.
+  const double dx = rng.uniform(-distortion_.max_shift, distortion_.max_shift);
+  const double dy = rng.uniform(-distortion_.max_shift, distortion_.max_shift);
+  Tensor shifted({kPixels});
+  auto pixel = [&base](std::ptrdiff_t r, std::ptrdiff_t c) -> float {
+    if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(kSide) ||
+        c >= static_cast<std::ptrdiff_t>(kSide)) {
+      return 0.0f;
+    }
+    return base.at(static_cast<std::size_t>(r) * kSide +
+                   static_cast<std::size_t>(c));
+  };
+  for (std::size_t r = 0; r < kSide; ++r) {
+    for (std::size_t c = 0; c < kSide; ++c) {
+      const double sr = static_cast<double>(r) - dy;
+      const double sc = static_cast<double>(c) - dx;
+      const auto r0 = static_cast<std::ptrdiff_t>(std::floor(sr));
+      const auto c0 = static_cast<std::ptrdiff_t>(std::floor(sc));
+      const double fr = sr - static_cast<double>(r0);
+      const double fc = sc - static_cast<double>(c0);
+      const double v =
+          (1 - fr) * ((1 - fc) * pixel(r0, c0) + fc * pixel(r0, c0 + 1)) +
+          fr * ((1 - fc) * pixel(r0 + 1, c0) + fc * pixel(r0 + 1, c0 + 1));
+      shifted.at(r * kSide + c) = static_cast<float>(v);
+    }
+  }
+
+  // Optional 3x3 box blur blended in with weight `blur`.
+  Tensor blurred = shifted;
+  if (distortion_.blur > 0.0) {
+    for (std::size_t r = 0; r < kSide; ++r) {
+      for (std::size_t c = 0; c < kSide; ++c) {
+        double acc = 0.0;
+        int count = 0;
+        for (int drr = -1; drr <= 1; ++drr) {
+          for (int dcc = -1; dcc <= 1; ++dcc) {
+            const auto rr = static_cast<std::ptrdiff_t>(r) + drr;
+            const auto cc = static_cast<std::ptrdiff_t>(c) + dcc;
+            if (rr < 0 || cc < 0 ||
+                rr >= static_cast<std::ptrdiff_t>(kSide) ||
+                cc >= static_cast<std::ptrdiff_t>(kSide)) {
+              continue;
+            }
+            acc += shifted.at(static_cast<std::size_t>(rr) * kSide +
+                              static_cast<std::size_t>(cc));
+            ++count;
+          }
+        }
+        const double mean_v = acc / count;
+        blurred.at(r * kSide + c) = static_cast<float>(
+            (1.0 - distortion_.blur) * shifted.at(r * kSide + c) +
+            distortion_.blur * mean_v);
+      }
+    }
+  }
+
+  // Photometric distortion + noise.
+  const double contrast =
+      std::max(0.1, 1.0 + rng.normal(0.0, distortion_.contrast_sd));
+  const double brightness = rng.normal(0.0, distortion_.brightness_sd);
+  for (std::size_t i = 0; i < kPixels; ++i) {
+    double v = 0.5 + contrast * (blurred.at(i) - 0.5) + brightness;
+    v += rng.normal(0.0, distortion_.noise_sd);
+    blurred.at(i) = static_cast<float>(std::clamp(v, 0.0, 1.0));
+  }
+  return blurred;
+}
+
+LabeledSample SyntheticDigitsGenerator::sample(Rng& rng) const {
+  const int digit = static_cast<int>(priors_.sample(rng));
+  return {render(digit, rng), digit};
+}
+
+std::vector<double> SyntheticDigitsGenerator::class_priors() const {
+  return priors_.probs();
+}
+
+namespace {
+
+/// Mean-centred, L2-normalised copy (cancels brightness/contrast).
+Tensor normalise_image(const Tensor& t) {
+  Tensor out = t;
+  const float m = out.mean();
+  out += -m;
+  const float norm = out.l2_norm();
+  if (norm > 1e-6f) out *= 1.0f / norm;
+  return out;
+}
+
+/// Integer-shifted copy of a square image (vacated pixels zero).
+Tensor shift_image(const Tensor& img, std::ptrdiff_t dr, std::ptrdiff_t dc,
+                   std::size_t side) {
+  Tensor out({img.dim(0)});
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      const std::ptrdiff_t sr = static_cast<std::ptrdiff_t>(r) - dr;
+      const std::ptrdiff_t sc = static_cast<std::ptrdiff_t>(c) - dc;
+      if (sr < 0 || sc < 0 || sr >= static_cast<std::ptrdiff_t>(side) ||
+          sc >= static_cast<std::ptrdiff_t>(side)) {
+        continue;
+      }
+      out.at(r * side + c) = img.at(static_cast<std::size_t>(sr) * side +
+                                    static_cast<std::size_t>(sc));
+    }
+  }
+  return out;
+}
+
+/// 3x3 box blur blended with weight `blur`.
+Tensor blur_image(const Tensor& img, double blur, std::size_t side) {
+  Tensor out = img;
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      double acc = 0.0;
+      int count = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          const auto rr = static_cast<std::ptrdiff_t>(r) + dr;
+          const auto cc = static_cast<std::ptrdiff_t>(c) + dc;
+          if (rr < 0 || cc < 0 || rr >= static_cast<std::ptrdiff_t>(side) ||
+              cc >= static_cast<std::ptrdiff_t>(side)) {
+            continue;
+          }
+          acc += img.at(static_cast<std::size_t>(rr) * side +
+                        static_cast<std::size_t>(cc));
+          ++count;
+        }
+      }
+      out.at(r * side + c) = static_cast<float>(
+          (1.0 - blur) * img.at(r * side + c) + blur * acc / count);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int SyntheticDigitsGenerator::true_label(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == kPixels);
+  // Nearest clean template under L2 after brightness/contrast
+  // normalisation, searched over integer shifts and two blur levels so
+  // the oracle is invariant to the generator's geometric/photometric
+  // distortions (template matching with a small deformation model).
+  const Tensor probe = normalise_image(x);
+  int best = 0;
+  float best_dist = std::numeric_limits<float>::infinity();
+  const std::ptrdiff_t max_shift = static_cast<std::ptrdiff_t>(
+      std::ceil(distortion_.max_shift));
+  for (int d = 0; d < static_cast<int>(kClasses); ++d) {
+    const Tensor clean = clean_digit(d);
+    for (double blur : {0.0, 0.4}) {
+      const Tensor blurred =
+          blur > 0.0 ? blur_image(clean, blur, kSide) : clean;
+      for (std::ptrdiff_t dr = -max_shift; dr <= max_shift; ++dr) {
+        for (std::ptrdiff_t dc = -max_shift; dc <= max_shift; ++dc) {
+          const Tensor ref =
+              normalise_image(shift_image(blurred, dr, dc, kSide));
+          float dist = 0.0f;
+          for (std::size_t i = 0; i < kPixels; ++i) {
+            const float diff = probe.at(i) - ref.at(i);
+            dist += diff * diff;
+          }
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = d;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+SyntheticDigitsGenerator SyntheticDigitsGenerator::with_priors(
+    std::vector<double> priors) const {
+  return SyntheticDigitsGenerator(distortion_, std::move(priors));
+}
+
+SyntheticDigitsGenerator SyntheticDigitsGenerator::with_distortion(
+    DigitDistortion distortion) const {
+  return SyntheticDigitsGenerator(distortion, priors_.probs());
+}
+
+}  // namespace opad

@@ -1,0 +1,264 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/special_math.h"
+
+namespace opad {
+
+Dataset DataGenerator::make_dataset(std::size_t n, Rng& rng) const {
+  OPAD_EXPECTS(n > 0);
+  Tensor inputs({n, dim()});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LabeledSample s = sample(rng);
+    inputs.set_row(i, s.x.data());
+    labels[i] = s.y;
+  }
+  return Dataset(std::move(inputs), std::move(labels), num_classes());
+}
+
+GaussianClustersGenerator::GaussianClustersGenerator(
+    std::vector<Cluster> clusters)
+    : clusters_(std::move(clusters)) {
+  OPAD_EXPECTS(!clusters_.empty());
+  const std::size_t d = clusters_.front().mean.size();
+  int max_label = 0;
+  for (const auto& c : clusters_) {
+    OPAD_EXPECTS(c.mean.size() == d && c.variance.size() == d);
+    OPAD_EXPECTS(c.weight > 0.0);
+    OPAD_EXPECTS(c.label >= 0);
+    for (double v : c.variance) OPAD_EXPECTS(v > 0.0);
+    max_label = std::max(max_label, c.label);
+    total_weight_ += c.weight;
+  }
+  num_classes_ = static_cast<std::size_t>(max_label) + 1;
+  OPAD_EXPECTS_MSG(num_classes_ >= 2, "need at least two classes");
+}
+
+std::size_t GaussianClustersGenerator::dim() const {
+  return clusters_.front().mean.size();
+}
+
+LabeledSample GaussianClustersGenerator::sample(Rng& rng) const {
+  std::vector<double> weights;
+  weights.reserve(clusters_.size());
+  for (const auto& c : clusters_) weights.push_back(c.weight);
+  const std::size_t idx = rng.categorical(weights);
+  const auto& cluster = clusters_[idx];
+  Tensor x({dim()});
+  for (std::size_t j = 0; j < dim(); ++j) {
+    x.at(j) = static_cast<float>(
+        rng.normal(cluster.mean[j], std::sqrt(cluster.variance[j])));
+  }
+  return {std::move(x), cluster.label};
+}
+
+std::vector<double> GaussianClustersGenerator::class_priors() const {
+  std::vector<double> priors(num_classes_, 0.0);
+  for (const auto& c : clusters_) {
+    priors[static_cast<std::size_t>(c.label)] += c.weight / total_weight_;
+  }
+  return priors;
+}
+
+namespace {
+double cluster_log_pdf(const GaussianClustersGenerator::Cluster& c,
+                       const Tensor& x) {
+  double quad = 0.0, log_det = 0.0;
+  for (std::size_t j = 0; j < c.mean.size(); ++j) {
+    const double d = static_cast<double>(x.at(j)) - c.mean[j];
+    quad += d * d / c.variance[j];
+    log_det += std::log(c.variance[j]);
+  }
+  const double dbl_dim = static_cast<double>(c.mean.size());
+  return -0.5 * (dbl_dim * std::log(2.0 * M_PI) + log_det + quad);
+}
+}  // namespace
+
+int GaussianClustersGenerator::true_label(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  // Bayes rule: argmax over classes of sum of weighted cluster densities.
+  std::vector<double> class_log(num_classes_,
+                                -std::numeric_limits<double>::infinity());
+  for (const auto& c : clusters_) {
+    const double lp = std::log(c.weight / total_weight_) +
+                      cluster_log_pdf(c, x);
+    auto& slot = class_log[static_cast<std::size_t>(c.label)];
+    slot = log_add_exp(slot, lp);
+  }
+  return static_cast<int>(
+      std::max_element(class_log.begin(), class_log.end()) -
+      class_log.begin());
+}
+
+double GaussianClustersGenerator::log_density(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  double acc = -std::numeric_limits<double>::infinity();
+  for (const auto& c : clusters_) {
+    acc = log_add_exp(acc, std::log(c.weight / total_weight_) +
+                               cluster_log_pdf(c, x));
+  }
+  return acc;
+}
+
+GaussianClustersGenerator GaussianClustersGenerator::with_class_priors(
+    const std::vector<double>& priors) const {
+  OPAD_EXPECTS(priors.size() == num_classes_);
+  const auto current = class_priors();
+  std::vector<Cluster> rescaled = clusters_;
+  double check = 0.0;
+  for (double p : priors) {
+    OPAD_EXPECTS(p >= 0.0);
+    check += p;
+  }
+  OPAD_EXPECTS_MSG(check > 0.0, "class priors must have positive sum");
+  for (auto& c : rescaled) {
+    const auto k = static_cast<std::size_t>(c.label);
+    OPAD_EXPECTS_MSG(current[k] > 0.0 || priors[k] == 0.0,
+                     "cannot give positive prior to an empty class");
+    if (current[k] > 0.0) {
+      c.weight *= priors[k] / check / current[k];
+      if (c.weight <= 0.0) {
+        c.weight = std::numeric_limits<double>::min();  // keep validity
+      }
+    }
+  }
+  return GaussianClustersGenerator(std::move(rescaled));
+}
+
+GaussianClustersGenerator GaussianClustersGenerator::shifted(
+    const std::vector<double>& shift) const {
+  OPAD_EXPECTS(shift.size() == dim());
+  std::vector<Cluster> moved = clusters_;
+  for (auto& c : moved) {
+    for (std::size_t j = 0; j < shift.size(); ++j) c.mean[j] += shift[j];
+  }
+  return GaussianClustersGenerator(std::move(moved));
+}
+
+GaussianClustersGenerator GaussianClustersGenerator::make_ring(
+    std::size_t classes, double radius, double variance) {
+  OPAD_EXPECTS(classes >= 2 && radius > 0.0 && variance > 0.0);
+  std::vector<Cluster> clusters;
+  clusters.reserve(classes);
+  for (std::size_t k = 0; k < classes; ++k) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(k) / static_cast<double>(classes);
+    Cluster c;
+    c.mean = {radius * std::cos(angle), radius * std::sin(angle)};
+    c.variance = {variance, variance};
+    c.label = static_cast<int>(k);
+    c.weight = 1.0;
+    clusters.push_back(std::move(c));
+  }
+  return GaussianClustersGenerator(std::move(clusters));
+}
+
+TwoMoonsGenerator::TwoMoonsGenerator(double noise_sd,
+                                     std::vector<double> priors)
+    : noise_sd_(noise_sd), priors_(std::move(priors)) {
+  OPAD_EXPECTS(noise_sd >= 0.0);
+  OPAD_EXPECTS(priors_.size() == 2);
+}
+
+namespace {
+// Noise-free moon point at parameter t in [0, 1].
+void moon_point(int label, double t, double& x, double& y) {
+  const double angle = M_PI * t;
+  if (label == 0) {
+    x = std::cos(angle);
+    y = std::sin(angle);
+  } else {
+    x = 1.0 - std::cos(angle);
+    y = 0.5 - std::sin(angle);
+  }
+}
+
+double moon_distance(int label, double px, double py) {
+  // Distance from (px, py) to the moon manifold, by dense parameter sweep;
+  // 128 points is plenty at the noise scales used.
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= 128; ++i) {
+    double mx, my;
+    moon_point(label, static_cast<double>(i) / 128.0, mx, my);
+    const double d = (px - mx) * (px - mx) + (py - my) * (py - my);
+    best = std::min(best, d);
+  }
+  return best;
+}
+}  // namespace
+
+LabeledSample TwoMoonsGenerator::sample(Rng& rng) const {
+  const int label = static_cast<int>(priors_.sample(rng));
+  double x, y;
+  moon_point(label, rng.uniform(), x, y);
+  Tensor point({2});
+  point.at(0) = static_cast<float>(x + rng.normal(0.0, noise_sd_));
+  point.at(1) = static_cast<float>(y + rng.normal(0.0, noise_sd_));
+  return {std::move(point), label};
+}
+
+std::vector<double> TwoMoonsGenerator::class_priors() const {
+  return priors_.probs();
+}
+
+int TwoMoonsGenerator::true_label(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == 2);
+  const double d0 = moon_distance(0, x.at(0), x.at(1));
+  const double d1 = moon_distance(1, x.at(0), x.at(1));
+  return d0 <= d1 ? 0 : 1;
+}
+
+SpiralsGenerator::SpiralsGenerator(double noise_sd,
+                                   std::vector<double> priors)
+    : noise_sd_(noise_sd), priors_(std::move(priors)) {
+  OPAD_EXPECTS(noise_sd >= 0.0);
+  OPAD_EXPECTS(priors_.size() == 2);
+}
+
+namespace {
+void spiral_point(int label, double t, double& x, double& y) {
+  // t in [0, 1]; radius grows with angle; second spiral offset by pi.
+  const double angle = 3.0 * M_PI * t + (label == 0 ? 0.0 : M_PI);
+  const double radius = 0.2 + 0.8 * t;
+  x = radius * std::cos(angle);
+  y = radius * std::sin(angle);
+}
+
+double spiral_distance(int label, double px, double py) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= 256; ++i) {
+    double sx, sy;
+    spiral_point(label, static_cast<double>(i) / 256.0, sx, sy);
+    const double d = (px - sx) * (px - sx) + (py - sy) * (py - sy);
+    best = std::min(best, d);
+  }
+  return best;
+}
+}  // namespace
+
+LabeledSample SpiralsGenerator::sample(Rng& rng) const {
+  const int label = static_cast<int>(priors_.sample(rng));
+  double x, y;
+  spiral_point(label, rng.uniform(), x, y);
+  Tensor point({2});
+  point.at(0) = static_cast<float>(x + rng.normal(0.0, noise_sd_));
+  point.at(1) = static_cast<float>(y + rng.normal(0.0, noise_sd_));
+  return {std::move(point), label};
+}
+
+std::vector<double> SpiralsGenerator::class_priors() const {
+  return priors_.probs();
+}
+
+int SpiralsGenerator::true_label(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == 2);
+  const double d0 = spiral_distance(0, x.at(0), x.at(1));
+  const double d1 = spiral_distance(1, x.at(0), x.at(1));
+  return d0 <= d1 ? 0 : 1;
+}
+
+}  // namespace opad

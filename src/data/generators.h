@@ -1,0 +1,125 @@
+// Synthetic data generators. Each generator is a *ground-truth generative
+// process*: it can sample labelled points, report the true class priors,
+// and (where analytically possible) act as a Bayes label oracle. The same
+// generator class configured with different priors / distortion levels
+// plays both roles the paper distinguishes: the balanced *training*
+// distribution and the skewed *operational profile*.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// Ground-truth labelling function over the input space. Used for
+/// verdicts on generated test cases and Monte-Carlo reliability oracles.
+class LabelOracle {
+ public:
+  virtual ~LabelOracle() = default;
+  /// True label of an arbitrary input.
+  virtual int true_label(const Tensor& x) const = 0;
+};
+
+/// Interface of a labelled-data generative process.
+class DataGenerator : public LabelOracle {
+ public:
+  ~DataGenerator() override = default;
+
+  virtual std::size_t dim() const = 0;
+  virtual std::size_t num_classes() const = 0;
+
+  /// Draws one labelled sample from the process.
+  virtual LabeledSample sample(Rng& rng) const = 0;
+
+  /// True class priors of the process.
+  virtual std::vector<double> class_priors() const = 0;
+
+  /// Draws n samples into a Dataset.
+  Dataset make_dataset(std::size_t n, Rng& rng) const;
+};
+
+/// Mixture of axis-aligned Gaussian clusters, one or more per class.
+/// The Bayes oracle is exact, and the density is analytically available,
+/// making this the workhorse for estimator-accuracy experiments (T5, T6).
+class GaussianClustersGenerator : public DataGenerator {
+ public:
+  struct Cluster {
+    std::vector<double> mean;
+    std::vector<double> variance;
+    int label = 0;
+    double weight = 1.0;  // unnormalised mixture weight
+  };
+
+  explicit GaussianClustersGenerator(std::vector<Cluster> clusters);
+
+  std::size_t dim() const override;
+  std::size_t num_classes() const override { return num_classes_; }
+  LabeledSample sample(Rng& rng) const override;
+  std::vector<double> class_priors() const override;
+  int true_label(const Tensor& x) const override;  // exact Bayes rule
+
+  /// Log of the mixture density at x.
+  double log_density(const Tensor& x) const;
+
+  /// Returns a copy with cluster weights rescaled so that the class priors
+  /// become `priors` (relative weights within a class are preserved).
+  GaussianClustersGenerator with_class_priors(
+      const std::vector<double>& priors) const;
+
+  /// Returns a copy with every cluster mean translated by `shift`
+  /// (covariate shift for the operational variant).
+  GaussianClustersGenerator shifted(const std::vector<double>& shift) const;
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// A canonical 2-D benchmark instance: `classes` clusters arranged on a
+  /// circle of the given radius with common variance.
+  static GaussianClustersGenerator make_ring(std::size_t classes,
+                                             double radius, double variance);
+
+ private:
+  std::vector<Cluster> clusters_;
+  std::size_t num_classes_ = 0;
+  double total_weight_ = 0.0;
+};
+
+/// Classic two-moons binary dataset (with Gaussian noise); the oracle is
+/// nearest-moon membership computed from the noise-free manifolds.
+class TwoMoonsGenerator : public DataGenerator {
+ public:
+  explicit TwoMoonsGenerator(double noise_sd = 0.08,
+                             std::vector<double> priors = {0.5, 0.5});
+
+  std::size_t dim() const override { return 2; }
+  std::size_t num_classes() const override { return 2; }
+  LabeledSample sample(Rng& rng) const override;
+  std::vector<double> class_priors() const override;
+  int true_label(const Tensor& x) const override;
+
+ private:
+  double noise_sd_;
+  CategoricalDistribution priors_;
+};
+
+/// Two interleaved spirals (binary); oracle is nearest-spiral membership.
+class SpiralsGenerator : public DataGenerator {
+ public:
+  explicit SpiralsGenerator(double noise_sd = 0.05,
+                            std::vector<double> priors = {0.5, 0.5});
+
+  std::size_t dim() const override { return 2; }
+  std::size_t num_classes() const override { return 2; }
+  LabeledSample sample(Rng& rng) const override;
+  std::vector<double> class_priors() const override;
+  int true_label(const Tensor& x) const override;
+
+ private:
+  double noise_sd_;
+  CategoricalDistribution priors_;
+};
+
+}  // namespace opad

@@ -1,0 +1,23 @@
+#include "naturalness/autoencoder_naturalness.h"
+
+#include "util/error.h"
+
+namespace opad {
+
+AutoencoderNaturalness::AutoencoderNaturalness(
+    std::shared_ptr<Autoencoder> autoencoder)
+    : autoencoder_(std::move(autoencoder)) {
+  OPAD_EXPECTS(autoencoder_ != nullptr);
+}
+
+double AutoencoderNaturalness::score(const Tensor& x) const {
+  return -autoencoder_->reconstruction_error(x);
+}
+
+Tensor AutoencoderNaturalness::score_gradient(const Tensor& x) const {
+  Tensor grad = autoencoder_->error_input_gradient(x);
+  grad *= -1.0f;
+  return grad;
+}
+
+}  // namespace opad

@@ -1,0 +1,30 @@
+// Naturalness as negated autoencoder reconstruction error: inputs off the
+// operational data manifold reconstruct poorly. Differentiable through
+// the autoencoder, so usable for gradient-guided naturalness ascent.
+#pragma once
+
+#include <memory>
+
+#include "naturalness/metric.h"
+#include "nn/autoencoder.h"
+
+namespace opad {
+
+class AutoencoderNaturalness : public NaturalnessMetric {
+ public:
+  /// The autoencoder should already be trained on operational data.
+  explicit AutoencoderNaturalness(std::shared_ptr<Autoencoder> autoencoder);
+
+  std::size_t dim() const override { return autoencoder_->input_dim(); }
+  double score(const Tensor& x) const override;
+  bool has_gradient() const override { return true; }
+  Tensor score_gradient(const Tensor& x) const override;
+
+ private:
+  // The autoencoder's forward pass mutates layer caches, so the handle is
+  // non-const; scoring is logically const and thread-compatible only per
+  // instance.
+  std::shared_ptr<Autoencoder> autoencoder_;
+};
+
+}  // namespace opad

@@ -1,0 +1,62 @@
+#include "naturalness/composite.h"
+
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/error.h"
+
+namespace opad {
+
+CompositeNaturalness::CompositeNaturalness(std::vector<Component> components)
+    : components_(std::move(components)) {
+  OPAD_EXPECTS(!components_.empty());
+  const std::size_t d = components_.front().metric->dim();
+  for (const auto& c : components_) {
+    OPAD_EXPECTS(c.metric != nullptr);
+    OPAD_EXPECTS(c.metric->dim() == d);
+    OPAD_EXPECTS(c.weight >= 0.0);
+    OPAD_EXPECTS(c.sd > 0.0);
+  }
+}
+
+void CompositeNaturalness::calibrate(const Tensor& reference_inputs) {
+  OPAD_EXPECTS(reference_inputs.rank() == 2 && reference_inputs.dim(0) >= 2);
+  for (auto& c : components_) {
+    const auto scores = c.metric->score_all(reference_inputs);
+    c.mean = mean(scores);
+    c.sd = std::max(std::sqrt(variance(scores)), 1e-9);
+  }
+}
+
+std::size_t CompositeNaturalness::dim() const {
+  return components_.front().metric->dim();
+}
+
+double CompositeNaturalness::score(const Tensor& x) const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * (c.metric->score(x) - c.mean) / c.sd;
+  }
+  return total;
+}
+
+bool CompositeNaturalness::has_gradient() const {
+  for (const auto& c : components_) {
+    if (c.weight > 0.0 && !c.metric->has_gradient()) return false;
+  }
+  return true;
+}
+
+Tensor CompositeNaturalness::score_gradient(const Tensor& x) const {
+  OPAD_EXPECTS(has_gradient());
+  Tensor grad({dim()});
+  for (const auto& c : components_) {
+    if (c.weight == 0.0) continue;
+    Tensor g = c.metric->score_gradient(x);
+    g *= static_cast<float>(c.weight / c.sd);
+    grad += g;
+  }
+  return grad;
+}
+
+}  // namespace opad

@@ -1,0 +1,40 @@
+// Composite naturalness: a weighted sum of standardised component
+// metrics. Standardisation statistics come from a reference operational
+// dataset so components with different scales combine meaningfully.
+#pragma once
+
+#include <vector>
+
+#include "naturalness/metric.h"
+
+namespace opad {
+
+class CompositeNaturalness : public NaturalnessMetric {
+ public:
+  struct Component {
+    NaturalnessPtr metric;
+    double weight = 1.0;
+    // Standardisation (set by calibrate or manually).
+    double mean = 0.0;
+    double sd = 1.0;
+  };
+
+  /// Components with weights; call calibrate() before scoring unless the
+  /// component mean/sd fields are filled manually.
+  explicit CompositeNaturalness(std::vector<Component> components);
+
+  /// Computes each component's mean/sd on the reference rows.
+  void calibrate(const Tensor& reference_inputs);
+
+  std::size_t dim() const override;
+  double score(const Tensor& x) const override;
+  bool has_gradient() const override;
+  Tensor score_gradient(const Tensor& x) const override;
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace opad

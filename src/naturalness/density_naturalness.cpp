@@ -1,0 +1,12 @@
+#include "naturalness/density_naturalness.h"
+
+#include "util/error.h"
+
+namespace opad {
+
+DensityNaturalness::DensityNaturalness(ProfilePtr profile)
+    : profile_(std::move(profile)) {
+  OPAD_EXPECTS(profile_ != nullptr);
+}
+
+}  // namespace opad

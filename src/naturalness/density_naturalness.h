@@ -1,0 +1,30 @@
+// Naturalness as OP log-density: the most direct approximation of the
+// "local OP" — an input is natural to the extent the operational profile
+// assigns it density.
+#pragma once
+
+#include "naturalness/metric.h"
+#include "op/profile.h"
+
+namespace opad {
+
+class DensityNaturalness : public NaturalnessMetric {
+ public:
+  explicit DensityNaturalness(ProfilePtr profile);
+
+  std::size_t dim() const override { return profile_->dim(); }
+  double score(const Tensor& x) const override {
+    return profile_->log_density(x);
+  }
+  bool has_gradient() const override { return profile_->has_gradient(); }
+  Tensor score_gradient(const Tensor& x) const override {
+    return profile_->log_density_gradient(x);
+  }
+
+  const OperationalProfile& profile() const { return *profile_; }
+
+ private:
+  ProfilePtr profile_;
+};
+
+}  // namespace opad

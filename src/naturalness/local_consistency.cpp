@@ -1,0 +1,45 @@
+#include "naturalness/local_consistency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/error.h"
+
+namespace opad {
+
+LocalConsistencyNaturalness::LocalConsistencyNaturalness(Tensor reference,
+                                                         std::size_t k)
+    : reference_(std::move(reference)), k_(k) {
+  OPAD_EXPECTS(reference_.rank() == 2);
+  OPAD_EXPECTS(k_ >= 1 && k_ <= reference_.dim(0));
+}
+
+double LocalConsistencyNaturalness::score(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  // Max-heap of the k smallest squared distances.
+  std::priority_queue<double> heap;
+  const std::size_t n = reference_.dim(0), d = dim();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = reference_.row_span(i);
+    double dist = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(x.at(j)) - row[j];
+      dist += diff * diff;
+    }
+    if (heap.size() < k_) {
+      heap.push(dist);
+    } else if (dist < heap.top()) {
+      heap.pop();
+      heap.push(dist);
+    }
+  }
+  double total = 0.0;
+  while (!heap.empty()) {
+    total += std::sqrt(heap.top());
+    heap.pop();
+  }
+  return -total / static_cast<double>(k_);
+}
+
+}  // namespace opad

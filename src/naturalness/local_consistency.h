@@ -1,0 +1,26 @@
+// Naturalness as negated k-nearest-neighbour distance to the operational
+// dataset: a non-parametric, model-free metric (no gradient). Related in
+// spirit to distance-based surprise adequacy.
+#pragma once
+
+#include "naturalness/metric.h"
+
+namespace opad {
+
+class LocalConsistencyNaturalness : public NaturalnessMetric {
+ public:
+  /// `reference` [n, d]: operational inputs; k: neighbours to average.
+  LocalConsistencyNaturalness(Tensor reference, std::size_t k = 5);
+
+  std::size_t dim() const override { return reference_.dim(1); }
+  /// Score = -(mean L2 distance to the k nearest reference rows).
+  double score(const Tensor& x) const override;
+
+  std::size_t k() const { return k_; }
+
+ private:
+  Tensor reference_;
+  std::size_t k_;
+};
+
+}  // namespace opad

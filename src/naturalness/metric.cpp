@@ -1,0 +1,29 @@
+#include "naturalness/metric.h"
+
+#include "util/distributions.h"
+#include "util/error.h"
+
+namespace opad {
+
+Tensor NaturalnessMetric::score_gradient(const Tensor&) const {
+  throw PreconditionError("this NaturalnessMetric has no gradient");
+}
+
+std::vector<double> NaturalnessMetric::score_all(const Tensor& inputs) const {
+  OPAD_EXPECTS(inputs.rank() == 2 && inputs.dim(1) == dim());
+  std::vector<double> scores(inputs.dim(0));
+  for (std::size_t i = 0; i < inputs.dim(0); ++i) {
+    scores[i] = score(inputs.row(i));
+  }
+  return scores;
+}
+
+double naturalness_threshold(const NaturalnessMetric& metric,
+                             const Tensor& reference_inputs,
+                             double quantile) {
+  OPAD_EXPECTS(quantile >= 0.0 && quantile <= 1.0);
+  auto scores = metric.score_all(reference_inputs);
+  return opad::quantile(std::move(scores), quantile);
+}
+
+}  // namespace opad

@@ -1,0 +1,46 @@
+// Naturalness metrics.
+//
+// The paper's fallback plan for the "local OP" inside a cell/norm-ball is
+// a quantified naturalness score (§II.b). A NaturalnessMetric maps an
+// input to a scalar where higher = more natural; the operational-AE
+// verdict thresholds this score at a quantile of the operational dataset
+// (the tau constraint in DESIGN.md).
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace opad {
+
+class NaturalnessMetric {
+ public:
+  virtual ~NaturalnessMetric() = default;
+
+  virtual std::size_t dim() const = 0;
+
+  /// Naturalness score of x; higher is more natural. Scale is
+  /// metric-specific; compare only scores from the same metric.
+  virtual double score(const Tensor& x) const = 0;
+
+  /// Whether score_gradient is available (needed for gradient-guided
+  /// naturalness ascent in the RQ3 fuzzer).
+  virtual bool has_gradient() const { return false; }
+
+  /// Gradient of score w.r.t. x; throws if has_gradient() is false.
+  virtual Tensor score_gradient(const Tensor& x) const;
+
+  /// Scores every row of a dataset.
+  std::vector<double> score_all(const Tensor& inputs) const;
+};
+
+using NaturalnessPtr = std::shared_ptr<const NaturalnessMetric>;
+
+/// Threshold tau such that a fraction `quantile` of the reference rows
+/// score *below* tau. E.g. quantile = 0.05 accepts inputs at least as
+/// natural as the 5th percentile of real operational data.
+double naturalness_threshold(const NaturalnessMetric& metric,
+                             const Tensor& reference_inputs, double quantile);
+
+}  // namespace opad

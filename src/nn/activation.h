@@ -1,0 +1,66 @@
+// Parameter-free activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace opad {
+
+/// Rectified linear unit: max(0, x).
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t output_dim(std::size_t input_dim) const override {
+    return input_dim;
+  }
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Leaky rectified linear unit: x > 0 ? x : slope * x.
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.01f);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t output_dim(std::size_t input_dim) const override {
+    return input_dim;
+  }
+  std::string name() const override;
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t output_dim(std::size_t input_dim) const override {
+    return input_dim;
+  }
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t output_dim(std::size_t input_dim) const override {
+    return input_dim;
+  }
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace opad

@@ -1,0 +1,58 @@
+// A small MLP autoencoder. Two uses in OpAD: (i) the reconstruction-error
+// naturalness metric (inputs far off the data manifold reconstruct badly),
+// and (ii) a low-dimensional embedding for the surprise-adequacy auxiliary
+// score and for cell partitions in high-dimensional input spaces.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace opad {
+
+struct AutoencoderConfig {
+  std::size_t latent_dim = 8;
+  std::vector<std::size_t> encoder_hidden = {64};
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;  // Adam
+};
+
+class Autoencoder {
+ public:
+  /// Builds an untrained encoder/decoder pair (mirrored hidden sizes).
+  Autoencoder(std::size_t input_dim, const AutoencoderConfig& config,
+              Rng& rng);
+
+  /// Trains on the rows of `inputs` [n, d]; returns final epoch MSE.
+  double train(const Tensor& inputs, Rng& rng);
+
+  /// Reconstruction of a batch [n, d] -> [n, d].
+  Tensor reconstruct(const Tensor& inputs);
+
+  /// Latent codes of a batch [n, d] -> [n, latent].
+  Tensor encode(const Tensor& inputs);
+
+  /// Per-row reconstruction MSE for a batch.
+  std::vector<double> reconstruction_errors(const Tensor& inputs);
+
+  /// Reconstruction MSE of a single flat input.
+  double reconstruction_error(const Tensor& input);
+
+  /// Gradient of the reconstruction error w.r.t. a single flat input.
+  /// Used by the naturalness-guided fuzzer when naturalness is AE-based.
+  Tensor error_input_gradient(const Tensor& input);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t latent_dim() const { return latent_dim_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t latent_dim_;
+  std::size_t encoder_layers_;  // layer count of the encoder prefix
+  AutoencoderConfig config_;
+  Sequential network_;  // encoder followed by decoder
+};
+
+}  // namespace opad

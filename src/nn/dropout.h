@@ -1,0 +1,34 @@
+// Inverted dropout. Active only when forward() is called with
+// training = true; at inference it is the identity (no rescaling needed
+// because the kept activations are scaled up during training).
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace opad {
+
+class Dropout : public Layer {
+ public:
+  /// `rate` in [0, 1): probability of zeroing an activation. The layer
+  /// owns an Rng stream (split from `rng`) so training remains
+  /// deterministic given the construction-time seed.
+  Dropout(float rate, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t output_dim(std::size_t input_dim) const override {
+    return input_dim;
+  }
+  std::string name() const override;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor mask_;            // scale factors applied in the last forward
+  bool last_training_ = false;
+};
+
+}  // namespace opad

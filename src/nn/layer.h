@@ -1,0 +1,59 @@
+// Layer abstraction for the from-scratch neural-network substrate.
+//
+// Every layer maps a rank-2 batch [N, D_in] to [N, D_out] and implements
+// reverse-mode differentiation via backward(). Layers with spatial
+// semantics (Conv2D, MaxPool2D) carry their own (channels, height, width)
+// configuration and treat each row as a flattened NCHW image; keeping the
+// inter-layer contract at rank 2 keeps the attack algorithms (which view
+// inputs as flat feature vectors) and the Sequential container simple.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace opad {
+
+/// Abstract differentiable layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes outputs for a batch; caches whatever backward() needs.
+  /// `training` lets stochastic layers (none currently) switch behaviour.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates the loss gradient w.r.t. this layer's output back to its
+  /// input, accumulating parameter gradients along the way. Must be called
+  /// after forward() with a matching batch size.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameter tensors (possibly empty). Pointers remain valid
+  /// for the lifetime of the layer.
+  virtual std::vector<Tensor*> parameters() { return {}; }
+
+  /// Gradient tensors aligned 1:1 with parameters().
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Sets all parameter gradients to zero.
+  void zero_gradients() {
+    for (Tensor* g : gradients()) g->fill(0.0f);
+  }
+
+  /// Output feature count for a given input feature count; used by
+  /// Sequential to validate layer chaining at construction time.
+  virtual std::size_t output_dim(std::size_t input_dim) const = 0;
+
+  /// Short layer description, e.g. "Dense(64->10)".
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace opad

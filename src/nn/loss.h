@@ -1,0 +1,45 @@
+// Loss functions. Losses return the mean loss over the batch and expose
+// the gradient with respect to the network output, optionally with
+// per-sample importance weights (used by the OP-weighted retrainer, RQ4).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace opad {
+
+/// Softmax + cross-entropy fused loss over integer class labels.
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean cross-entropy of `logits` [n, k] against `labels` [n].
+  /// If `weights` is non-empty it must have length n; the loss becomes the
+  /// weighted mean with weights normalised to sum to n (so the gradient
+  /// scale matches the unweighted case).
+  double loss(const Tensor& logits, std::span<const int> labels,
+              std::span<const double> weights = {}) const;
+
+  /// Gradient of the (weighted) mean loss w.r.t. logits; same shape.
+  Tensor gradient(const Tensor& logits, std::span<const int> labels,
+                  std::span<const double> weights = {}) const;
+
+  /// Per-sample cross-entropy values (no averaging).
+  std::vector<double> per_sample_loss(const Tensor& logits,
+                                      std::span<const int> labels) const;
+};
+
+/// Mean squared error; used by the autoencoder naturalness metric.
+class MeanSquaredError {
+ public:
+  /// Mean over all elements of (pred - target)^2.
+  double loss(const Tensor& prediction, const Tensor& target) const;
+
+  /// Gradient of the mean loss w.r.t. prediction.
+  Tensor gradient(const Tensor& prediction, const Tensor& target) const;
+
+  /// Per-row mean squared error of a rank-2 batch.
+  std::vector<double> per_row_loss(const Tensor& prediction,
+                                   const Tensor& target) const;
+};
+
+}  // namespace opad

@@ -1,0 +1,82 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opad {
+
+double accuracy(std::span<const int> predictions,
+                std::span<const int> labels) {
+  OPAD_EXPECTS(predictions.size() == labels.size());
+  OPAD_EXPECTS(!predictions.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> predictions, std::span<const int> labels,
+    std::size_t num_classes) {
+  OPAD_EXPECTS(predictions.size() == labels.size());
+  std::vector<std::vector<std::size_t>> m(num_classes,
+                                          std::vector<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    OPAD_EXPECTS(labels[i] >= 0 &&
+                 static_cast<std::size_t>(labels[i]) < num_classes);
+    OPAD_EXPECTS(predictions[i] >= 0 &&
+                 static_cast<std::size_t>(predictions[i]) < num_classes);
+    m[static_cast<std::size_t>(labels[i])]
+     [static_cast<std::size_t>(predictions[i])]++;
+  }
+  return m;
+}
+
+double probability_margin(std::span<const float> probs) {
+  OPAD_EXPECTS(probs.size() >= 2);
+  float top1 = -1.0f, top2 = -1.0f;
+  for (float p : probs) {
+    if (p > top1) {
+      top2 = top1;
+      top1 = p;
+    } else if (p > top2) {
+      top2 = p;
+    }
+  }
+  return static_cast<double>(top1 - top2);
+}
+
+double predictive_entropy(std::span<const float> probs) {
+  OPAD_EXPECTS(!probs.empty());
+  double h = 0.0;
+  for (float p : probs) {
+    if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+  }
+  return h;
+}
+
+std::vector<double> batch_margins(Classifier& model, const Tensor& inputs) {
+  const Tensor probs = model.probabilities(inputs);
+  std::vector<double> out(probs.dim(0));
+  for (std::size_t i = 0; i < probs.dim(0); ++i) {
+    out[i] = probability_margin(probs.row_span(i));
+  }
+  return out;
+}
+
+std::vector<double> batch_entropies(Classifier& model, const Tensor& inputs) {
+  const Tensor probs = model.probabilities(inputs);
+  std::vector<double> out(probs.dim(0));
+  for (std::size_t i = 0; i < probs.dim(0); ++i) {
+    out[i] = predictive_entropy(probs.row_span(i));
+  }
+  return out;
+}
+
+double evaluate_accuracy(Classifier& model, const Tensor& inputs,
+                         std::span<const int> labels) {
+  return accuracy(model.predict(inputs), labels);
+}
+
+}  // namespace opad

@@ -1,0 +1,36 @@
+// Classification metrics and the per-input auxiliary scores (margin,
+// entropy) that the RQ2 seed sampler uses as failure-proneness signals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace opad {
+
+/// Fraction of predictions equal to labels.
+double accuracy(std::span<const int> predictions, std::span<const int> labels);
+
+/// Confusion matrix [k x k]; entry (true, predicted).
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> predictions, std::span<const int> labels,
+    std::size_t num_classes);
+
+/// Classification margin of a probability row: p(top1) - p(top2).
+/// Small margin = near the decision boundary = failure-prone.
+double probability_margin(std::span<const float> probs);
+
+/// Shannon entropy (nats) of a probability row. High entropy = uncertain.
+double predictive_entropy(std::span<const float> probs);
+
+/// Batched helpers evaluating a classifier on inputs [n, d]:
+/// margins[i] = margin of sample i, entropies[i] = entropy of sample i.
+std::vector<double> batch_margins(Classifier& model, const Tensor& inputs);
+std::vector<double> batch_entropies(Classifier& model, const Tensor& inputs);
+
+/// Accuracy of `model` on a labelled batch.
+double evaluate_accuracy(Classifier& model, const Tensor& inputs,
+                         std::span<const int> labels);
+
+}  // namespace opad

@@ -1,0 +1,155 @@
+#include "nn/model.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace opad {
+
+Sequential::Sequential(std::size_t input_dim)
+    : input_dim_(input_dim), output_dim_(input_dim) {
+  OPAD_EXPECTS(input_dim > 0);
+}
+
+void Sequential::add(LayerPtr layer) {
+  OPAD_EXPECTS(layer != nullptr);
+  output_dim_ = layer->output_dim(output_dim_);  // validates chaining
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  OPAD_EXPECTS_MSG(input.rank() == 2 && input.dim(1) == input_dim_,
+                   "model expects [n, " << input_dim_ << "], got "
+                                        << shape_to_string(input.shape()));
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::forward_prefix(const Tensor& input,
+                                  std::size_t layer_count) {
+  OPAD_EXPECTS(layer_count <= layers_.size());
+  OPAD_EXPECTS(input.rank() == 2 && input.dim(1) == input_dim_);
+  Tensor x = input;
+  for (std::size_t i = 0; i < layer_count; ++i) {
+    x = layers_[i]->forward(x, /*training=*/false);
+  }
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  OPAD_EXPECTS(grad_output.rank() == 2 && grad_output.dim(1) == output_dim_);
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Tensor*> Sequential::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+void Sequential::zero_gradients() {
+  for (auto& layer : layers_) layer->zero_gradients();
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t n = 0;
+  for (Tensor* p : parameters()) n += p->size();
+  return n;
+}
+
+std::vector<std::string> Sequential::layer_names() const {
+  std::vector<std::string> names;
+  names.reserve(layers_.size());
+  for (const auto& layer : layers_) names.push_back(layer->name());
+  return names;
+}
+
+Classifier::Classifier(Sequential network, std::size_t num_classes)
+    : network_(std::move(network)), num_classes_(num_classes) {
+  OPAD_EXPECTS(num_classes >= 2);
+  OPAD_EXPECTS_MSG(network_.output_dim() == num_classes,
+                   "network output dim " << network_.output_dim()
+                                         << " != num_classes "
+                                         << num_classes);
+}
+
+Tensor Classifier::logits(const Tensor& inputs) {
+  queries_ += inputs.dim(0);
+  return network_.forward(inputs, /*training=*/false);
+}
+
+Tensor Classifier::probabilities(const Tensor& inputs) {
+  return softmax_rows(logits(inputs));
+}
+
+Tensor Classifier::probabilities_single(const Tensor& input) {
+  OPAD_EXPECTS(input.rank() == 1);
+  Tensor batch = input.reshaped({1, input.dim(0)});
+  Tensor probs = probabilities(batch);
+  return probs.reshaped({num_classes_});
+}
+
+std::vector<int> Classifier::predict(const Tensor& inputs) {
+  Tensor out = logits(inputs);
+  std::vector<int> labels(out.dim(0));
+  for (std::size_t i = 0; i < out.dim(0); ++i) {
+    auto row = out.row_span(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    labels[i] = static_cast<int>(best);
+  }
+  return labels;
+}
+
+int Classifier::predict_single(const Tensor& input) {
+  OPAD_EXPECTS(input.rank() == 1);
+  Tensor batch = input.reshaped({1, input.dim(0)});
+  return predict(batch)[0];
+}
+
+double Classifier::loss(const Tensor& inputs, std::span<const int> labels,
+                        std::span<const double> weights) {
+  return loss_fn_.loss(logits(inputs), labels, weights);
+}
+
+double Classifier::accumulate_gradients(const Tensor& inputs,
+                                        std::span<const int> labels,
+                                        std::span<const double> weights) {
+  queries_ += inputs.dim(0);
+  const Tensor out = network_.forward(inputs, /*training=*/true);
+  const double loss_value = loss_fn_.loss(out, labels, weights);
+  const Tensor grad = loss_fn_.gradient(out, labels, weights);
+  network_.backward(grad);
+  return loss_value;
+}
+
+Tensor Classifier::input_gradient(const Tensor& input, int y) {
+  OPAD_EXPECTS(input.rank() == 1 && input.dim(0) == input_dim());
+  queries_ += 1;
+  const Tensor batch = input.reshaped({1, input.dim(0)});
+  const Tensor out = network_.forward(batch, /*training=*/true);
+  const int labels[1] = {y};
+  const Tensor grad_out = loss_fn_.gradient(out, std::span(labels, 1));
+  // Parameter gradients accumulated here are scratch: zero them so an
+  // interleaved training step never sees attack gradients.
+  Tensor grad_in = network_.backward(grad_out);
+  network_.zero_gradients();
+  return grad_in.reshaped({input.dim(0)});
+}
+
+}  // namespace opad

@@ -1,0 +1,126 @@
+// Sequential model container and the Classifier facade the rest of the
+// library programs against. The Classifier exposes exactly what the
+// operational-testing pipeline needs: class probabilities, predictions,
+// training gradients, and — crucially for the attack substrate — the
+// gradient of the loss with respect to the *input*.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+
+namespace opad {
+
+/// An ordered stack of layers with reverse-mode differentiation.
+class Sequential {
+ public:
+  /// Creates an empty model for `input_dim` features.
+  explicit Sequential(std::size_t input_dim);
+
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; validates feature-count chaining.
+  void add(LayerPtr layer);
+
+  /// Convenience: emplace a layer type directly.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return output_dim_; }
+  std::size_t layer_count() const { return layers_.size(); }
+
+  /// Forward pass over a [n, input_dim] batch.
+  Tensor forward(const Tensor& input, bool training = false);
+
+  /// Forward pass through only the first `layer_count` layers (inference
+  /// mode). Used to read out intermediate representations, e.g. the
+  /// encoder half of an autoencoder.
+  Tensor forward_prefix(const Tensor& input, std::size_t layer_count);
+
+  /// Backward pass; returns gradient w.r.t. the input batch.
+  Tensor backward(const Tensor& grad_output);
+
+  /// All trainable parameters / their gradients, flattened across layers.
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+  void zero_gradients();
+  std::size_t parameter_count();
+
+  /// Layer descriptions, e.g. for logging the architecture.
+  std::vector<std::string> layer_names() const;
+
+ private:
+  std::size_t input_dim_;
+  std::size_t output_dim_;
+  std::vector<LayerPtr> layers_;
+};
+
+/// A classification model: Sequential network + softmax cross-entropy.
+///
+/// This is the model type the operational testing pipeline (and every
+/// attack) operates on. All query-counting in the experiments is done at
+/// this interface.
+class Classifier {
+ public:
+  Classifier(Sequential network, std::size_t num_classes);
+
+  std::size_t input_dim() const { return network_.input_dim(); }
+  std::size_t num_classes() const { return num_classes_; }
+  Sequential& network() { return network_; }
+
+  /// Raw logits for a batch [n, d] -> [n, k].
+  Tensor logits(const Tensor& inputs);
+
+  /// Softmax probabilities for a batch.
+  Tensor probabilities(const Tensor& inputs);
+
+  /// Probabilities for a single flat input [d] -> [k].
+  Tensor probabilities_single(const Tensor& input);
+
+  /// Predicted labels for a batch.
+  std::vector<int> predict(const Tensor& inputs);
+
+  /// Predicted label for a single flat input [d].
+  int predict_single(const Tensor& input);
+
+  /// Mean loss of a labelled batch (optionally importance-weighted).
+  double loss(const Tensor& inputs, std::span<const int> labels,
+              std::span<const double> weights = {});
+
+  /// Runs forward+backward and accumulates parameter gradients for a
+  /// labelled batch; returns the mean loss. Callers own zeroing grads.
+  double accumulate_gradients(const Tensor& inputs,
+                              std::span<const int> labels,
+                              std::span<const double> weights = {});
+
+  /// Gradient of the cross-entropy loss w.r.t. a single input [d],
+  /// evaluated at label `y`. Parameter gradients are left zeroed (they are
+  /// scratch during this computation). This is the attack substrate's
+  /// entry point.
+  Tensor input_gradient(const Tensor& input, int y);
+
+  /// Number of forward passes served so far (query counter used by the
+  /// testing-budget accounting in the experiments; one batch row = one
+  /// query).
+  std::uint64_t query_count() const { return queries_; }
+  void reset_query_count() { queries_ = 0; }
+
+ private:
+  Sequential network_;
+  std::size_t num_classes_;
+  SoftmaxCrossEntropy loss_fn_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace opad

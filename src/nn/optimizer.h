@@ -1,0 +1,62 @@
+// First-order optimizers. An optimizer binds to a fixed parameter/gradient
+// list (from a Sequential) and applies in-place updates.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace opad {
+
+/// Abstract optimizer over a fixed set of (parameter, gradient) pairs.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void step() = 0;
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+ protected:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  double lr_ = 0.01;
+};
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, double lr,
+      double momentum = 0.0, double weight_decay = 0.0);
+
+  void step() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads, double lr,
+       double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
+       double weight_decay = 0.0);
+
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace opad

@@ -1,0 +1,246 @@
+#include "op/cells.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace opad {
+
+PcaResult fit_pca(const Tensor& data, std::size_t k, Rng& rng,
+                  std::size_t iterations) {
+  OPAD_EXPECTS(data.rank() == 2 && data.dim(0) >= 2);
+  const std::size_t n = data.dim(0), d = data.dim(1);
+  OPAD_EXPECTS(k >= 1 && k <= d);
+
+  PcaResult result;
+  result.mean.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row_span(i);
+    for (std::size_t j = 0; j < d; ++j) result.mean[j] += row[j];
+  }
+  for (double& m : result.mean) m /= static_cast<double>(n);
+
+  // Centred data copy (double precision accumulate happens per product).
+  Tensor centred({n, d});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row_span(i);
+    auto dst = centred.row_span(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      dst[j] = static_cast<float>(row[j] - result.mean[j]);
+    }
+  }
+
+  result.components = Tensor({k, d});
+  result.variances.assign(k, 0.0);
+  std::vector<std::vector<double>> found;
+
+  for (std::size_t comp = 0; comp < k; ++comp) {
+    // Power iteration on C = X^T X / n without forming C.
+    std::vector<double> v(d);
+    for (double& x : v) x = rng.normal();
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+      // w = X^T (X v) / n
+      std::vector<double> xv(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto row = centred.row_span(i);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < d; ++j) acc += row[j] * v[j];
+        xv[i] = acc;
+      }
+      std::vector<double> w(d, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto row = centred.row_span(i);
+        for (std::size_t j = 0; j < d; ++j) w[j] += row[j] * xv[i];
+      }
+      for (double& x : w) x /= static_cast<double>(n);
+      // Deflate against previous components.
+      for (const auto& u : found) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < d; ++j) dot += w[j] * u[j];
+        for (std::size_t j = 0; j < d; ++j) w[j] -= dot * u[j];
+      }
+      double norm = 0.0;
+      for (double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) {
+        // Degenerate direction (data has lower rank); keep a random
+        // orthogonal unit vector.
+        break;
+      }
+      for (std::size_t j = 0; j < d; ++j) v[j] = w[j] / norm;
+    }
+    // Rayleigh quotient = explained variance.
+    double quad = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = centred.row_span(i);
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) acc += row[j] * v[j];
+      quad += acc * acc;
+    }
+    result.variances[comp] = quad / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) {
+      result.components(comp, j) = static_cast<float>(v[j]);
+    }
+    found.push_back(std::move(v));
+  }
+  return result;
+}
+
+std::vector<double> pca_project(const PcaResult& pca, const Tensor& x) {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == pca.mean.size());
+  const std::size_t k = pca.components.dim(0), d = pca.mean.size();
+  std::vector<double> out(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      acc += (static_cast<double>(x.at(j)) - pca.mean[j]) *
+             pca.components(c, j);
+    }
+    out[c] = acc;
+  }
+  return out;
+}
+
+void CellPartition::init_box(std::vector<double> lo, std::vector<double> hi,
+                             std::size_t bins_per_dim) {
+  OPAD_EXPECTS(!lo.empty() && lo.size() == hi.size());
+  OPAD_EXPECTS(bins_per_dim >= 1);
+  for (std::size_t j = 0; j < lo.size(); ++j) {
+    OPAD_EXPECTS_MSG(lo[j] < hi[j], "cell box must have positive extent");
+  }
+  lo_ = std::move(lo);
+  hi_ = std::move(hi);
+  bins_ = bins_per_dim;
+  cell_count_ = 1;
+  for (std::size_t j = 0; j < lo_.size(); ++j) {
+    OPAD_EXPECTS_MSG(cell_count_ <= (std::size_t{1} << 40) / bins_,
+                     "cell count overflow; reduce bins or grid dims");
+    cell_count_ *= bins_;
+  }
+}
+
+CellPartition::CellPartition(std::vector<double> lo, std::vector<double> hi,
+                             std::size_t bins_per_dim) {
+  init_box(std::move(lo), std::move(hi), bins_per_dim);
+  input_dim_ = lo_.size();
+}
+
+CellPartition::CellPartition(PcaResult projection, std::vector<double> lo,
+                             std::vector<double> hi,
+                             std::size_t bins_per_dim)
+    : projection_(std::move(projection)) {
+  init_box(std::move(lo), std::move(hi), bins_per_dim);
+  OPAD_EXPECTS(projection_->components.dim(0) == lo_.size());
+  input_dim_ = projection_->mean.size();
+}
+
+CellPartition CellPartition::fit(const Tensor& data, std::size_t bins_per_dim,
+                                 std::size_t grid_dims, Rng& rng) {
+  OPAD_EXPECTS(data.rank() == 2 && data.dim(0) >= 2);
+  const std::size_t d = data.dim(1);
+  OPAD_EXPECTS(grid_dims >= 1);
+
+  if (d <= grid_dims) {
+    std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < data.dim(0); ++i) {
+      const auto row = data.row_span(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        lo[j] = std::min(lo[j], static_cast<double>(row[j]));
+        hi[j] = std::max(hi[j], static_cast<double>(row[j]));
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      const double margin = 0.05 * std::max(hi[j] - lo[j], 1e-6);
+      lo[j] -= margin;
+      hi[j] += margin;
+    }
+    return CellPartition(std::move(lo), std::move(hi), bins_per_dim);
+  }
+
+  PcaResult pca = fit_pca(data, grid_dims, rng);
+  std::vector<double> lo(grid_dims, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(grid_dims, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < data.dim(0); ++i) {
+    const auto proj = pca_project(pca, data.row(i));
+    for (std::size_t j = 0; j < grid_dims; ++j) {
+      lo[j] = std::min(lo[j], proj[j]);
+      hi[j] = std::max(hi[j], proj[j]);
+    }
+  }
+  for (std::size_t j = 0; j < grid_dims; ++j) {
+    const double margin = 0.05 * std::max(hi[j] - lo[j], 1e-6);
+    lo[j] -= margin;
+    hi[j] += margin;
+  }
+  return CellPartition(std::move(pca), std::move(lo), std::move(hi),
+                       bins_per_dim);
+}
+
+std::vector<double> CellPartition::to_grid(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == input_dim_);
+  if (projection_) return pca_project(*projection_, x);
+  std::vector<double> out(x.dim(0));
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] = x.at(j);
+  return out;
+}
+
+std::size_t CellPartition::cell_index(const Tensor& x) const {
+  const auto g = to_grid(x);
+  std::size_t index = 0;
+  for (std::size_t j = 0; j < g.size(); ++j) {
+    const double t = (g[j] - lo_[j]) / (hi_[j] - lo_[j]);
+    auto bin = static_cast<std::ptrdiff_t>(
+        std::floor(t * static_cast<double>(bins_)));
+    bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                     static_cast<std::ptrdiff_t>(bins_) - 1);
+    index = index * bins_ + static_cast<std::size_t>(bin);
+  }
+  return index;
+}
+
+std::vector<double> CellPartition::cell_center(std::size_t index) const {
+  OPAD_EXPECTS(index < cell_count_);
+  const std::size_t dims = lo_.size();
+  std::vector<double> center(dims);
+  for (std::size_t j = dims; j > 0; --j) {
+    const std::size_t bin = index % bins_;
+    index /= bins_;
+    const double width = (hi_[j - 1] - lo_[j - 1]) / static_cast<double>(bins_);
+    center[j - 1] = lo_[j - 1] + (static_cast<double>(bin) + 0.5) * width;
+  }
+  return center;
+}
+
+double CellPartition::cell_volume() const {
+  double v = 1.0;
+  for (std::size_t j = 0; j < lo_.size(); ++j) {
+    v *= (hi_[j] - lo_[j]) / static_cast<double>(bins_);
+  }
+  return v;
+}
+
+Tensor CellPartition::sample_in_cell(std::size_t index, Rng& rng) const {
+  OPAD_EXPECTS_MSG(!projection_,
+                   "sample_in_cell requires an identity (non-projected) "
+                   "partition");
+  OPAD_EXPECTS(index < cell_count_);
+  const std::size_t dims = lo_.size();
+  std::vector<std::size_t> bins(dims);
+  std::size_t rem = index;
+  for (std::size_t j = dims; j > 0; --j) {
+    bins[j - 1] = rem % bins_;
+    rem /= bins_;
+  }
+  Tensor x({dims});
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double width = (hi_[j] - lo_[j]) / static_cast<double>(bins_);
+    const double low = lo_[j] + static_cast<double>(bins[j]) * width;
+    x.at(j) = static_cast<float>(rng.uniform(low, low + width));
+  }
+  return x;
+}
+
+}  // namespace opad

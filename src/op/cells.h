@@ -1,0 +1,86 @@
+// Cell partition of the input domain (RQ5 substrate).
+//
+// The authors' ReAsDL-style assessment model partitions the input space
+// into small cells, assumes behaviour within a cell is homogeneous, and
+// aggregates per-cell unastuteness with OP weights. In low dimension the
+// partition is a direct grid; in high dimension (e.g. 64-pixel digits) the
+// grid lives in a linear projection of the input space (PCA by default),
+// which is the standard practical fallback the paper alludes to with
+// "coarse-grain level for a cell of inputs".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// Principal component analysis helper: top-k directions of the rows of
+/// `data`, computed by power iteration with deflation.
+struct PcaResult {
+  std::vector<double> mean;      // [d]
+  Tensor components;             // [k, d], orthonormal rows
+  std::vector<double> variances; // eigenvalues, descending
+};
+PcaResult fit_pca(const Tensor& data, std::size_t k, Rng& rng,
+                  std::size_t iterations = 60);
+
+/// Applies a PCA projection to a single input: (x - mean) @ components^T.
+std::vector<double> pca_project(const PcaResult& pca, const Tensor& x);
+
+/// A uniform grid over a (possibly projected) box.
+class CellPartition {
+ public:
+  /// Grid directly over input space: box [lo, hi] per dimension with
+  /// `bins_per_dim` bins per dimension. Points outside the box are clamped
+  /// into the boundary bins, so every input maps to some cell.
+  CellPartition(std::vector<double> lo, std::vector<double> hi,
+                std::size_t bins_per_dim);
+
+  /// Grid over a PCA projection of the input space.
+  CellPartition(PcaResult projection, std::vector<double> lo,
+                std::vector<double> hi, std::size_t bins_per_dim);
+
+  /// Builds a partition covering the rows of `data` (with 5% margin),
+  /// projecting to `grid_dims` PCA dimensions when the input dimension
+  /// exceeds `grid_dims`.
+  static CellPartition fit(const Tensor& data, std::size_t bins_per_dim,
+                           std::size_t grid_dims, Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t grid_dims() const { return lo_.size(); }
+  std::size_t bins_per_dim() const { return bins_; }
+  std::size_t cell_count() const { return cell_count_; }
+  bool is_projected() const { return projection_.has_value(); }
+
+  /// Grid coordinates of x (after projection, if any).
+  std::vector<double> to_grid(const Tensor& x) const;
+
+  /// Flat cell index of x in [0, cell_count).
+  std::size_t cell_index(const Tensor& x) const;
+
+  /// Centre of a cell in grid coordinates.
+  std::vector<double> cell_center(std::size_t index) const;
+
+  /// Volume of one cell in grid coordinates.
+  double cell_volume() const;
+
+  /// Uniform sample within cell `index` — identity partitions only (a
+  /// projected grid is not invertible); throws otherwise.
+  Tensor sample_in_cell(std::size_t index, Rng& rng) const;
+
+ private:
+  void init_box(std::vector<double> lo, std::vector<double> hi,
+                std::size_t bins_per_dim);
+
+  std::size_t input_dim_ = 0;
+  std::optional<PcaResult> projection_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::size_t bins_ = 0;
+  std::size_t cell_count_ = 0;
+};
+
+}  // namespace opad

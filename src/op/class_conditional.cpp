@@ -1,0 +1,166 @@
+#include "op/class_conditional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/special_math.h"
+
+namespace opad {
+
+ClassConditionalProfile::ClassConditionalProfile(
+    std::vector<GaussianMixtureModel> models, std::vector<double> priors)
+    : models_(std::move(models)), priors_(std::move(priors)) {
+  OPAD_EXPECTS(models_.size() == priors_.size());
+  OPAD_EXPECTS(models_.size() >= 2);
+}
+
+ClassConditionalProfile ClassConditionalProfile::fit(
+    const Dataset& data, const ClassConditionalConfig& config, Rng& rng) {
+  OPAD_EXPECTS(!data.empty());
+  OPAD_EXPECTS(config.prior_concentration > 0.0);
+  const std::size_t k = data.num_classes();
+  const std::size_t d = data.dim();
+
+  // Split rows by class.
+  std::vector<std::vector<std::size_t>> by_class(k);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.label(i))].push_back(i);
+  }
+
+  // Global moments, used for empty/sparse-class fallbacks.
+  std::vector<double> global_mean(d, 0.0), global_var(d, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) global_mean[j] += row[j];
+  }
+  for (double& m : global_mean) m /= static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(row[j]) - global_mean[j];
+      global_var[j] += diff * diff;
+    }
+  }
+  for (double& v : global_var) {
+    v = std::max(v / static_cast<double>(data.size()), 1e-4);
+  }
+
+  std::vector<GaussianMixtureModel> models;
+  std::vector<double> priors(k);
+  double prior_total = 0.0;
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    priors[cls] = config.prior_concentration +
+                  static_cast<double>(by_class[cls].size());
+    prior_total += priors[cls];
+
+    const auto& members = by_class[cls];
+    if (members.size() >= std::max(config.min_samples_per_class,
+                                   config.gmm.components)) {
+      Tensor rows({members.size(), d});
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        rows.set_row(i, data.row(members[i]));
+      }
+      models.push_back(GaussianMixtureModel::fit(rows, config.gmm, rng));
+    } else if (!members.empty()) {
+      // Sparse class: single Gaussian at the class mean, global spread.
+      GaussianMixtureModel::Component c;
+      c.weight = 1.0;
+      c.mean.assign(d, 0.0);
+      for (std::size_t i : members) {
+        const auto row = data.row(i);
+        for (std::size_t j = 0; j < d; ++j) c.mean[j] += row[j];
+      }
+      for (double& m : c.mean) m /= static_cast<double>(members.size());
+      c.variance = global_var;
+      models.push_back(GaussianMixtureModel({c}));
+    } else {
+      // Empty class: fall back to the global blob (prior smoothing keeps
+      // its weight tiny but positive).
+      GaussianMixtureModel::Component c;
+      c.weight = 1.0;
+      c.mean = global_mean;
+      c.variance = global_var;
+      models.push_back(GaussianMixtureModel({c}));
+    }
+  }
+  for (double& p : priors) p /= prior_total;
+  return ClassConditionalProfile(std::move(models), std::move(priors));
+}
+
+std::size_t ClassConditionalProfile::dim() const {
+  return models_.front().dim();
+}
+
+double ClassConditionalProfile::log_density(const Tensor& x) const {
+  double acc = -std::numeric_limits<double>::infinity();
+  for (std::size_t cls = 0; cls < models_.size(); ++cls) {
+    acc = log_add_exp(acc,
+                      std::log(priors_[cls]) + models_[cls].log_density(x));
+  }
+  return acc;
+}
+
+Tensor ClassConditionalProfile::sample(Rng& rng) const {
+  return models_[rng.categorical(priors_)].sample(rng);
+}
+
+Tensor ClassConditionalProfile::log_density_gradient(const Tensor& x) const {
+  // grad log p = sum_k w_k(x) grad log p_k, w_k = posterior.
+  const auto posterior = class_posterior(x);
+  Tensor grad({dim()});
+  for (std::size_t cls = 0; cls < models_.size(); ++cls) {
+    if (posterior[cls] < 1e-14) continue;
+    Tensor g = models_[cls].log_density_gradient(x);
+    g *= static_cast<float>(posterior[cls]);
+    grad += g;
+  }
+  return grad;
+}
+
+LabeledSample ClassConditionalProfile::sample_labelled(Rng& rng) const {
+  const std::size_t cls = rng.categorical(priors_);
+  return {models_[cls].sample(rng), static_cast<int>(cls)};
+}
+
+Dataset ClassConditionalProfile::make_labelled_dataset(std::size_t n,
+                                                       Rng& rng) const {
+  OPAD_EXPECTS(n > 0);
+  Tensor inputs({n, dim()});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LabeledSample s = sample_labelled(rng);
+    inputs.set_row(i, s.x.data());
+    labels[i] = s.y;
+  }
+  return Dataset(std::move(inputs), std::move(labels), num_classes());
+}
+
+int ClassConditionalProfile::true_label(const Tensor& x) const {
+  const auto posterior = class_posterior(x);
+  return static_cast<int>(
+      std::max_element(posterior.begin(), posterior.end()) -
+      posterior.begin());
+}
+
+std::vector<double> ClassConditionalProfile::class_posterior(
+    const Tensor& x) const {
+  std::vector<double> log_terms(models_.size());
+  for (std::size_t cls = 0; cls < models_.size(); ++cls) {
+    log_terms[cls] = std::log(priors_[cls]) + models_[cls].log_density(x);
+  }
+  const double log_z = log_sum_exp(log_terms);
+  std::vector<double> posterior(models_.size());
+  for (std::size_t cls = 0; cls < models_.size(); ++cls) {
+    posterior[cls] = std::exp(log_terms[cls] - log_z);
+  }
+  return posterior;
+}
+
+const GaussianMixtureModel& ClassConditionalProfile::class_model(
+    std::size_t cls) const {
+  OPAD_EXPECTS(cls < models_.size());
+  return models_[cls];
+}
+
+}  // namespace opad

@@ -1,0 +1,67 @@
+// Class-conditional operational profile: per-class GMM densities plus a
+// Dirichlet-smoothed class prior.
+//
+// This is the generative counterpart of the RQ1 synthesiser's
+// augmentation approach: once fitted on a labelled operational sample it
+// can (i) evaluate the marginal OP density, (ii) *sample labelled
+// operational data* (x drawn from the class-k mixture, labelled k) —
+// giving a principled way to grow the operational dataset beyond simple
+// input-space augmentation — and (iii) act as a Bayes label oracle under
+// the learned model (useful as a pseudo-labeller for unlabelled
+// operational inputs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/generators.h"
+#include "op/gmm.h"
+#include "op/profile.h"
+
+namespace opad {
+
+struct ClassConditionalConfig {
+  GmmConfig gmm;                 // per-class mixture settings
+  double prior_concentration = 1.0;  // Dirichlet smoothing of class priors
+  /// Classes with fewer samples than this get a single spherical
+  /// component (EM needs >= components samples).
+  std::size_t min_samples_per_class = 8;
+};
+
+class ClassConditionalProfile : public OperationalProfile,
+                                public LabelOracle {
+ public:
+  /// Fits per-class GMMs and the class prior on a labelled sample.
+  static ClassConditionalProfile fit(const Dataset& data,
+                                     const ClassConditionalConfig& config,
+                                     Rng& rng);
+
+  // --- OperationalProfile ---
+  std::size_t dim() const override;
+  double log_density(const Tensor& x) const override;
+  Tensor sample(Rng& rng) const override;  // unlabelled draw
+  bool has_gradient() const override { return true; }
+  Tensor log_density_gradient(const Tensor& x) const override;
+
+  // --- labelled generation + Bayes oracle under the learned model ---
+  std::size_t num_classes() const { return priors_.size(); }
+  LabeledSample sample_labelled(Rng& rng) const;
+  Dataset make_labelled_dataset(std::size_t n, Rng& rng) const;
+  std::vector<double> class_priors() const { return priors_; }
+  /// Bayes label under the learned model: argmax_k prior_k p_k(x).
+  int true_label(const Tensor& x) const override;
+
+  /// Posterior p(class | x) under the learned model.
+  std::vector<double> class_posterior(const Tensor& x) const;
+
+  const GaussianMixtureModel& class_model(std::size_t cls) const;
+
+ private:
+  ClassConditionalProfile(std::vector<GaussianMixtureModel> models,
+                          std::vector<double> priors);
+
+  std::vector<GaussianMixtureModel> models_;  // one per class
+  std::vector<double> priors_;
+};
+
+}  // namespace opad

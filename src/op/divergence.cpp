@@ -1,0 +1,62 @@
+#include "op/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/special_math.h"
+
+namespace opad {
+
+double kl_divergence_mc(const OperationalProfile& p,
+                        const OperationalProfile& q, std::size_t n, Rng& rng,
+                        double clip) {
+  OPAD_EXPECTS(n > 0);
+  OPAD_EXPECTS(p.dim() == q.dim());
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor x = p.sample(rng);
+    const double ratio = p.log_density(x) - q.log_density(x);
+    total += std::clamp(ratio, -clip, clip);
+  }
+  return total / static_cast<double>(n);
+}
+
+double js_divergence_mc(const OperationalProfile& p,
+                        const OperationalProfile& q, std::size_t n,
+                        Rng& rng) {
+  OPAD_EXPECTS(n > 0);
+  OPAD_EXPECTS(p.dim() == q.dim());
+  const double log_half = std::log(0.5);
+  double total = 0.0;
+  // JS = 0.5 E_p[log p/m] + 0.5 E_q[log q/m], m = (p+q)/2.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor x = p.sample(rng);
+    const double lp = p.log_density(x);
+    const double lq = q.log_density(x);
+    const double lm = log_half + log_add_exp(lp, lq);
+    total += 0.5 * (lp - lm);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor x = q.sample(rng);
+    const double lp = p.log_density(x);
+    const double lq = q.log_density(x);
+    const double lm = log_half + log_add_exp(lp, lq);
+    total += 0.5 * (lq - lm);
+  }
+  return std::max(total / static_cast<double>(n), 0.0);
+}
+
+double cross_log_likelihood_mc(const OperationalProfile& p,
+                               const OperationalProfile& q, std::size_t n,
+                               Rng& rng) {
+  OPAD_EXPECTS(n > 0);
+  OPAD_EXPECTS(p.dim() == q.dim());
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += q.log_density(p.sample(rng));
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace opad

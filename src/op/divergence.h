@@ -1,0 +1,27 @@
+// Divergences between operational profiles. Monte-Carlo KL/JS against the
+// true OP quantify OP-learning quality (T6) and the train/operation
+// mismatch knob (F3).
+#pragma once
+
+#include "op/profile.h"
+
+namespace opad {
+
+/// Monte-Carlo estimate of KL(p || q) from n samples of p.
+/// Both densities must be evaluable; q must dominate p in practice (the
+/// estimate clips individual log-ratios to +/- `clip` to tame tails).
+double kl_divergence_mc(const OperationalProfile& p,
+                        const OperationalProfile& q, std::size_t n, Rng& rng,
+                        double clip = 50.0);
+
+/// Monte-Carlo Jensen–Shannon divergence (symmetric, bounded by log 2).
+double js_divergence_mc(const OperationalProfile& p,
+                        const OperationalProfile& q, std::size_t n, Rng& rng);
+
+/// Monte-Carlo mean log-likelihood of q under samples of p (a standard
+/// OP-estimator quality score when p's own density is unknown).
+double cross_log_likelihood_mc(const OperationalProfile& p,
+                               const OperationalProfile& q, std::size_t n,
+                               Rng& rng);
+
+}  // namespace opad

@@ -1,0 +1,93 @@
+#include "op/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/error.h"
+
+namespace opad {
+
+DriftMonitor::DriftMonitor(std::shared_ptr<const CellPartition> partition,
+                           const Tensor& reference,
+                           const DriftMonitorConfig& config, Rng& rng)
+    : config_(config), partition_(std::move(partition)) {
+  OPAD_EXPECTS(partition_ != nullptr);
+  OPAD_EXPECTS(config.window >= 10);
+  OPAD_EXPECTS(config.alpha > 0.0);
+  OPAD_EXPECTS(config.false_alarm_rate > 0.0 &&
+               config.false_alarm_rate < 0.5);
+  OPAD_EXPECTS(config.calibration_draws >= 50);
+  OPAD_EXPECTS(reference.rank() == 2 &&
+               reference.dim(1) == partition_->input_dim());
+  OPAD_EXPECTS_MSG(reference.dim(0) >= config.window,
+                   "reference must contain at least one window of data");
+
+  // Reference cell distribution (smoothed).
+  const std::size_t cells = partition_->cell_count();
+  std::vector<std::size_t> ref_cells(reference.dim(0));
+  std::vector<double> counts(cells, config.alpha);
+  for (std::size_t i = 0; i < reference.dim(0); ++i) {
+    ref_cells[i] = partition_->cell_index(reference.row(i));
+    counts[ref_cells[i]] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  reference_probs_ = std::move(counts);
+  for (double& p : reference_probs_) p /= total;
+
+  window_counts_.assign(cells, 0);
+
+  // Calibrate the threshold: KL statistics of bootstrap windows drawn
+  // from the reference itself.
+  std::vector<double> stats(config.calibration_draws);
+  for (std::size_t d = 0; d < config.calibration_draws; ++d) {
+    std::vector<double> wcounts(cells, config.alpha);
+    for (std::size_t i = 0; i < config.window; ++i) {
+      wcounts[ref_cells[rng.uniform_index(ref_cells.size())]] += 1.0;
+    }
+    double wtotal = 0.0;
+    for (double c : wcounts) wtotal += c;
+    double kl = 0.0;
+    for (std::size_t c = 0; c < cells; ++c) {
+      const double p = wcounts[c] / wtotal;
+      kl += p * std::log(p / reference_probs_[c]);
+    }
+    stats[d] = kl;
+  }
+  threshold_ = quantile(std::move(stats), 1.0 - config.false_alarm_rate);
+}
+
+double DriftMonitor::window_kl() const {
+  const std::size_t cells = window_counts_.size();
+  double total = config_.alpha * static_cast<double>(cells) +
+                 static_cast<double>(window_cells_.size());
+  double kl = 0.0;
+  for (std::size_t c = 0; c < cells; ++c) {
+    const double p =
+        (config_.alpha + static_cast<double>(window_counts_[c])) / total;
+    kl += p * std::log(p / reference_probs_[c]);
+  }
+  return kl;
+}
+
+bool DriftMonitor::observe(const Tensor& x) {
+  const std::size_t cell = partition_->cell_index(x);
+  window_cells_.push_back(cell);
+  window_counts_[cell] += 1;
+  if (window_cells_.size() > config_.window) {
+    window_counts_[window_cells_.front()] -= 1;
+    window_cells_.pop_front();
+  }
+  ++observed_;
+  if (window_full()) {
+    current_kl_ = window_kl();
+    alarmed_ = current_kl_ > threshold_;
+  } else {
+    current_kl_ = 0.0;
+    alarmed_ = false;
+  }
+  return alarmed_;
+}
+
+}  // namespace opad

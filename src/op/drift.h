@@ -1,0 +1,74 @@
+// Streaming operational-profile monitoring (RQ1, deployment side).
+//
+// The paper stresses that the OP "is not necessarily ... constant after
+// deployment" (§II.a). This module watches the live operational input
+// stream and raises an alarm when its distribution drifts away from the
+// profile the testing campaign was calibrated against — the signal to
+// re-enter the Figure-1 loop at step 1.
+//
+// Mechanism: inputs are bucketed into the cells of a CellPartition; a
+// sliding window's cell histogram is compared against the reference
+// histogram with a smoothed KL divergence. The alarm threshold is
+// calibrated empirically: the monitor bootstraps windows from the
+// reference sample itself and sets the threshold at a high quantile of
+// the in-distribution KL statistic, giving a controlled false-alarm
+// rate.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "op/cells.h"
+
+namespace opad {
+
+struct DriftMonitorConfig {
+  std::size_t window = 200;         // sliding window length
+  double alpha = 0.5;               // Laplace smoothing per cell
+  double false_alarm_rate = 0.01;   // calibration quantile = 1 - this
+  std::size_t calibration_draws = 400;  // bootstrap windows for threshold
+};
+
+class DriftMonitor {
+ public:
+  /// `reference` [n, d]: operational inputs the current profile/tests
+  /// were built from; must have at least `config.window` rows.
+  DriftMonitor(std::shared_ptr<const CellPartition> partition,
+               const Tensor& reference, const DriftMonitorConfig& config,
+               Rng& rng);
+
+  /// Feeds one live input; returns true while the monitor is in the
+  /// alarmed state (window KL above threshold).
+  bool observe(const Tensor& x);
+
+  /// Current KL(window || reference); 0 until the window has filled.
+  double current_divergence() const { return current_kl_; }
+
+  /// The calibrated alarm threshold.
+  double threshold() const { return threshold_; }
+
+  /// True if the last observe() left the monitor alarmed.
+  bool alarmed() const { return alarmed_; }
+
+  /// Number of inputs seen so far.
+  std::size_t observed() const { return observed_; }
+
+  /// Window fill state (KL is only meaningful once full).
+  bool window_full() const { return window_cells_.size() == config_.window; }
+
+ private:
+  double window_kl() const;
+
+  DriftMonitorConfig config_;
+  std::shared_ptr<const CellPartition> partition_;
+  std::vector<double> reference_probs_;  // smoothed
+  std::deque<std::size_t> window_cells_;
+  std::vector<std::size_t> window_counts_;
+  double threshold_ = 0.0;
+  double current_kl_ = 0.0;
+  bool alarmed_ = false;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace opad

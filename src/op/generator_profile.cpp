@@ -1,0 +1,58 @@
+#include "op/generator_profile.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/special_math.h"
+
+namespace opad {
+
+GaussianGeneratorProfile::GaussianGeneratorProfile(
+    GaussianClustersGenerator generator)
+    : generator_(std::move(generator)) {}
+
+Tensor GaussianGeneratorProfile::log_density_gradient(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  // Mixture gradient via responsibilities, as in GaussianMixtureModel.
+  const auto& clusters = generator_.clusters();
+  std::vector<double> log_terms(clusters.size());
+  double total_weight = 0.0;
+  for (const auto& c : clusters) total_weight += c.weight;
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    const auto& c = clusters[k];
+    double quad = 0.0, log_det = 0.0;
+    for (std::size_t j = 0; j < c.mean.size(); ++j) {
+      const double d = static_cast<double>(x.at(j)) - c.mean[j];
+      quad += d * d / c.variance[j];
+      log_det += std::log(c.variance[j]);
+    }
+    log_terms[k] = std::log(c.weight / total_weight) -
+                   0.5 * (static_cast<double>(dim()) * std::log(2.0 * M_PI) +
+                          log_det + quad);
+  }
+  const double log_z = log_sum_exp(log_terms);
+  Tensor grad({dim()});
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    const double r = std::exp(log_terms[k] - log_z);
+    const auto& c = clusters[k];
+    for (std::size_t j = 0; j < dim(); ++j) {
+      grad.at(j) += static_cast<float>(
+          r * -(static_cast<double>(x.at(j)) - c.mean[j]) / c.variance[j]);
+    }
+  }
+  return grad;
+}
+
+SampleOnlyProfile::SampleOnlyProfile(
+    std::shared_ptr<const DataGenerator> generator)
+    : generator_(std::move(generator)) {
+  OPAD_EXPECTS(generator_ != nullptr);
+}
+
+double SampleOnlyProfile::log_density(const Tensor&) const {
+  throw PreconditionError(
+      "SampleOnlyProfile has no density; fit an estimator (GMM/KDE/"
+      "histogram) on its samples instead");
+}
+
+}  // namespace opad

@@ -1,0 +1,54 @@
+// Adapters between data generators and operational profiles.
+#pragma once
+
+#include <memory>
+
+#include "data/generators.h"
+#include "op/profile.h"
+
+namespace opad {
+
+/// Exposes a GaussianClustersGenerator's exact mixture density as an
+/// OperationalProfile — the *true OP* oracle in experiments where ground
+/// truth must be known (T5, T6, F3).
+class GaussianGeneratorProfile : public OperationalProfile {
+ public:
+  explicit GaussianGeneratorProfile(GaussianClustersGenerator generator);
+
+  std::size_t dim() const override { return generator_.dim(); }
+  double log_density(const Tensor& x) const override {
+    return generator_.log_density(x);
+  }
+  Tensor sample(Rng& rng) const override {
+    return generator_.sample(rng).x;
+  }
+  bool has_gradient() const override { return true; }
+  Tensor log_density_gradient(const Tensor& x) const override;
+
+  const GaussianClustersGenerator& generator() const { return generator_; }
+
+ private:
+  GaussianClustersGenerator generator_;
+};
+
+/// Wraps any DataGenerator as a sample-only profile (no density). Useful
+/// when only draws from the true OP are needed (e.g. Monte-Carlo
+/// reliability ground truth on the digits workload, where no analytic
+/// density exists — mirroring reality, where the OP density must be
+/// *learned* from such draws).
+class SampleOnlyProfile : public OperationalProfile {
+ public:
+  explicit SampleOnlyProfile(std::shared_ptr<const DataGenerator> generator);
+
+  std::size_t dim() const override { return generator_->dim(); }
+  /// Not available: throws PreconditionError.
+  double log_density(const Tensor& x) const override;
+  Tensor sample(Rng& rng) const override {
+    return generator_->sample(rng).x;
+  }
+
+ private:
+  std::shared_ptr<const DataGenerator> generator_;
+};
+
+}  // namespace opad

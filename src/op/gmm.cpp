@@ -1,0 +1,355 @@
+#include "op/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "util/special_math.h"
+
+namespace opad {
+
+GaussianMixtureModel::GaussianMixtureModel(std::vector<Component> components)
+    : components_(std::move(components)) {
+  OPAD_EXPECTS(!components_.empty());
+  const std::size_t d = components_.front().mean.size();
+  OPAD_EXPECTS(d > 0);
+  double total = 0.0;
+  for (const auto& c : components_) {
+    OPAD_EXPECTS(c.mean.size() == d && c.variance.size() == d);
+    OPAD_EXPECTS(c.weight > 0.0);
+    for (double v : c.variance) OPAD_EXPECTS(v > 0.0);
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+std::size_t GaussianMixtureModel::dim() const {
+  return components_.front().mean.size();
+}
+
+double GaussianMixtureModel::component_log_pdf(std::size_t k,
+                                               const Tensor& x) const {
+  const auto& c = components_[k];
+  double quad = 0.0, log_det = 0.0;
+  for (std::size_t j = 0; j < c.mean.size(); ++j) {
+    const double d = static_cast<double>(x.at(j)) - c.mean[j];
+    quad += d * d / c.variance[j];
+    log_det += std::log(c.variance[j]);
+  }
+  return -0.5 * (static_cast<double>(dim()) * std::log(2.0 * M_PI) +
+                 log_det + quad);
+}
+
+double GaussianMixtureModel::log_density(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  double acc = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    acc = log_add_exp(acc,
+                      std::log(components_[k].weight) + component_log_pdf(k, x));
+  }
+  return acc;
+}
+
+Tensor GaussianMixtureModel::sample(Rng& rng) const {
+  std::vector<double> weights;
+  weights.reserve(components_.size());
+  for (const auto& c : components_) weights.push_back(c.weight);
+  const auto& c = components_[rng.categorical(weights)];
+  Tensor x({dim()});
+  for (std::size_t j = 0; j < dim(); ++j) {
+    x.at(j) = static_cast<float>(rng.normal(c.mean[j], std::sqrt(c.variance[j])));
+  }
+  return x;
+}
+
+std::vector<double> GaussianMixtureModel::responsibilities(
+    const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  std::vector<double> log_terms(components_.size());
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    log_terms[k] = std::log(components_[k].weight) + component_log_pdf(k, x);
+  }
+  const double log_z = log_sum_exp(log_terms);
+  std::vector<double> resp(components_.size());
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    resp[k] = std::exp(log_terms[k] - log_z);
+  }
+  return resp;
+}
+
+Tensor GaussianMixtureModel::log_density_gradient(const Tensor& x) const {
+  const auto resp = responsibilities(x);
+  Tensor grad({dim()});
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    const auto& c = components_[k];
+    for (std::size_t j = 0; j < dim(); ++j) {
+      grad.at(j) += static_cast<float>(
+          resp[k] * -(static_cast<double>(x.at(j)) - c.mean[j]) /
+          c.variance[j]);
+    }
+  }
+  return grad;
+}
+
+double GaussianMixtureModel::mean_log_likelihood(const Tensor& data) const {
+  OPAD_EXPECTS(data.rank() == 2 && data.dim(1) == dim() && data.dim(0) > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.dim(0); ++i) {
+    total += log_density(data.row(i));
+  }
+  return total / static_cast<double>(data.dim(0));
+}
+
+namespace {
+
+/// k-means++ initial centres over the rows of `data`.
+std::vector<std::size_t> kmeanspp_centres(const Tensor& data, std::size_t k,
+                                          Rng& rng) {
+  const std::size_t n = data.dim(0);
+  std::vector<std::size_t> centres;
+  centres.push_back(rng.uniform_index(n));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (centres.size() < k) {
+    const auto centre_row = data.row_span(centres.back());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = data.row_span(i);
+      double d = 0.0;
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        const double diff = static_cast<double>(row[j]) - centre_row[j];
+        d += diff * diff;
+      }
+      min_dist[i] = std::min(min_dist[i], d);
+    }
+    double total = 0.0;
+    for (double d : min_dist) total += d;
+    if (total <= 0.0) {
+      // All points coincide with centres; fill the rest uniformly.
+      centres.push_back(rng.uniform_index(n));
+      continue;
+    }
+    centres.push_back(rng.categorical(min_dist));
+  }
+  return centres;
+}
+
+}  // namespace
+
+GaussianMixtureModel GaussianMixtureModel::fit(const Tensor& data,
+                                               const GmmConfig& config,
+                                               Rng& rng) {
+  OPAD_EXPECTS(data.rank() == 2);
+  const std::size_t n = data.dim(0), d = data.dim(1);
+  OPAD_EXPECTS_MSG(n >= config.components,
+                   "need at least as many samples as components");
+  OPAD_EXPECTS(config.components > 0 && config.max_iterations > 0);
+
+  // --- initialise from a few rounds of k-means ---
+  const auto k = config.components;
+  auto centre_idx = kmeanspp_centres(data, k, rng);
+  std::vector<std::vector<double>> centres(k, std::vector<double>(d));
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto row = data.row_span(centre_idx[c]);
+    for (std::size_t j = 0; j < d; ++j) centres[c][j] = row[j];
+  }
+  std::vector<std::size_t> assign(n, 0);
+  for (std::size_t iter = 0; iter < config.kmeans_iterations; ++iter) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = data.row_span(i);
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        double dist = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = static_cast<double>(row[j]) - centres[c][j];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          assign[i] = c;
+        }
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<double> sum(d, 0.0);
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assign[i] != c) continue;
+        const auto row = data.row_span(i);
+        for (std::size_t j = 0; j < d; ++j) sum[j] += row[j];
+        ++count;
+      }
+      if (count > 0) {
+        for (std::size_t j = 0; j < d; ++j) {
+          centres[c][j] = sum[j] / static_cast<double>(count);
+        }
+      }
+    }
+  }
+
+  // Global variance, used as the initial spread and as a fallback.
+  std::vector<double> global_var(d, config.variance_floor);
+  {
+    std::vector<double> mean_v(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = data.row_span(i);
+      for (std::size_t j = 0; j < d; ++j) mean_v[j] += row[j];
+    }
+    for (double& m : mean_v) m /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = data.row_span(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = static_cast<double>(row[j]) - mean_v[j];
+        global_var[j] += diff * diff / static_cast<double>(n);
+      }
+    }
+  }
+
+  std::vector<Component> comps(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    comps[c].weight = 1.0 / static_cast<double>(k);
+    comps[c].mean = centres[c];
+    comps[c].variance = global_var;
+  }
+  GaussianMixtureModel model(comps);
+
+  // --- EM iterations ---
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> resp(n);
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // E step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Tensor row = data.row(i);
+      std::vector<double> log_terms(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        log_terms[c] = std::log(model.components_[c].weight) +
+                       model.component_log_pdf(c, row);
+      }
+      const double log_z = log_sum_exp(log_terms);
+      ll += log_z;
+      resp[i].resize(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        resp[i][c] = std::exp(log_terms[c] - log_z);
+      }
+    }
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      std::vector<double> mean_v(d, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        nk += resp[i][c];
+        const auto row = data.row_span(i);
+        for (std::size_t j = 0; j < d; ++j) mean_v[j] += resp[i][c] * row[j];
+      }
+      auto& comp = model.components_[c];
+      if (nk < 1e-10) {
+        // Dead component: re-seed at a random data point with global spread.
+        const auto row = data.row_span(rng.uniform_index(n));
+        for (std::size_t j = 0; j < d; ++j) comp.mean[j] = row[j];
+        comp.variance = global_var;
+        comp.weight = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) comp.mean[j] = mean_v[j] / nk;
+      std::vector<double> var(d, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto row = data.row_span(i);
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = static_cast<double>(row[j]) - comp.mean[j];
+          var[j] += resp[i][c] * diff * diff;
+        }
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        comp.variance[j] = std::max(var[j] / nk, config.variance_floor);
+      }
+      comp.weight = nk / static_cast<double>(n);
+    }
+    // Renormalise weights (dead-component reseeding can unbalance them).
+    double wsum = 0.0;
+    for (const auto& comp : model.components_) wsum += comp.weight;
+    for (auto& comp : model.components_) comp.weight /= wsum;
+
+    const double mean_ll = ll / static_cast<double>(n);
+    if (iter > 0 &&
+        std::fabs(mean_ll - prev_ll) <
+            config.tolerance * (std::fabs(prev_ll) + 1e-12)) {
+      break;
+    }
+    prev_ll = mean_ll;
+  }
+  return model;
+}
+
+
+namespace {
+
+constexpr std::uint32_t kGmmMagic = 0x4f50474d;  // "OPGM"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw IoError("unexpected end of GMM stream");
+  return value;
+}
+
+}  // namespace
+
+void save_gmm(const GaussianMixtureModel& model, std::ostream& os) {
+  write_pod(os, kGmmMagic);
+  write_pod(os, static_cast<std::uint64_t>(model.components().size()));
+  write_pod(os, static_cast<std::uint64_t>(model.dim()));
+  for (const auto& c : model.components()) {
+    write_pod(os, c.weight);
+    for (double m : c.mean) write_pod(os, m);
+    for (double v : c.variance) write_pod(os, v);
+  }
+  if (!os) throw IoError("failed writing GMM stream");
+}
+
+GaussianMixtureModel load_gmm(std::istream& is) {
+  if (read_pod<std::uint32_t>(is) != kGmmMagic) {
+    throw IoError("bad magic in GMM stream");
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  const auto dim = read_pod<std::uint64_t>(is);
+  if (count == 0 || dim == 0 || count > (1u << 20) || dim > (1u << 20)) {
+    throw IoError("implausible GMM header");
+  }
+  std::vector<GaussianMixtureModel::Component> components(count);
+  for (auto& c : components) {
+    c.weight = read_pod<double>(is);
+    c.mean.resize(dim);
+    c.variance.resize(dim);
+    for (double& m : c.mean) m = read_pod<double>(is);
+    for (double& v : c.variance) v = read_pod<double>(is);
+    if (c.weight <= 0.0) throw IoError("non-positive weight in GMM stream");
+    for (double v : c.variance) {
+      if (v <= 0.0) throw IoError("non-positive variance in GMM stream");
+    }
+  }
+  return GaussianMixtureModel(std::move(components));
+}
+
+void save_gmm_file(const GaussianMixtureModel& model,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  save_gmm(model, out);
+}
+
+GaussianMixtureModel load_gmm_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path + " for reading");
+  return load_gmm(in);
+}
+
+}  // namespace opad

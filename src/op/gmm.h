@@ -1,0 +1,69 @@
+// Diagonal-covariance Gaussian mixture model with EM fitting.
+//
+// This is the primary learned OP estimator (RQ1): fit on (augmented)
+// operational data, then queried for densities by the seed sampler (RQ2),
+// for density *gradients* by the naturalness-guided fuzzer (RQ3), and for
+// importance weights by the retrainer (RQ4).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "op/profile.h"
+
+namespace opad {
+
+struct GmmConfig {
+  std::size_t components = 4;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-5;        // relative log-likelihood change
+  double variance_floor = 1e-4;   // keeps components from collapsing
+  std::size_t kmeans_iterations = 10;
+};
+
+class GaussianMixtureModel : public OperationalProfile {
+ public:
+  struct Component {
+    double weight = 0.0;
+    std::vector<double> mean;
+    std::vector<double> variance;
+  };
+
+  /// Constructs directly from components (weights normalised internally).
+  explicit GaussianMixtureModel(std::vector<Component> components);
+
+  /// Fits a GMM to the rows of `data` [n, d] with EM (k-means++ init).
+  static GaussianMixtureModel fit(const Tensor& data, const GmmConfig& config,
+                                  Rng& rng);
+
+  std::size_t dim() const override;
+  double log_density(const Tensor& x) const override;
+  Tensor sample(Rng& rng) const override;
+  bool has_gradient() const override { return true; }
+  Tensor log_density_gradient(const Tensor& x) const override;
+
+  /// Posterior responsibilities p(component | x).
+  std::vector<double> responsibilities(const Tensor& x) const;
+
+  /// Mean log-likelihood of the rows of `data`.
+  double mean_log_likelihood(const Tensor& data) const;
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  double component_log_pdf(std::size_t k, const Tensor& x) const;
+
+  std::vector<Component> components_;
+};
+
+/// (De)serialisation of a fitted GMM: a learned OP is a deployment
+/// artefact that outlives the process that fitted it. Simple tagged
+/// binary format; throws IoError on malformed input.
+void save_gmm(const GaussianMixtureModel& model, std::ostream& os);
+GaussianMixtureModel load_gmm(std::istream& is);
+void save_gmm_file(const GaussianMixtureModel& model,
+                   const std::string& path);
+GaussianMixtureModel load_gmm_file(const std::string& path);
+
+}  // namespace opad

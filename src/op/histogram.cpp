@@ -1,0 +1,60 @@
+#include "op/histogram.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace opad {
+
+HistogramProfile::HistogramProfile(
+    std::shared_ptr<const CellPartition> partition, const Tensor& data,
+    double alpha)
+    : partition_(std::move(partition)) {
+  OPAD_EXPECTS(partition_ != nullptr);
+  OPAD_EXPECTS(alpha >= 0.0);
+  OPAD_EXPECTS(data.rank() == 2 && data.dim(0) > 0);
+  OPAD_EXPECTS(data.dim(1) == partition_->input_dim());
+  observations_ = data.dim(0);
+  std::vector<double> counts(partition_->cell_count(), alpha);
+  for (std::size_t i = 0; i < data.dim(0); ++i) {
+    counts[partition_->cell_index(data.row(i))] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  OPAD_EXPECTS_MSG(total > 0.0,
+                   "histogram needs alpha > 0 or at least one observation");
+  probs_ = std::move(counts);
+  for (double& p : probs_) p /= total;
+}
+
+std::size_t HistogramProfile::dim() const { return partition_->input_dim(); }
+
+double HistogramProfile::log_density(const Tensor& x) const {
+  const double p = cell_probability(partition_->cell_index(x));
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(p) - std::log(partition_->cell_volume());
+}
+
+Tensor HistogramProfile::sample(Rng& rng) const {
+  const std::size_t cell = rng.categorical(probs_);
+  return partition_->sample_in_cell(cell, rng);
+}
+
+double HistogramProfile::cell_probability(std::size_t index) const {
+  OPAD_EXPECTS(index < probs_.size());
+  return probs_[index];
+}
+
+double HistogramProfile::kl_divergence(const HistogramProfile& other) const {
+  OPAD_EXPECTS_MSG(partition_ == other.partition_,
+                   "KL requires histograms over the same partition object");
+  double kl = 0.0;
+  for (std::size_t c = 0; c < probs_.size(); ++c) {
+    if (probs_[c] <= 0.0) continue;
+    OPAD_EXPECTS(other.probs_[c] > 0.0);
+    kl += probs_[c] * std::log(probs_[c] / other.probs_[c]);
+  }
+  return kl;
+}
+
+}  // namespace opad

@@ -1,0 +1,47 @@
+// Histogram operational profile over a CellPartition: the discrete,
+// cell-level OP representation that the ReAsDL-style reliability model
+// (RQ5) consumes directly, with Laplace smoothing for unseen cells.
+#pragma once
+
+#include <memory>
+
+#include "op/cells.h"
+#include "op/profile.h"
+
+namespace opad {
+
+class HistogramProfile : public OperationalProfile {
+ public:
+  /// Estimates cell probabilities from the rows of `data`, with Laplace
+  /// smoothing `alpha` (pseudo-count per cell).
+  HistogramProfile(std::shared_ptr<const CellPartition> partition,
+                   const Tensor& data, double alpha = 0.5);
+
+  std::size_t dim() const override;
+  /// Piecewise-constant density: P(cell)/volume in grid coordinates. For
+  /// projected partitions this is a density over the projected space.
+  double log_density(const Tensor& x) const override;
+  /// Sampling requires an identity partition (uniform within a cell).
+  Tensor sample(Rng& rng) const override;
+
+  const CellPartition& partition() const { return *partition_; }
+
+  /// Probability mass of cell `index`.
+  double cell_probability(std::size_t index) const;
+
+  /// All cell probabilities (sums to 1).
+  const std::vector<double>& cell_probabilities() const { return probs_; }
+
+  /// Exact KL(this || other) for histograms sharing a partition object.
+  double kl_divergence(const HistogramProfile& other) const;
+
+  /// Number of raw observations used for the estimate.
+  std::size_t observation_count() const { return observations_; }
+
+ private:
+  std::shared_ptr<const CellPartition> partition_;
+  std::vector<double> probs_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace opad

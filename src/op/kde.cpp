@@ -1,0 +1,116 @@
+#include "op/kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/special_math.h"
+
+namespace opad {
+
+KernelDensityEstimator::KernelDensityEstimator(const Tensor& data,
+                                               const KdeConfig& config,
+                                               Rng& rng) {
+  OPAD_EXPECTS(data.rank() == 2 && data.dim(0) > 0);
+  const std::size_t d = data.dim(1);
+
+  if (config.max_points > 0 && data.dim(0) > config.max_points) {
+    const auto keep =
+        rng.sample_without_replacement(data.dim(0), config.max_points);
+    Tensor sub({config.max_points, d});
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      sub.set_row(i, data.row_span(keep[i]));
+    }
+    points_ = std::move(sub);
+  } else {
+    points_ = data;
+  }
+
+  const std::size_t m = points_.dim(0);
+  bandwidth_.resize(d);
+  if (config.bandwidth > 0.0) {
+    std::fill(bandwidth_.begin(), bandwidth_.end(), config.bandwidth);
+  } else {
+    // Scott's rule with per-dimension sample standard deviation.
+    const double factor =
+        std::pow(static_cast<double>(m),
+                 -1.0 / (static_cast<double>(d) + 4.0));
+    for (std::size_t j = 0; j < d; ++j) {
+      double mean_v = 0.0;
+      for (std::size_t i = 0; i < m; ++i) mean_v += points_(i, j);
+      mean_v /= static_cast<double>(m);
+      double var = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double diff = points_(i, j) - mean_v;
+        var += diff * diff;
+      }
+      var /= std::max<std::size_t>(m - 1, 1);
+      bandwidth_[j] = std::max(factor * std::sqrt(var), 1e-3);
+    }
+  }
+  double log_det = 0.0;
+  for (double h : bandwidth_) log_det += std::log(h * h);
+  log_norm_const_ =
+      -0.5 * (static_cast<double>(d) * std::log(2.0 * M_PI) + log_det);
+}
+
+std::size_t KernelDensityEstimator::dim() const { return points_.dim(1); }
+
+double KernelDensityEstimator::log_density(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  const std::size_t m = points_.dim(0), d = dim();
+  double acc = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = points_.row_span(i);
+    double quad = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff =
+          (static_cast<double>(x.at(j)) - row[j]) / bandwidth_[j];
+      quad += diff * diff;
+    }
+    acc = log_add_exp(acc, log_norm_const_ - 0.5 * quad);
+  }
+  return acc - std::log(static_cast<double>(m));
+}
+
+Tensor KernelDensityEstimator::sample(Rng& rng) const {
+  const std::size_t i = rng.uniform_index(points_.dim(0));
+  const auto row = points_.row_span(i);
+  Tensor x({dim()});
+  for (std::size_t j = 0; j < dim(); ++j) {
+    x.at(j) = static_cast<float>(rng.normal(row[j], bandwidth_[j]));
+  }
+  return x;
+}
+
+Tensor KernelDensityEstimator::log_density_gradient(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  const std::size_t m = points_.dim(0), d = dim();
+  // Responsibilities over kernels, then gradient as in a GMM.
+  std::vector<double> log_terms(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = points_.row_span(i);
+    double quad = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff =
+          (static_cast<double>(x.at(j)) - row[j]) / bandwidth_[j];
+      quad += diff * diff;
+    }
+    log_terms[i] = -0.5 * quad;
+  }
+  const double log_z = log_sum_exp(log_terms);
+  Tensor grad({d});
+  for (std::size_t i = 0; i < m; ++i) {
+    const double r = std::exp(log_terms[i] - log_z);
+    if (r < 1e-14) continue;
+    const auto row = points_.row_span(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      grad.at(j) += static_cast<float>(
+          r * -(static_cast<double>(x.at(j)) - row[j]) /
+          (bandwidth_[j] * bandwidth_[j]));
+    }
+  }
+  return grad;
+}
+
+}  // namespace opad

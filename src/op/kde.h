@@ -1,0 +1,40 @@
+// Gaussian kernel density estimator — the non-parametric OP estimator
+// option for RQ1. Density, sampling, and log-density gradients are exact
+// (the estimate is itself a Gaussian mixture with one component per
+// retained data point).
+#pragma once
+
+#include "op/profile.h"
+
+namespace opad {
+
+struct KdeConfig {
+  /// Bandwidth; <= 0 selects Scott's rule: n^(-1/(d+4)) * sd per dim.
+  double bandwidth = 0.0;
+  /// Optional cap on stored points (subsampled uniformly when exceeded);
+  /// 0 = keep all.
+  std::size_t max_points = 0;
+};
+
+class KernelDensityEstimator : public OperationalProfile {
+ public:
+  /// Fits on the rows of `data` [n, d].
+  KernelDensityEstimator(const Tensor& data, const KdeConfig& config,
+                         Rng& rng);
+
+  std::size_t dim() const override;
+  double log_density(const Tensor& x) const override;
+  Tensor sample(Rng& rng) const override;
+  bool has_gradient() const override { return true; }
+  Tensor log_density_gradient(const Tensor& x) const override;
+
+  std::size_t point_count() const { return points_.dim(0); }
+  const std::vector<double>& bandwidth() const { return bandwidth_; }
+
+ private:
+  Tensor points_;                  // [m, d]
+  std::vector<double> bandwidth_;  // per-dimension sd
+  double log_norm_const_ = 0.0;    // of a single kernel
+};
+
+}  // namespace opad

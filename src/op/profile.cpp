@@ -1,0 +1,18 @@
+#include "op/profile.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace opad {
+
+Tensor OperationalProfile::log_density_gradient(const Tensor&) const {
+  throw PreconditionError(
+      "this OperationalProfile does not support log-density gradients");
+}
+
+double OperationalProfile::density(const Tensor& x) const {
+  return std::exp(log_density(x));
+}
+
+}  // namespace opad

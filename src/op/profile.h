@@ -1,0 +1,42 @@
+// Operational profile (OP) abstraction.
+//
+// Following Musa's definition, an OP is a probability distribution over
+// the input domain quantifying how the software will be operated. OpAD
+// models it as a density that supports evaluation, sampling, and — for
+// the gradient-guided fuzzer — differentiation of the log-density.
+#pragma once
+
+#include <memory>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// A probability density over flat input vectors.
+class OperationalProfile {
+ public:
+  virtual ~OperationalProfile() = default;
+
+  virtual std::size_t dim() const = 0;
+
+  /// Natural log of the density at x (rank-1, length dim()).
+  virtual double log_density(const Tensor& x) const = 0;
+
+  /// Draws a sample from the profile.
+  virtual Tensor sample(Rng& rng) const = 0;
+
+  /// Whether log_density_gradient is implemented.
+  virtual bool has_gradient() const { return false; }
+
+  /// Gradient of log_density w.r.t. x. Implementations that return
+  /// has_gradient() == false throw PreconditionError.
+  virtual Tensor log_density_gradient(const Tensor& x) const;
+
+  /// Convenience: density (not log).
+  double density(const Tensor& x) const;
+};
+
+using ProfilePtr = std::shared_ptr<const OperationalProfile>;
+
+}  // namespace opad

@@ -1,0 +1,110 @@
+#include "op/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "op/class_conditional.h"
+#include "util/special_math.h"
+
+namespace opad {
+
+ClassPriorEstimator::ClassPriorEstimator(std::size_t num_classes,
+                                         double alpha)
+    : counts_(num_classes, alpha) {
+  OPAD_EXPECTS(num_classes >= 2);
+  OPAD_EXPECTS(alpha > 0.0);
+}
+
+void ClassPriorEstimator::observe(int label) {
+  OPAD_EXPECTS(label >= 0 &&
+               static_cast<std::size_t>(label) < counts_.size());
+  counts_[static_cast<std::size_t>(label)] += 1.0;
+  ++observations_;
+}
+
+void ClassPriorEstimator::observe_all(std::span<const int> labels) {
+  for (int y : labels) observe(y);
+}
+
+std::vector<double> ClassPriorEstimator::posterior_mean() const {
+  double total = 0.0;
+  for (double c : counts_) total += c;
+  std::vector<double> mean(counts_.size());
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    mean[k] = counts_[k] / total;
+  }
+  return mean;
+}
+
+std::pair<double, double> ClassPriorEstimator::credible_interval(
+    std::size_t cls, double confidence) const {
+  OPAD_EXPECTS(cls < counts_.size());
+  OPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  double total = 0.0;
+  for (double c : counts_) total += c;
+  // The marginal of a Dirichlet component is Beta(a_k, a_total - a_k).
+  const double a = counts_[cls];
+  const double b = total - a;
+  const double tail = (1.0 - confidence) / 2.0;
+  return {incomplete_beta_inverse(a, b, tail),
+          incomplete_beta_inverse(a, b, 1.0 - tail)};
+}
+
+OperationalLearningResult learn_operational_profile(
+    const Dataset& operational_sample, const SynthesizerConfig& config,
+    Rng& rng) {
+  OPAD_EXPECTS(!operational_sample.empty());
+  OPAD_EXPECTS(config.synthetic_size >= operational_sample.size());
+
+  // (i) class priors.
+  ClassPriorEstimator priors(operational_sample.num_classes());
+  priors.observe_all(operational_sample.labels());
+
+  // (ii) synthesise the operational dataset.
+  Dataset synthetic;
+  if (config.strategy == SynthesisStrategy::kGenerative) {
+    ClassConditionalConfig cc;
+    cc.gmm = config.gmm;
+    cc.gmm.components = config.generative_components;
+    const auto generator =
+        ClassConditionalProfile::fit(operational_sample, cc, rng);
+    synthetic = operational_sample;
+    const std::size_t extra =
+        config.synthetic_size - operational_sample.size();
+    if (extra > 0) {
+      synthetic.append(generator.make_labelled_dataset(extra, rng));
+    }
+  } else {
+    AugmentFn augment;
+    if (config.augment) {
+      augment = *config.augment;
+    } else {
+      // Default: Gaussian noise scaled to the observed feature range.
+      const auto& inputs = operational_sample.inputs();
+      const float range = std::max(inputs.max() - inputs.min(), 1e-3f);
+      augment = gaussian_noise_augment(
+          config.default_noise_fraction * static_cast<double>(range),
+          inputs.min(), inputs.max());
+    }
+    synthetic = augment_dataset(operational_sample, augment,
+                                config.synthetic_size, rng);
+  }
+
+  // (iii) density model over the synthesised inputs.
+  std::shared_ptr<OperationalProfile> profile;
+  if (config.model == OpModelKind::kGmm) {
+    profile = std::make_shared<GaussianMixtureModel>(
+        GaussianMixtureModel::fit(synthetic.inputs(), config.gmm, rng));
+  } else {
+    profile = std::make_shared<KernelDensityEstimator>(synthetic.inputs(),
+                                                       config.kde, rng);
+  }
+
+  OperationalLearningResult result;
+  result.operational_dataset = std::move(synthetic);
+  result.profile = std::move(profile);
+  result.class_priors = priors.posterior_mean();
+  return result;
+}
+
+}  // namespace opad

@@ -1,0 +1,88 @@
+// RQ1 — learning the operational profile and synthesising an operational
+// dataset.
+//
+// In deployment one observes a (possibly small) stream of operational
+// inputs whose distribution differs from the balanced training set. The
+// synthesiser (i) tracks class priors with a Dirichlet posterior,
+// (ii) expands the observed sample via label-preserving augmentation
+// ("high-fidelity simulation / data augmentation" per the paper), and
+// (iii) fits a density model (GMM or KDE) used as the learned OP by the
+// later pipeline stages.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "op/gmm.h"
+#include "op/kde.h"
+#include "op/profile.h"
+
+namespace opad {
+
+/// Dirichlet-posterior estimator of operational class priors.
+class ClassPriorEstimator {
+ public:
+  /// `alpha` is the symmetric Dirichlet prior concentration per class.
+  ClassPriorEstimator(std::size_t num_classes, double alpha = 1.0);
+
+  void observe(int label);
+  void observe_all(std::span<const int> labels);
+
+  std::size_t num_classes() const { return counts_.size(); }
+  std::size_t observation_count() const { return observations_; }
+
+  /// Posterior-mean class priors.
+  std::vector<double> posterior_mean() const;
+
+  /// Per-class credible interval at level `confidence` (Beta marginal).
+  std::pair<double, double> credible_interval(std::size_t cls,
+                                              double confidence) const;
+
+ private:
+  std::vector<double> counts_;  // alpha + observations
+  std::size_t observations_ = 0;
+};
+
+enum class OpModelKind { kGmm, kKde };
+
+/// How the synthetic operational dataset is grown from the observed
+/// sample (RQ1's "data augmentation / high-fidelity simulation").
+enum class SynthesisStrategy {
+  /// Label-preserving input-space augmentation of observed samples.
+  kAugmentation,
+  /// Draw labelled samples from a fitted class-conditional generative
+  /// model (per-class GMMs + Dirichlet priors) — the "simulation" route.
+  kGenerative,
+};
+
+struct SynthesizerConfig {
+  OpModelKind model = OpModelKind::kGmm;
+  GmmConfig gmm;
+  KdeConfig kde;
+  SynthesisStrategy strategy = SynthesisStrategy::kAugmentation;
+  /// Per-class mixture size for the kGenerative strategy.
+  std::size_t generative_components = 2;
+  /// Target size of the synthetic operational dataset.
+  std::size_t synthetic_size = 2000;
+  /// Augmentation applied when expanding the operational sample
+  /// (kAugmentation only); when absent, light Gaussian noise at this
+  /// fraction of the per-feature range is used.
+  std::optional<AugmentFn> augment;
+  double default_noise_fraction = 0.03;
+};
+
+/// Result of the RQ1 step.
+struct OperationalLearningResult {
+  Dataset operational_dataset;            // synthesised, labelled
+  std::shared_ptr<OperationalProfile> profile;  // learned density
+  std::vector<double> class_priors;       // posterior-mean priors
+};
+
+/// Learns the OP from an observed operational sample.
+OperationalLearningResult learn_operational_profile(
+    const Dataset& operational_sample, const SynthesizerConfig& config,
+    Rng& rng);
+
+}  // namespace opad

@@ -1,0 +1,41 @@
+#include "reliability/beta_estimator.h"
+
+#include "util/error.h"
+
+namespace opad {
+
+BetaEstimator::BetaEstimator(double prior_alpha, double prior_beta)
+    : a0_(prior_alpha), b0_(prior_beta) {
+  OPAD_EXPECTS(prior_alpha > 0.0 && prior_beta > 0.0);
+}
+
+void BetaEstimator::record(bool failed) {
+  ++trials_;
+  if (failed) ++failures_;
+}
+
+void BetaEstimator::record_many(std::size_t failures, std::size_t successes) {
+  failures_ += failures;
+  trials_ += failures + successes;
+}
+
+BetaDistribution BetaEstimator::posterior() const {
+  return BetaDistribution(a0_ + static_cast<double>(failures_),
+                          b0_ + static_cast<double>(trials_ - failures_));
+}
+
+double BetaEstimator::mean() const { return posterior().mean(); }
+
+double BetaEstimator::variance() const { return posterior().variance(); }
+
+double BetaEstimator::upper_bound(double confidence) const {
+  OPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  return posterior().quantile(confidence);
+}
+
+double BetaEstimator::lower_bound(double confidence) const {
+  OPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  return posterior().quantile(1.0 - confidence);
+}
+
+}  // namespace opad

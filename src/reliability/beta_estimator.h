@@ -1,0 +1,38 @@
+// Conjugate Beta–Bernoulli estimator of a failure probability.
+#pragma once
+
+#include "util/distributions.h"
+
+namespace opad {
+
+/// Tracks a Beta(a0 + failures, b0 + successes) posterior over an unknown
+/// Bernoulli failure probability.
+class BetaEstimator {
+ public:
+  /// Jeffreys prior by default (a0 = b0 = 0.5).
+  explicit BetaEstimator(double prior_alpha = 0.5, double prior_beta = 0.5);
+
+  /// Records one trial; `failed` = the event of interest occurred.
+  void record(bool failed);
+  void record_many(std::size_t failures, std::size_t successes);
+
+  std::size_t trials() const { return trials_; }
+  std::size_t failures() const { return failures_; }
+
+  /// Posterior over the failure probability.
+  BetaDistribution posterior() const;
+
+  double mean() const;
+  double variance() const;
+  /// One-sided upper credible bound at the given confidence, i.e. the
+  /// conservative failure-rate claim "theta <= bound with prob conf".
+  double upper_bound(double confidence) const;
+  double lower_bound(double confidence) const;
+
+ private:
+  double a0_, b0_;
+  std::size_t failures_ = 0;
+  std::size_t trials_ = 0;
+};
+
+}  // namespace opad

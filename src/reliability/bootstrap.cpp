@@ -1,0 +1,34 @@
+#include "reliability/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/error.h"
+
+namespace opad {
+
+BootstrapInterval bootstrap_mean_ci(std::span<const double> values,
+                                    double confidence, std::size_t resamples,
+                                    Rng& rng) {
+  OPAD_EXPECTS(!values.empty());
+  OPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  OPAD_EXPECTS(resamples >= 10);
+  BootstrapInterval result;
+  result.estimate = mean(values);
+  std::vector<double> means(resamples);
+  const std::size_t n = values.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += values[rng.uniform_index(n)];
+    }
+    means[r] = total / static_cast<double>(n);
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  result.lower = quantile(means, tail);
+  result.upper = quantile(std::move(means), 1.0 - tail);
+  return result;
+}
+
+}  // namespace opad

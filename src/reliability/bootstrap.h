@@ -1,0 +1,23 @@
+// Percentile bootstrap confidence intervals.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace opad {
+
+struct BootstrapInterval {
+  double estimate = 0.0;  // plug-in mean
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Percentile bootstrap CI for the mean of `values` at the given
+/// confidence level (e.g. 0.95), using `resamples` bootstrap draws.
+BootstrapInterval bootstrap_mean_ci(std::span<const double> values,
+                                    double confidence, std::size_t resamples,
+                                    Rng& rng);
+
+}  // namespace opad

@@ -1,0 +1,133 @@
+#include "reliability/cell_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace opad {
+
+CellReliabilityModel::CellReliabilityModel(
+    std::shared_ptr<const CellPartition> partition,
+    std::vector<double> op_weights, double prior_alpha, double prior_beta)
+    : partition_(std::move(partition)), weights_(std::move(op_weights)) {
+  OPAD_EXPECTS(partition_ != nullptr);
+  OPAD_EXPECTS_MSG(weights_.size() == partition_->cell_count(),
+                   "weight count " << weights_.size() << " != cell count "
+                                   << partition_->cell_count());
+  double total = 0.0;
+  for (double w : weights_) {
+    OPAD_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  OPAD_EXPECTS_MSG(std::fabs(total - 1.0) < 1e-6,
+                   "OP cell weights must sum to 1, got " << total);
+  cells_.assign(weights_.size(), BetaEstimator(prior_alpha, prior_beta));
+}
+
+void CellReliabilityModel::record(const Tensor& x, bool failed) {
+  record_cell(partition_->cell_index(x), failed);
+}
+
+void CellReliabilityModel::record_cell(std::size_t cell, bool failed) {
+  OPAD_EXPECTS(cell < cells_.size());
+  cells_[cell].record(failed);
+  ++total_trials_;
+}
+
+double CellReliabilityModel::pmi_mean() const {
+  double pmi = 0.0;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    pmi += weights_[c] * cells_[c].mean();
+  }
+  return pmi;
+}
+
+double CellReliabilityModel::pmi_variance() const {
+  double var = 0.0;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    var += weights_[c] * weights_[c] * cells_[c].variance();
+  }
+  return var;
+}
+
+double CellReliabilityModel::pmi_quantile(double q, std::size_t samples,
+                                          Rng& rng) const {
+  OPAD_EXPECTS(q > 0.0 && q < 1.0);
+  OPAD_EXPECTS(samples >= 10);
+  std::vector<double> draws(samples, 0.0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    double pmi = 0.0;
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      if (weights_[c] == 0.0) continue;
+      const auto post = cells_[c].posterior();
+      pmi += weights_[c] * post.sample(rng);
+    }
+    draws[s] = pmi;
+  }
+  std::sort(draws.begin(), draws.end());
+  const double pos = q * static_cast<double>(samples - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return draws[lo] * (1.0 - frac) + draws[hi] * frac;
+}
+
+double CellReliabilityModel::pmi_upper_bound(double confidence,
+                                             std::size_t samples,
+                                             Rng& rng) const {
+  return pmi_quantile(confidence, samples, rng);
+}
+
+const BetaEstimator& CellReliabilityModel::cell(std::size_t index) const {
+  OPAD_EXPECTS(index < cells_.size());
+  return cells_[index];
+}
+
+double CellReliabilityModel::cell_weight(std::size_t index) const {
+  OPAD_EXPECTS(index < weights_.size());
+  return weights_[index];
+}
+
+std::vector<std::size_t>
+CellReliabilityModel::cells_by_weighted_uncertainty() const {
+  std::vector<std::size_t> order(cells_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> key(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    key[c] = weights_[c] * std::sqrt(cells_[c].variance());
+  }
+  std::sort(order.begin(), order.end(),
+            [&key](auto a, auto b) { return key[a] > key[b]; });
+  return order;
+}
+
+std::vector<std::size_t> CellReliabilityModel::allocate_budget(
+    std::size_t budget) const {
+  std::vector<double> key(cells_.size());
+  double total = 0.0;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    key[c] = weights_[c] * std::sqrt(cells_[c].variance());
+    total += key[c];
+  }
+  std::vector<std::size_t> alloc(cells_.size(), 0);
+  if (total <= 0.0 || budget == 0) return alloc;
+  // Largest-remainder apportionment.
+  std::vector<std::pair<double, std::size_t>> remainders(cells_.size());
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const double exact = static_cast<double>(budget) * key[c] / total;
+    alloc[c] = static_cast<std::size_t>(exact);
+    assigned += alloc[c];
+    remainders[c] = {exact - std::floor(exact), c};
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; assigned < budget && i < remainders.size(); ++i) {
+    alloc[remainders[i].second]++;
+    ++assigned;
+  }
+  return alloc;
+}
+
+}  // namespace opad

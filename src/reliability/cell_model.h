@@ -1,0 +1,71 @@
+// Cell-based reliability model (RQ5), after the authors' ReAsDL line of
+// work: partition the input domain into cells, maintain an independent
+// Beta posterior over each cell's unastuteness (probability that an input
+// in the cell is mishandled), and aggregate with operational-profile cell
+// weights into pmi — the probability of misclassification per (operational)
+// input. The posterior also drives the pipeline feedback loop: cells with
+// high weighted uncertainty receive more seeds in the next iteration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "op/cells.h"
+#include "reliability/beta_estimator.h"
+#include "util/rng.h"
+
+namespace opad {
+
+class CellReliabilityModel {
+ public:
+  /// `op_weights` are per-cell OP probabilities (must sum to ~1, e.g. from
+  /// HistogramProfile::cell_probabilities()).
+  CellReliabilityModel(std::shared_ptr<const CellPartition> partition,
+                       std::vector<double> op_weights,
+                       double prior_alpha = 0.5, double prior_beta = 0.5);
+
+  const CellPartition& partition() const { return *partition_; }
+  std::size_t cell_count() const { return cells_.size(); }
+
+  /// Records a test outcome for the cell containing x.
+  void record(const Tensor& x, bool failed);
+
+  /// Records a test outcome for an explicit cell.
+  void record_cell(std::size_t cell, bool failed);
+
+  std::size_t total_trials() const { return total_trials_; }
+
+  /// Posterior-mean pmi = sum_c w_c E[theta_c].
+  double pmi_mean() const;
+
+  /// Posterior variance of pmi under cell independence.
+  double pmi_variance() const;
+
+  /// Monte-Carlo posterior quantile of pmi (samples each cell posterior).
+  double pmi_quantile(double q, std::size_t samples, Rng& rng) const;
+
+  /// Conservative upper claim: q = confidence (e.g. 0.95).
+  double pmi_upper_bound(double confidence, std::size_t samples,
+                         Rng& rng) const;
+
+  /// Per-cell posterior access.
+  const BetaEstimator& cell(std::size_t index) const;
+  double cell_weight(std::size_t index) const;
+
+  /// Cells ranked by weighted posterior standard deviation (descending) —
+  /// the RQ5 -> RQ2 feedback signal: where more testing buys the most
+  /// reliability-claim precision.
+  std::vector<std::size_t> cells_by_weighted_uncertainty() const;
+
+  /// Suggested allocation of `budget` seeds across cells, proportional to
+  /// weighted posterior sd (at least 0 per cell; sums to budget).
+  std::vector<std::size_t> allocate_budget(std::size_t budget) const;
+
+ private:
+  std::shared_ptr<const CellPartition> partition_;
+  std::vector<double> weights_;
+  std::vector<BetaEstimator> cells_;
+  std::size_t total_trials_ = 0;
+};
+
+}  // namespace opad

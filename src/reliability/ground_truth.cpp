@@ -1,0 +1,52 @@
+#include "reliability/ground_truth.h"
+
+namespace opad {
+
+BootstrapInterval true_misclassification_rate(
+    Classifier& model, const DataGenerator& generator,
+    const GroundTruthConfig& config, Rng& rng) {
+  OPAD_EXPECTS(config.samples > 0);
+  std::vector<double> outcomes(config.samples);
+  // Batch the forward passes for speed.
+  const std::size_t batch_size = 256;
+  std::size_t done = 0;
+  while (done < config.samples) {
+    const std::size_t bs = std::min(batch_size, config.samples - done);
+    Tensor batch({bs, generator.dim()});
+    std::vector<int> labels(bs);
+    for (std::size_t i = 0; i < bs; ++i) {
+      LabeledSample s = generator.sample(rng);
+      batch.set_row(i, s.x.data());
+      labels[i] = s.y;
+    }
+    const auto preds = model.predict(batch);
+    for (std::size_t i = 0; i < bs; ++i) {
+      outcomes[done + i] = preds[i] != labels[i] ? 1.0 : 0.0;
+    }
+    done += bs;
+  }
+  return bootstrap_mean_ci(outcomes, config.confidence,
+                           config.bootstrap_resamples, rng);
+}
+
+BootstrapInterval true_unastuteness_rate(Classifier& model,
+                                         const DataGenerator& generator,
+                                         const Attack& attack,
+                                         const GroundTruthConfig& config,
+                                         Rng& rng) {
+  OPAD_EXPECTS(config.samples > 0);
+  std::vector<double> outcomes(config.samples);
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    const LabeledSample s = generator.sample(rng);
+    bool mishandled = model.predict_single(s.x) != s.y;
+    if (!mishandled) {
+      const AttackResult r = attack.run(model, s.x, s.y, rng);
+      mishandled = r.success;
+    }
+    outcomes[i] = mishandled ? 1.0 : 0.0;
+  }
+  return bootstrap_mean_ci(outcomes, config.confidence,
+                           config.bootstrap_resamples, rng);
+}
+
+}  // namespace opad

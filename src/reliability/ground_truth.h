@@ -1,0 +1,42 @@
+// Monte-Carlo ground-truth reliability oracle.
+//
+// In our synthetic setting the true OP is a known generative process, so
+// the *delivered reliability* the paper cares about — the probability that
+// the model mishandles the next operational input — can be estimated to
+// arbitrary precision by direct simulation. Real deployments cannot do
+// this; it is exactly what makes estimator-accuracy experiments (T5)
+// possible in the reproduction.
+#pragma once
+
+#include "attack/attack.h"
+#include "data/generators.h"
+#include "nn/model.h"
+#include "reliability/bootstrap.h"
+
+namespace opad {
+
+struct GroundTruthConfig {
+  std::size_t samples = 2000;
+  double confidence = 0.95;
+  std::size_t bootstrap_resamples = 500;
+};
+
+/// True pmi: P(model(x) != true_label(x)) for x ~ generator. This is the
+/// plain misclassification component of unreliability.
+BootstrapInterval true_misclassification_rate(Classifier& model,
+                                              const DataGenerator& generator,
+                                              const GroundTruthConfig& config,
+                                              Rng& rng);
+
+/// Robustness-aware unreliability: P(x is mishandled OR an AE exists in
+/// the eps-ball around x) for x ~ generator, using `attack` as the
+/// (sound-but-incomplete) AE verifier. This matches the ReAsDL notion of
+/// cell unastuteness: the model must be *right and locally robust* on
+/// operational inputs.
+BootstrapInterval true_unastuteness_rate(Classifier& model,
+                                         const DataGenerator& generator,
+                                         const Attack& attack,
+                                         const GroundTruthConfig& config,
+                                         Rng& rng);
+
+}  // namespace opad

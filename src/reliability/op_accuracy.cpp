@@ -1,0 +1,71 @@
+#include "reliability/op_accuracy.h"
+
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/error.h"
+
+namespace opad {
+
+void OperationalAccuracyEstimator::add(const WeightedOutcome& outcome) {
+  OPAD_EXPECTS(outcome.op_density >= 0.0 && outcome.sampling_density > 0.0);
+  OPAD_EXPECTS(std::isfinite(outcome.op_density) &&
+               std::isfinite(outcome.sampling_density));
+  outcomes_.push_back(outcome);
+}
+
+void OperationalAccuracyEstimator::add_all(
+    std::span<const WeightedOutcome> outcomes) {
+  for (const auto& o : outcomes) add(o);
+}
+
+double OperationalAccuracyEstimator::failure_rate() const {
+  OPAD_EXPECTS(!outcomes_.empty());
+  double num = 0.0, den = 0.0;
+  for (const auto& o : outcomes_) {
+    const double w = o.op_density / o.sampling_density;
+    num += w * (o.failed ? 1.0 : 0.0);
+    den += w;
+  }
+  OPAD_EXPECTS_MSG(den > 0.0, "all importance weights are zero");
+  return num / den;
+}
+
+double OperationalAccuracyEstimator::effective_sample_size() const {
+  OPAD_EXPECTS(!outcomes_.empty());
+  double sum_w = 0.0, sum_w2 = 0.0;
+  for (const auto& o : outcomes_) {
+    const double w = o.op_density / o.sampling_density;
+    sum_w += w;
+    sum_w2 += w * w;
+  }
+  if (sum_w2 <= 0.0) return 0.0;
+  return sum_w * sum_w / sum_w2;
+}
+
+BootstrapInterval OperationalAccuracyEstimator::failure_rate_ci(
+    double confidence, std::size_t resamples, Rng& rng) const {
+  OPAD_EXPECTS(!outcomes_.empty());
+  OPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  OPAD_EXPECTS(resamples >= 10);
+  BootstrapInterval result;
+  result.estimate = failure_rate();
+  std::vector<double> estimates(resamples);
+  const std::size_t n = outcomes_.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& o = outcomes_[rng.uniform_index(n)];
+      const double w = o.op_density / o.sampling_density;
+      num += w * (o.failed ? 1.0 : 0.0);
+      den += w;
+    }
+    estimates[r] = den > 0.0 ? num / den : 0.0;
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  result.lower = quantile(estimates, tail);
+  result.upper = quantile(std::move(estimates), 1.0 - tail);
+  return result;
+}
+
+}  // namespace opad

@@ -1,0 +1,48 @@
+// Operational accuracy/failure-rate estimation from non-uniform samples,
+// after Guerriero, Pietrantuono & Russo (ICSE'21) [10]: when test inputs
+// are drawn with auxiliary-informed probabilities q(x) instead of the OP
+// p(x), a self-normalised importance-sampling estimator recovers an
+// unbiased estimate of the operational failure probability while the
+// sampler is free to concentrate on failure-prone regions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "reliability/bootstrap.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// One weighted test outcome.
+struct WeightedOutcome {
+  double op_density = 0.0;        // p(x) under the OP (unnormalised ok)
+  double sampling_density = 0.0;  // q(x) the case was drawn from
+  bool failed = false;
+};
+
+class OperationalAccuracyEstimator {
+ public:
+  OperationalAccuracyEstimator() = default;
+
+  void add(const WeightedOutcome& outcome);
+  void add_all(std::span<const WeightedOutcome> outcomes);
+
+  std::size_t count() const { return outcomes_.size(); }
+
+  /// Self-normalised importance-sampling estimate of the operational
+  /// failure probability: sum(w_i * fail_i) / sum(w_i), w_i = p_i / q_i.
+  double failure_rate() const;
+
+  /// Effective sample size of the importance weights (Kong's ESS).
+  double effective_sample_size() const;
+
+  /// Bootstrap CI over the weighted outcomes.
+  BootstrapInterval failure_rate_ci(double confidence, std::size_t resamples,
+                                    Rng& rng) const;
+
+ private:
+  std::vector<WeightedOutcome> outcomes_;
+};
+
+}  // namespace opad

@@ -1,0 +1,67 @@
+#include "reliability/planning.h"
+
+#include "util/error.h"
+#include "util/special_math.h"
+
+namespace opad {
+
+double claim_upper_bound(std::size_t trials, std::size_t failures,
+                         double confidence, double prior_alpha,
+                         double prior_beta) {
+  OPAD_EXPECTS(failures <= trials);
+  OPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  OPAD_EXPECTS(prior_alpha > 0.0 && prior_beta > 0.0);
+  const double a = prior_alpha + static_cast<double>(failures);
+  const double b =
+      prior_beta + static_cast<double>(trials) - static_cast<double>(failures);
+  return incomplete_beta_inverse(a, b, confidence);
+}
+
+std::optional<std::size_t> failure_free_trials_for_claim(
+    double target_pmi, double confidence, double prior_alpha,
+    double prior_beta, std::size_t max_trials) {
+  OPAD_EXPECTS(target_pmi > 0.0 && target_pmi < 1.0);
+  OPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  if (claim_upper_bound(max_trials, 0, confidence, prior_alpha,
+                        prior_beta) > target_pmi) {
+    return std::nullopt;
+  }
+  // The bound is monotone decreasing in n; binary search the crossing.
+  std::size_t lo = 0, hi = max_trials;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (claim_upper_bound(mid, 0, confidence, prior_alpha, prior_beta) <=
+        target_pmi) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::optional<std::size_t> max_failures_for_claim(std::size_t trials,
+                                                  double target_pmi,
+                                                  double confidence,
+                                                  double prior_alpha,
+                                                  double prior_beta) {
+  OPAD_EXPECTS(target_pmi > 0.0 && target_pmi < 1.0);
+  if (claim_upper_bound(trials, 0, confidence, prior_alpha, prior_beta) >
+      target_pmi) {
+    return std::nullopt;
+  }
+  // Monotone increasing in failures; binary search the last acceptable.
+  std::size_t lo = 0, hi = trials;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (claim_upper_bound(trials, mid, confidence, prior_alpha,
+                          prior_beta) <= target_pmi) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace opad

@@ -1,0 +1,38 @@
+// Test planning for reliability claims (RQ5 support).
+//
+// Classic reliability-demonstration arithmetic on the Beta–Bernoulli
+// model: how much failure-free (or nearly failure-free) operation is
+// needed before the posterior upper bound on the failure probability
+// drops below a target? These helpers let a campaign budget its
+// assessment probes *before* running them, instead of discovering at the
+// end that the claim cannot be supported.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace opad {
+
+/// Smallest number of failure-free trials n such that the Beta posterior
+/// (prior Beta(prior_alpha, prior_beta)) upper credible bound at
+/// `confidence` is <= target_pmi. Returns nullopt if not achievable
+/// within `max_trials`.
+std::optional<std::size_t> failure_free_trials_for_claim(
+    double target_pmi, double confidence, double prior_alpha = 0.5,
+    double prior_beta = 0.5, std::size_t max_trials = 10'000'000);
+
+/// Largest number of failures tolerable in `trials` trials while still
+/// supporting the claim "failure probability <= target_pmi at
+/// `confidence`". Returns nullopt if even zero failures do not suffice.
+std::optional<std::size_t> max_failures_for_claim(std::size_t trials,
+                                                  double target_pmi,
+                                                  double confidence,
+                                                  double prior_alpha = 0.5,
+                                                  double prior_beta = 0.5);
+
+/// Upper credible bound after observing `failures` in `trials`.
+double claim_upper_bound(std::size_t trials, std::size_t failures,
+                         double confidence, double prior_alpha = 0.5,
+                         double prior_beta = 0.5);
+
+}  // namespace opad

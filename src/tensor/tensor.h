@@ -1,0 +1,157 @@
+// Dense row-major float tensor. This is the numeric workhorse under the
+// neural-network substrate: deliberately simple (owned contiguous storage,
+// no views/strides) so that every operation is easy to verify and the
+// attack algorithms can treat inputs as flat float spans.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace opad {
+
+/// Shape of a tensor; empty shape denotes a scalar-less, empty tensor.
+using Shape = std::vector<std::size_t>;
+
+/// Returns the number of elements implied by a shape (product of dims).
+std::size_t shape_size(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" rendering.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense row-major tensor of float.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no elements).
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor adopting `values`; values.size() must equal shape size.
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// 1-D tensor from an initializer list.
+  static Tensor from_values(std::initializer_list<float> values);
+
+  /// Factory helpers.
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+  /// I.i.d. N(mean, sd) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float sd = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo = 0.0f,
+                             float hi = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Dimension i; throws on out-of-range.
+  std::size_t dim(std::size_t i) const;
+
+  /// Flat element access (bounds-checked).
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// N-d element access for ranks 1..4 (bounds-checked).
+  float& operator()(std::size_t i);
+  float operator()(std::size_t i) const;
+  float& operator()(std::size_t i, std::size_t j);
+  float operator()(std::size_t i, std::size_t j) const;
+  float& operator()(std::size_t i, std::size_t j, std::size_t k);
+  float operator()(std::size_t i, std::size_t j, std::size_t k) const;
+  float& operator()(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t l);
+  float operator()(std::size_t i, std::size_t j, std::size_t k,
+                   std::size_t l) const;
+
+  /// Raw storage views.
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  /// Returns a copy with a new shape of equal size.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape; new shape must have equal size.
+  void reshape(Shape new_shape);
+
+  /// Row r of a rank-2 tensor as a copy (length = dim(1)).
+  Tensor row(std::size_t r) const;
+
+  /// Mutable/const span over row r of a rank-2 tensor.
+  std::span<float> row_span(std::size_t r);
+  std::span<const float> row_span(std::size_t r) const;
+
+  /// Copies `values` into row r of a rank-2 tensor.
+  void set_row(std::size_t r, std::span<const float> values);
+
+  /// Returns rows [begin, end) of a rank-2 tensor as a new tensor.
+  Tensor slice_rows(std::size_t begin, std::size_t end) const;
+
+  // ---- element-wise arithmetic (shapes must match exactly) ----
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);  // Hadamard
+  Tensor& operator+=(float v);
+  Tensor& operator*=(float v);
+
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+  friend Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+  friend Tensor operator+(Tensor a, float v) { return a += v; }
+  friend Tensor operator*(Tensor a, float v) { return a *= v; }
+  friend Tensor operator*(float v, Tensor a) { return a *= v; }
+
+  /// Fills with a constant.
+  void fill(float v);
+
+  /// Clamps every element into [lo, hi].
+  void clamp(float lo, float hi);
+
+  /// Applies f element-wise in place.
+  template <typename F>
+  void map(F f) {
+    for (float& x : data_) x = f(x);
+  }
+
+  // ---- reductions ----
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float l2_norm() const;
+  float linf_norm() const;
+  /// Index of the maximum element (first on ties). Requires non-empty.
+  std::size_t argmax() const;
+
+  /// True if all elements are finite.
+  bool all_finite() const;
+
+  /// Exact equality of shape and contents.
+  bool operator==(const Tensor& other) const;
+
+ private:
+  void check_rank(std::size_t expected) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace opad

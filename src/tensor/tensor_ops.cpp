@@ -1,0 +1,269 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opad {
+
+namespace {
+void check_rank2(const Tensor& t, const char* name) {
+  OPAD_EXPECTS_MSG(t.rank() == 2, name << " must be rank 2, got "
+                                       << shape_to_string(t.shape()));
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  OPAD_EXPECTS_MSG(b.dim(0) == k, "matmul inner dims mismatch: "
+                                      << shape_to_string(a.shape()) << " x "
+                                      << shape_to_string(b.shape()));
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // ikj loop order: streams B rows, good cache behaviour without blocking.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  OPAD_EXPECTS(b.dim(0) == k);
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  OPAD_EXPECTS(b.dim(1) == k);
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "a");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check_rank2(logits, "logits");
+  Tensor out = logits;
+  const std::size_t n = out.dim(0), k = out.dim(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = out.row_span(i);
+    const float m = *std::max_element(row.begin(), row.end());
+    float total = 0.0f;
+    for (float& v : row) {
+      v = std::exp(v - m);
+      total += v;
+    }
+    OPAD_ENSURES(total > 0.0f);
+    for (float& v : row) v /= total;
+  }
+  (void)k;
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  check_rank2(logits, "logits");
+  Tensor out = logits;
+  const std::size_t n = out.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = out.row_span(i);
+    const float m = *std::max_element(row.begin(), row.end());
+    double total = 0.0;
+    for (float v : row) total += std::exp(static_cast<double>(v) - m);
+    const float log_z = m + static_cast<float>(std::log(total));
+    for (float& v : row) v -= log_z;
+  }
+  return out;
+}
+
+Tensor one_hot(std::span<const int> labels, std::size_t num_classes) {
+  OPAD_EXPECTS(num_classes > 0);
+  Tensor out({labels.size(), num_classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    OPAD_EXPECTS_MSG(labels[i] >= 0 &&
+                         static_cast<std::size_t>(labels[i]) < num_classes,
+                     "label " << labels[i] << " out of range for "
+                              << num_classes << " classes");
+    out(i, static_cast<std::size_t>(labels[i])) = 1.0f;
+  }
+  return out;
+}
+
+void add_bias_rows(Tensor& m, const Tensor& bias) {
+  check_rank2(m, "m");
+  OPAD_EXPECTS(bias.rank() == 1 && bias.dim(0) == m.dim(1));
+  for (std::size_t i = 0; i < m.dim(0); ++i) {
+    auto row = m.row_span(i);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias.at(j);
+  }
+}
+
+Tensor sum_rows(const Tensor& m) {
+  check_rank2(m, "m");
+  Tensor out({m.dim(1)});
+  for (std::size_t i = 0; i < m.dim(0); ++i) {
+    auto row = m.row_span(i);
+    for (std::size_t j = 0; j < row.size(); ++j) out.at(j) += row[j];
+  }
+  return out;
+}
+
+std::size_t conv_out_size(std::size_t in, std::size_t k, std::size_t stride,
+                          std::size_t pad) {
+  OPAD_EXPECTS(stride > 0);
+  OPAD_EXPECTS_MSG(in + 2 * pad >= k, "kernel larger than padded input");
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad) {
+  OPAD_EXPECTS_MSG(image.rank() == 3, "im2col expects [c, h, w], got "
+                                          << shape_to_string(image.shape()));
+  const std::size_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  Tensor cols({c * kh * kw, oh * ow});
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        const std::size_t row = (ch * kh + ki) * kw + kj;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          // Input row index as signed to handle padding.
+          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi * stride +
+                                                                ki) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            float v = 0.0f;
+            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(h) && jj >= 0 &&
+                jj < static_cast<std::ptrdiff_t>(w)) {
+              v = image(ch, static_cast<std::size_t>(ii),
+                        static_cast<std::size_t>(jj));
+            }
+            cols(row, oi * ow + oj) = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::size_t c, std::size_t h,
+              std::size_t w, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad) {
+  OPAD_EXPECTS(cols.rank() == 2);
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  OPAD_EXPECTS(cols.dim(0) == c * kh * kw && cols.dim(1) == oh * ow);
+  Tensor image({c, h, w});
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        const std::size_t row = (ch * kh + ki) * kw + kj;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi * stride +
+                                                                ki) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+            image(ch, static_cast<std::size_t>(ii),
+                  static_cast<std::size_t>(jj)) += cols(row, oi * ow + oj);
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+float l2_distance(const Tensor& a, const Tensor& b) {
+  OPAD_EXPECTS(a.shape() == b.shape());
+  double ss = 0.0;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = static_cast<double>(da[i]) - db[i];
+    ss += d * d;
+  }
+  return static_cast<float>(std::sqrt(ss));
+}
+
+float linf_distance(const Tensor& a, const Tensor& b) {
+  OPAD_EXPECTS(a.shape() == b.shape());
+  float m = 0.0f;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    m = std::max(m, std::fabs(da[i] - db[i]));
+  }
+  return m;
+}
+
+void project_linf_ball(Tensor& x, const Tensor& center, float eps, float lo,
+                       float hi) {
+  OPAD_EXPECTS(x.shape() == center.shape());
+  OPAD_EXPECTS(eps >= 0.0f && lo <= hi);
+  auto dx = x.data();
+  auto dc = center.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const float low = std::max(dc[i] - eps, lo);
+    const float high = std::min(dc[i] + eps, hi);
+    dx[i] = std::clamp(dx[i], low, high);
+  }
+}
+
+}  // namespace opad

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace opad {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw IoError("CsvWriter: cannot open " + path);
+  OPAD_EXPECTS(!header.empty());
+  write_row(header);
+  rows_ = 0;  // header does not count
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  OPAD_EXPECTS_MSG(fields.size() == arity_,
+                   "CSV row arity " << fields.size() << " != header arity "
+                                    << arity_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw IoError("CsvWriter: write failed");
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double v : fields) {
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+}  // namespace opad

@@ -1,0 +1,35 @@
+// Minimal CSV writer used by benchmark harnesses to dump experiment rows
+// in a machine-readable form alongside the pretty console tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace opad {
+
+/// Streams rows of a fixed-width table to a CSV file. Fields containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws IoError if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience overload formatting doubles with full precision.
+  void write_row(const std::vector<double>& fields);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace opad

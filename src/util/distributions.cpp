@@ -1,0 +1,148 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/special_math.h"
+
+namespace opad {
+
+BetaDistribution::BetaDistribution(double a, double b) : a_(a), b_(b) {
+  OPAD_EXPECTS_MSG(a > 0.0 && b > 0.0,
+                   "Beta parameters must be positive, got a=" << a
+                                                              << " b=" << b);
+}
+
+double BetaDistribution::variance() const {
+  const double s = a_ + b_;
+  return a_ * b_ / (s * s * (s + 1.0));
+}
+
+double BetaDistribution::log_pdf(double x) const {
+  OPAD_EXPECTS(x >= 0.0 && x <= 1.0);
+  if (x == 0.0 || x == 1.0) {
+    // Handle boundary: pdf is finite only if the corresponding exponent
+    // is >= 1; otherwise the density diverges (return +inf) or is 0.
+    const double expo = (x == 0.0) ? a_ - 1.0 : b_ - 1.0;
+    if (expo > 0.0) return -std::numeric_limits<double>::infinity();
+    if (expo == 0.0)
+      return -log_beta(a_, b_);
+    return std::numeric_limits<double>::infinity();
+  }
+  return (a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log1p(-x) -
+         log_beta(a_, b_);
+}
+
+double BetaDistribution::cdf(double x) const {
+  return incomplete_beta(a_, b_, std::clamp(x, 0.0, 1.0));
+}
+
+double BetaDistribution::quantile(double p) const {
+  return incomplete_beta_inverse(a_, b_, p);
+}
+
+CategoricalDistribution::CategoricalDistribution(std::vector<double> probs)
+    : probs_(std::move(probs)) {
+  OPAD_EXPECTS(!probs_.empty());
+  double total = 0.0;
+  for (double p : probs_) {
+    OPAD_EXPECTS_MSG(p >= 0.0 && std::isfinite(p),
+                     "categorical probabilities must be non-negative");
+    total += p;
+  }
+  OPAD_EXPECTS_MSG(total > 0.0, "categorical probabilities must sum > 0");
+  for (double& p : probs_) p /= total;
+}
+
+double CategoricalDistribution::prob(std::size_t i) const {
+  OPAD_EXPECTS(i < probs_.size());
+  return probs_[i];
+}
+
+double CategoricalDistribution::log_prob(std::size_t i) const {
+  const double p = prob(i);
+  return p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+}
+
+std::size_t CategoricalDistribution::sample(Rng& rng) const {
+  return rng.categorical(probs_);
+}
+
+double CategoricalDistribution::kl_divergence(
+    const CategoricalDistribution& other) const {
+  OPAD_EXPECTS(probs_.size() == other.probs_.size());
+  double kl = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (probs_[i] == 0.0) continue;
+    OPAD_EXPECTS_MSG(other.probs_[i] > 0.0,
+                     "KL undefined: support mismatch at index " << i);
+    kl += probs_[i] * std::log(probs_[i] / other.probs_[i]);
+  }
+  return kl;
+}
+
+DiagonalGaussian::DiagonalGaussian(std::vector<double> mean,
+                                   std::vector<double> variance)
+    : mean_(std::move(mean)), var_(std::move(variance)) {
+  OPAD_EXPECTS(!mean_.empty());
+  OPAD_EXPECTS(mean_.size() == var_.size());
+  double log_det = 0.0;
+  for (double v : var_) {
+    OPAD_EXPECTS_MSG(v > 0.0, "Gaussian variances must be positive");
+    log_det += std::log(v);
+  }
+  log_norm_const_ =
+      -0.5 * (static_cast<double>(dim()) * std::log(2.0 * M_PI) + log_det);
+}
+
+double DiagonalGaussian::log_pdf(std::span<const double> x) const {
+  OPAD_EXPECTS(x.size() == mean_.size());
+  double quad = 0.0;
+  for (std::size_t i = 0; i < mean_.size(); ++i) {
+    const double d = x[i] - mean_[i];
+    quad += d * d / var_[i];
+  }
+  return log_norm_const_ - 0.5 * quad;
+}
+
+std::vector<double> DiagonalGaussian::sample(Rng& rng) const {
+  std::vector<double> x(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    x[i] = rng.normal(mean_[i], std::sqrt(var_[i]));
+  }
+  return x;
+}
+
+double mean(std::span<const double> values) {
+  OPAD_EXPECTS(!values.empty());
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  OPAD_EXPECTS(values.size() >= 2);
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double median(std::vector<double> values) {
+  return quantile(std::move(values), 0.5);
+}
+
+double quantile(std::vector<double> values, double q) {
+  OPAD_EXPECTS(!values.empty());
+  OPAD_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  // Linear interpolation between order statistics (type-7 quantile).
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace opad

@@ -1,0 +1,78 @@
+// Small value-type probability distributions used across the library
+// (Beta posteriors in the reliability model, categorical class priors in
+// the operational profile, diagonal Gaussians in OP estimators).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace opad {
+
+/// Beta(a, b) distribution. Used as the conjugate posterior over per-cell
+/// failure probabilities in the reliability model (RQ5).
+class BetaDistribution {
+ public:
+  BetaDistribution(double a, double b);
+
+  double alpha() const { return a_; }
+  double beta() const { return b_; }
+  double mean() const { return a_ / (a_ + b_); }
+  double variance() const;
+  double log_pdf(double x) const;
+  double cdf(double x) const;
+  /// Quantile function; p in [0, 1].
+  double quantile(double p) const;
+  double sample(Rng& rng) const { return rng.beta(a_, b_); }
+
+ private:
+  double a_;
+  double b_;
+};
+
+/// Categorical distribution over {0, ..., k-1}.
+class CategoricalDistribution {
+ public:
+  /// Probabilities must be non-negative with positive sum; they are
+  /// normalised internally.
+  explicit CategoricalDistribution(std::vector<double> probs);
+
+  std::size_t size() const { return probs_.size(); }
+  double prob(std::size_t i) const;
+  double log_prob(std::size_t i) const;
+  std::size_t sample(Rng& rng) const;
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// Kullback–Leibler divergence KL(this || other). Requires equal sizes
+  /// and other.prob(i) > 0 wherever this->prob(i) > 0.
+  double kl_divergence(const CategoricalDistribution& other) const;
+
+ private:
+  std::vector<double> probs_;
+};
+
+/// Diagonal-covariance multivariate Gaussian.
+class DiagonalGaussian {
+ public:
+  DiagonalGaussian(std::vector<double> mean, std::vector<double> variance);
+
+  std::size_t dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& variance() const { return var_; }
+  double log_pdf(std::span<const double> x) const;
+  std::vector<double> sample(Rng& rng) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> var_;
+  double log_norm_const_;
+};
+
+/// Summary statistics helpers.
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);  // sample variance (n-1)
+double median(std::vector<double> values);        // by copy; values sorted
+double quantile(std::vector<double> values, double q);  // empirical, q in [0,1]
+
+}  // namespace opad

@@ -1,0 +1,100 @@
+// Error handling primitives for the OpAD library.
+//
+// The library signals contract violations and unrecoverable conditions with
+// exceptions derived from opad::Error. The OPAD_EXPECTS / OPAD_ENSURES /
+// OPAD_CHECK macros capture the failing expression and source location so
+// that failures surface with enough context to debug without a core dump.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace opad {
+
+/// Base class for all exceptions thrown by the OpAD library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition (argument contract) was violated by the caller.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// A postcondition or internal invariant failed; indicates a library bug.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (serialisation, CSV output, ...) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or produced a non-finite value.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace opad
+
+/// Check a caller-facing precondition; throws opad::PreconditionError.
+#define OPAD_EXPECTS(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::opad::detail::fail_precondition(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// Check a caller-facing precondition with an explanatory message.
+#define OPAD_EXPECTS_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream opad_os_;                                          \
+      opad_os_ << msg;                                                      \
+      ::opad::detail::fail_precondition(#expr, __FILE__, __LINE__,          \
+                                        opad_os_.str());                    \
+    }                                                                       \
+  } while (0)
+
+/// Check an internal invariant / postcondition; throws opad::InvariantError.
+#define OPAD_ENSURES(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::opad::detail::fail_invariant(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+/// Check an internal invariant with an explanatory message.
+#define OPAD_ENSURES_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream opad_os_;                                          \
+      opad_os_ << msg;                                                      \
+      ::opad::detail::fail_invariant(#expr, __FILE__, __LINE__,             \
+                                     opad_os_.str());                       \
+    }                                                                       \
+  } while (0)

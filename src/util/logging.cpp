@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace opad {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sink_storage() {
+  static LogSink sink;  // empty => default stderr sink
+  return sink;
+}
+
+void default_sink(LogLevel level, const std::string& message) {
+  static std::mutex io_mutex;
+  std::lock_guard<std::mutex> lock(io_mutex);
+  std::cerr << "[" << log_level_name(level) << "] " << message << std::endl;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_min_level.store(level); }
+
+LogLevel log_level() { return g_min_level.load(); }
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  LogSink previous = std::move(sink_storage());
+  sink_storage() = std::move(sink);
+  return previous;
+}
+
+namespace detail {
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level.load())) return;
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex());
+    sink = sink_storage();
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace detail
+}  // namespace opad

@@ -1,0 +1,51 @@
+// Leveled logging with an injectable sink. The default sink writes to
+// stderr; tests install a capture sink. There is deliberately no global
+// mutable configuration beyond the process-wide minimum level, which is
+// set once at startup by executables.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace opad {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+
+/// Sets the process-wide minimum level (messages below it are dropped).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the log sink; returns the previous sink. Passing nullptr
+/// restores the default stderr sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+LogSink set_log_sink(LogSink sink);
+
+namespace detail {
+void log_message(LogLevel level, const std::string& message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace opad
+
+#define OPAD_LOG(level) ::opad::detail::LogStream(level)
+#define OPAD_DEBUG OPAD_LOG(::opad::LogLevel::kDebug)
+#define OPAD_INFO OPAD_LOG(::opad::LogLevel::kInfo)
+#define OPAD_WARN OPAD_LOG(::opad::LogLevel::kWarn)
+#define OPAD_ERROR OPAD_LOG(::opad::LogLevel::kError)

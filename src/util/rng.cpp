@@ -1,0 +1,208 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace opad {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64_next(sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  OPAD_EXPECTS_MSG(lo < hi, "uniform(lo, hi) requires lo < hi, got ["
+                                << lo << ", " << hi << ")");
+  return lo + (hi - lo) * uniform();
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  OPAD_EXPECTS(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = n;
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return static_cast<std::size_t>(v % bound);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  OPAD_EXPECTS(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sd) {
+  OPAD_EXPECTS(sd >= 0.0);
+  return mean + sd * normal();
+}
+
+double Rng::gamma(double shape, double scale) {
+  OPAD_EXPECTS(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape + 1 and correct (Marsaglia–Tsang trick).
+    const double u = std::max(uniform(), std::numeric_limits<double>::min());
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::beta(double a, double b) {
+  OPAD_EXPECTS(a > 0.0 && b > 0.0);
+  const double x = gamma(a, 1.0);
+  const double y = gamma(b, 1.0);
+  return x / (x + y);
+}
+
+bool Rng::bernoulli(double p) {
+  OPAD_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  OPAD_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    OPAD_EXPECTS_MSG(w >= 0.0 && std::isfinite(w),
+                     "categorical weights must be finite and non-negative");
+    total += w;
+  }
+  OPAD_EXPECTS_MSG(total > 0.0, "categorical weights must have positive sum");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point slack: return the last index with positive weight.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  OPAD_EXPECTS(k <= n);
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Partial Fisher–Yates: only the first k positions need to be finalised.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + uniform_index(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+std::vector<std::size_t> Rng::weighted_sample_without_replacement(
+    std::span<const double> weights, std::size_t k) {
+  OPAD_EXPECTS(k <= weights.size());
+  std::size_t positive = 0;
+  for (double w : weights) {
+    OPAD_EXPECTS_MSG(w >= 0.0 && std::isfinite(w),
+                     "sampling weights must be finite and non-negative");
+    if (w > 0.0) ++positive;
+  }
+  OPAD_EXPECTS_MSG(positive >= k,
+                   "need at least k positive weights: have "
+                       << positive << ", requested " << k);
+  // Efraimidis–Spirakis: key_i = u_i^(1/w_i); take the k largest keys.
+  // Work in log-space for numerical stability: log key = log(u)/w.
+  using Entry = std::pair<double, std::size_t>;  // (log key, index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    const double u = std::max(uniform(), std::numeric_limits<double>::min());
+    const double log_key = std::log(u) / weights[i];
+    if (heap.size() < k) {
+      heap.emplace(log_key, i);
+    } else if (log_key > heap.top().first) {
+      heap.pop();
+      heap.emplace(log_key, i);
+    }
+  }
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());  // best key first
+  return out;
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+}  // namespace opad

@@ -1,0 +1,206 @@
+#include "util/special_math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace opad {
+
+double log_gamma(double x) {
+  OPAD_EXPECTS_MSG(x > 0.0, "log_gamma requires x > 0, got " << x);
+  // Lanczos approximation, g = 7, n = 9.
+  static const double coeffs[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = coeffs[0];
+  for (int i = 1; i < 9; ++i) sum += coeffs[i] / (z + i);
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+double log_beta(double a, double b) {
+  return log_gamma(a) + log_gamma(b) - log_gamma(a + b);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta (Lentz's method).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) return h;
+  }
+  throw NumericError("incomplete_beta continued fraction did not converge");
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  OPAD_EXPECTS(a > 0.0 && b > 0.0);
+  OPAD_EXPECTS_MSG(x >= 0.0 && x <= 1.0,
+                   "incomplete_beta requires x in [0,1], got " << x);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front =
+      a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - std::exp(b * std::log1p(-x) + a * std::log(x) -
+                        log_beta(b, a)) *
+                   beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double incomplete_beta_inverse(double a, double b, double p) {
+  OPAD_EXPECTS(a > 0.0 && b > 0.0);
+  OPAD_EXPECTS_MSG(p >= 0.0 && p <= 1.0,
+                   "quantile level must be in [0,1], got " << p);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+
+  // Bisection with Newton acceleration; the CDF is monotone, so this is
+  // globally convergent.
+  double lo = 0.0, hi = 1.0;
+  double x = a / (a + b);  // mean as the initial guess
+  const double log_beta_ab = log_beta(a, b);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double f = incomplete_beta(a, b, x) - p;
+    if (std::fabs(f) < 1e-13) break;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Newton step using the Beta pdf as the derivative.
+    double step_x = x;
+    if (x > 0.0 && x < 1.0) {
+      const double log_pdf = (a - 1.0) * std::log(x) +
+                             (b - 1.0) * std::log1p(-x) - log_beta_ab;
+      const double pdf = std::exp(log_pdf);
+      if (pdf > 1e-300) step_x = x - f / pdf;
+    }
+    if (step_x <= lo || step_x >= hi || !std::isfinite(step_x)) {
+      step_x = 0.5 * (lo + hi);  // fall back to bisection
+    }
+    if (std::fabs(step_x - x) < 1e-15) {
+      x = step_x;
+      break;
+    }
+    x = step_x;
+  }
+  return std::clamp(x, 0.0, 1.0);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  OPAD_EXPECTS_MSG(p > 0.0 && p < 1.0,
+                   "normal_quantile requires p in (0,1), got " << p);
+  // Acklam's rational approximation followed by one Halley polish step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // Halley refinement.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double log_add_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log1p(std::exp(std::min(a, b) - m));
+}
+
+double log_sum_exp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+double digamma(double x) {
+  OPAD_EXPECTS(x > 0.0);
+  double result = 0.0;
+  // Shift x up until the asymptotic series is accurate.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+}  // namespace opad

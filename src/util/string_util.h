@@ -1,0 +1,25 @@
+// Small string helpers shared by reporting code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opad {
+
+/// Joins `parts` with `sep` between them.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delim);
+
+/// Formats `v` with `decimals` fixed decimals.
+std::string format_fixed(double v, int decimals);
+
+/// Formats a ratio such as "3.2x" (one decimal), used in speedup columns.
+std::string format_ratio(double v);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+}  // namespace opad

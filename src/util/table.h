@@ -1,0 +1,33 @@
+// Console table printer: the benchmark binaries use this to emit the
+// paper-style tables with aligned columns so the output in
+// bench_output.txt reads like the tables in EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opad {
+
+/// Collects rows and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given number of significant decimals.
+  static std::string num(double v, int decimals = 4);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opad

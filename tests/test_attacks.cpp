@@ -1,0 +1,300 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "attack/genetic_fuzzer.h"
+#include "attack/natural_fuzzer.h"
+#include "attack/pgd.h"
+#include "attack/random_fuzzer.h"
+#include "naturalness/density_naturalness.h"
+#include "op/generator_profile.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+/// Shared fixture: a model trained on the ring task plus boundary seeds.
+class AttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new testing::RingTask(testing::make_ring_task(600, 200, 7));
+    Rng rng(8);
+    model_ = new Classifier(testing::train_mlp(task_->train, 24, 25, rng));
+    profile_ = std::make_shared<GaussianGeneratorProfile>(task_->generator);
+    metric_ = std::make_shared<DensityNaturalness>(profile_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete task_;
+    model_ = nullptr;
+    task_ = nullptr;
+    profile_.reset();
+    metric_.reset();
+  }
+
+  /// A seed near the decision boundary between classes 0 and 1 that the
+  /// model classifies correctly (so an AE is findable at moderate eps).
+  LabeledSample boundary_seed(Rng& rng) const {
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+      LabeledSample s = task_->generator.sample(rng);
+      const Tensor probs = model_->probabilities_single(s.x);
+      const int pred = static_cast<int>(probs.argmax());
+      const double margin =
+          probability_margin_of(probs);
+      if (pred == s.y && margin < 0.6) return s;
+    }
+    // Fall back to any correctly classified sample.
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+      LabeledSample s = task_->generator.sample(rng);
+      if (model_->predict_single(s.x) == s.y) return s;
+    }
+    throw std::runtime_error("no usable seed found");
+  }
+
+  static double probability_margin_of(const Tensor& probs) {
+    float top1 = -1.0f, top2 = -1.0f;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      const float p = probs.at(i);
+      if (p > top1) {
+        top2 = top1;
+        top1 = p;
+      } else if (p > top2) {
+        top2 = p;
+      }
+    }
+    return top1 - top2;
+  }
+
+  static BallConfig wide_ball() {
+    BallConfig ball;
+    ball.eps = 0.6f;
+    ball.input_lo = -5.0f;
+    ball.input_hi = 5.0f;
+    return ball;
+  }
+
+  static testing::RingTask* task_;
+  static Classifier* model_;
+  static ProfilePtr profile_;
+  static NaturalnessPtr metric_;
+};
+
+testing::RingTask* AttackTest::task_ = nullptr;
+Classifier* AttackTest::model_ = nullptr;
+ProfilePtr AttackTest::profile_;
+NaturalnessPtr AttackTest::metric_;
+
+TEST_F(AttackTest, FgsmRespectsBall) {
+  Rng rng(1);
+  const Fgsm attack(wide_ball());
+  const auto seed = boundary_seed(rng);
+  const AttackResult result = attack.run(*model_, seed.x, seed.y, rng);
+  EXPECT_LE(linf_distance(result.adversarial, seed.x), 0.6f + 1e-5f);
+  EXPECT_LE(result.adversarial.max(), 5.0f);
+  EXPECT_GE(result.adversarial.min(), -5.0f);
+}
+
+TEST_F(AttackTest, PgdFindsAeOnBoundarySeeds) {
+  Rng rng(2);
+  PgdConfig config;
+  config.ball = wide_ball();
+  config.steps = 20;
+  config.restarts = 3;
+  const Pgd attack(config);
+  int found = 0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    const auto seed = boundary_seed(rng);
+    const AttackResult result = attack.run(*model_, seed.x, seed.y, rng);
+    EXPECT_LE(result.linf_distance, config.ball.eps + 1e-5f);
+    if (result.success) {
+      ++found;
+      // A success really is a misclassification.
+      EXPECT_NE(model_->predict_single(result.adversarial), seed.y);
+    }
+  }
+  EXPECT_GE(found, trials / 2) << "PGD should crack most boundary seeds";
+}
+
+TEST_F(AttackTest, PgdBeatsFgsmOrMatches) {
+  Rng rng(3);
+  PgdConfig pc;
+  pc.ball = wide_ball();
+  pc.steps = 20;
+  pc.restarts = 3;
+  const Pgd pgd(pc);
+  const Fgsm fgsm(wide_ball());
+  int pgd_wins = 0, fgsm_wins = 0;
+  for (int i = 0; i < 15; ++i) {
+    const auto seed = boundary_seed(rng);
+    pgd_wins += pgd.run(*model_, seed.x, seed.y, rng).success ? 1 : 0;
+    fgsm_wins += fgsm.run(*model_, seed.x, seed.y, rng).success ? 1 : 0;
+  }
+  EXPECT_GE(pgd_wins, fgsm_wins);
+}
+
+TEST_F(AttackTest, QueryAccountingPositive) {
+  Rng rng(4);
+  PgdConfig config;
+  config.ball = wide_ball();
+  config.steps = 5;
+  config.restarts = 1;
+  const Pgd attack(config);
+  const auto seed = boundary_seed(rng);
+  const AttackResult result =
+      run_with_query_accounting(attack, *model_, seed.x, seed.y, rng);
+  EXPECT_GT(result.queries, 0u);
+  // 5 gradient queries + <= 5 prediction checks.
+  EXPECT_LE(result.queries, 11u);
+}
+
+TEST_F(AttackTest, RandomFuzzerStaysInBallAndSometimesWins) {
+  Rng rng(5);
+  RandomFuzzerConfig config;
+  config.ball = wide_ball();
+  config.trials = 60;
+  const RandomFuzzer attack(config);
+  int found = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto seed = boundary_seed(rng);
+    const AttackResult r = attack.run(*model_, seed.x, seed.y, rng);
+    EXPECT_LE(r.linf_distance, config.ball.eps + 1e-5f);
+    found += r.success ? 1 : 0;
+  }
+  EXPECT_GE(found, 1) << "random fuzzing should crack some boundary seeds";
+}
+
+TEST_F(AttackTest, GeneticFuzzerFindsAes) {
+  Rng rng(6);
+  GeneticFuzzerConfig config;
+  config.ball = wide_ball();
+  const GeneticFuzzer attack(config);
+  int found = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto seed = boundary_seed(rng);
+    const AttackResult r = attack.run(*model_, seed.x, seed.y, rng);
+    EXPECT_LE(r.linf_distance, config.ball.eps + 1e-5f);
+    if (r.success) {
+      ++found;
+      EXPECT_NE(model_->predict_single(r.adversarial), seed.y);
+    }
+  }
+  EXPECT_GE(found, 3);
+}
+
+TEST_F(AttackTest, NaturalFuzzerEqualsPgdWhenLambdaZero) {
+  // lambda = 0, no tau: structurally the same search as PGD.
+  Rng rng_a(77), rng_b(77);
+  NaturalFuzzerConfig nf;
+  nf.ball = wide_ball();
+  nf.steps = 15;
+  nf.restarts = 2;
+  nf.lambda = 0.0;
+  const NaturalnessGuidedFuzzer fuzzer(nf, metric_);
+  PgdConfig pc;
+  pc.ball = nf.ball;
+  pc.steps = 15;
+  pc.restarts = 2;
+  const Pgd pgd(pc);
+  int agree = 0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    Rng seed_rng(1000 + i);
+    const auto seed = boundary_seed(seed_rng);
+    const bool a = fuzzer.run(*model_, seed.x, seed.y, rng_a).success;
+    const bool b = pgd.run(*model_, seed.x, seed.y, rng_b).success;
+    if (a == b) ++agree;
+  }
+  EXPECT_GE(agree, trials - 2);
+}
+
+TEST_F(AttackTest, NaturalFuzzerFindsMoreNaturalAes) {
+  Rng rng(9);
+  NaturalFuzzerConfig nf;
+  nf.ball = wide_ball();
+  nf.steps = 20;
+  nf.restarts = 3;
+  nf.lambda = 1.5;
+  const NaturalnessGuidedFuzzer natural(nf, metric_);
+  PgdConfig pc;
+  pc.ball = nf.ball;
+  pc.steps = 20;
+  pc.restarts = 3;
+  const Pgd pgd(pc);
+
+  double natural_score = 0.0, pgd_score = 0.0;
+  int both = 0;
+  for (int i = 0; i < 30 && both < 12; ++i) {
+    const auto seed = boundary_seed(rng);
+    const AttackResult rn = natural.run(*model_, seed.x, seed.y, rng);
+    const AttackResult rp = pgd.run(*model_, seed.x, seed.y, rng);
+    if (rn.success && rp.success) {
+      natural_score += metric_->score(rn.adversarial);
+      pgd_score += metric_->score(rp.adversarial);
+      ++both;
+    }
+  }
+  ASSERT_GE(both, 5);
+  // The naturalness-guided fuzzer's AEs live at higher OP density on
+  // average — the central claim of RQ3.
+  EXPECT_GT(natural_score / both, pgd_score / both);
+}
+
+TEST_F(AttackTest, NaturalFuzzerImpossibleTauStillReturnsBestAe) {
+  // tau acts as an early-stop target, not a rejection filter: with an
+  // unreachable tau the fuzzer spends its polish budget and returns the
+  // most natural AE it found (classification is the caller's job).
+  Rng rng(10);
+  NaturalFuzzerConfig nf;
+  nf.ball = wide_ball();
+  nf.steps = 20;
+  nf.restarts = 2;
+  nf.lambda = 1.0;
+  nf.tau = 1e9;
+  nf.polish_steps = 3;
+  const NaturalnessGuidedFuzzer fuzzer(nf, metric_);
+  int successes = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto seed = boundary_seed(rng);
+    const AttackResult r = fuzzer.run(*model_, seed.x, seed.y, rng);
+    if (r.success) {
+      ++successes;
+      EXPECT_NE(model_->predict_single(r.adversarial), seed.y);
+      EXPECT_LT(metric_->score(r.adversarial), 1e9);
+    }
+  }
+  EXPECT_GE(successes, 3);
+}
+
+TEST_F(AttackTest, NaturalFuzzerValidatesConfig) {
+  NaturalFuzzerConfig nf;
+  nf.ball = wide_ball();
+  nf.lambda = -1.0;
+  EXPECT_THROW(NaturalnessGuidedFuzzer(nf, metric_), PreconditionError);
+  nf.lambda = 1.0;
+  EXPECT_THROW(NaturalnessGuidedFuzzer(nf, nullptr), PreconditionError);
+}
+
+TEST(AttackConfigs, ValidateParameters) {
+  BallConfig bad_ball;
+  bad_ball.eps = 0.0f;
+  EXPECT_THROW(Fgsm{bad_ball}, PreconditionError);
+  PgdConfig pc;
+  pc.ball.eps = 0.1f;
+  pc.steps = 0;
+  EXPECT_THROW(Pgd{pc}, PreconditionError);
+  RandomFuzzerConfig rc;
+  rc.ball.eps = 0.1f;
+  rc.trials = 0;
+  EXPECT_THROW(RandomFuzzer{rc}, PreconditionError);
+  GeneticFuzzerConfig gc;
+  gc.ball.eps = 0.1f;
+  gc.population = 2;
+  EXPECT_THROW(GeneticFuzzer{gc}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

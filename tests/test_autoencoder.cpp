@@ -1,0 +1,110 @@
+#include "nn/autoencoder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+AutoencoderConfig small_config() {
+  AutoencoderConfig config;
+  config.latent_dim = 2;
+  config.encoder_hidden = {16};
+  config.epochs = 60;
+  config.learning_rate = 5e-3;
+  return config;
+}
+
+TEST(Autoencoder, ShapesAreConsistent) {
+  Rng rng(1);
+  Autoencoder ae(8, small_config(), rng);
+  EXPECT_EQ(ae.input_dim(), 8u);
+  EXPECT_EQ(ae.latent_dim(), 2u);
+  const Tensor x = Tensor::randn({5, 8}, rng);
+  EXPECT_EQ(ae.reconstruct(x).shape(), (Shape{5, 8}));
+  EXPECT_EQ(ae.encode(x).shape(), (Shape{5, 2}));
+}
+
+TEST(Autoencoder, TrainingReducesReconstructionError) {
+  Rng rng(2);
+  auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.1);
+  const Dataset data = generator.make_dataset(400, rng);
+  // Pad 2-D data into 6-D with correlated features so there is structure
+  // to compress.
+  Tensor inputs({data.size(), 6});
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < 6; ++j) {
+      inputs(i, j) = row[j % 2] * (j < 2 ? 1.0f : 0.5f);
+    }
+  }
+  Autoencoder ae(6, small_config(), rng);
+  const auto before = ae.reconstruction_errors(inputs);
+  const double final_loss = ae.train(inputs, rng);
+  const auto after = ae.reconstruction_errors(inputs);
+  double mean_before = 0.0, mean_after = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    mean_before += before[i];
+    mean_after += after[i];
+  }
+  EXPECT_LT(mean_after, mean_before * 0.5);
+  EXPECT_LT(final_loss, mean_before / before.size());
+}
+
+TEST(Autoencoder, OffManifoldInputsReconstructWorse) {
+  Rng rng(3);
+  auto generator = GaussianClustersGenerator::make_ring(4, 2.0, 0.05);
+  const Dataset data = generator.make_dataset(500, rng);
+  Autoencoder ae(2, small_config(), rng);
+  ae.train(data.inputs(), rng);
+
+  // On-manifold: fresh samples from the same process.
+  double on_err = 0.0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    on_err += ae.reconstruction_error(generator.sample(rng).x);
+  }
+  on_err /= n;
+  // Off-manifold: points far from every cluster.
+  double off_err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Tensor x({2});
+    x.at(0) = static_cast<float>(rng.uniform(6.0, 9.0));
+    x.at(1) = static_cast<float>(rng.uniform(6.0, 9.0));
+    off_err += ae.reconstruction_error(x);
+  }
+  off_err /= n;
+  EXPECT_GT(off_err, on_err * 3.0);
+}
+
+TEST(Autoencoder, ErrorGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Autoencoder ae(4, small_config(), rng);
+  // Train briefly so the function is not trivially linear around 0.
+  const Tensor data = Tensor::rand_uniform({100, 4}, rng);
+  ae.train(data, rng);
+  const Tensor x = Tensor::rand_uniform({4}, rng);
+  const Tensor analytic = ae.error_input_gradient(x);
+  auto objective = [&ae](const Tensor& probe) {
+    return ae.reconstruction_error(probe);
+  };
+  const Tensor numeric = testing::numerical_gradient(objective, x, 1e-2f);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(analytic.at(i), numeric.at(i),
+                5e-2f * (1.0f + std::fabs(numeric.at(i))));
+  }
+}
+
+TEST(Autoencoder, RejectsBadInputs) {
+  Rng rng(5);
+  Autoencoder ae(4, small_config(), rng);
+  EXPECT_THROW(ae.reconstruction_error(Tensor({3})), PreconditionError);
+  EXPECT_THROW(ae.train(Tensor({0, 4}), rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

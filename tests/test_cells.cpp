@@ -1,0 +1,187 @@
+#include "op/cells.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace opad {
+namespace {
+
+TEST(Pca, RecoversDominantDirection) {
+  Rng rng(1);
+  // Data varies strongly along (1, 1)/sqrt(2), weakly orthogonal.
+  Tensor data({500, 2});
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double t = rng.normal() * 5.0;
+    const double s = rng.normal() * 0.1;
+    data(i, 0) = static_cast<float>(t + s);
+    data(i, 1) = static_cast<float>(t - s);
+  }
+  const PcaResult pca = fit_pca(data, 2, rng);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  // First component is (±1/sqrt2, ±1/sqrt2).
+  EXPECT_NEAR(std::fabs(pca.components(0, 0)), inv_sqrt2, 0.02);
+  EXPECT_NEAR(std::fabs(pca.components(0, 1)), inv_sqrt2, 0.02);
+  // Eigenvalues ordered and reflect the variances.
+  EXPECT_GT(pca.variances[0], pca.variances[1] * 50.0);
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Rng rng(2);
+  const Tensor data = Tensor::randn({300, 5}, rng);
+  const PcaResult pca = fit_pca(data, 3, rng);
+  for (std::size_t a = 0; a < 3; ++a) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      norm += pca.components(a, j) * pca.components(a, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-3);
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      double dot = 0.0;
+      for (std::size_t j = 0; j < 5; ++j) {
+        dot += pca.components(a, j) * pca.components(b, j);
+      }
+      EXPECT_NEAR(dot, 0.0, 1e-3);
+    }
+  }
+}
+
+TEST(Pca, ProjectionCentersData) {
+  Rng rng(3);
+  Tensor data({200, 3});
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      data(i, j) = static_cast<float>(10.0 + rng.normal());
+    }
+  }
+  const PcaResult pca = fit_pca(data, 2, rng);
+  // Mean of projections is ~0.
+  std::vector<double> mean_proj(2, 0.0);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto p = pca_project(pca, data.row(i));
+    mean_proj[0] += p[0];
+    mean_proj[1] += p[1];
+  }
+  EXPECT_NEAR(mean_proj[0] / 200.0, 0.0, 0.05);
+  EXPECT_NEAR(mean_proj[1] / 200.0, 0.0, 0.05);
+}
+
+TEST(CellPartition, DirectGridIndexing) {
+  const CellPartition grid({0.0, 0.0}, {1.0, 1.0}, 4);
+  EXPECT_EQ(grid.cell_count(), 16u);
+  EXPECT_EQ(grid.grid_dims(), 2u);
+  EXPECT_FALSE(grid.is_projected());
+  Tensor x({2});
+  x.at(0) = 0.1f;
+  x.at(1) = 0.1f;
+  EXPECT_EQ(grid.cell_index(x), 0u);
+  x.at(0) = 0.9f;
+  x.at(1) = 0.9f;
+  EXPECT_EQ(grid.cell_index(x), 15u);
+  x.at(0) = 0.3f;  // bin 1
+  x.at(1) = 0.6f;  // bin 2
+  EXPECT_EQ(grid.cell_index(x), 1u * 4u + 2u);
+}
+
+TEST(CellPartition, OutOfBoxClampsToBoundary) {
+  const CellPartition grid({0.0}, {1.0}, 10);
+  Tensor low({1});
+  low.at(0) = -5.0f;
+  Tensor high({1});
+  high.at(0) = 42.0f;
+  EXPECT_EQ(grid.cell_index(low), 0u);
+  EXPECT_EQ(grid.cell_index(high), 9u);
+}
+
+TEST(CellPartition, CellCenterInvertsIndex) {
+  const CellPartition grid({0.0, -1.0}, {2.0, 1.0}, 5);
+  for (std::size_t c = 0; c < grid.cell_count(); ++c) {
+    const auto center = grid.cell_center(c);
+    Tensor x({2});
+    x.at(0) = static_cast<float>(center[0]);
+    x.at(1) = static_cast<float>(center[1]);
+    EXPECT_EQ(grid.cell_index(x), c);
+  }
+}
+
+TEST(CellPartition, CellVolume) {
+  const CellPartition grid({0.0, 0.0}, {2.0, 4.0}, 4);
+  EXPECT_NEAR(grid.cell_volume(), (2.0 / 4.0) * (4.0 / 4.0), 1e-12);
+}
+
+TEST(CellPartition, SampleInCellLandsInCell) {
+  Rng rng(4);
+  const CellPartition grid({0.0, 0.0}, {1.0, 1.0}, 3);
+  for (std::size_t c = 0; c < grid.cell_count(); ++c) {
+    for (int i = 0; i < 5; ++i) {
+      const Tensor x = grid.sample_in_cell(c, rng);
+      EXPECT_EQ(grid.cell_index(x), c);
+    }
+  }
+}
+
+TEST(CellPartition, FitCoversData) {
+  Rng rng(5);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.2);
+  const Dataset data = generator.make_dataset(300, rng);
+  const CellPartition grid =
+      CellPartition::fit(data.inputs(), 8, 2, rng);
+  EXPECT_FALSE(grid.is_projected());
+  // Every data point maps into a valid cell.
+  std::set<std::size_t> used;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::size_t c = grid.cell_index(data.sample(i).x);
+    ASSERT_LT(c, grid.cell_count());
+    used.insert(c);
+  }
+  // Multiple distinct cells are occupied (3 clusters on a ring).
+  EXPECT_GE(used.size(), 3u);
+}
+
+TEST(CellPartition, FitProjectsHighDimensionalData) {
+  Rng rng(6);
+  const Tensor data = Tensor::rand_uniform({100, 16}, rng);
+  const CellPartition grid = CellPartition::fit(data, 4, 2, rng);
+  EXPECT_TRUE(grid.is_projected());
+  EXPECT_EQ(grid.grid_dims(), 2u);
+  EXPECT_EQ(grid.input_dim(), 16u);
+  EXPECT_EQ(grid.cell_count(), 16u);
+  for (std::size_t i = 0; i < data.dim(0); ++i) {
+    ASSERT_LT(grid.cell_index(data.row(i)), 16u);
+  }
+  // Sampling from a projected partition is not invertible.
+  EXPECT_THROW(grid.sample_in_cell(0, rng), PreconditionError);
+}
+
+TEST(CellPartition, ValidatesBox) {
+  EXPECT_THROW(CellPartition({1.0}, {0.0}, 4), PreconditionError);
+  EXPECT_THROW(CellPartition({0.0}, {1.0}, 0), PreconditionError);
+  EXPECT_THROW(CellPartition({}, {}, 4), PreconditionError);
+}
+
+// Property: for a grid over data with k bins per dim and d dims, cell
+// indices are a bijection between bin coordinate vectors and flat indices.
+class CellIndexBijectivity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CellIndexBijectivity, CentersHaveDistinctIndices) {
+  const std::size_t bins = GetParam();
+  const CellPartition grid({0.0, 0.0}, {1.0, 1.0}, bins);
+  std::set<std::size_t> seen;
+  for (std::size_t c = 0; c < grid.cell_count(); ++c) {
+    const auto center = grid.cell_center(c);
+    Tensor x({2});
+    x.at(0) = static_cast<float>(center[0]);
+    x.at(1) = static_cast<float>(center[1]);
+    seen.insert(grid.cell_index(x));
+  }
+  EXPECT_EQ(seen.size(), grid.cell_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, CellIndexBijectivity,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace opad

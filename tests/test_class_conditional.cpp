@@ -1,0 +1,153 @@
+#include "op/class_conditional.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "op/divergence.h"
+#include "op/generator_profile.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+ClassConditionalConfig small_config() {
+  ClassConditionalConfig config;
+  config.gmm.components = 1;
+  return config;
+}
+
+TEST(ClassConditional, FitsAndReportsPriors) {
+  Rng rng(1);
+  const auto world = GaussianClustersGenerator::make_ring(3, 2.0, 0.2)
+                         .with_class_priors({0.6, 0.3, 0.1});
+  const Dataset data = world.make_dataset(600, rng);
+  const auto profile =
+      ClassConditionalProfile::fit(data, small_config(), rng);
+  EXPECT_EQ(profile.num_classes(), 3u);
+  EXPECT_EQ(profile.dim(), 2u);
+  const auto priors = profile.class_priors();
+  EXPECT_NEAR(priors[0], 0.6, 0.07);
+  EXPECT_NEAR(priors[2], 0.1, 0.05);
+  double total = 0.0;
+  for (double p : priors) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ClassConditional, DensityApproximatesTrueOp) {
+  Rng rng(2);
+  const auto world = GaussianClustersGenerator::make_ring(3, 2.5, 0.3)
+                         .with_class_priors({0.5, 0.35, 0.15});
+  const GaussianGeneratorProfile truth(world);
+  const Dataset data = world.make_dataset(800, rng);
+  const auto learned =
+      ClassConditionalProfile::fit(data, small_config(), rng);
+  EXPECT_LT(kl_divergence_mc(truth, learned, 2000, rng), 0.15);
+}
+
+TEST(ClassConditional, LabelledSamplesFollowPriorsAndClusters) {
+  Rng rng(3);
+  const auto world = GaussianClustersGenerator::make_ring(3, 3.0, 0.1)
+                         .with_class_priors({0.7, 0.2, 0.1});
+  const Dataset data = world.make_dataset(600, rng);
+  const auto profile =
+      ClassConditionalProfile::fit(data, small_config(), rng);
+  std::vector<int> counts(3, 0);
+  int oracle_agree = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const LabeledSample s = profile.sample_labelled(rng);
+    counts[static_cast<std::size_t>(s.y)]++;
+    // The generated label should agree with the true world's Bayes rule
+    // (clusters are well separated at variance 0.1).
+    if (world.true_label(s.x) == s.y) ++oracle_agree;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.7, 0.03);
+  EXPECT_GT(oracle_agree, n * 95 / 100);
+}
+
+TEST(ClassConditional, MakeLabelledDatasetShape) {
+  Rng rng(4);
+  const auto world = GaussianClustersGenerator::make_ring(3, 2.0, 0.2);
+  const Dataset data = world.make_dataset(300, rng);
+  const auto profile =
+      ClassConditionalProfile::fit(data, small_config(), rng);
+  const Dataset generated = profile.make_labelled_dataset(120, rng);
+  EXPECT_EQ(generated.size(), 120u);
+  EXPECT_EQ(generated.dim(), 2u);
+  EXPECT_EQ(generated.num_classes(), 3u);
+}
+
+TEST(ClassConditional, OracleMatchesTrueBayesOnSeparatedClusters) {
+  Rng rng(5);
+  const auto world = GaussianClustersGenerator::make_ring(4, 3.0, 0.15);
+  const Dataset data = world.make_dataset(800, rng);
+  const auto profile =
+      ClassConditionalProfile::fit(data, small_config(), rng);
+  int agree = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const auto s = world.sample(rng);
+    if (profile.true_label(s.x) == world.true_label(s.x)) ++agree;
+  }
+  EXPECT_GT(agree, n * 95 / 100);
+}
+
+TEST(ClassConditional, PosteriorSumsToOne) {
+  Rng rng(6);
+  const auto world = GaussianClustersGenerator::make_ring(3, 2.0, 0.3);
+  const Dataset data = world.make_dataset(300, rng);
+  const auto profile =
+      ClassConditionalProfile::fit(data, small_config(), rng);
+  for (int i = 0; i < 20; ++i) {
+    const Tensor x = Tensor::randn({2}, rng, 0.0f, 2.0f);
+    const auto post = profile.class_posterior(x);
+    double total = 0.0;
+    for (double p : post) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ClassConditional, GradientMatchesFiniteDifference) {
+  Rng rng(7);
+  const auto world = GaussianClustersGenerator::make_ring(3, 2.0, 0.4);
+  const Dataset data = world.make_dataset(400, rng);
+  const auto profile =
+      ClassConditionalProfile::fit(data, small_config(), rng);
+  ASSERT_TRUE(profile.has_gradient());
+  for (int trial = 0; trial < 4; ++trial) {
+    const Tensor x = Tensor::randn({2}, rng, 0.5f, 1.5f);
+    const Tensor analytic = profile.log_density_gradient(x);
+    auto objective = [&profile](const Tensor& probe) {
+      return profile.log_density(probe);
+    };
+    const Tensor numeric = testing::numerical_gradient(objective, x);
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(analytic.at(j), numeric.at(j),
+                  5e-2 * (1.0 + std::fabs(numeric.at(j))));
+    }
+  }
+}
+
+TEST(ClassConditional, HandlesSparseClasses) {
+  // One class has very few samples: the fit must not throw and the
+  // sparse class must still carry positive prior and density.
+  Rng rng(8);
+  const auto world = GaussianClustersGenerator::make_ring(3, 2.0, 0.2)
+                         .with_class_priors({0.94, 0.05, 0.01});
+  const Dataset data = world.make_dataset(150, rng);
+  ClassConditionalConfig config;
+  config.gmm.components = 2;
+  const auto profile = ClassConditionalProfile::fit(data, config, rng);
+  EXPECT_GT(profile.class_priors()[2], 0.0);
+  // Density is finite everywhere the world generates.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(std::isfinite(profile.log_density(world.sample(rng).x)));
+  }
+}
+
+}  // namespace
+}  // namespace opad

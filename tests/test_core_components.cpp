@@ -1,0 +1,260 @@
+// Unit tests for the core pipeline components: BudgetTracker,
+// TestCaseGenerator (RQ3 wrapper), AdversarialRetrainer (RQ4), and
+// ReliabilityAssessor (RQ5).
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "attack/pgd.h"
+#include "attack/random_fuzzer.h"
+#include "core/assessor.h"
+#include "core/retrainer.h"
+#include "core/test_generator.h"
+#include "naturalness/density_naturalness.h"
+#include "nn/metrics.h"
+#include "op/generator_profile.h"
+#include "reliability/ground_truth.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+class CoreComponentsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new testing::RingTask(testing::make_ring_task(600, 200, 31));
+    Rng rng(32);
+    model_snapshot_ = new Classifier(
+        testing::train_mlp(task_->train, 24, 25, rng));
+    profile_ = std::make_shared<GaussianGeneratorProfile>(task_->generator);
+    metric_ = std::make_shared<DensityNaturalness>(profile_);
+    tau_ = naturalness_threshold(*metric_, task_->test.inputs(), 0.05);
+  }
+  static void TearDownTestSuite() {
+    delete model_snapshot_;
+    delete task_;
+    model_snapshot_ = nullptr;
+    task_ = nullptr;
+    profile_.reset();
+    metric_.reset();
+  }
+
+  static AttackPtr make_attack() {
+    PgdConfig config;
+    config.ball.eps = 0.5f;
+    config.ball.input_lo = -5.0f;
+    config.ball.input_hi = 5.0f;
+    config.steps = 10;
+    config.restarts = 2;
+    return std::make_shared<Pgd>(config);
+  }
+
+  static testing::RingTask* task_;
+  static Classifier* model_snapshot_;
+  static ProfilePtr profile_;
+  static NaturalnessPtr metric_;
+  static double tau_;
+};
+
+testing::RingTask* CoreComponentsTest::task_ = nullptr;
+Classifier* CoreComponentsTest::model_snapshot_ = nullptr;
+ProfilePtr CoreComponentsTest::profile_;
+NaturalnessPtr CoreComponentsTest::metric_;
+double CoreComponentsTest::tau_ = 0.0;
+
+TEST(BudgetTracker, TracksConsumption) {
+  BudgetTracker budget(100);
+  EXPECT_EQ(budget.total(), 100u);
+  EXPECT_EQ(budget.remaining(), 100u);
+  EXPECT_FALSE(budget.exhausted());
+  budget.consume(60);
+  EXPECT_EQ(budget.used(), 60u);
+  EXPECT_EQ(budget.remaining(), 40u);
+  budget.consume(50);  // overshoot allowed
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.remaining(), 0u);
+  EXPECT_THROW(BudgetTracker(0), PreconditionError);
+}
+
+TEST_F(CoreComponentsTest, GeneratorFindsAndClassifiesAes) {
+  Rng rng(33);
+  const TestCaseGenerator generator(make_attack(), metric_, tau_, profile_);
+  BudgetTracker budget(50000);
+  std::vector<std::size_t> seeds(60);
+  std::iota(seeds.begin(), seeds.end(), std::size_t{0});
+  const Detection detection =
+      generator.generate(*model_snapshot_, task_->test, seeds, budget, rng);
+  EXPECT_EQ(detection.stats.seeds_attacked, 60u);
+  EXPECT_GT(detection.stats.aes_found, 0u);
+  EXPECT_EQ(detection.aes.size(), detection.stats.aes_found);
+  EXPECT_GT(detection.stats.queries_used, 0u);
+  EXPECT_EQ(budget.used(), detection.stats.queries_used);
+  // Every reported AE is a real misclassification with valid metadata.
+  for (const auto& ae : detection.aes) {
+    EXPECT_NE(model_snapshot_->predict_single(ae.adversarial), ae.label);
+    EXPECT_LE(ae.linf_distance, 0.5f + 1e-5f);
+    EXPECT_EQ(ae.is_operational, ae.naturalness >= tau_);
+    EXPECT_TRUE(std::isfinite(ae.seed_log_density));
+  }
+  EXPECT_LE(detection.stats.operational_aes, detection.stats.aes_found);
+}
+
+TEST_F(CoreComponentsTest, GeneratorStopsAtBudget) {
+  Rng rng(34);
+  const TestCaseGenerator generator(make_attack(), metric_, tau_, profile_);
+  BudgetTracker budget(30);  // tiny: one seed's attack exhausts it
+  std::vector<std::size_t> seeds(50);
+  std::iota(seeds.begin(), seeds.end(), std::size_t{0});
+  const Detection detection =
+      generator.generate(*model_snapshot_, task_->test, seeds, budget, rng);
+  EXPECT_LT(detection.stats.seeds_attacked, 50u);
+}
+
+TEST_F(CoreComponentsTest, GeneratorWithoutMetricMarksNothingOperational) {
+  Rng rng(35);
+  const TestCaseGenerator generator(make_attack(), nullptr, std::nullopt,
+                                    nullptr);
+  BudgetTracker budget(20000);
+  std::vector<std::size_t> seeds(30);
+  std::iota(seeds.begin(), seeds.end(), std::size_t{0});
+  const Detection detection =
+      generator.generate(*model_snapshot_, task_->test, seeds, budget, rng);
+  EXPECT_EQ(detection.stats.operational_aes, 0u);
+  // Tau without metric is rejected at construction.
+  EXPECT_THROW(TestCaseGenerator(make_attack(), nullptr, 1.0, nullptr),
+               PreconditionError);
+}
+
+TEST_F(CoreComponentsTest, RetrainerReducesFailuresOnDetectedAes) {
+  Rng rng(36);
+  // Fresh copy of the trained model (retraining mutates it).
+  Rng train_rng(32);
+  Classifier model = testing::train_mlp(task_->train, 24, 25, train_rng);
+
+  const TestCaseGenerator generator(make_attack(), metric_, tau_, profile_);
+  BudgetTracker budget(100000);
+  std::vector<std::size_t> seeds(150);
+  std::iota(seeds.begin(), seeds.end(), std::size_t{0});
+  Detection detection =
+      generator.generate(model, task_->test, seeds, budget, rng);
+  ASSERT_GT(detection.aes.size(), 3u);
+
+  // Before retraining: all AEs misclassified by construction.
+  RetrainConfig config;
+  config.epochs = 8;
+  config.ae_emphasis = 5.0;
+  const AdversarialRetrainer retrainer(config);
+  const RetrainResult result =
+      retrainer.retrain(model, task_->train, detection.aes, rng);
+  EXPECT_EQ(result.ae_count, detection.aes.size());
+  EXPECT_GT(result.final_loss, 0.0);
+
+  // After retraining a substantial fraction of the detected AEs is fixed.
+  // (On this deliberately noisy task some AEs sit on the Bayes boundary
+  // and cannot be fixed without sacrificing clean accuracy, so we demand
+  // strict improvement rather than near-elimination.)
+  std::size_t still_wrong = 0;
+  for (const auto& ae : detection.aes) {
+    if (model.predict_single(ae.adversarial) != ae.label) ++still_wrong;
+  }
+  EXPECT_LT(still_wrong, detection.aes.size());
+  EXPECT_LE(still_wrong, detection.aes.size() * 4 / 5);
+  // ...and clean accuracy has not collapsed.
+  EXPECT_GT(evaluate_accuracy(model, task_->test.inputs(),
+                              task_->test.labels()),
+            0.85);
+}
+
+TEST_F(CoreComponentsTest, RetrainerNoAesIsNoop) {
+  Rng rng(37);
+  Rng train_rng(32);
+  Classifier model = testing::train_mlp(task_->train, 24, 25, train_rng);
+  const auto before = model.probabilities(task_->test.inputs());
+  const AdversarialRetrainer retrainer(RetrainConfig{});
+  const RetrainResult result = retrainer.retrain(model, task_->train, {},
+                                                 rng);
+  EXPECT_EQ(result.ae_count, 0u);
+  const auto after = model.probabilities(task_->test.inputs());
+  EXPECT_TRUE(before == after);
+}
+
+TEST_F(CoreComponentsTest, RetrainerOpWeightingEmphasisesDenseSeeds) {
+  // Construct two synthetic AEs at fixed points with very different seed
+  // densities and check the op-weighted retrainer fixes the dense one
+  // preferentially when forced to trade off (tiny epochs).
+  Rng rng(38);
+  Rng train_rng(32);
+  Classifier model = testing::train_mlp(task_->train, 24, 25, train_rng);
+
+  const TestCaseGenerator generator(make_attack(), metric_, tau_, profile_);
+  BudgetTracker budget(100000);
+  std::vector<std::size_t> seeds(100);
+  std::iota(seeds.begin(), seeds.end(), std::size_t{0});
+  Detection detection =
+      generator.generate(model, task_->test, seeds, budget, rng);
+  ASSERT_GT(detection.aes.size(), 2u);
+
+  RetrainConfig config;
+  config.op_weighted = true;
+  config.epochs = 4;
+  const AdversarialRetrainer retrainer(config);
+  EXPECT_NO_THROW(retrainer.retrain(model, task_->train, detection.aes, rng));
+}
+
+TEST_F(CoreComponentsTest, AssessorProducesSaneAssessment) {
+  Rng rng(39);
+  Rng train_rng(32);
+  Classifier model = testing::train_mlp(task_->train, 24, 25, train_rng);
+  AssessorConfig config;
+  config.bins_per_dim = 4;
+  config.probes_per_assessment = 60;
+  config.target_pmi = 0.5;  // lenient
+  ReliabilityAssessor assessor(config, task_->test, make_attack(), rng);
+  BudgetTracker budget(100000);
+  const Assessment assessment =
+      assessor.assess(model, task_->test, budget, rng);
+  EXPECT_EQ(assessment.probes, 60u);
+  EXPECT_GT(assessment.queries_used, 0u);
+  EXPECT_GE(assessment.pmi_upper, assessment.pmi_mean);
+  EXPECT_GT(assessment.pmi_mean, 0.0);
+  EXPECT_LT(assessment.pmi_mean, 1.0);
+}
+
+TEST_F(CoreComponentsTest, AssessorDistinguishesGoodFromBadModels) {
+  Rng rng(40);
+  Rng train_rng(32);
+  Classifier good = testing::train_mlp(task_->train, 24, 25, train_rng);
+  Classifier bad = testing::make_mlp(2, 8, 3, train_rng);  // untrained
+  AssessorConfig config;
+  config.bins_per_dim = 4;
+  config.probes_per_assessment = 80;
+  ReliabilityAssessor assessor(config, task_->test, make_attack(), rng);
+  BudgetTracker budget(1000000);
+  const Assessment a_good = assessor.assess(good, task_->test, budget, rng);
+  const Assessment a_bad = assessor.assess(bad, task_->test, budget, rng);
+  EXPECT_LT(a_good.pmi_mean, a_bad.pmi_mean);
+}
+
+TEST_F(CoreComponentsTest, AssessorFeedbackAllocatesBudget) {
+  Rng rng(41);
+  Rng train_rng(32);
+  Classifier model = testing::train_mlp(task_->train, 24, 25, train_rng);
+  AssessorConfig config;
+  config.bins_per_dim = 4;
+  config.probes_per_assessment = 50;
+  ReliabilityAssessor assessor(config, task_->test, make_attack(), rng);
+  // Feedback before any assessment is a contract violation.
+  EXPECT_THROW(assessor.feedback_allocation(10), PreconditionError);
+  BudgetTracker budget(100000);
+  assessor.assess(model, task_->test, budget, rng);
+  const auto alloc = assessor.feedback_allocation(40);
+  EXPECT_EQ(alloc.size(), assessor.partition().cell_count());
+  std::size_t total = 0;
+  for (std::size_t a : alloc) total += a;
+  EXPECT_EQ(total, 40u);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,177 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/augment.h"
+
+namespace opad {
+namespace {
+
+Dataset make_small() {
+  Tensor inputs({4, 2}, std::vector<float>{0, 0, 1, 0, 0, 1, 1, 1});
+  return Dataset(std::move(inputs), {0, 1, 1, 0}, 2);
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_EQ(d.label(1), 1);
+  EXPECT_EQ(d.row(3)[0], 1.0f);
+  const LabeledSample s = d.sample(2);
+  EXPECT_EQ(s.y, 1);
+  EXPECT_EQ(s.x(1), 1.0f);
+}
+
+TEST(Dataset, ValidatesConstruction) {
+  Tensor inputs({2, 2});
+  EXPECT_THROW(Dataset(inputs, {0}, 2), PreconditionError);       // count
+  EXPECT_THROW(Dataset(inputs, {0, 2}, 2), PreconditionError);    // range
+  EXPECT_THROW(Dataset(inputs, {0, 0}, 1), PreconditionError);    // classes
+  EXPECT_THROW(Dataset(Tensor({4}), {0}, 2), PreconditionError);  // rank
+}
+
+TEST(Dataset, SubsetSelectsAndReorders) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> idx = {3, 0, 3};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.label(0), 0);
+  EXPECT_EQ(s.row(0)[1], 1.0f);
+  EXPECT_EQ(s.row(2)[0], 1.0f);
+  const std::vector<std::size_t> bad = {4};
+  EXPECT_THROW(d.subset(bad), PreconditionError);
+}
+
+TEST(Dataset, ShuffledPreservesMultiset) {
+  const Dataset d = make_small();
+  Rng rng(1);
+  const Dataset s = d.shuffled(rng);
+  EXPECT_EQ(s.size(), d.size());
+  auto counts = s.class_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(Dataset, SplitAt) {
+  const Dataset d = make_small();
+  const auto [first, second] = d.split_at(1);
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 3u);
+  EXPECT_EQ(second.label(0), 1);
+  EXPECT_THROW(d.split_at(5), PreconditionError);
+}
+
+TEST(Dataset, AppendMergesRows) {
+  Dataset a = make_small();
+  const Dataset b = make_small();
+  a.append(b);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a.label(4), 0);
+  EXPECT_EQ(a.row(7)[1], 1.0f);
+}
+
+TEST(Dataset, AppendIntoEmpty) {
+  Dataset empty;
+  empty.append(make_small());
+  EXPECT_EQ(empty.size(), 4u);
+}
+
+TEST(Dataset, ClassDistribution) {
+  Tensor inputs({4, 1}, std::vector<float>{0, 0, 0, 0});
+  const Dataset d(std::move(inputs), {0, 0, 0, 1}, 2);
+  const auto dist = d.class_distribution();
+  EXPECT_DOUBLE_EQ(dist[0], 0.75);
+  EXPECT_DOUBLE_EQ(dist[1], 0.25);
+}
+
+TEST(Dataset, FromSamples) {
+  std::vector<LabeledSample> samples;
+  samples.push_back({Tensor::from_values({1.0f, 2.0f}), 0});
+  samples.push_back({Tensor::from_values({3.0f, 4.0f}), 1});
+  const Dataset d = dataset_from_samples(samples, 2);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.row(1)[0], 3.0f);
+  EXPECT_EQ(d.label(1), 1);
+}
+
+TEST(Augment, GaussianNoiseStaysInBounds) {
+  Rng rng(2);
+  const auto aug = gaussian_noise_augment(0.5, 0.0f, 1.0f);
+  const Tensor x = Tensor::full({16}, 0.5f);
+  for (int i = 0; i < 50; ++i) {
+    const Tensor y = aug(x, rng);
+    EXPECT_GE(y.min(), 0.0f);
+    EXPECT_LE(y.max(), 1.0f);
+  }
+}
+
+TEST(Augment, FeatureJitterBounded) {
+  Rng rng(3);
+  const auto aug = feature_jitter_augment(0.1, -1.0f, 1.0f);
+  const Tensor x = Tensor::zeros({8});
+  const Tensor y = aug(x, rng);
+  EXPECT_LE(y.linf_norm(), 0.1f + 1e-6f);
+}
+
+TEST(Augment, ImageShiftTranslatesPixels) {
+  Rng rng(4);
+  // Max shift 0 = identity.
+  const auto identity = image_shift_augment(4, 0);
+  Tensor img({16});
+  img.at(5) = 1.0f;
+  const Tensor same = identity(img, rng);
+  EXPECT_TRUE(same == img);
+  // Shift moves the total mass or drops it off the edge, never grows it.
+  const auto shifty = image_shift_augment(4, 2);
+  for (int i = 0; i < 20; ++i) {
+    const Tensor moved = shifty(img, rng);
+    EXPECT_LE(moved.sum(), 1.0f + 1e-6f);
+  }
+}
+
+TEST(Augment, BrightnessClampsToUnitRange) {
+  Rng rng(5);
+  const auto aug = brightness_augment(1.0);
+  const Tensor x = Tensor::full({8}, 0.9f);
+  for (int i = 0; i < 30; ++i) {
+    const Tensor y = aug(x, rng);
+    EXPECT_GE(y.min(), 0.0f);
+    EXPECT_LE(y.max(), 1.0f);
+  }
+}
+
+TEST(Augment, ComposeAppliesAll) {
+  Rng rng(6);
+  const auto plus = [](const Tensor& x, Rng&) {
+    Tensor y = x;
+    y += 1.0f;
+    return y;
+  };
+  const auto composed = compose_augments({plus, plus, plus});
+  const Tensor x = Tensor::zeros({3});
+  EXPECT_EQ(composed(x, rng).sum(), 9.0f);
+}
+
+TEST(Augment, DatasetExpansionKeepsOriginalsAndLabels) {
+  Rng rng(7);
+  const Dataset source = make_small();
+  const auto aug = gaussian_noise_augment(0.01, 0.0f, 1.0f);
+  const Dataset expanded = augment_dataset(source, aug, 20, rng);
+  EXPECT_EQ(expanded.size(), 20u);
+  // Originals are the first rows, untouched.
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    EXPECT_EQ(expanded.label(i), source.label(i));
+    for (std::size_t j = 0; j < source.dim(); ++j) {
+      EXPECT_EQ(expanded.row(i)[j], source.row(i)[j]);
+    }
+  }
+  // Labels of augmented rows come from the source label set.
+  const auto counts = expanded.class_counts();
+  EXPECT_EQ(counts[0] + counts[1], 20u);
+  EXPECT_THROW(augment_dataset(source, aug, 2, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

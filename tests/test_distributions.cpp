@@ -1,0 +1,134 @@
+#include "util/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace opad {
+namespace {
+
+TEST(BetaDistribution, MomentsMatchFormulas) {
+  const BetaDistribution beta(2.0, 6.0);
+  EXPECT_NEAR(beta.mean(), 0.25, 1e-12);
+  EXPECT_NEAR(beta.variance(), 2.0 * 6.0 / (64.0 * 9.0), 1e-12);
+}
+
+TEST(BetaDistribution, CdfQuantileRoundTrip) {
+  const BetaDistribution beta(3.0, 4.0);
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(beta.cdf(beta.quantile(p)), p, 1e-8);
+  }
+}
+
+TEST(BetaDistribution, PdfIntegratesToOne) {
+  const BetaDistribution beta(2.5, 1.5);
+  // Trapezoidal rule on the log pdf.
+  const int n = 2000;
+  double integral = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) / n;
+    integral += std::exp(beta.log_pdf(x)) / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(BetaDistribution, SampleMeanConverges) {
+  const BetaDistribution beta(4.0, 2.0);
+  Rng rng(99);
+  double total = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) total += beta.sample(rng);
+  EXPECT_NEAR(total / n, beta.mean(), 0.01);
+}
+
+TEST(BetaDistribution, RejectsNonPositiveParams) {
+  EXPECT_THROW(BetaDistribution(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(BetaDistribution(1.0, -2.0), PreconditionError);
+}
+
+TEST(Categorical, NormalisesProbabilities) {
+  const CategoricalDistribution cat({2.0, 6.0, 2.0});
+  EXPECT_NEAR(cat.prob(0), 0.2, 1e-12);
+  EXPECT_NEAR(cat.prob(1), 0.6, 1e-12);
+  EXPECT_NEAR(cat.prob(2), 0.2, 1e-12);
+}
+
+TEST(Categorical, LogProbOfZeroIsMinusInf) {
+  const CategoricalDistribution cat({1.0, 0.0});
+  EXPECT_TRUE(std::isinf(cat.log_prob(1)));
+  EXPECT_LT(cat.log_prob(1), 0.0);
+}
+
+TEST(Categorical, SamplingMatchesProbs) {
+  const CategoricalDistribution cat({0.7, 0.2, 0.1});
+  Rng rng(101);
+  std::vector<int> counts(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[cat.sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.7, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Categorical, KlDivergenceProperties) {
+  const CategoricalDistribution p({0.5, 0.5});
+  const CategoricalDistribution q({0.9, 0.1});
+  EXPECT_NEAR(p.kl_divergence(p), 0.0, 1e-12);
+  EXPECT_GT(p.kl_divergence(q), 0.0);
+  // Exact value: 0.5 log(0.5/0.9) + 0.5 log(0.5/0.1).
+  const double expected =
+      0.5 * std::log(0.5 / 0.9) + 0.5 * std::log(0.5 / 0.1);
+  EXPECT_NEAR(p.kl_divergence(q), expected, 1e-12);
+}
+
+TEST(Categorical, KlRejectsSupportMismatch) {
+  const CategoricalDistribution p({0.5, 0.5});
+  const CategoricalDistribution q({1.0, 0.0});
+  EXPECT_THROW(p.kl_divergence(q), PreconditionError);
+}
+
+TEST(DiagonalGaussian, LogPdfMatchesFormulaIn1D) {
+  const DiagonalGaussian g({0.0}, {1.0});
+  const std::vector<double> x = {0.0};
+  EXPECT_NEAR(g.log_pdf(x), -0.5 * std::log(2.0 * M_PI), 1e-12);
+  const std::vector<double> x2 = {2.0};
+  EXPECT_NEAR(g.log_pdf(x2), -0.5 * std::log(2.0 * M_PI) - 2.0, 1e-12);
+}
+
+TEST(DiagonalGaussian, SamplesHaveRightMoments) {
+  const DiagonalGaussian g({1.0, -2.0}, {4.0, 0.25});
+  Rng rng(103);
+  const int n = 30000;
+  std::vector<double> mean(2, 0.0), var(2, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto x = g.sample(rng);
+    mean[0] += x[0];
+    mean[1] += x[1];
+  }
+  mean[0] /= n;
+  mean[1] /= n;
+  EXPECT_NEAR(mean[0], 1.0, 0.05);
+  EXPECT_NEAR(mean[1], -2.0, 0.02);
+}
+
+TEST(SummaryStats, MeanVarianceMedianQuantile) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(variance(v), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  // Interpolated.
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_NEAR(quantile(v, 0.1), 1.4, 1e-12);
+}
+
+TEST(SummaryStats, GuardsOnSmallInputs) {
+  EXPECT_THROW(mean(std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(variance(std::vector<double>{1.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

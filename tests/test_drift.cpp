@@ -1,0 +1,128 @@
+#include "op/drift.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace opad {
+namespace {
+
+struct DriftSetup {
+  GaussianClustersGenerator reference_gen =
+      GaussianClustersGenerator::make_ring(3, 2.0, 0.3);
+  std::shared_ptr<const CellPartition> partition;
+  Tensor reference;
+
+  explicit DriftSetup(std::uint64_t seed = 1) {
+    Rng rng(seed);
+    const Dataset data = reference_gen.make_dataset(1000, rng);
+    reference = data.inputs();
+    partition = std::make_shared<const CellPartition>(
+        CellPartition::fit(reference, 6, 2, rng));
+  }
+};
+
+TEST(DriftMonitor, CalibrationGivesPositiveThreshold) {
+  DriftSetup setup;
+  Rng rng(2);
+  const DriftMonitor monitor(setup.partition, setup.reference,
+                             DriftMonitorConfig{}, rng);
+  EXPECT_GT(monitor.threshold(), 0.0);
+}
+
+TEST(DriftMonitor, InDistributionStreamRarelyAlarms) {
+  DriftSetup setup;
+  Rng rng(3);
+  DriftMonitor monitor(setup.partition, setup.reference,
+                       DriftMonitorConfig{}, rng);
+  std::size_t alarms = 0;
+  const std::size_t n = 2000;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (monitor.observe(setup.reference_gen.sample(rng).x)) ++alarms;
+  }
+  // Nominal false-alarm rate 1% per window position; windows overlap so
+  // alarms cluster — allow generous slack but demand rarity.
+  EXPECT_LT(alarms, n / 10);
+  EXPECT_EQ(monitor.observed(), n);
+}
+
+TEST(DriftMonitor, DetectsCovariateShift) {
+  DriftSetup setup;
+  Rng rng(4);
+  DriftMonitorConfig config;
+  config.window = 150;
+  DriftMonitor monitor(setup.partition, setup.reference, config, rng);
+  // Warm up with in-distribution data.
+  for (int i = 0; i < 300; ++i) {
+    monitor.observe(setup.reference_gen.sample(rng).x);
+  }
+  EXPECT_FALSE(monitor.alarmed());
+  // Shifted stream: all clusters moved.
+  const auto shifted_gen = setup.reference_gen.shifted({2.5, 2.5});
+  bool alarmed = false;
+  std::size_t delay = 0;
+  for (int i = 0; i < 400 && !alarmed; ++i) {
+    alarmed = monitor.observe(shifted_gen.sample(rng).x);
+    ++delay;
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_LT(delay, 200u) << "shift should be caught within ~1 window";
+}
+
+TEST(DriftMonitor, DetectsPriorSkew) {
+  DriftSetup setup;
+  Rng rng(5);
+  DriftMonitorConfig config;
+  config.window = 200;
+  DriftMonitor monitor(setup.partition, setup.reference, config, rng);
+  for (int i = 0; i < 300; ++i) {
+    monitor.observe(setup.reference_gen.sample(rng).x);
+  }
+  // Severe class-prior skew (same clusters, different mixture weights).
+  const auto skewed =
+      setup.reference_gen.with_class_priors({0.96, 0.02, 0.02});
+  bool alarmed = false;
+  for (int i = 0; i < 600 && !alarmed; ++i) {
+    alarmed = monitor.observe(skewed.sample(rng).x);
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(DriftMonitor, KlZeroUntilWindowFills) {
+  DriftSetup setup;
+  Rng rng(6);
+  DriftMonitorConfig config;
+  config.window = 50;
+  DriftMonitor monitor(setup.partition, setup.reference, config, rng);
+  for (int i = 0; i < 49; ++i) {
+    EXPECT_FALSE(monitor.observe(setup.reference_gen.sample(rng).x));
+    EXPECT_EQ(monitor.current_divergence(), 0.0);
+    EXPECT_FALSE(monitor.window_full());
+  }
+  monitor.observe(setup.reference_gen.sample(rng).x);
+  EXPECT_TRUE(monitor.window_full());
+  EXPECT_GT(monitor.current_divergence(), 0.0);
+}
+
+TEST(DriftMonitor, ValidatesConfig) {
+  DriftSetup setup;
+  Rng rng(7);
+  DriftMonitorConfig bad;
+  bad.window = 5;
+  EXPECT_THROW(DriftMonitor(setup.partition, setup.reference, bad, rng),
+               PreconditionError);
+  bad = DriftMonitorConfig{};
+  bad.false_alarm_rate = 0.9;
+  EXPECT_THROW(DriftMonitor(setup.partition, setup.reference, bad, rng),
+               PreconditionError);
+  // Reference smaller than one window.
+  DriftMonitorConfig config;
+  config.window = 2000;
+  EXPECT_THROW(DriftMonitor(setup.partition, setup.reference, config, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

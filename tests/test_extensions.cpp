@@ -1,0 +1,196 @@
+// Tests for the extension components: Dropout, MomentumPgd (MI-FGSM),
+// and the reliability-claim planning helpers.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attack/momentum_pgd.h"
+#include "attack/pgd.h"
+#include "nn/dense.h"
+#include "nn/activation.h"
+#include "nn/dropout.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+#include "reliability/planning.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+TEST(Dropout, IdentityAtInference) {
+  Rng rng(1);
+  Dropout layer(0.5f, rng);
+  const Tensor x = Tensor::randn({3, 8}, rng);
+  const Tensor y = layer.forward(x, /*training=*/false);
+  EXPECT_TRUE(x == y);
+  // Backward in inference mode is also identity.
+  const Tensor g = Tensor::randn({3, 8}, rng);
+  EXPECT_TRUE(layer.backward(g) == g);
+}
+
+TEST(Dropout, TrainingZeroesApproximatelyRateFraction) {
+  Rng rng(2);
+  Dropout layer(0.3f, rng);
+  const Tensor x = Tensor::ones({100, 100});
+  const Tensor y = layer.forward(x, /*training=*/true);
+  std::size_t zeros = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.02);
+}
+
+TEST(Dropout, PreservesExpectedValue) {
+  Rng rng(3);
+  Dropout layer(0.5f, rng);
+  const Tensor x = Tensor::ones({200, 50});
+  double total = 0.0;
+  const int reps = 10;
+  for (int r = 0; r < reps; ++r) {
+    total += layer.forward(x, true).mean();
+  }
+  EXPECT_NEAR(total / reps, 1.0, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(4);
+  Dropout layer(0.4f, rng);
+  const Tensor x = Tensor::ones({1, 64});
+  const Tensor y = layer.forward(x, true);
+  const Tensor g = layer.backward(Tensor::ones({1, 64}));
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_FLOAT_EQ(g.at(i), y.at(i));  // same scale factors
+  }
+}
+
+TEST(Dropout, ZeroRateIsNoopAndBadRateThrows) {
+  Rng rng(5);
+  Dropout zero(0.0f, rng);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  EXPECT_TRUE(zero.forward(x, true) == x);
+  EXPECT_THROW(Dropout(1.0f, rng), PreconditionError);
+  EXPECT_THROW(Dropout(-0.1f, rng), PreconditionError);
+}
+
+TEST(Dropout, NetworkWithDropoutStillLearns) {
+  auto task = testing::make_ring_task(500, 200, 61);
+  Rng rng(62);
+  Sequential net(2);
+  net.emplace<Dense>(2, 32, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dropout>(0.2f, rng);
+  net.emplace<Dense>(32, 3, rng);
+  Classifier model(std::move(net), 3);
+  TrainConfig config;
+  config.epochs = 30;
+  config.learning_rate = 0.05;
+  config.momentum = 0.9;
+  train_classifier(model, task.train.inputs(), task.train.labels(), config,
+                   rng);
+  EXPECT_GT(evaluate_accuracy(model, task.test.inputs(),
+                              task.test.labels()),
+            0.9);
+}
+
+TEST(MomentumPgd, FindsAesOnBoundarySeeds) {
+  auto task = testing::make_ring_task(600, 200, 63);
+  Rng rng(64);
+  Classifier model = testing::train_mlp(task.train, 24, 25, rng);
+  MomentumPgdConfig config;
+  config.ball.eps = 0.6f;
+  config.ball.input_lo = -5.0f;
+  config.ball.input_hi = 5.0f;
+  config.steps = 20;
+  config.restarts = 2;
+  const MomentumPgd attack(config);
+  int found = 0;
+  int attempted = 0;
+  for (int i = 0; i < 3000 && attempted < 15; ++i) {
+    // Use correctly classified seeds near the decision boundary —
+    // far-from-boundary seeds are not attackable at this eps.
+    const LabeledSample s = task.generator.sample(rng);
+    if (model.predict_single(s.x) != s.y) continue;
+    const Tensor probs = model.probabilities_single(s.x);
+    if (probability_margin(probs.data()) > 0.5) continue;
+    ++attempted;
+    const AttackResult r = attack.run(model, s.x, s.y, rng);
+    EXPECT_LE(r.linf_distance, config.ball.eps + 1e-5f);
+    if (r.success) {
+      ++found;
+      EXPECT_NE(model.predict_single(r.adversarial), s.y);
+    }
+  }
+  EXPECT_GE(found, 2);
+}
+
+TEST(MomentumPgd, ValidatesConfig) {
+  MomentumPgdConfig config;
+  config.ball.eps = 0.0f;
+  EXPECT_THROW(MomentumPgd{config}, PreconditionError);
+  config.ball.eps = 0.1f;
+  config.steps = 0;
+  EXPECT_THROW(MomentumPgd{config}, PreconditionError);
+}
+
+TEST(Planning, ClaimUpperBoundMatchesBetaQuantile) {
+  // With Jeffreys prior and 0 failures in n trials, the bound is the
+  // confidence quantile of Beta(0.5, 0.5 + n).
+  const double bound = claim_upper_bound(100, 0, 0.95);
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LT(bound, 0.05);
+  // More failures raise the bound.
+  EXPECT_GT(claim_upper_bound(100, 5, 0.95), bound);
+  // More trials lower it.
+  EXPECT_LT(claim_upper_bound(1000, 0, 0.95), bound);
+}
+
+TEST(Planning, FailureFreeTrialsRoundTrip) {
+  const auto n = failure_free_trials_for_claim(0.01, 0.95);
+  ASSERT_TRUE(n.has_value());
+  // The classic rule of thumb: ~ 3 / target failure-free tests at 95%.
+  EXPECT_GT(*n, 100u);
+  EXPECT_LT(*n, 400u);
+  // n trials suffice, n - 1 do not.
+  EXPECT_LE(claim_upper_bound(*n, 0, 0.95), 0.01);
+  EXPECT_GT(claim_upper_bound(*n - 1, 0, 0.95), 0.01);
+}
+
+TEST(Planning, UnachievableClaimsReturnNullopt) {
+  EXPECT_FALSE(
+      failure_free_trials_for_claim(1e-9, 0.95, 0.5, 0.5, 1000).has_value());
+  EXPECT_FALSE(max_failures_for_claim(10, 0.001, 0.95).has_value());
+}
+
+TEST(Planning, MaxFailuresIsConsistent) {
+  const auto k = max_failures_for_claim(1000, 0.02, 0.95);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_LE(claim_upper_bound(1000, *k, 0.95), 0.02);
+  EXPECT_GT(claim_upper_bound(1000, *k + 1, 0.95), 0.02);
+  // Sanity: ~2% of 1000 with slack below the expectation.
+  EXPECT_GT(*k, 5u);
+  EXPECT_LT(*k, 20u);
+}
+
+// Property sweep: planning bounds are monotone in the target.
+class PlanningMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlanningMonotone, TrialsDecreaseWithLooserTargets) {
+  const double confidence = GetParam();
+  std::size_t prev = std::numeric_limits<std::size_t>::max();
+  for (double target : {0.005, 0.01, 0.02, 0.05, 0.1}) {
+    const auto n = failure_free_trials_for_claim(target, confidence);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_LE(*n, prev);
+    prev = *n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Confidences, PlanningMonotone,
+                         ::testing::Values(0.8, 0.9, 0.95, 0.99));
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,232 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/digits.h"
+
+namespace opad {
+namespace {
+
+float l2_distance_proxy(const Tensor& a, const Tensor& b) {
+  float ss = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a.at(i) - b.at(i);
+    ss += d * d;
+  }
+  return std::sqrt(ss);
+}
+
+TEST(GaussianClusters, RingFactoryGeometry) {
+  const auto gen = GaussianClustersGenerator::make_ring(4, 2.0, 0.1);
+  EXPECT_EQ(gen.dim(), 2u);
+  EXPECT_EQ(gen.num_classes(), 4u);
+  const auto priors = gen.class_priors();
+  for (double p : priors) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(GaussianClusters, SamplesClusterAroundMeans) {
+  Rng rng(1);
+  const auto gen = GaussianClustersGenerator::make_ring(3, 5.0, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = gen.sample(rng);
+    // Tight variance: every sample is close to its class mean.
+    const double angle = 2.0 * M_PI * s.y / 3.0;
+    EXPECT_NEAR(s.x(0), 5.0 * std::cos(angle), 0.6);
+    EXPECT_NEAR(s.x(1), 5.0 * std::sin(angle), 0.6);
+  }
+}
+
+TEST(GaussianClusters, BayesOracleLabelsClusterCenters) {
+  const auto gen = GaussianClustersGenerator::make_ring(5, 3.0, 0.2);
+  for (int k = 0; k < 5; ++k) {
+    const double angle = 2.0 * M_PI * k / 5.0;
+    Tensor x({2});
+    x.at(0) = static_cast<float>(3.0 * std::cos(angle));
+    x.at(1) = static_cast<float>(3.0 * std::sin(angle));
+    EXPECT_EQ(gen.true_label(x), k);
+  }
+}
+
+TEST(GaussianClusters, LogDensityIntegratesToOneOnGrid) {
+  const auto gen = GaussianClustersGenerator::make_ring(2, 1.0, 0.3);
+  double integral = 0.0;
+  const double step = 0.1;
+  for (double x = -6.0; x < 6.0; x += step) {
+    for (double y = -6.0; y < 6.0; y += step) {
+      Tensor p({2});
+      p.at(0) = static_cast<float>(x);
+      p.at(1) = static_cast<float>(y);
+      integral += std::exp(gen.log_density(p)) * step * step;
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(GaussianClusters, WithClassPriorsReweights) {
+  Rng rng(2);
+  const auto balanced = GaussianClustersGenerator::make_ring(2, 2.0, 0.1);
+  const auto skewed = balanced.with_class_priors({0.9, 0.1});
+  const auto priors = skewed.class_priors();
+  EXPECT_NEAR(priors[0], 0.9, 1e-9);
+  EXPECT_NEAR(priors[1], 0.1, 1e-9);
+  // Empirically verify.
+  int zeros = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (skewed.sample(rng).y == 0) ++zeros;
+  }
+  EXPECT_NEAR(zeros / static_cast<double>(n), 0.9, 0.01);
+}
+
+TEST(GaussianClusters, ShiftedMovesDensity) {
+  const auto gen = GaussianClustersGenerator::make_ring(2, 2.0, 0.1);
+  const auto moved = gen.shifted({10.0, 0.0});
+  Tensor origin_cluster({2});
+  origin_cluster.at(0) = 2.0f;
+  origin_cluster.at(1) = 0.0f;
+  Tensor moved_cluster({2});
+  moved_cluster.at(0) = 12.0f;
+  moved_cluster.at(1) = 0.0f;
+  EXPECT_GT(gen.log_density(origin_cluster), gen.log_density(moved_cluster));
+  EXPECT_LT(moved.log_density(origin_cluster),
+            moved.log_density(moved_cluster));
+}
+
+TEST(GaussianClusters, MakeDatasetShape) {
+  Rng rng(3);
+  const auto gen = GaussianClustersGenerator::make_ring(3, 2.0, 0.1);
+  const Dataset d = gen.make_dataset(50, rng);
+  EXPECT_EQ(d.size(), 50u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.num_classes(), 3u);
+}
+
+TEST(GaussianClusters, ValidatesClusters) {
+  using Cluster = GaussianClustersGenerator::Cluster;
+  // Single class rejected.
+  EXPECT_THROW(GaussianClustersGenerator(
+                   {Cluster{{0.0}, {1.0}, 0, 1.0}}),
+               PreconditionError);
+  // Bad variance rejected.
+  EXPECT_THROW(GaussianClustersGenerator(
+                   {Cluster{{0.0}, {0.0}, 0, 1.0},
+                    Cluster{{1.0}, {1.0}, 1, 1.0}}),
+               PreconditionError);
+}
+
+TEST(TwoMoons, SamplesAreLabeledByNearestMoon) {
+  Rng rng(4);
+  const TwoMoonsGenerator gen(0.02);
+  int correct = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const auto s = gen.sample(rng);
+    if (gen.true_label(s.x) == s.y) ++correct;
+  }
+  // At tiny noise the oracle almost always agrees with the generator.
+  EXPECT_GT(correct, n * 95 / 100);
+}
+
+TEST(TwoMoons, PriorsRespected) {
+  Rng rng(5);
+  const TwoMoonsGenerator gen(0.05, {0.8, 0.2});
+  int zeros = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.sample(rng).y == 0) ++zeros;
+  }
+  EXPECT_NEAR(zeros / static_cast<double>(n), 0.8, 0.02);
+}
+
+TEST(Spirals, OracleConsistentAtLowNoise) {
+  Rng rng(6);
+  const SpiralsGenerator gen(0.01);
+  int correct = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const auto s = gen.sample(rng);
+    if (gen.true_label(s.x) == s.y) ++correct;
+  }
+  EXPECT_GT(correct, n * 90 / 100);
+}
+
+TEST(Digits, CleanDigitsAreDistinct) {
+  const auto gen = SyntheticDigitsGenerator::training_distribution();
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      const Tensor da = gen.clean_digit(a);
+      const Tensor db = gen.clean_digit(b);
+      EXPECT_GT(l2_distance_proxy(da, db), 0.5f)
+          << "digits " << a << " and " << b << " are too similar";
+    }
+  }
+}
+
+TEST(Digits, SamplesStayInUnitRange) {
+  Rng rng(7);
+  const auto gen = SyntheticDigitsGenerator::operational_distribution();
+  for (int i = 0; i < 100; ++i) {
+    const auto s = gen.sample(rng);
+    EXPECT_GE(s.x.min(), 0.0f);
+    EXPECT_LE(s.x.max(), 1.0f);
+    EXPECT_EQ(s.x.dim(0), 64u);
+    EXPECT_GE(s.y, 0);
+    EXPECT_LT(s.y, 10);
+  }
+}
+
+TEST(Digits, OracleRecoversCleanDigits) {
+  const auto gen = SyntheticDigitsGenerator::training_distribution();
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_EQ(gen.true_label(gen.clean_digit(d)), d);
+  }
+}
+
+TEST(Digits, OracleMostlyRecoversDistortedDigits) {
+  Rng rng(8);
+  const auto gen = SyntheticDigitsGenerator::training_distribution();
+  int correct = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const auto s = gen.sample(rng);
+    if (gen.true_label(s.x) == s.y) ++correct;
+  }
+  EXPECT_GT(correct, n * 85 / 100);
+}
+
+TEST(Digits, OperationalDistributionIsSkewed) {
+  const auto gen = SyntheticDigitsGenerator::operational_distribution();
+  const auto priors = gen.class_priors();
+  EXPECT_GT(priors[0], priors[9] * 5.0);
+  double total = 0.0;
+  for (double p : priors) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Digits, PriorsAreSamplingDistribution) {
+  Rng rng(9);
+  const auto gen = SyntheticDigitsGenerator::operational_distribution();
+  std::vector<int> counts(10, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[gen.sample(rng).y]++;
+  const auto priors = gen.class_priors();
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), priors[k], 0.02);
+  }
+}
+
+TEST(Digits, WithPriorsAndDistortionProduceCopies) {
+  const auto gen = SyntheticDigitsGenerator::training_distribution();
+  const auto skewed = gen.with_priors(
+      {0.91, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01});
+  EXPECT_NEAR(skewed.class_priors()[0], 0.91, 1e-9);
+  DigitDistortion heavy;
+  heavy.noise_sd = 0.3;
+  const auto noisy = gen.with_distortion(heavy);
+  EXPECT_NEAR(noisy.distortion().noise_sd, 0.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,42 @@
+#include "test_helpers.h"
+
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "nn/trainer.h"
+
+namespace opad::testing {
+
+Classifier make_mlp(std::size_t input_dim, std::size_t hidden,
+                    std::size_t classes, Rng& rng) {
+  Sequential net(input_dim);
+  net.emplace<Dense>(input_dim, hidden, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(hidden, classes, rng);
+  return Classifier(std::move(net), classes);
+}
+
+RingTask make_ring_task(std::size_t train_n, std::size_t test_n,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  // Variance 0.5 puts a useful fraction of samples near the decision
+  // boundaries, so norm-ball attacks at eps ~0.4-0.6 have work to do
+  // while the Bayes accuracy stays ~98%.
+  auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.5);
+  RingTask task{generator, generator.make_dataset(train_n, rng),
+                generator.make_dataset(test_n, rng)};
+  return task;
+}
+
+Classifier train_mlp(const Dataset& train, std::size_t hidden,
+                     std::size_t epochs, Rng& rng) {
+  Classifier model = make_mlp(train.dim(), hidden, train.num_classes(), rng);
+  TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.learning_rate = 0.05;
+  config.momentum = 0.9;
+  train_classifier(model, train.inputs(), train.labels(), config, rng);
+  return model;
+}
+
+}  // namespace opad::testing

@@ -1,0 +1,52 @@
+// Shared fixtures for the OpAD test suite: small, quickly trained models
+// and standard synthetic workloads.
+#pragma once
+
+#include <memory>
+
+#include "data/digits.h"
+#include "data/generators.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace opad::testing {
+
+/// A tiny MLP classifier (untrained) for `input_dim` -> `classes`.
+Classifier make_mlp(std::size_t input_dim, std::size_t hidden,
+                    std::size_t classes, Rng& rng);
+
+/// Trains a small MLP on the 2-D ring-of-Gaussians task to decent
+/// accuracy; deterministic for a given seed. Cached per seed within a
+/// process to keep the suite fast.
+struct RingTask {
+  GaussianClustersGenerator generator;
+  Dataset train;
+  Dataset test;
+};
+
+/// Builds the canonical 3-class ring workload (radius 2, variance 0.15).
+RingTask make_ring_task(std::size_t train_n, std::size_t test_n,
+                        std::uint64_t seed);
+
+/// Trains a fresh MLP on the given dataset; returns the trained model.
+Classifier train_mlp(const Dataset& train, std::size_t hidden,
+                     std::size_t epochs, Rng& rng);
+
+/// Finite-difference gradient of a scalar function at x (central).
+template <typename F>
+Tensor numerical_gradient(F f, const Tensor& x, float h = 1e-3f) {
+  Tensor grad({x.dim(0)});
+  Tensor probe = x;
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    const float orig = probe.at(i);
+    probe.at(i) = orig + h;
+    const double up = f(probe);
+    probe.at(i) = orig - h;
+    const double down = f(probe);
+    probe.at(i) = orig;
+    grad.at(i) = static_cast<float>((up - down) / (2.0 * h));
+  }
+  return grad;
+}
+
+}  // namespace opad::testing

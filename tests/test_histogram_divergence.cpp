@@ -1,0 +1,190 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/digits.h"
+#include "data/generators.h"
+#include "op/divergence.h"
+#include "op/generator_profile.h"
+#include "op/histogram.h"
+
+namespace opad {
+namespace {
+
+std::shared_ptr<const CellPartition> unit_grid(std::size_t bins) {
+  return std::make_shared<const CellPartition>(
+      std::vector<double>{0.0, 0.0}, std::vector<double>{1.0, 1.0}, bins);
+}
+
+TEST(Histogram, ProbabilitiesSumToOne) {
+  Rng rng(1);
+  const Tensor data = Tensor::rand_uniform({200, 2}, rng);
+  const HistogramProfile hist(unit_grid(4), data, 0.5);
+  double total = 0.0;
+  for (double p : hist.cell_probabilities()) {
+    EXPECT_GT(p, 0.0);  // smoothing keeps all cells positive
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(hist.observation_count(), 200u);
+}
+
+TEST(Histogram, ConcentratedDataConcentratesMass) {
+  Rng rng(2);
+  Tensor data({100, 2});
+  for (std::size_t i = 0; i < 100; ++i) {
+    data(i, 0) = 0.1f;  // all in the first column of cells
+    data(i, 1) = 0.1f;
+  }
+  const auto partition = unit_grid(4);
+  const HistogramProfile hist(partition, data, 0.1);
+  Tensor probe({2});
+  probe.at(0) = 0.1f;
+  probe.at(1) = 0.1f;
+  EXPECT_GT(hist.cell_probability(partition->cell_index(probe)), 0.9);
+}
+
+TEST(Histogram, LogDensityIsPiecewiseConstant) {
+  Rng rng(3);
+  const Tensor data = Tensor::rand_uniform({300, 2}, rng);
+  const HistogramProfile hist(unit_grid(2), data, 1.0);
+  Tensor a({2});
+  a.at(0) = 0.1f;
+  a.at(1) = 0.1f;
+  Tensor b({2});
+  b.at(0) = 0.4f;  // same cell as a for 2 bins
+  b.at(1) = 0.3f;
+  EXPECT_NEAR(hist.log_density(a), hist.log_density(b), 1e-9);
+}
+
+TEST(Histogram, SamplingFollowsCellMass) {
+  Rng rng(4);
+  Tensor data({90, 2});
+  // 90 points in cell (0,0) of a 2x2 grid.
+  for (std::size_t i = 0; i < 90; ++i) {
+    data(i, 0) = 0.2f;
+    data(i, 1) = 0.2f;
+  }
+  const auto partition = unit_grid(2);
+  const HistogramProfile hist(partition, data, 0.01);
+  int in_cell = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    if (partition->cell_index(hist.sample(rng)) == 0) ++in_cell;
+  }
+  EXPECT_GT(in_cell, n * 95 / 100);
+}
+
+TEST(Histogram, KlBetweenIdenticalIsZero) {
+  Rng rng(5);
+  const Tensor data = Tensor::rand_uniform({200, 2}, rng);
+  const auto partition = unit_grid(4);
+  const HistogramProfile a(partition, data, 0.5);
+  const HistogramProfile b(partition, data, 0.5);
+  EXPECT_NEAR(a.kl_divergence(b), 0.0, 1e-12);
+}
+
+TEST(Histogram, KlGrowsWithSkew) {
+  Rng rng(6);
+  const auto partition = unit_grid(2);
+  const Tensor uniform = Tensor::rand_uniform({400, 2}, rng);
+  Tensor corner({400, 2});
+  for (std::size_t i = 0; i < 400; ++i) {
+    corner(i, 0) = static_cast<float>(rng.uniform(0.0, 0.5));
+    corner(i, 1) = static_cast<float>(rng.uniform(0.0, 0.5));
+  }
+  Tensor mild({400, 2});
+  for (std::size_t i = 0; i < 400; ++i) {
+    const bool corner_draw = rng.bernoulli(0.6);
+    mild(i, 0) = static_cast<float>(
+        corner_draw ? rng.uniform(0.0, 0.5) : rng.uniform(0.0, 1.0));
+    mild(i, 1) = static_cast<float>(
+        corner_draw ? rng.uniform(0.0, 0.5) : rng.uniform(0.0, 1.0));
+  }
+  const HistogramProfile hu(partition, uniform, 0.5);
+  const HistogramProfile hm(partition, mild, 0.5);
+  const HistogramProfile hc(partition, corner, 0.5);
+  EXPECT_GT(hc.kl_divergence(hu), hm.kl_divergence(hu));
+}
+
+TEST(Histogram, KlRequiresSharedPartition) {
+  Rng rng(7);
+  const Tensor data = Tensor::rand_uniform({50, 2}, rng);
+  const HistogramProfile a(unit_grid(4), data, 0.5);
+  const HistogramProfile b(unit_grid(4), data, 0.5);
+  EXPECT_THROW(a.kl_divergence(b), PreconditionError);
+}
+
+TEST(DivergenceMc, KlOfIdenticalProfilesNearZero) {
+  Rng rng(8);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.2);
+  const GaussianGeneratorProfile p(generator);
+  const GaussianGeneratorProfile q(generator);
+  EXPECT_NEAR(kl_divergence_mc(p, q, 2000, rng), 0.0, 1e-9);
+}
+
+TEST(DivergenceMc, KlDetectsShift) {
+  Rng rng(9);
+  const auto base = GaussianClustersGenerator::make_ring(3, 2.0, 0.2);
+  const GaussianGeneratorProfile p(base);
+  const GaussianGeneratorProfile q_near(base.shifted({0.2, 0.0}));
+  const GaussianGeneratorProfile q_far(base.shifted({2.0, 0.0}));
+  const double kl_near = kl_divergence_mc(p, q_near, 3000, rng);
+  const double kl_far = kl_divergence_mc(p, q_far, 3000, rng);
+  EXPECT_GT(kl_near, 0.0);
+  EXPECT_GT(kl_far, kl_near * 3.0);
+}
+
+TEST(DivergenceMc, JsIsSymmetricAndBounded) {
+  Rng rng(10);
+  const auto base = GaussianClustersGenerator::make_ring(2, 2.0, 0.3);
+  const GaussianGeneratorProfile p(base);
+  const GaussianGeneratorProfile q(base.shifted({1.0, 1.0}));
+  const double js_pq = js_divergence_mc(p, q, 4000, rng);
+  const double js_qp = js_divergence_mc(q, p, 4000, rng);
+  EXPECT_GT(js_pq, 0.0);
+  EXPECT_LE(js_pq, std::log(2.0) + 1e-9);
+  EXPECT_NEAR(js_pq, js_qp, 0.05);
+}
+
+TEST(DivergenceMc, CrossLogLikelihoodPrefersTrueModel) {
+  Rng rng(11);
+  const auto base = GaussianClustersGenerator::make_ring(3, 2.0, 0.2);
+  const GaussianGeneratorProfile p(base);
+  const GaussianGeneratorProfile q(base.shifted({3.0, 0.0}));
+  EXPECT_GT(cross_log_likelihood_mc(p, p, 2000, rng),
+            cross_log_likelihood_mc(p, q, 2000, rng));
+}
+
+TEST(GeneratorProfile, GradientMatchesFiniteDifference) {
+  Rng rng(12);
+  const auto base = GaussianClustersGenerator::make_ring(3, 2.0, 0.4);
+  const GaussianGeneratorProfile profile(base);
+  const Tensor x = Tensor::randn({2}, rng, 1.0f, 1.0f);
+  const Tensor analytic = profile.log_density_gradient(x);
+  Tensor probe = x;
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const float orig = probe.at(i);
+    probe.at(i) = orig + h;
+    const double up = profile.log_density(probe);
+    probe.at(i) = orig - h;
+    const double down = profile.log_density(probe);
+    probe.at(i) = orig;
+    EXPECT_NEAR(analytic.at(i), (up - down) / (2.0 * h), 5e-2);
+  }
+}
+
+TEST(SampleOnlyProfile, SamplesButHasNoDensity) {
+  Rng rng(13);
+  auto generator = std::make_shared<SyntheticDigitsGenerator>(
+      SyntheticDigitsGenerator::training_distribution());
+  const SampleOnlyProfile profile(generator);
+  EXPECT_EQ(profile.dim(), 64u);
+  const Tensor s = profile.sample(rng);
+  EXPECT_EQ(s.dim(0), 64u);
+  EXPECT_THROW(profile.log_density(s), PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

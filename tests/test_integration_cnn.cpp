@@ -1,0 +1,153 @@
+// End-to-end integration through the convolutional path: a small CNN on
+// the synthetic digits, trained, attacked, and assessed. Exercises
+// Conv2D + MaxPool2D forward/backward inside a full Classifier, the
+// attack substrate against a convolutional model, and GMM round-trip
+// serialisation of a learned OP.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "attack/pgd.h"
+#include "data/digits.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+#include "op/gmm.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+Classifier make_cnn(Rng& rng) {
+  // 1x8x8 -> conv(8 ch, 3x3, pad 1) -> ReLU -> pool 2 -> dense.
+  Sequential net(64);
+  ImageGeometry input{1, 8, 8};
+  auto& conv = net.emplace<Conv2D>(input, 8, 3, 1, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2D>(conv.output_geometry(), 2);
+  net.emplace<Dense>(8 * 4 * 4, 10, rng);
+  return Classifier(std::move(net), 10);
+}
+
+TEST(CnnIntegration, TrainsToUsefulAccuracyOnDigits) {
+  Rng rng(1);
+  const auto generator = SyntheticDigitsGenerator::training_distribution();
+  const Dataset train = generator.make_dataset(800, rng);
+  const Dataset test = generator.make_dataset(200, rng);
+  Classifier model = make_cnn(rng);
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 32;
+  config.learning_rate = 0.05;
+  config.momentum = 0.9;
+  const TrainHistory history = train_classifier(
+      model, train.inputs(), train.labels(), config, rng);
+  EXPECT_LT(history.final_loss(), history.epochs.front().mean_loss);
+  const double acc =
+      evaluate_accuracy(model, test.inputs(), test.labels());
+  EXPECT_GT(acc, 0.9) << "CNN should learn the synthetic digits";
+}
+
+TEST(CnnIntegration, InputGradientThroughConvMatchesFiniteDifference) {
+  Rng rng(2);
+  Classifier model = make_cnn(rng);
+  const auto generator = SyntheticDigitsGenerator::training_distribution();
+  const LabeledSample s = generator.sample(rng);
+  const Tensor analytic = model.input_gradient(s.x, s.y);
+  auto objective = [&model, &s](const Tensor& probe) {
+    const std::vector<int> labels = {s.y};
+    Tensor batch = probe.reshaped({1, probe.dim(0)});
+    return model.loss(batch, labels);
+  };
+  const Tensor numeric = testing::numerical_gradient(objective, s.x, 1e-2f);
+  // Spot-check a subset of pixels (finite differences through maxpool
+  // can disagree exactly at pooling ties; tolerate generous error).
+  std::size_t checked = 0, agreements = 0;
+  for (std::size_t i = 0; i < 64; i += 5) {
+    ++checked;
+    if (std::fabs(analytic.at(i) - numeric.at(i)) <=
+        0.1f * (1.0f + std::fabs(numeric.at(i)))) {
+      ++agreements;
+    }
+  }
+  EXPECT_GE(agreements, checked - 2);
+}
+
+TEST(CnnIntegration, PgdCracksTheCnn) {
+  Rng rng(3);
+  const auto generator = SyntheticDigitsGenerator::training_distribution();
+  const Dataset train = generator.make_dataset(800, rng);
+  Classifier model = make_cnn(rng);
+  TrainConfig config;
+  config.epochs = 8;
+  config.learning_rate = 0.05;
+  config.momentum = 0.9;
+  train_classifier(model, train.inputs(), train.labels(), config, rng);
+
+  PgdConfig pc;
+  pc.ball.eps = 0.15f;
+  pc.ball.input_lo = 0.0f;
+  pc.ball.input_hi = 1.0f;
+  pc.steps = 15;
+  pc.restarts = 2;
+  const Pgd attack(pc);
+  int found = 0, attempted = 0;
+  for (int i = 0; i < 200 && attempted < 20; ++i) {
+    const LabeledSample s = generator.sample(rng);
+    if (model.predict_single(s.x) != s.y) continue;
+    ++attempted;
+    const AttackResult r = attack.run(model, s.x, s.y, rng);
+    if (r.success) {
+      ++found;
+      EXPECT_LE(r.linf_distance, pc.ball.eps + 1e-5f);
+    }
+  }
+  EXPECT_GE(found, 3) << "a non-robust CNN should be attackable";
+}
+
+TEST(GmmSerialization, RoundTripsThroughStream) {
+  Rng rng(4);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.3);
+  const Dataset data = generator.make_dataset(300, rng);
+  GmmConfig config;
+  config.components = 3;
+  const auto original = GaussianMixtureModel::fit(data.inputs(), config,
+                                                  rng);
+  std::stringstream buffer;
+  save_gmm(original, buffer);
+  const auto restored = load_gmm(buffer);
+  ASSERT_EQ(restored.dim(), original.dim());
+  ASSERT_EQ(restored.components().size(), original.components().size());
+  for (int i = 0; i < 20; ++i) {
+    const Tensor x = Tensor::randn({2}, rng, 0.0f, 2.0f);
+    EXPECT_NEAR(restored.log_density(x), original.log_density(x), 1e-9);
+  }
+}
+
+TEST(GmmSerialization, FileRoundTripAndErrors) {
+  Rng rng(5);
+  GaussianMixtureModel::Component c;
+  c.weight = 1.0;
+  c.mean = {1.0, -1.0};
+  c.variance = {0.5, 2.0};
+  auto c2 = c;
+  c2.mean = {-3.0, 3.0};
+  const GaussianMixtureModel original({c, c2});
+  const std::string path = ::testing::TempDir() + "/opad_gmm.bin";
+  save_gmm_file(original, path);
+  const auto restored = load_gmm_file(path);
+  EXPECT_EQ(restored.components().size(), 2u);
+  EXPECT_NEAR(restored.components()[0].weight, 0.5, 1e-12);
+  std::remove(path.c_str());
+
+  std::stringstream garbage;
+  garbage << "not a gmm";
+  EXPECT_THROW(load_gmm(garbage), IoError);
+  EXPECT_THROW(load_gmm_file("/nonexistent_dir_xyz/g.bin"), IoError);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,118 @@
+#include "op/kde.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+TEST(Kde, SinglePointIsGaussianKernel) {
+  Tensor data({1, 2});
+  KdeConfig config;
+  config.bandwidth = 1.0;
+  Rng rng(1);
+  const KernelDensityEstimator kde(data, config, rng);
+  Tensor x({2});
+  EXPECT_NEAR(kde.log_density(x), -std::log(2.0 * M_PI), 1e-6);
+  x.at(0) = 2.0f;
+  EXPECT_NEAR(kde.log_density(x), -std::log(2.0 * M_PI) - 2.0, 1e-6);
+}
+
+TEST(Kde, DensityHigherNearData) {
+  Rng rng(2);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 3.0, 0.1);
+  const Dataset data = generator.make_dataset(300, rng);
+  const KernelDensityEstimator kde(data.inputs(), KdeConfig{}, rng);
+  Tensor on({2});
+  on.at(0) = 3.0f;  // a cluster center
+  Tensor off({2});
+  off.at(0) = 30.0f;
+  EXPECT_GT(kde.log_density(on), kde.log_density(off) + 5.0);
+}
+
+TEST(Kde, ScottBandwidthPositive) {
+  Rng rng(3);
+  const auto generator = GaussianClustersGenerator::make_ring(2, 2.0, 0.5);
+  const Dataset data = generator.make_dataset(200, rng);
+  const KernelDensityEstimator kde(data.inputs(), KdeConfig{}, rng);
+  for (double h : kde.bandwidth()) {
+    EXPECT_GT(h, 0.0);
+  }
+}
+
+TEST(Kde, MaxPointsSubsamples) {
+  Rng rng(4);
+  const auto generator = GaussianClustersGenerator::make_ring(2, 2.0, 0.5);
+  const Dataset data = generator.make_dataset(500, rng);
+  KdeConfig config;
+  config.max_points = 100;
+  const KernelDensityEstimator kde(data.inputs(), config, rng);
+  EXPECT_EQ(kde.point_count(), 100u);
+}
+
+TEST(Kde, SamplesConcentrateNearData) {
+  Rng rng(5);
+  // Data clustered at (5, 5).
+  Tensor data({100, 2});
+  for (std::size_t i = 0; i < 100; ++i) {
+    data(i, 0) = static_cast<float>(5.0 + rng.normal() * 0.1);
+    data(i, 1) = static_cast<float>(5.0 + rng.normal() * 0.1);
+  }
+  const KernelDensityEstimator kde(data, KdeConfig{}, rng);
+  for (int i = 0; i < 50; ++i) {
+    const Tensor s = kde.sample(rng);
+    EXPECT_NEAR(s(0), 5.0f, 1.5f);
+    EXPECT_NEAR(s(1), 5.0f, 1.5f);
+  }
+}
+
+TEST(Kde, GradientMatchesFiniteDifference) {
+  Rng rng(6);
+  const auto generator = GaussianClustersGenerator::make_ring(2, 2.0, 0.3);
+  const Dataset data = generator.make_dataset(80, rng);
+  const KernelDensityEstimator kde(data.inputs(), KdeConfig{}, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Tensor x = Tensor::randn({2}, rng, 0.0f, 1.5f);
+    const Tensor analytic = kde.log_density_gradient(x);
+    auto objective = [&kde](const Tensor& probe) {
+      return kde.log_density(probe);
+    };
+    const Tensor numeric = testing::numerical_gradient(objective, x);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(analytic.at(i), numeric.at(i),
+                  5e-2 * (1.0 + std::fabs(numeric.at(i))));
+    }
+  }
+}
+
+TEST(Kde, DensityIntegratesToOne) {
+  Rng rng(7);
+  Tensor data({20, 1});
+  for (std::size_t i = 0; i < 20; ++i) {
+    data(i, 0) = static_cast<float>(rng.normal());
+  }
+  KdeConfig config;
+  config.bandwidth = 0.5;
+  const KernelDensityEstimator kde(data, config, rng);
+  double integral = 0.0;
+  const double step = 0.02;
+  for (double x = -8.0; x < 8.0; x += step) {
+    Tensor p({1});
+    p.at(0) = static_cast<float>(x);
+    integral += std::exp(kde.log_density(p)) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Kde, RejectsEmptyData) {
+  Rng rng(8);
+  EXPECT_THROW(KernelDensityEstimator(Tensor({0, 2}), KdeConfig{}, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

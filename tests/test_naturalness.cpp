@@ -1,0 +1,194 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "naturalness/autoencoder_naturalness.h"
+#include "naturalness/composite.h"
+#include "naturalness/density_naturalness.h"
+#include "naturalness/local_consistency.h"
+#include "op/generator_profile.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+std::shared_ptr<GaussianGeneratorProfile> ring_profile() {
+  return std::make_shared<GaussianGeneratorProfile>(
+      GaussianClustersGenerator::make_ring(3, 2.0, 0.2));
+}
+
+TEST(DensityNaturalness, ScoresTrackDensity) {
+  const auto profile = ring_profile();
+  const DensityNaturalness metric(profile);
+  EXPECT_EQ(metric.dim(), 2u);
+  Tensor on({2});
+  on.at(0) = 2.0f;  // cluster center
+  Tensor off({2});
+  off.at(0) = 20.0f;
+  EXPECT_GT(metric.score(on), metric.score(off));
+  EXPECT_NEAR(metric.score(on), profile->log_density(on), 1e-12);
+}
+
+TEST(DensityNaturalness, GradientDelegatesToProfile) {
+  const auto profile = ring_profile();
+  const DensityNaturalness metric(profile);
+  ASSERT_TRUE(metric.has_gradient());
+  Rng rng(1);
+  const Tensor x = Tensor::randn({2}, rng);
+  const Tensor g = metric.score_gradient(x);
+  const Tensor expected = profile->log_density_gradient(x);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(g.at(i), expected.at(i));
+  }
+}
+
+TEST(NaturalnessThreshold, QuantileSemantics) {
+  const auto profile = ring_profile();
+  const DensityNaturalness metric(profile);
+  Rng rng(2);
+  const Dataset data =
+      profile->generator().make_dataset(500, rng);
+  const double tau = naturalness_threshold(metric, data.inputs(), 0.05);
+  // ~5% of the reference data scores below tau.
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (metric.score(data.sample(i).x) < tau) ++below;
+  }
+  const double fraction = static_cast<double>(below) / data.size();
+  EXPECT_NEAR(fraction, 0.05, 0.03);
+}
+
+TEST(AutoencoderNaturalness, OnManifoldScoresHigher) {
+  Rng rng(3);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.1);
+  const Dataset data = generator.make_dataset(400, rng);
+  AutoencoderConfig config;
+  config.latent_dim = 2;
+  config.encoder_hidden = {16};
+  config.epochs = 50;
+  auto ae = std::make_shared<Autoencoder>(2, config, rng);
+  ae->train(data.inputs(), rng);
+  const AutoencoderNaturalness metric(ae);
+  ASSERT_TRUE(metric.has_gradient());
+
+  double on_score = 0.0, off_score = 0.0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    on_score += metric.score(generator.sample(rng).x);
+    Tensor far({2});
+    far.at(0) = static_cast<float>(rng.uniform(8.0, 12.0));
+    far.at(1) = static_cast<float>(rng.uniform(8.0, 12.0));
+    off_score += metric.score(far);
+  }
+  EXPECT_GT(on_score / n, off_score / n);
+}
+
+TEST(AutoencoderNaturalness, GradientMatchesFiniteDifference) {
+  Rng rng(4);
+  AutoencoderConfig config;
+  config.latent_dim = 2;
+  config.encoder_hidden = {8};
+  config.epochs = 20;
+  auto ae = std::make_shared<Autoencoder>(3, config, rng);
+  ae->train(Tensor::rand_uniform({80, 3}, rng), rng);
+  const AutoencoderNaturalness metric(ae);
+  const Tensor x = Tensor::rand_uniform({3}, rng);
+  const Tensor analytic = metric.score_gradient(x);
+  auto objective = [&metric](const Tensor& probe) {
+    return metric.score(probe);
+  };
+  const Tensor numeric = testing::numerical_gradient(objective, x, 1e-2f);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(analytic.at(i), numeric.at(i),
+                5e-2f * (1.0f + std::fabs(numeric.at(i))));
+  }
+}
+
+TEST(LocalConsistency, NearDataScoresHigher) {
+  Rng rng(5);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.2);
+  const Dataset data = generator.make_dataset(200, rng);
+  const LocalConsistencyNaturalness metric(data.inputs(), 5);
+  EXPECT_FALSE(metric.has_gradient());
+  EXPECT_THROW(metric.score_gradient(Tensor({2})), PreconditionError);
+
+  Tensor near_cluster({2});
+  near_cluster.at(0) = 2.0f;
+  Tensor far({2});
+  far.at(0) = 15.0f;
+  EXPECT_GT(metric.score(near_cluster), metric.score(far));
+}
+
+TEST(LocalConsistency, ExactForSingleNeighbour) {
+  Tensor ref({2, 1});
+  ref(0, 0) = 0.0f;
+  ref(1, 0) = 10.0f;
+  const LocalConsistencyNaturalness metric(ref, 1);
+  Tensor x({1});
+  x.at(0) = 1.0f;
+  EXPECT_NEAR(metric.score(x), -1.0, 1e-6);
+  x.at(0) = 9.0f;
+  EXPECT_NEAR(metric.score(x), -1.0, 1e-6);  // nearest is 10
+}
+
+TEST(Composite, CalibratedCombinationIsStandardised) {
+  Rng rng(6);
+  const auto profile = ring_profile();
+  const Dataset data = profile->generator().make_dataset(300, rng);
+  std::vector<CompositeNaturalness::Component> components;
+  components.push_back({std::make_shared<DensityNaturalness>(profile), 1.0,
+                        0.0, 1.0});
+  components.push_back(
+      {std::make_shared<LocalConsistencyNaturalness>(data.inputs(), 3), 1.0,
+       0.0, 1.0});
+  CompositeNaturalness metric(components);
+  metric.calibrate(data.inputs());
+  // After calibration the mean score over the reference is ~0.
+  const auto scores = metric.score_all(data.inputs());
+  double total = 0.0;
+  for (double s : scores) total += s;
+  EXPECT_NEAR(total / scores.size(), 0.0, 0.1);
+}
+
+TEST(Composite, GradientAvailabilityDependsOnComponents) {
+  Rng rng(7);
+  const auto profile = ring_profile();
+  const Dataset data = profile->generator().make_dataset(50, rng);
+  {
+    std::vector<CompositeNaturalness::Component> components;
+    components.push_back({std::make_shared<DensityNaturalness>(profile),
+                          1.0, 0.0, 1.0});
+    const CompositeNaturalness metric(components);
+    EXPECT_TRUE(metric.has_gradient());
+  }
+  {
+    std::vector<CompositeNaturalness::Component> components;
+    components.push_back({std::make_shared<DensityNaturalness>(profile),
+                          1.0, 0.0, 1.0});
+    components.push_back(
+        {std::make_shared<LocalConsistencyNaturalness>(data.inputs(), 3),
+         1.0, 0.0, 1.0});
+    const CompositeNaturalness metric(components);
+    EXPECT_FALSE(metric.has_gradient());
+    // With zero weight on the non-differentiable part, gradient returns.
+    components[1].weight = 0.0;
+    const CompositeNaturalness metric2(components);
+    EXPECT_TRUE(metric2.has_gradient());
+  }
+}
+
+TEST(Composite, WeightsScaleContributions) {
+  const auto profile = ring_profile();
+  std::vector<CompositeNaturalness::Component> components;
+  components.push_back({std::make_shared<DensityNaturalness>(profile), 2.0,
+                        0.0, 1.0});
+  const CompositeNaturalness metric(components);
+  Tensor x({2});
+  x.at(0) = 2.0f;
+  EXPECT_NEAR(metric.score(x), 2.0 * profile->log_density(x), 1e-9);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,179 @@
+#include "nn/model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+TEST(Sequential, ValidatesLayerChaining) {
+  Rng rng(1);
+  Sequential net(4);
+  net.emplace<Dense>(4, 8, rng);
+  net.emplace<ReLU>();
+  EXPECT_EQ(net.output_dim(), 8u);
+  // A mismatched layer must be rejected.
+  EXPECT_THROW(net.emplace<Dense>(7, 2, rng), PreconditionError);
+  net.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(net.output_dim(), 2u);
+  EXPECT_EQ(net.layer_count(), 3u);
+}
+
+TEST(Sequential, ForwardShapeAndInputValidation) {
+  Rng rng(2);
+  Sequential net(3);
+  net.emplace<Dense>(3, 5, rng);
+  const Tensor out = net.forward(Tensor({2, 3}), false);
+  EXPECT_EQ(out.shape(), (Shape{2, 5}));
+  EXPECT_THROW(net.forward(Tensor({2, 4}), false), PreconditionError);
+}
+
+TEST(Sequential, ParameterCountIsCorrect) {
+  Rng rng(3);
+  Sequential net(4);
+  net.emplace<Dense>(4, 10, rng);  // 40 + 10
+  net.emplace<ReLU>();
+  net.emplace<Dense>(10, 3, rng);  // 30 + 3
+  EXPECT_EQ(net.parameter_count(), 83u);
+  EXPECT_EQ(net.parameters().size(), 4u);
+  EXPECT_EQ(net.gradients().size(), 4u);
+}
+
+TEST(Sequential, ForwardPrefixRunsSubset) {
+  Rng rng(4);
+  Sequential net(2);
+  auto& first = net.emplace<Dense>(2, 3, rng);
+  net.emplace<Dense>(3, 2, rng);
+  const Tensor x = Tensor::randn({1, 2}, rng);
+  const Tensor after_first = net.forward_prefix(x, 1);
+  EXPECT_EQ(after_first.shape(), (Shape{1, 3}));
+  // Must agree with calling the layer directly.
+  const Tensor direct = first.forward(x, false);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_FLOAT_EQ(after_first.at(i), direct.at(i));
+  }
+  EXPECT_THROW(net.forward_prefix(x, 3), PreconditionError);
+}
+
+TEST(Sequential, LayerNamesDescribeArchitecture) {
+  Rng rng(5);
+  Sequential net(2);
+  net.emplace<Dense>(2, 4, rng);
+  net.emplace<ReLU>();
+  const auto names = net.layer_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "Dense(2->4)");
+  EXPECT_EQ(names[1], "ReLU");
+}
+
+TEST(Classifier, RejectsOutputMismatch) {
+  Rng rng(6);
+  Sequential net(2);
+  net.emplace<Dense>(2, 5, rng);
+  EXPECT_THROW(Classifier(std::move(net), 3), PreconditionError);
+}
+
+TEST(Classifier, ProbabilitiesAreDistributions) {
+  Rng rng(7);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  const Tensor x = Tensor::randn({5, 4}, rng);
+  const Tensor probs = model.probabilities(x);
+  ASSERT_EQ(probs.shape(), (Shape{5, 3}));
+  for (std::size_t i = 0; i < 5; ++i) {
+    float total = 0.0f;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(probs(i, j), 0.0f);
+      total += probs(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Classifier, PredictMatchesArgmaxOfProbabilities) {
+  Rng rng(8);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  const Tensor x = Tensor::randn({10, 4}, rng);
+  const auto preds = model.predict(x);
+  const Tensor probs = model.probabilities(x);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(preds[i]), probs.row(i).argmax());
+  }
+}
+
+TEST(Classifier, SingleInputHelpersAgreeWithBatch) {
+  Rng rng(9);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  const Tensor x = Tensor::randn({4}, rng);
+  const int single = model.predict_single(x);
+  const auto batch = model.predict(x.reshaped({1, 4}));
+  EXPECT_EQ(single, batch[0]);
+  const Tensor p = model.probabilities_single(x);
+  EXPECT_EQ(p.shape(), (Shape{3}));
+  EXPECT_NEAR(p.sum(), 1.0f, 1e-5f);
+}
+
+TEST(Classifier, QueryCountTracksRows) {
+  Rng rng(10);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  model.reset_query_count();
+  model.predict(Tensor::randn({7, 4}, rng));
+  EXPECT_EQ(model.query_count(), 7u);
+  model.predict_single(Tensor::randn({4}, rng));
+  EXPECT_EQ(model.query_count(), 8u);
+  model.input_gradient(Tensor::randn({4}, rng), 0);
+  EXPECT_EQ(model.query_count(), 9u);
+}
+
+TEST(Classifier, InputGradientMatchesFiniteDifference) {
+  Rng rng(11);
+  Classifier model = testing::make_mlp(6, 12, 3, rng);
+  const Tensor x = Tensor::randn({6}, rng, 0.0f, 0.5f);
+  const int label = 1;
+  const Tensor analytic = model.input_gradient(x, label);
+
+  auto objective = [&model, label](const Tensor& probe) {
+    const std::vector<int> labels = {label};
+    Tensor batch = probe.reshaped({1, probe.dim(0)});
+    return model.loss(batch, labels);
+  };
+  const Tensor numeric = testing::numerical_gradient(objective, x);
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    EXPECT_NEAR(analytic.at(i), numeric.at(i),
+                5e-2f * (1.0f + std::fabs(numeric.at(i))))
+        << "index " << i;
+  }
+}
+
+TEST(Classifier, InputGradientLeavesParamGradientsZero) {
+  Rng rng(12);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  model.input_gradient(Tensor::randn({4}, rng), 2);
+  for (Tensor* g : model.network().gradients()) {
+    for (std::size_t i = 0; i < g->size(); ++i) {
+      ASSERT_EQ(g->at(i), 0.0f);
+    }
+  }
+}
+
+TEST(Classifier, AccumulateGradientsPopulatesParamGrads) {
+  Rng rng(13);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  model.network().zero_gradients();
+  const Tensor x = Tensor::randn({8, 4}, rng);
+  const std::vector<int> labels = {0, 1, 2, 0, 1, 2, 0, 1};
+  const double loss = model.accumulate_gradients(x, labels);
+  EXPECT_GT(loss, 0.0);
+  double grad_norm = 0.0;
+  for (Tensor* g : model.network().gradients()) {
+    grad_norm += g->l2_norm();
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,98 @@
+#include "attack/pgd_l2.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/metrics.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+float l2_dist(const Tensor& a, const Tensor& b) {
+  return l2_distance(a, b);
+}
+
+TEST(ProjectL2Ball, InsideBallUntouched) {
+  const Tensor center({3}, std::vector<float>{0.5f, 0.5f, 0.5f});
+  Tensor x({3}, std::vector<float>{0.6f, 0.5f, 0.4f});
+  const Tensor before = x;
+  project_l2_ball(x, center, 1.0f, 0.0f, 1.0f);
+  EXPECT_TRUE(x == before);
+}
+
+TEST(ProjectL2Ball, OutsideBallProjectsToSphere) {
+  const Tensor center({2}, std::vector<float>{0.0f, 0.0f});
+  Tensor x({2}, std::vector<float>{3.0f, 4.0f});  // norm 5
+  project_l2_ball(x, center, 1.0f, -10.0f, 10.0f);
+  EXPECT_NEAR(l2_dist(x, center), 1.0f, 1e-5f);
+  // Direction preserved.
+  EXPECT_NEAR(x(0) / x(1), 3.0f / 4.0f, 1e-5f);
+}
+
+TEST(ProjectL2Ball, BoxClampApplies) {
+  const Tensor center({2}, std::vector<float>{0.9f, 0.9f});
+  Tensor x({2}, std::vector<float>{1.5f, 0.9f});
+  project_l2_ball(x, center, 2.0f, 0.0f, 1.0f);
+  EXPECT_LE(x.max(), 1.0f);
+}
+
+TEST(ProjectL2Ball, Idempotent) {
+  Rng rng(1);
+  const Tensor center = Tensor::rand_uniform({8}, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor x = Tensor::rand_uniform({8}, rng, -1.0f, 2.0f);
+    project_l2_ball(x, center, 0.5f, 0.0f, 1.0f);
+    Tensor y = x;
+    project_l2_ball(y, center, 0.5f, 0.0f, 1.0f);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(x.at(i), y.at(i), 1e-6f);
+    }
+  }
+}
+
+TEST(PgdL2, FindsAesWithinL2Ball) {
+  auto task = testing::make_ring_task(600, 200, 95);
+  Rng rng(96);
+  Classifier model = testing::train_mlp(task.train, 24, 25, rng);
+  PgdL2Config config;
+  config.eps = 0.8f;
+  config.input_lo = -5.0f;
+  config.input_hi = 5.0f;
+  config.steps = 20;
+  config.restarts = 2;
+  const PgdL2 attack(config);
+  int found = 0, attempted = 0;
+  for (int i = 0; i < 3000 && attempted < 15; ++i) {
+    const LabeledSample s = task.generator.sample(rng);
+    if (model.predict_single(s.x) != s.y) continue;
+    const Tensor probs = model.probabilities_single(s.x);
+    if (probability_margin(probs.data()) > 0.5) continue;
+    ++attempted;
+    const AttackResult r = attack.run(model, s.x, s.y, rng);
+    EXPECT_LE(l2_dist(r.adversarial, s.x), config.eps + 1e-4f);
+    if (r.success) {
+      ++found;
+      EXPECT_NE(model.predict_single(r.adversarial), s.y);
+    }
+  }
+  EXPECT_GE(found, 5) << "L2 PGD should crack most boundary seeds";
+}
+
+TEST(PgdL2, ValidatesConfig) {
+  PgdL2Config config;
+  config.eps = 0.0f;
+  EXPECT_THROW(PgdL2{config}, PreconditionError);
+  config.eps = 1.0f;
+  config.steps = 0;
+  EXPECT_THROW(PgdL2{config}, PreconditionError);
+  config.steps = 5;
+  config.input_lo = 1.0f;
+  config.input_hi = 0.0f;
+  EXPECT_THROW(PgdL2{config}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

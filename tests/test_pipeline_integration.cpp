@@ -1,0 +1,172 @@
+#include <cmath>
+// End-to-end integration test of the Figure-1 pipeline on the ring task.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "reliability/ground_truth.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+PipelineConfig small_pipeline_config() {
+  PipelineConfig config;
+  config.rq1.synthetic_size = 500;
+  config.rq1.gmm.components = 3;
+  config.rq3.ball.eps = 0.4f;
+  config.rq3.ball.input_lo = -5.0f;
+  config.rq3.ball.input_hi = 5.0f;
+  config.rq3.steps = 10;
+  config.rq3.restarts = 2;
+  config.rq4.epochs = 3;
+  config.rq5.bins_per_dim = 4;
+  config.rq5.probes_per_assessment = 50;
+  config.rq5.target_pmi = 0.02;
+  config.seeds_per_iteration = 40;
+  config.max_iterations = 3;
+  config.query_budget = 200000;
+  return config;
+}
+
+TEST(Pipeline, RunsAllIterationsAndRecordsEverything) {
+  // Operational distribution: skewed priors + slight shift.
+  auto op_generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.15)
+                          .with_class_priors({0.6, 0.3, 0.1});
+  Rng rng(51);
+  const Dataset operational_sample = op_generator.make_dataset(150, rng);
+
+  auto task = testing::make_ring_task(600, 100, 52);
+  Rng train_rng(53);
+  Classifier model = testing::train_mlp(task.train, 24, 25, train_rng);
+
+  const OpTestingPipeline pipeline(small_pipeline_config());
+  std::size_t callbacks = 0;
+  const PipelineResult result = pipeline.run(
+      model, operational_sample, rng,
+      [&callbacks](const IterationRecord& record, Classifier&) {
+        ++callbacks;
+        EXPECT_GT(record.assessment.probes, 0u);
+      });
+
+  EXPECT_GE(result.iterations.size(), 1u);
+  EXPECT_LE(result.iterations.size(), 3u);
+  EXPECT_EQ(callbacks, result.iterations.size());
+  EXPECT_GT(result.total_queries, 0u);
+  EXPECT_LE(result.total_queries, 200000u + 100000u);  // budget + slack
+  EXPECT_TRUE(std::isfinite(result.tau));
+  for (const auto& record : result.iterations) {
+    EXPECT_GT(record.detection.seeds_attacked, 0u);
+    EXPECT_GE(record.assessment.pmi_upper, record.assessment.pmi_mean);
+  }
+}
+
+TEST(Pipeline, ImprovesOperationalReliability) {
+  auto op_generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.2)
+                          .with_class_priors({0.5, 0.35, 0.15});
+  Rng rng(54);
+  const Dataset operational_sample = op_generator.make_dataset(200, rng);
+
+  // Deliberately under-trained model: plenty of operational AEs exist.
+  auto task = testing::make_ring_task(300, 100, 55);
+  Rng train_rng(56);
+  Classifier model = testing::train_mlp(task.train, 12, 6, train_rng);
+
+  GroundTruthConfig gt_config;
+  gt_config.samples = 1500;
+  Rng gt_rng(57);
+  const double before =
+      true_misclassification_rate(model, op_generator, gt_config, gt_rng)
+          .estimate;
+
+  PipelineConfig config = small_pipeline_config();
+  config.max_iterations = 4;
+  config.seeds_per_iteration = 60;
+  config.rq5.target_pmi = 1e-6;  // never met: run all iterations
+  const OpTestingPipeline pipeline(config);
+  pipeline.run(model, operational_sample, rng);
+
+  Rng gt_rng2(57);
+  const double after =
+      true_misclassification_rate(model, op_generator, gt_config, gt_rng2)
+          .estimate;
+  // The retrained model must not be worse on the true OP, and typically
+  // improves substantially on an under-trained start.
+  EXPECT_LE(after, before + 0.02)
+      << "pipeline must not degrade operational reliability (before="
+      << before << ", after=" << after << ")";
+}
+
+TEST(Pipeline, StopsWhenTargetMet) {
+  auto op_generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.15);
+  Rng rng(58);
+  const Dataset operational_sample = op_generator.make_dataset(150, rng);
+  auto task = testing::make_ring_task(600, 100, 59);
+  Rng train_rng(60);
+  Classifier model = testing::train_mlp(task.train, 24, 30, train_rng);
+
+  PipelineConfig config = small_pipeline_config();
+  config.rq5.target_pmi = 0.99;  // trivially met after one iteration
+  const OpTestingPipeline pipeline(config);
+  const PipelineResult result = pipeline.run(model, operational_sample, rng);
+  EXPECT_TRUE(result.target_reached);
+  EXPECT_EQ(result.iterations.size(), 1u);
+}
+
+TEST(Pipeline, RespectsQueryBudget) {
+  auto op_generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.15);
+  Rng rng(61);
+  const Dataset operational_sample = op_generator.make_dataset(120, rng);
+  auto task = testing::make_ring_task(400, 100, 62);
+  Rng train_rng(63);
+  Classifier model = testing::train_mlp(task.train, 16, 10, train_rng);
+
+  PipelineConfig config = small_pipeline_config();
+  config.query_budget = 3000;  // very small
+  config.max_iterations = 10;
+  config.rq5.target_pmi = 1e-9;
+  const OpTestingPipeline pipeline(config);
+  const PipelineResult result = pipeline.run(model, operational_sample, rng);
+  // Budget binds long before 10 iterations complete.
+  EXPECT_LT(result.iterations.size(), 10u);
+}
+
+TEST(Pipeline, DeterministicGivenSeeds) {
+  auto op_generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.2);
+  Rng data_rng(71);
+  const Dataset operational_sample = op_generator.make_dataset(120, data_rng);
+  auto task = testing::make_ring_task(300, 50, 72);
+
+  auto run_once = [&]() {
+    Rng train_rng(73);
+    Classifier model = testing::train_mlp(task.train, 12, 8, train_rng);
+    PipelineConfig config = small_pipeline_config();
+    config.max_iterations = 2;
+    const OpTestingPipeline pipeline(config);
+    Rng rng(74);
+    return pipeline.run(model, operational_sample, rng);
+  };
+  const PipelineResult a = run_once();
+  const PipelineResult b = run_once();
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.all_aes.size(), b.all_aes.size());
+  EXPECT_DOUBLE_EQ(a.tau, b.tau);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].detection.aes_found,
+              b.iterations[i].detection.aes_found);
+    EXPECT_DOUBLE_EQ(a.iterations[i].assessment.pmi_mean,
+                     b.iterations[i].assessment.pmi_mean);
+  }
+}
+
+TEST(Pipeline, ValidatesConfig) {
+  PipelineConfig config = small_pipeline_config();
+  config.seeds_per_iteration = 0;
+  EXPECT_THROW(OpTestingPipeline{config}, PreconditionError);
+  config = small_pipeline_config();
+  config.naturalness_quantile = 1.5;
+  EXPECT_THROW(OpTestingPipeline{config}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,292 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "attack/pgd.h"
+#include "data/generators.h"
+#include "op/histogram.h"
+#include "reliability/beta_estimator.h"
+#include "reliability/bootstrap.h"
+#include "reliability/cell_model.h"
+#include "reliability/ground_truth.h"
+#include "reliability/op_accuracy.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+TEST(BetaEstimator, PosteriorUpdatesWithEvidence) {
+  BetaEstimator est(0.5, 0.5);
+  EXPECT_EQ(est.trials(), 0u);
+  est.record(true);
+  est.record(false);
+  est.record(false);
+  EXPECT_EQ(est.trials(), 3u);
+  EXPECT_EQ(est.failures(), 1u);
+  // Posterior Beta(1.5, 2.5): mean = 1.5/4.
+  EXPECT_NEAR(est.mean(), 1.5 / 4.0, 1e-12);
+}
+
+TEST(BetaEstimator, RecordManyMatchesLoop) {
+  BetaEstimator a(1.0, 1.0), b(1.0, 1.0);
+  for (int i = 0; i < 7; ++i) a.record(true);
+  for (int i = 0; i < 13; ++i) a.record(false);
+  b.record_many(7, 13);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.trials(), b.trials());
+}
+
+TEST(BetaEstimator, BoundsBracketsMeanAndShrink) {
+  BetaEstimator est(0.5, 0.5);
+  est.record_many(5, 95);
+  const double mean = est.mean();
+  EXPECT_LT(est.lower_bound(0.95), mean);
+  EXPECT_GT(est.upper_bound(0.95), mean);
+  BetaEstimator more(0.5, 0.5);
+  more.record_many(50, 950);
+  EXPECT_LT(more.upper_bound(0.95) - more.lower_bound(0.95),
+            est.upper_bound(0.95) - est.lower_bound(0.95));
+}
+
+TEST(BetaEstimator, UpperBoundCoversTruth) {
+  Rng rng(1);
+  const double theta = 0.07;
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    BetaEstimator est(0.5, 0.5);
+    for (int i = 0; i < 60; ++i) est.record(rng.bernoulli(theta));
+    if (est.upper_bound(0.95) >= theta) ++covered;
+  }
+  EXPECT_GE(covered, trials * 90 / 100);
+}
+
+std::shared_ptr<const CellPartition> grid4() {
+  return std::make_shared<const CellPartition>(
+      std::vector<double>{0.0, 0.0}, std::vector<double>{1.0, 1.0}, 2);
+}
+
+TEST(CellModel, ValidatesWeights) {
+  auto partition = grid4();
+  EXPECT_THROW(
+      CellReliabilityModel(partition, std::vector<double>{0.5, 0.5}),
+      PreconditionError);
+  EXPECT_THROW(CellReliabilityModel(
+                   partition, std::vector<double>{0.5, 0.5, 0.5, 0.5}),
+               PreconditionError);
+  EXPECT_NO_THROW(CellReliabilityModel(
+      partition, std::vector<double>{0.25, 0.25, 0.25, 0.25}));
+}
+
+TEST(CellModel, PmiIsOpWeightedMean) {
+  auto partition = grid4();
+  CellReliabilityModel model(partition, {0.7, 0.1, 0.1, 0.1}, 1.0, 1.0);
+  // Saturate cell 0 with failures and the rest with successes.
+  for (int i = 0; i < 1000; ++i) {
+    model.record_cell(0, true);
+    model.record_cell(1, false);
+    model.record_cell(2, false);
+    model.record_cell(3, false);
+  }
+  // pmi ~ 0.7 * 1 + 0.3 * 0 = 0.7.
+  EXPECT_NEAR(model.pmi_mean(), 0.7, 0.01);
+  EXPECT_EQ(model.total_trials(), 4000u);
+}
+
+TEST(CellModel, RecordByInputRoutesToCell) {
+  auto partition = grid4();
+  CellReliabilityModel model(partition, {0.25, 0.25, 0.25, 0.25});
+  Tensor x({2});
+  x.at(0) = 0.1f;
+  x.at(1) = 0.1f;
+  model.record(x, true);
+  EXPECT_EQ(model.cell(0).trials(), 1u);
+  EXPECT_EQ(model.cell(0).failures(), 1u);
+  EXPECT_EQ(model.cell(3).trials(), 0u);
+}
+
+TEST(CellModel, QuantilesBracketMean) {
+  Rng rng(2);
+  auto partition = grid4();
+  CellReliabilityModel model(partition, {0.25, 0.25, 0.25, 0.25});
+  for (int i = 0; i < 50; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      model.record_cell(c, rng.bernoulli(0.1));
+    }
+  }
+  const double mean = model.pmi_mean();
+  const double lo = model.pmi_quantile(0.05, 500, rng);
+  const double hi = model.pmi_quantile(0.95, 500, rng);
+  EXPECT_LT(lo, mean);
+  EXPECT_GT(hi, mean);
+  EXPECT_GE(model.pmi_upper_bound(0.95, 500, rng), mean);
+}
+
+TEST(CellModel, UpperBoundCoversTrueWeightedPmi) {
+  Rng rng(3);
+  auto partition = grid4();
+  const std::vector<double> weights = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<double> theta = {0.02, 0.1, 0.05, 0.3};
+  double true_pmi = 0.0;
+  for (int c = 0; c < 4; ++c) true_pmi += weights[c] * theta[c];
+  int covered = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    CellReliabilityModel model(partition, weights);
+    for (int i = 0; i < 40; ++i) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        model.record_cell(c, rng.bernoulli(theta[c]));
+      }
+    }
+    if (model.pmi_upper_bound(0.95, 400, rng) >= true_pmi) ++covered;
+  }
+  EXPECT_GE(covered, trials * 85 / 100);
+}
+
+TEST(CellModel, UncertaintyRankingPrefersUnprobedHeavyCells) {
+  auto partition = grid4();
+  CellReliabilityModel model(partition, {0.7, 0.1, 0.1, 0.1});
+  // Cell 1..3 get lots of data; cell 0 (heaviest) none.
+  for (int i = 0; i < 200; ++i) {
+    model.record_cell(1, false);
+    model.record_cell(2, false);
+    model.record_cell(3, false);
+  }
+  const auto ranked = model.cells_by_weighted_uncertainty();
+  EXPECT_EQ(ranked.front(), 0u);
+}
+
+TEST(CellModel, BudgetAllocationSumsToBudgetAndFavoursUncertainty) {
+  auto partition = grid4();
+  CellReliabilityModel model(partition, {0.7, 0.1, 0.1, 0.1});
+  for (int i = 0; i < 200; ++i) {
+    model.record_cell(1, false);
+    model.record_cell(2, false);
+  }
+  const auto alloc = model.allocate_budget(100);
+  std::size_t total = 0;
+  for (std::size_t a : alloc) total += a;
+  EXPECT_EQ(total, 100u);
+  EXPECT_GT(alloc[0], alloc[1]);
+  EXPECT_GT(alloc[0], alloc[2]);
+}
+
+TEST(Bootstrap, IntervalContainsPlugInMean) {
+  Rng rng(4);
+  std::vector<double> values(200);
+  for (double& v : values) v = rng.normal(3.0, 1.0);
+  const auto ci = bootstrap_mean_ci(values, 0.95, 400, rng);
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+  EXPECT_NEAR(ci.estimate, 3.0, 0.3);
+}
+
+TEST(Bootstrap, DegenerateDataGivesPointInterval) {
+  Rng rng(5);
+  const std::vector<double> values(50, 1.5);
+  const auto ci = bootstrap_mean_ci(values, 0.9, 100, rng);
+  EXPECT_DOUBLE_EQ(ci.lower, 1.5);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.5);
+}
+
+TEST(OpAccuracy, UnbiasedUnderImportanceSampling) {
+  // True failure rate under p: failures occur iff x in "bad" region with
+  // p-mass 0.2. Sample from q which over-samples the bad region 4x.
+  Rng rng(6);
+  OperationalAccuracyEstimator est;
+  const double p_bad = 0.2, q_bad = 0.8;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const bool bad = rng.bernoulli(q_bad);
+    WeightedOutcome o;
+    o.failed = bad;  // all bad-region points fail
+    o.op_density = bad ? p_bad : 1.0 - p_bad;
+    o.sampling_density = bad ? q_bad : 1.0 - q_bad;
+    est.add(o);
+  }
+  EXPECT_NEAR(est.failure_rate(), 0.2, 0.02);
+  EXPECT_GT(est.effective_sample_size(), 100.0);
+  EXPECT_LE(est.effective_sample_size(), static_cast<double>(n));
+}
+
+TEST(OpAccuracy, UniformWeightsReduceToSampleMean) {
+  OperationalAccuracyEstimator est;
+  for (int i = 0; i < 10; ++i) {
+    WeightedOutcome o;
+    o.failed = i < 3;
+    o.op_density = 1.0;
+    o.sampling_density = 1.0;
+    est.add(o);
+  }
+  EXPECT_DOUBLE_EQ(est.failure_rate(), 0.3);
+  EXPECT_DOUBLE_EQ(est.effective_sample_size(), 10.0);
+}
+
+TEST(OpAccuracy, BootstrapCiBracketsEstimate) {
+  Rng rng(7);
+  OperationalAccuracyEstimator est;
+  for (int i = 0; i < 300; ++i) {
+    WeightedOutcome o;
+    o.failed = rng.bernoulli(0.15);
+    o.op_density = rng.uniform(0.5, 2.0);
+    o.sampling_density = 1.0;
+    est.add(o);
+  }
+  const auto ci = est.failure_rate_ci(0.95, 300, rng);
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+}
+
+TEST(OpAccuracy, ValidatesOutcomes) {
+  OperationalAccuracyEstimator est;
+  WeightedOutcome bad;
+  bad.op_density = 1.0;
+  bad.sampling_density = 0.0;
+  EXPECT_THROW(est.add(bad), PreconditionError);
+  EXPECT_THROW(est.failure_rate(), PreconditionError);
+}
+
+TEST(GroundTruth, PerfectAndBrokenModelsBracketReality) {
+  Rng rng(8);
+  auto task = testing::make_ring_task(500, 100, 9);
+  Rng train_rng(10);
+  Classifier good = testing::train_mlp(task.train, 24, 25, train_rng);
+  Classifier bad = testing::make_mlp(2, 8, 3, train_rng);  // untrained
+
+  GroundTruthConfig config;
+  config.samples = 800;
+  const auto good_rate =
+      true_misclassification_rate(good, task.generator, config, rng);
+  const auto bad_rate =
+      true_misclassification_rate(bad, task.generator, config, rng);
+  EXPECT_LT(good_rate.estimate, 0.05);
+  EXPECT_GT(bad_rate.estimate, 0.3);
+  EXPECT_LE(good_rate.lower, good_rate.estimate);
+  EXPECT_GE(good_rate.upper, good_rate.estimate);
+}
+
+TEST(GroundTruth, UnastutenessAtLeastMisclassification) {
+  Rng rng(11);
+  auto task = testing::make_ring_task(500, 100, 12);
+  Rng train_rng(13);
+  Classifier model = testing::train_mlp(task.train, 24, 20, train_rng);
+  PgdConfig pc;
+  pc.ball.eps = 0.3f;
+  pc.ball.input_lo = -5.0f;
+  pc.ball.input_hi = 5.0f;
+  pc.steps = 10;
+  pc.restarts = 1;
+  const Pgd attack(pc);
+  GroundTruthConfig config;
+  config.samples = 150;
+  Rng rng_a(14), rng_b(14);
+  const auto mis =
+      true_misclassification_rate(model, task.generator, config, rng_a);
+  const auto unastute =
+      true_unastuteness_rate(model, task.generator, attack, config, rng_b);
+  EXPECT_GE(unastute.estimate + 0.02, mis.estimate);
+}
+
+}  // namespace
+}  // namespace opad

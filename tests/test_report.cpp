@@ -1,0 +1,82 @@
+#include "core/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace opad {
+namespace {
+
+PipelineResult sample_result() {
+  PipelineResult result;
+  result.tau = -3.5;
+  result.target_reached = true;
+  result.total_queries = 12345;
+  for (int i = 0; i < 3; ++i) {
+    IterationRecord record;
+    record.iteration = static_cast<std::size_t>(i);
+    record.detection.seeds_attacked = 100;
+    record.detection.aes_found = 40 - 10 * i;
+    record.detection.clean_failures = 5;
+    record.detection.operational_aes = 30 - 10 * i;
+    record.assessment.pmi_mean = 0.2 - 0.05 * i;
+    record.assessment.pmi_upper = 0.3 - 0.05 * i;
+    record.assessment.probes = 50;
+    record.budget_used_total = 4000u * static_cast<std::size_t>(i + 1);
+    result.iterations.push_back(record);
+  }
+  OperationalAE ae;
+  ae.seed = Tensor({2});
+  ae.adversarial = Tensor({2});
+  ae.is_operational = true;
+  result.all_aes.push_back(ae);
+  ae.is_operational = false;
+  result.all_aes.push_back(ae);
+  return result;
+}
+
+TEST(PipelineReport, ContainsConfigurationAndVerdict) {
+  const PipelineResult result = sample_result();
+  PipelineConfig config;
+  config.rq3.ball.eps = 0.1f;
+  config.rq5.target_pmi = 0.25;
+  std::ostringstream os;
+  write_pipeline_report(result, config, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("RELIABILITY TARGET MET"), std::string::npos);
+  EXPECT_NE(text.find("0.1"), std::string::npos);       // eps echo
+  EXPECT_NE(text.find("12345"), std::string::npos);     // total queries
+  EXPECT_NE(text.find("2 AEs (1 operational)"), std::string::npos);
+  // Per-iteration rows present.
+  EXPECT_NE(text.find("iterations"), std::string::npos);
+  EXPECT_NE(text.find("0.3000"), std::string::npos);  // first pmi_upper
+}
+
+TEST(PipelineReport, NotMetVerdict) {
+  PipelineResult result = sample_result();
+  result.target_reached = false;
+  std::ostringstream os;
+  write_pipeline_report(result, PipelineConfig{}, os);
+  EXPECT_NE(os.str().find("target not met"), std::string::npos);
+}
+
+TEST(PipelineCsv, WritesOneRowPerIteration) {
+  const PipelineResult result = sample_result();
+  const std::string path = ::testing::TempDir() + "/opad_report.csv";
+  write_pipeline_csv(result, path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u + result.iterations.size());  // header + rows
+  std::remove(path.c_str());
+}
+
+TEST(PipelineCsv, ThrowsOnBadPath) {
+  EXPECT_THROW(write_pipeline_csv(sample_result(), "/nonexistent_xyz/r.csv"),
+               IoError);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,255 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace opad {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(7);
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    ASSERT_GE(v, -2.5);
+    ASSERT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyInterval) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t v = rng.uniform_index(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScales) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, GammaMeanMatchesShapeTimesScale) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(3.0, 2.0);
+  EXPECT_NEAR(sum / n, 6.0, 0.1);
+}
+
+TEST(Rng, GammaSmallShapeIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_GT(rng.gamma(0.3, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, BetaMeanMatches) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double b = rng.beta(2.0, 6.0);
+    ASSERT_GT(b, 0.0);
+    ASSERT_LT(b, 1.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(29);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) counts[rng.categorical(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(31);
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.categorical(w), 1u);
+  }
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(31);
+  const std::vector<double> negative = {0.5, -0.1};
+  EXPECT_THROW(rng.categorical(negative), PreconditionError);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zeros), PreconditionError);
+  EXPECT_THROW(rng.categorical(std::vector<double>{}), PreconditionError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t i : sample) ASSERT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, WeightedSampleWithoutReplacementDistinctAndBiased) {
+  Rng rng(43);
+  std::vector<double> w(10, 1.0);
+  w[3] = 100.0;
+  int picked3 = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto s = rng.weighted_sample_without_replacement(w, 3);
+    EXPECT_EQ(s.size(), 3u);
+    std::set<std::size_t> unique(s.begin(), s.end());
+    EXPECT_EQ(unique.size(), 3u);
+    if (unique.count(3)) ++picked3;
+  }
+  // Index 3 carries ~92% of the mass; it should be picked nearly always.
+  EXPECT_GT(picked3, 480);
+}
+
+TEST(Rng, WeightedSampleNeverPicksZeroWeight) {
+  Rng rng(47);
+  const std::vector<double> w = {1.0, 0.0, 1.0, 0.0, 1.0};
+  for (int trial = 0; trial < 200; ++trial) {
+    for (std::size_t i : rng.weighted_sample_without_replacement(w, 3)) {
+      ASSERT_NE(i, 1u);
+      ASSERT_NE(i, 3u);
+    }
+  }
+}
+
+TEST(Rng, WeightedSampleRequiresEnoughPositive) {
+  Rng rng(47);
+  const std::vector<double> w = {1.0, 0.0, 0.0};
+  EXPECT_THROW(rng.weighted_sample_without_replacement(w, 2),
+               PreconditionError);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(53);
+  Rng child = parent.split();
+  // The child stream should not be identical to the parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, StdShuffleCompatible) {
+  // Rng satisfies UniformRandomBitGenerator.
+  Rng rng(59);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace opad

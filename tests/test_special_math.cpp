@@ -1,0 +1,169 @@
+#include "util/special_math.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace opad {
+namespace {
+
+TEST(LogGamma, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfIntegerValues) {
+  EXPECT_NEAR(log_gamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+  EXPECT_NEAR(log_gamma(1.5), std::log(0.5 * std::sqrt(M_PI)), 1e-10);
+}
+
+TEST(LogGamma, AgreesWithStdLgamma) {
+  for (double x : {0.1, 0.7, 1.3, 2.5, 7.9, 31.4, 100.0}) {
+    EXPECT_NEAR(log_gamma(x), std::lgamma(x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), PreconditionError);
+  EXPECT_THROW(log_gamma(-1.0), PreconditionError);
+}
+
+TEST(LogBeta, SymmetricAndKnownValues) {
+  EXPECT_NEAR(log_beta(2.0, 3.0), log_beta(3.0, 2.0), 1e-12);
+  // B(2, 3) = 1/12.
+  EXPECT_NEAR(std::exp(log_beta(2.0, 3.0)), 1.0 / 12.0, 1e-10);
+  // B(1, 1) = 1.
+  EXPECT_NEAR(log_beta(1.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // Beta(1,1) is uniform: I_x(1,1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.05, 0.3, 0.6, 0.95}) {
+    EXPECT_NEAR(incomplete_beta(2.5, 4.0, x),
+                1.0 - incomplete_beta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_{0.5}(2, 2) = 0.5 by symmetry.
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-10);
+  // Binomial identity: I_{0.5}(1, 3) = 1 - 0.5^3 = 0.875.
+  EXPECT_NEAR(incomplete_beta(1.0, 3.0, 0.5), 0.875, 1e-10);
+}
+
+TEST(IncompleteBetaInverse, RoundTrips) {
+  for (double a : {0.5, 1.0, 2.0, 7.0}) {
+    for (double b : {0.5, 1.0, 3.0, 12.0}) {
+      for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+        const double x = incomplete_beta_inverse(a, b, p);
+        EXPECT_NEAR(incomplete_beta(a, b, x), p, 1e-8)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaInverse, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta_inverse(2.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta_inverse(2.0, 2.0, 1.0), 1.0);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(NormalQuantile, RoundTripsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, RejectsBoundary) {
+  EXPECT_THROW(normal_quantile(0.0), PreconditionError);
+  EXPECT_THROW(normal_quantile(1.0), PreconditionError);
+}
+
+TEST(LogAddExp, BasicIdentities) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0),
+              1e-12);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(log_add_exp(-inf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_add_exp(1.5, -inf), 1.5);
+}
+
+TEST(LogAddExp, NoOverflowForLargeInputs) {
+  const double big = 1e300;
+  // Would overflow naively; should return ~big + log(2).
+  EXPECT_NEAR(log_add_exp(std::log(big), std::log(big)) - std::log(big),
+              std::log(2.0), 1e-9);
+  EXPECT_NEAR(log_add_exp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  const std::vector<double> v = {std::log(1.0), std::log(2.0),
+                                 std::log(3.0)};
+  EXPECT_NEAR(log_sum_exp(v), std::log(6.0), 1e-12);
+}
+
+TEST(LogSumExp, EmptyIsMinusInfinity) {
+  EXPECT_EQ(log_sum_exp(std::vector<double>{}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExp, StableForExtremeValues) {
+  const std::vector<double> v = {-1000.0, -1000.0};
+  EXPECT_NEAR(log_sum_exp(v), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(Digamma, KnownValues) {
+  // digamma(1) = -euler_gamma.
+  EXPECT_NEAR(digamma(1.0), -0.5772156649015329, 1e-8);
+  // Recurrence: digamma(x+1) = digamma(x) + 1/x.
+  for (double x : {0.3, 1.7, 5.5}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-9);
+  }
+}
+
+// Property sweep: the Beta quantile is monotone in p.
+class BetaQuantileMonotone
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(BetaQuantileMonotone, MonotoneInP) {
+  const auto [a, b] = GetParam();
+  double prev = 0.0;
+  for (double p = 0.02; p < 1.0; p += 0.02) {
+    const double x = incomplete_beta_inverse(a, b, p);
+    EXPECT_GE(x, prev - 1e-12);
+    prev = x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BetaQuantileMonotone,
+    ::testing::Values(std::make_pair(0.5, 0.5), std::make_pair(1.0, 1.0),
+                      std::make_pair(2.0, 5.0), std::make_pair(5.0, 2.0),
+                      std::make_pair(20.0, 80.0),
+                      std::make_pair(0.7, 9.0)));
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,168 @@
+#include "op/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "op/divergence.h"
+#include "op/generator_profile.h"
+
+namespace opad {
+namespace {
+
+TEST(ClassPriorEstimator, PosteriorMeanTracksObservations) {
+  ClassPriorEstimator est(3, 1.0);
+  // Prior only: uniform.
+  auto mean = est.posterior_mean();
+  EXPECT_NEAR(mean[0], 1.0 / 3.0, 1e-12);
+  for (int i = 0; i < 70; ++i) est.observe(0);
+  for (int i = 0; i < 20; ++i) est.observe(1);
+  for (int i = 0; i < 10; ++i) est.observe(2);
+  mean = est.posterior_mean();
+  EXPECT_NEAR(mean[0], 71.0 / 103.0, 1e-9);
+  EXPECT_NEAR(mean[1], 21.0 / 103.0, 1e-9);
+  EXPECT_EQ(est.observation_count(), 100u);
+}
+
+TEST(ClassPriorEstimator, CredibleIntervalCoversTruth) {
+  Rng rng(1);
+  const double true_p0 = 0.7;
+  int covered = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    ClassPriorEstimator est(2, 1.0);
+    for (int i = 0; i < 100; ++i) {
+      est.observe(rng.bernoulli(true_p0) ? 0 : 1);
+    }
+    const auto [lo, hi] = est.credible_interval(0, 0.95);
+    EXPECT_LT(lo, hi);
+    if (true_p0 >= lo && true_p0 <= hi) ++covered;
+  }
+  // Nominal 95%; allow wide slack for 100 trials.
+  EXPECT_GE(covered, 85);
+}
+
+TEST(ClassPriorEstimator, IntervalNarrowsWithData) {
+  ClassPriorEstimator small(2, 1.0);
+  ClassPriorEstimator large(2, 1.0);
+  for (int i = 0; i < 10; ++i) small.observe(i % 2);
+  for (int i = 0; i < 1000; ++i) large.observe(i % 2);
+  const auto [slo, shi] = small.credible_interval(0, 0.95);
+  const auto [llo, lhi] = large.credible_interval(0, 0.95);
+  EXPECT_LT(lhi - llo, shi - slo);
+}
+
+TEST(ClassPriorEstimator, ValidatesInputs) {
+  EXPECT_THROW(ClassPriorEstimator(1), PreconditionError);
+  EXPECT_THROW(ClassPriorEstimator(3, 0.0), PreconditionError);
+  ClassPriorEstimator est(3);
+  EXPECT_THROW(est.observe(3), PreconditionError);
+  EXPECT_THROW(est.observe(-1), PreconditionError);
+}
+
+TEST(LearnOperationalProfile, ProducesDatasetProfileAndPriors) {
+  Rng rng(2);
+  const auto generator =
+      GaussianClustersGenerator::make_ring(3, 2.0, 0.15)
+          .with_class_priors({0.6, 0.3, 0.1});
+  const Dataset observed = generator.make_dataset(150, rng);
+  SynthesizerConfig config;
+  config.synthetic_size = 600;
+  config.gmm.components = 3;
+  const auto result = learn_operational_profile(observed, config, rng);
+
+  EXPECT_EQ(result.operational_dataset.size(), 600u);
+  EXPECT_EQ(result.operational_dataset.dim(), 2u);
+  ASSERT_NE(result.profile, nullptr);
+  EXPECT_EQ(result.profile->dim(), 2u);
+  // Learned priors reflect the skew.
+  EXPECT_GT(result.class_priors[0], result.class_priors[2] * 2.0);
+}
+
+TEST(LearnOperationalProfile, LearnedDensityApproximatesTrueOp) {
+  Rng rng(3);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 2.5, 0.2);
+  const GaussianGeneratorProfile truth(generator);
+  const Dataset observed = generator.make_dataset(400, rng);
+  SynthesizerConfig config;
+  config.synthetic_size = 800;
+  config.gmm.components = 3;
+  const auto result = learn_operational_profile(observed, config, rng);
+  // KL(true || learned) should be small for a well-specified model.
+  const double kl = kl_divergence_mc(truth, *result.profile, 2000, rng);
+  EXPECT_LT(kl, 0.3);
+}
+
+TEST(LearnOperationalProfile, KdeVariantWorks) {
+  Rng rng(4);
+  const auto generator = GaussianClustersGenerator::make_ring(2, 2.0, 0.2);
+  const Dataset observed = generator.make_dataset(100, rng);
+  SynthesizerConfig config;
+  config.model = OpModelKind::kKde;
+  config.synthetic_size = 200;
+  const auto result = learn_operational_profile(observed, config, rng);
+  ASSERT_NE(result.profile, nullptr);
+  EXPECT_TRUE(result.profile->has_gradient());
+  // Density is higher at a cluster center than far away.
+  Tensor on({2});
+  on.at(0) = 2.0f;
+  Tensor off({2});
+  off.at(0) = 25.0f;
+  EXPECT_GT(result.profile->log_density(on),
+            result.profile->log_density(off));
+}
+
+TEST(LearnOperationalProfile, CustomAugmentIsUsed) {
+  Rng rng(5);
+  const auto generator = GaussianClustersGenerator::make_ring(2, 2.0, 0.2);
+  const Dataset observed = generator.make_dataset(50, rng);
+  SynthesizerConfig config;
+  config.synthetic_size = 100;
+  config.gmm.components = 2;
+  int calls = 0;
+  config.augment = [&calls](const Tensor& x, Rng&) {
+    ++calls;
+    return x;
+  };
+  learn_operational_profile(observed, config, rng);
+  EXPECT_EQ(calls, 50);  // synthetic_size - observed
+}
+
+TEST(LearnOperationalProfile, GenerativeStrategyWorks) {
+  Rng rng(7);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.2)
+                             .with_class_priors({0.5, 0.3, 0.2});
+  const Dataset observed = generator.make_dataset(200, rng);
+  SynthesizerConfig config;
+  config.strategy = SynthesisStrategy::kGenerative;
+  config.synthetic_size = 600;
+  config.gmm.components = 3;
+  const auto result = learn_operational_profile(observed, config, rng);
+  EXPECT_EQ(result.operational_dataset.size(), 600u);
+  // The observed rows lead the synthetic dataset unchanged.
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result.operational_dataset.label(i), observed.label(i));
+  }
+  // Synthetic labels are near-Bayes-consistent on separated clusters.
+  std::size_t agree = 0;
+  for (std::size_t i = observed.size();
+       i < result.operational_dataset.size(); ++i) {
+    const auto s = result.operational_dataset.sample(i);
+    if (generator.true_label(s.x) == s.y) ++agree;
+  }
+  const std::size_t extra = result.operational_dataset.size() -
+                            observed.size();
+  EXPECT_GT(agree, extra * 9 / 10);
+}
+
+TEST(LearnOperationalProfile, ValidatesArguments) {
+  Rng rng(6);
+  const auto generator = GaussianClustersGenerator::make_ring(2, 2.0, 0.2);
+  const Dataset observed = generator.make_dataset(50, rng);
+  SynthesizerConfig config;
+  config.synthetic_size = 10;  // smaller than observed
+  EXPECT_THROW(learn_operational_profile(observed, config, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

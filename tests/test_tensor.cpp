@@ -1,0 +1,182 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace opad {
+namespace {
+
+TEST(Shape, SizeAndToString) {
+  EXPECT_EQ(shape_size({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_size({}), 0u);
+  EXPECT_EQ(shape_size({5}), 5u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FillConstructorAndFactories) {
+  EXPECT_EQ(Tensor::ones({3}).sum(), 3.0f);
+  EXPECT_EQ(Tensor::full({2, 2}, 2.5f).sum(), 10.0f);
+  EXPECT_EQ(Tensor::zeros({4}).sum(), 0.0f);
+}
+
+TEST(Tensor, ValueConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               PreconditionError);
+}
+
+TEST(Tensor, FromValues) {
+  const Tensor t = Tensor::from_values({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t(1), 2.0f);
+}
+
+TEST(Tensor, MultiDimAccess) {
+  Tensor t({2, 3});
+  t(1, 2) = 7.0f;
+  EXPECT_EQ(t.at(5), 7.0f);
+  Tensor u({2, 2, 2});
+  u(1, 0, 1) = 3.0f;
+  EXPECT_EQ(u.at(5), 3.0f);
+  Tensor v({2, 2, 2, 2});
+  v(1, 1, 1, 1) = 9.0f;
+  EXPECT_EQ(v.at(15), 9.0f);
+}
+
+TEST(Tensor, AccessBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at(6), PreconditionError);
+  EXPECT_THROW(t(2, 0), PreconditionError);
+  EXPECT_THROW(t(0, 3), PreconditionError);
+  // Wrong-rank access.
+  EXPECT_THROW(t(0), PreconditionError);
+}
+
+TEST(Tensor, RandnHasApproxMoments) {
+  Rng rng(7);
+  const Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.1f);
+}
+
+TEST(Tensor, RandUniformRespectsBounds) {
+  Rng rng(7);
+  const Tensor t = Tensor::rand_uniform({1000}, rng, -1.0f, 1.0f);
+  EXPECT_GE(t.min(), -1.0f);
+  EXPECT_LT(t.max(), 1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r(0, 1), 2.0f);
+  EXPECT_EQ(r(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), PreconditionError);
+}
+
+TEST(Tensor, RowAccessAndMutation) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor row = t.row(1);
+  EXPECT_EQ(row.rank(), 1u);
+  EXPECT_EQ(row(0), 4.0f);
+  const std::vector<float> new_row = {9, 8, 7};
+  t.set_row(0, new_row);
+  EXPECT_EQ(t(0, 2), 7.0f);
+  EXPECT_THROW(t.row(2), PreconditionError);
+}
+
+TEST(Tensor, SliceRows) {
+  Tensor t({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor mid = t.slice_rows(1, 3);
+  EXPECT_EQ(mid.dim(0), 2u);
+  EXPECT_EQ(mid(0, 0), 3.0f);
+  EXPECT_EQ(mid(1, 1), 6.0f);
+  const Tensor empty = t.slice_rows(1, 1);
+  EXPECT_EQ(empty.dim(0), 0u);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  const Tensor a({2}, std::vector<float>{1, 2});
+  const Tensor b({2}, std::vector<float>{3, 5});
+  EXPECT_EQ((a + b)(1), 7.0f);
+  EXPECT_EQ((b - a)(0), 2.0f);
+  EXPECT_EQ((a * b)(1), 10.0f);
+  EXPECT_EQ((a + 1.0f)(0), 2.0f);
+  EXPECT_EQ((2.0f * a)(1), 4.0f);
+}
+
+TEST(Tensor, ArithmeticShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a += b, PreconditionError);
+  EXPECT_THROW(a *= b, PreconditionError);
+}
+
+TEST(Tensor, ClampAndMap) {
+  Tensor t({4}, std::vector<float>{-2, -0.5, 0.5, 2});
+  t.clamp(-1.0f, 1.0f);
+  EXPECT_EQ(t(0), -1.0f);
+  EXPECT_EQ(t(3), 1.0f);
+  t.map([](float x) { return x * 10.0f; });
+  EXPECT_EQ(t(2), 5.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t({4}, std::vector<float>{1, -3, 2, 0});
+  EXPECT_EQ(t.sum(), 0.0f);
+  EXPECT_EQ(t.mean(), 0.0f);
+  EXPECT_EQ(t.min(), -3.0f);
+  EXPECT_EQ(t.max(), 2.0f);
+  EXPECT_EQ(t.argmax(), 2u);
+  EXPECT_FLOAT_EQ(t.l2_norm(), std::sqrt(14.0f));
+  EXPECT_EQ(t.linf_norm(), 3.0f);
+}
+
+TEST(Tensor, ReductionsOnEmptyThrow) {
+  Tensor t;
+  EXPECT_THROW(t.mean(), PreconditionError);
+  EXPECT_THROW(t.min(), PreconditionError);
+  EXPECT_THROW(t.argmax(), PreconditionError);
+}
+
+TEST(Tensor, AllFiniteDetectsNan) {
+  Tensor t({2}, std::vector<float>{1.0f, 2.0f});
+  EXPECT_TRUE(t.all_finite());
+  t(0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(t.all_finite());
+  t(0) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, EqualityIsShapeAndContent) {
+  const Tensor a({2}, std::vector<float>{1, 2});
+  const Tensor b({2}, std::vector<float>{1, 2});
+  const Tensor c({1, 2}, std::vector<float>{1, 2});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Tensor, StreamOutput) {
+  const Tensor t({2}, std::vector<float>{1, 2});
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("Tensor[2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opad

@@ -1,0 +1,225 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace opad {
+namespace {
+
+TEST(Matmul, KnownProduct) {
+  const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c(0, 0), 58.0f);
+  EXPECT_EQ(c(0, 1), 64.0f);
+  EXPECT_EQ(c(1, 0), 139.0f);
+  EXPECT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(1);
+  const Tensor a = Tensor::randn({4, 4}, rng);
+  Tensor eye({4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye(i, i) = 1.0f;
+  const Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(c.at(i), a.at(i));
+  }
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 3});
+  EXPECT_THROW(matmul(a, b), PreconditionError);
+}
+
+TEST(MatmulTransposed, AgreeWithExplicitTranspose) {
+  Rng rng(2);
+  const Tensor a = Tensor::randn({5, 3}, rng);
+  const Tensor b = Tensor::randn({5, 4}, rng);
+  const Tensor expected = matmul(transpose(a), b);
+  const Tensor got = matmul_transpose_a(a, b);
+  ASSERT_EQ(got.shape(), expected.shape());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.at(i), expected.at(i), 1e-4f);
+  }
+
+  const Tensor c = Tensor::randn({4, 3}, rng);
+  const Tensor d = Tensor::randn({6, 3}, rng);
+  const Tensor expected2 = matmul(c, transpose(d));
+  const Tensor got2 = matmul_transpose_b(c, d);
+  ASSERT_EQ(got2.shape(), expected2.shape());
+  for (std::size_t i = 0; i < got2.size(); ++i) {
+    EXPECT_NEAR(got2.at(i), expected2.at(i), 1e-4f);
+  }
+}
+
+TEST(Transpose, SwapsIndices) {
+  const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor t = transpose(a);
+  ASSERT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t(0, 1), 4.0f);
+  EXPECT_EQ(t(2, 0), 3.0f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  const Tensor logits({2, 3}, std::vector<float>{1, 2, 3, -1, 0, 1});
+  const Tensor p = softmax_rows(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    float total = 0.0f;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GT(p(i, j), 0.0f);
+      total += p(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, StableForHugeLogits) {
+  const Tensor logits({1, 2}, std::vector<float>{1000.0f, 0.0f});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_NEAR(p(0, 0), 1.0f, 1e-6f);
+  EXPECT_TRUE(p.all_finite());
+}
+
+TEST(Softmax, ShiftInvariance) {
+  const Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  const Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  const Tensor pa = softmax_rows(a);
+  const Tensor pb = softmax_rows(b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(pa(0, j), pb(0, j), 1e-5f);
+  }
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  const Tensor logits({2, 4},
+                      std::vector<float>{0.1f, -2, 3, 0.5f, 1, 1, 1, 1});
+  const Tensor p = softmax_rows(logits);
+  const Tensor lp = log_softmax_rows(logits);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(lp.at(i), std::log(p.at(i)), 1e-5f);
+  }
+}
+
+TEST(OneHot, EncodesLabels) {
+  const std::vector<int> labels = {0, 2, 1};
+  const Tensor oh = one_hot(labels, 3);
+  ASSERT_EQ(oh.shape(), (Shape{3, 3}));
+  EXPECT_EQ(oh(0, 0), 1.0f);
+  EXPECT_EQ(oh(1, 2), 1.0f);
+  EXPECT_EQ(oh(2, 1), 1.0f);
+  EXPECT_EQ(oh.sum(), 3.0f);
+}
+
+TEST(OneHot, RejectsOutOfRangeLabels) {
+  const std::vector<int> bad = {0, 3};
+  EXPECT_THROW(one_hot(bad, 3), PreconditionError);
+  const std::vector<int> negative = {-1};
+  EXPECT_THROW(one_hot(negative, 3), PreconditionError);
+}
+
+TEST(BiasAndSumRows, Work) {
+  Tensor m({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor bias({3}, std::vector<float>{10, 20, 30});
+  add_bias_rows(m, bias);
+  EXPECT_EQ(m(0, 0), 11.0f);
+  EXPECT_EQ(m(1, 2), 36.0f);
+  // After bias: [[11, 22, 33], [14, 25, 36]]; sum_rows is column-wise.
+  const Tensor sums = sum_rows(m);
+  EXPECT_EQ(sums(0), 25.0f);
+  EXPECT_EQ(sums(1), 47.0f);
+  EXPECT_EQ(sums(2), 69.0f);
+}
+
+TEST(SumRows, ExplicitValues) {
+  const Tensor m({2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor sums = sum_rows(m);
+  EXPECT_EQ(sums(0), 4.0f);
+  EXPECT_EQ(sums(1), 6.0f);
+}
+
+TEST(ConvOutSize, Formula) {
+  EXPECT_EQ(conv_out_size(8, 3, 1, 0), 6u);
+  EXPECT_EQ(conv_out_size(8, 3, 1, 1), 8u);
+  EXPECT_EQ(conv_out_size(8, 2, 2, 0), 4u);
+  EXPECT_THROW(conv_out_size(2, 5, 1, 0), PreconditionError);
+}
+
+TEST(Im2col, IdentityKernelLayout) {
+  // 1x3x3 image, 2x2 kernel, stride 1, no pad -> cols [4, 4].
+  Tensor img({1, 3, 3},
+             std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor cols = im2col(img, 2, 2, 1, 0);
+  ASSERT_EQ(cols.shape(), (Shape{4, 4}));
+  // First column = top-left receptive field {1, 2, 4, 5}.
+  EXPECT_EQ(cols(0, 0), 1.0f);
+  EXPECT_EQ(cols(1, 0), 2.0f);
+  EXPECT_EQ(cols(2, 0), 4.0f);
+  EXPECT_EQ(cols(3, 0), 5.0f);
+  // Last column = bottom-right {5, 6, 8, 9}.
+  EXPECT_EQ(cols(0, 3), 5.0f);
+  EXPECT_EQ(cols(3, 3), 9.0f);
+}
+
+TEST(Im2col, PaddingInsertsZeros) {
+  Tensor img({1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor cols = im2col(img, 2, 2, 1, 1);
+  // Output is 3x3; the very first column sees only the (1,1) pixel.
+  ASSERT_EQ(cols.shape(), (Shape{4, 9}));
+  EXPECT_EQ(cols(0, 0), 0.0f);
+  EXPECT_EQ(cols(3, 0), 1.0f);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+  // which is exactly what correct conv backward needs.
+  Rng rng(3);
+  const Tensor x = Tensor::randn({2, 4, 4}, rng);
+  const Tensor cols = im2col(x, 3, 3, 1, 1);
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  const Tensor back = col2im(y, 2, 4, 4, 3, 3, 1, 1);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    lhs += static_cast<double>(cols.at(i)) * y.at(i);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x.at(i)) * back.at(i);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Distances, L2AndLinf) {
+  const Tensor a({3}, std::vector<float>{0, 0, 0});
+  const Tensor b({3}, std::vector<float>{3, 4, 0});
+  EXPECT_FLOAT_EQ(l2_distance(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(linf_distance(a, b), 4.0f);
+}
+
+TEST(ProjectLinfBall, ClampsIntoBallAndBox) {
+  const Tensor center({3}, std::vector<float>{0.5f, 0.5f, 0.95f});
+  Tensor x({3}, std::vector<float>{0.9f, 0.2f, 1.5f});
+  project_linf_ball(x, center, 0.1f, 0.0f, 1.0f);
+  EXPECT_FLOAT_EQ(x(0), 0.6f);   // clipped to center + eps
+  EXPECT_FLOAT_EQ(x(1), 0.4f);   // clipped to center - eps
+  EXPECT_FLOAT_EQ(x(2), 1.0f);   // box bound binds before ball
+  EXPECT_LE(linf_distance(x, center), 0.1f + 1e-6f);
+}
+
+// Property: projection is idempotent.
+TEST(ProjectLinfBall, Idempotent) {
+  Rng rng(5);
+  const Tensor center = Tensor::rand_uniform({16}, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor x = Tensor::rand_uniform({16}, rng, -0.5f, 1.5f);
+    project_linf_ball(x, center, 0.2f, 0.0f, 1.0f);
+    Tensor y = x;
+    project_linf_ball(y, center, 0.2f, 0.0f, 1.0f);
+    EXPECT_TRUE(x == y);
+  }
+}
+
+}  // namespace
+}  // namespace opad

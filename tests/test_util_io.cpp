@@ -1,0 +1,157 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace opad {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class TempFile {
+ public:
+  TempFile() {
+    char name[] = "/tmp/opad_test_XXXXXX";
+    const int fd = mkstemp(name);
+    EXPECT_GE(fd, 0);
+    close(fd);
+    path_ = name;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  TempFile file;
+  {
+    CsvWriter csv(file.path(), {"a", "b"});
+    csv.write_row(std::vector<std::string>{"1", "x"});
+    csv.write_row(std::vector<double>{2.5, 3.0});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  const std::string content = read_file(file.path());
+  EXPECT_EQ(content, "a,b\n1,x\n2.5,3\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  TempFile file;
+  {
+    CsvWriter csv(file.path(), {"field"});
+    csv.write_row(std::vector<std::string>{"has,comma"});
+    csv.write_row(std::vector<std::string>{"has\"quote"});
+  }
+  const std::string content = read_file(file.path());
+  EXPECT_NE(content.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriter, RejectsWrongArity) {
+  TempFile file;
+  CsvWriter csv(file.path(), {"a", "b"});
+  EXPECT_THROW(csv.write_row(std::vector<std::string>{"only-one"}),
+               PreconditionError);
+}
+
+TEST(CsvWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}), IoError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, RejectsAridityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), PreconditionError);
+}
+
+TEST(Logging, RespectsLevelAndSink) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  auto previous = set_log_sink([&captured](LogLevel level,
+                                           const std::string& msg) {
+    captured.emplace_back(level, msg);
+  });
+  const LogLevel previous_level = log_level();
+  set_log_level(LogLevel::kWarn);
+  OPAD_INFO << "dropped";
+  OPAD_WARN << "kept " << 42;
+  set_log_level(previous_level);
+  set_log_sink(std::move(previous));
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].second, "kept 42");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(StringUtil, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, Formatting) {
+  EXPECT_EQ(format_fixed(1.23456, 3), "1.235");
+  EXPECT_EQ(format_ratio(3.21), "3.2x");
+  EXPECT_TRUE(starts_with("operational", "opera"));
+  EXPECT_FALSE(starts_with("op", "opera"));
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  // Just sanity: time is non-negative and reset works.
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.milliseconds(), 0.0);
+}
+
+TEST(ErrorMacros, ExpectsAndEnsuresThrowTypedErrors) {
+  EXPECT_THROW(OPAD_EXPECTS(false), PreconditionError);
+  EXPECT_THROW(OPAD_ENSURES(false), InvariantError);
+  try {
+    OPAD_EXPECTS_MSG(1 == 2, "context " << 7);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 7"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace opad
