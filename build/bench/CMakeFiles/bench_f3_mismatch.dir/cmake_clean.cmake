@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_mismatch.dir/bench_f3_mismatch.cpp.o"
+  "CMakeFiles/bench_f3_mismatch.dir/bench_f3_mismatch.cpp.o.d"
+  "bench_f3_mismatch"
+  "bench_f3_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t10_synthesis.dir/bench_t10_synthesis.cpp.o"
+  "CMakeFiles/bench_t10_synthesis.dir/bench_t10_synthesis.cpp.o.d"
+  "bench_t10_synthesis"
+  "bench_t10_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t10_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

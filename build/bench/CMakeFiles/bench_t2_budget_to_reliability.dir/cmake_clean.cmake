@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_budget_to_reliability.dir/bench_t2_budget_to_reliability.cpp.o"
+  "CMakeFiles/bench_t2_budget_to_reliability.dir/bench_t2_budget_to_reliability.cpp.o.d"
+  "bench_t2_budget_to_reliability"
+  "bench_t2_budget_to_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_budget_to_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_naturalness.dir/bench_t3_naturalness.cpp.o"
+  "CMakeFiles/bench_t3_naturalness.dir/bench_t3_naturalness.cpp.o.d"
+  "bench_t3_naturalness"
+  "bench_t3_naturalness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_naturalness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_seed_ablation.dir/bench_t4_seed_ablation.cpp.o"
+  "CMakeFiles/bench_t4_seed_ablation.dir/bench_t4_seed_ablation.cpp.o.d"
+  "bench_t4_seed_ablation"
+  "bench_t4_seed_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_seed_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_estimator.dir/bench_t5_estimator.cpp.o"
+  "CMakeFiles/bench_t5_estimator.dir/bench_t5_estimator.cpp.o.d"
+  "bench_t5_estimator"
+  "bench_t5_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

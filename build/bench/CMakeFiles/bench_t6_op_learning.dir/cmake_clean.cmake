@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_op_learning.dir/bench_t6_op_learning.cpp.o"
+  "CMakeFiles/bench_t6_op_learning.dir/bench_t6_op_learning.cpp.o.d"
+  "bench_t6_op_learning"
+  "bench_t6_op_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_op_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

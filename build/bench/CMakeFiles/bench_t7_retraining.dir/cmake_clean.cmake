@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_retraining.dir/bench_t7_retraining.cpp.o"
+  "CMakeFiles/bench_t7_retraining.dir/bench_t7_retraining.cpp.o.d"
+  "bench_t7_retraining"
+  "bench_t7_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

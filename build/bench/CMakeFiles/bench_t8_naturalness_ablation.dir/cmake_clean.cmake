@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_naturalness_ablation.dir/bench_t8_naturalness_ablation.cpp.o"
+  "CMakeFiles/bench_t8_naturalness_ablation.dir/bench_t8_naturalness_ablation.cpp.o.d"
+  "bench_t8_naturalness_ablation"
+  "bench_t8_naturalness_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_naturalness_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/opad_bench_common.dir/bench_common.cpp.o.d"
+  "libopad_bench_common.a"
+  "libopad_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

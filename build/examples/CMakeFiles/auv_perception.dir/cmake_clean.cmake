@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auv_perception.dir/auv_perception.cpp.o"
+  "CMakeFiles/auv_perception.dir/auv_perception.cpp.o.d"
+  "auv_perception"
+  "auv_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auv_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_watch.dir/drift_watch.cpp.o"
+  "CMakeFiles/drift_watch.dir/drift_watch.cpp.o.d"
+  "drift_watch"
+  "drift_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

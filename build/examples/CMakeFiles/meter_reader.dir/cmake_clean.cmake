@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meter_reader.dir/meter_reader.cpp.o"
+  "CMakeFiles/meter_reader.dir/meter_reader.cpp.o.d"
+  "meter_reader"
+  "meter_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meter_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

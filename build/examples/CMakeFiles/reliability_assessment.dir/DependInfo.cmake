@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/reliability_assessment.cpp" "examples/CMakeFiles/reliability_assessment.dir/reliability_assessment.cpp.o" "gcc" "examples/CMakeFiles/reliability_assessment.dir/reliability_assessment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/opad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/opad_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/opad_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/naturalness/CMakeFiles/opad_naturalness.dir/DependInfo.cmake"
+  "/root/repo/build/src/op/CMakeFiles/opad_op.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/opad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/opad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/opad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_assessment.dir/reliability_assessment.cpp.o"
+  "CMakeFiles/reliability_assessment.dir/reliability_assessment.cpp.o.d"
+  "reliability_assessment"
+  "reliability_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "src/attack/CMakeFiles/opad_attack.dir/attack.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/attack.cpp.o.d"
+  "/root/repo/src/attack/fgsm.cpp" "src/attack/CMakeFiles/opad_attack.dir/fgsm.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/fgsm.cpp.o.d"
+  "/root/repo/src/attack/genetic_fuzzer.cpp" "src/attack/CMakeFiles/opad_attack.dir/genetic_fuzzer.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/genetic_fuzzer.cpp.o.d"
+  "/root/repo/src/attack/momentum_pgd.cpp" "src/attack/CMakeFiles/opad_attack.dir/momentum_pgd.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/momentum_pgd.cpp.o.d"
+  "/root/repo/src/attack/natural_fuzzer.cpp" "src/attack/CMakeFiles/opad_attack.dir/natural_fuzzer.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/natural_fuzzer.cpp.o.d"
+  "/root/repo/src/attack/pgd.cpp" "src/attack/CMakeFiles/opad_attack.dir/pgd.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/pgd.cpp.o.d"
+  "/root/repo/src/attack/pgd_l2.cpp" "src/attack/CMakeFiles/opad_attack.dir/pgd_l2.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/pgd_l2.cpp.o.d"
+  "/root/repo/src/attack/random_fuzzer.cpp" "src/attack/CMakeFiles/opad_attack.dir/random_fuzzer.cpp.o" "gcc" "src/attack/CMakeFiles/opad_attack.dir/random_fuzzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/naturalness/CMakeFiles/opad_naturalness.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/opad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/opad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/op/CMakeFiles/opad_op.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/opad_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_attack.dir/attack.cpp.o"
+  "CMakeFiles/opad_attack.dir/attack.cpp.o.d"
+  "CMakeFiles/opad_attack.dir/fgsm.cpp.o"
+  "CMakeFiles/opad_attack.dir/fgsm.cpp.o.d"
+  "CMakeFiles/opad_attack.dir/genetic_fuzzer.cpp.o"
+  "CMakeFiles/opad_attack.dir/genetic_fuzzer.cpp.o.d"
+  "CMakeFiles/opad_attack.dir/momentum_pgd.cpp.o"
+  "CMakeFiles/opad_attack.dir/momentum_pgd.cpp.o.d"
+  "CMakeFiles/opad_attack.dir/natural_fuzzer.cpp.o"
+  "CMakeFiles/opad_attack.dir/natural_fuzzer.cpp.o.d"
+  "CMakeFiles/opad_attack.dir/pgd.cpp.o"
+  "CMakeFiles/opad_attack.dir/pgd.cpp.o.d"
+  "CMakeFiles/opad_attack.dir/pgd_l2.cpp.o"
+  "CMakeFiles/opad_attack.dir/pgd_l2.cpp.o.d"
+  "CMakeFiles/opad_attack.dir/random_fuzzer.cpp.o"
+  "CMakeFiles/opad_attack.dir/random_fuzzer.cpp.o.d"
+  "libopad_attack.a"
+  "libopad_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

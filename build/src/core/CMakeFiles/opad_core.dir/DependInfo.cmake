@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assessor.cpp" "src/core/CMakeFiles/opad_core.dir/assessor.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/assessor.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/opad_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/methods.cpp" "src/core/CMakeFiles/opad_core.dir/methods.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/methods.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/opad_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/opad_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/retrainer.cpp" "src/core/CMakeFiles/opad_core.dir/retrainer.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/retrainer.cpp.o.d"
+  "/root/repo/src/core/seed_sampler.cpp" "src/core/CMakeFiles/opad_core.dir/seed_sampler.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/seed_sampler.cpp.o.d"
+  "/root/repo/src/core/test_generator.cpp" "src/core/CMakeFiles/opad_core.dir/test_generator.cpp.o" "gcc" "src/core/CMakeFiles/opad_core.dir/test_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reliability/CMakeFiles/opad_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/opad_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/naturalness/CMakeFiles/opad_naturalness.dir/DependInfo.cmake"
+  "/root/repo/build/src/op/CMakeFiles/opad_op.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/opad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/opad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/opad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_core.dir/assessor.cpp.o"
+  "CMakeFiles/opad_core.dir/assessor.cpp.o.d"
+  "CMakeFiles/opad_core.dir/campaign.cpp.o"
+  "CMakeFiles/opad_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/opad_core.dir/methods.cpp.o"
+  "CMakeFiles/opad_core.dir/methods.cpp.o.d"
+  "CMakeFiles/opad_core.dir/pipeline.cpp.o"
+  "CMakeFiles/opad_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/opad_core.dir/report.cpp.o"
+  "CMakeFiles/opad_core.dir/report.cpp.o.d"
+  "CMakeFiles/opad_core.dir/retrainer.cpp.o"
+  "CMakeFiles/opad_core.dir/retrainer.cpp.o.d"
+  "CMakeFiles/opad_core.dir/seed_sampler.cpp.o"
+  "CMakeFiles/opad_core.dir/seed_sampler.cpp.o.d"
+  "CMakeFiles/opad_core.dir/test_generator.cpp.o"
+  "CMakeFiles/opad_core.dir/test_generator.cpp.o.d"
+  "libopad_core.a"
+  "libopad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

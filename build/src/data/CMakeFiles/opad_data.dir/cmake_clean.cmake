@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_data.dir/augment.cpp.o"
+  "CMakeFiles/opad_data.dir/augment.cpp.o.d"
+  "CMakeFiles/opad_data.dir/dataset.cpp.o"
+  "CMakeFiles/opad_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/opad_data.dir/digits.cpp.o"
+  "CMakeFiles/opad_data.dir/digits.cpp.o.d"
+  "CMakeFiles/opad_data.dir/generators.cpp.o"
+  "CMakeFiles/opad_data.dir/generators.cpp.o.d"
+  "libopad_data.a"
+  "libopad_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

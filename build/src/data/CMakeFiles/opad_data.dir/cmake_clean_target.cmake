@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopad_data.a"
+)

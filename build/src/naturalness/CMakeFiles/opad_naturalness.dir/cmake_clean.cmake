@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_naturalness.dir/autoencoder_naturalness.cpp.o"
+  "CMakeFiles/opad_naturalness.dir/autoencoder_naturalness.cpp.o.d"
+  "CMakeFiles/opad_naturalness.dir/composite.cpp.o"
+  "CMakeFiles/opad_naturalness.dir/composite.cpp.o.d"
+  "CMakeFiles/opad_naturalness.dir/density_naturalness.cpp.o"
+  "CMakeFiles/opad_naturalness.dir/density_naturalness.cpp.o.d"
+  "CMakeFiles/opad_naturalness.dir/local_consistency.cpp.o"
+  "CMakeFiles/opad_naturalness.dir/local_consistency.cpp.o.d"
+  "CMakeFiles/opad_naturalness.dir/metric.cpp.o"
+  "CMakeFiles/opad_naturalness.dir/metric.cpp.o.d"
+  "libopad_naturalness.a"
+  "libopad_naturalness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_naturalness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/opad_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/autoencoder.cpp" "src/nn/CMakeFiles/opad_nn.dir/autoencoder.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/opad_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/opad_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/opad_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/opad_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/opad_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/opad_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/opad_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/opad_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/opad_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/opad_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/opad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

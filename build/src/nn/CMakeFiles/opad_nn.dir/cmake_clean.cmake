@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_nn.dir/activation.cpp.o"
+  "CMakeFiles/opad_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/autoencoder.cpp.o"
+  "CMakeFiles/opad_nn.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/opad_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/dense.cpp.o"
+  "CMakeFiles/opad_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/dropout.cpp.o"
+  "CMakeFiles/opad_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/loss.cpp.o"
+  "CMakeFiles/opad_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/metrics.cpp.o"
+  "CMakeFiles/opad_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/model.cpp.o"
+  "CMakeFiles/opad_nn.dir/model.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/opad_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/serialize.cpp.o"
+  "CMakeFiles/opad_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/opad_nn.dir/trainer.cpp.o"
+  "CMakeFiles/opad_nn.dir/trainer.cpp.o.d"
+  "libopad_nn.a"
+  "libopad_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op/cells.cpp" "src/op/CMakeFiles/opad_op.dir/cells.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/cells.cpp.o.d"
+  "/root/repo/src/op/class_conditional.cpp" "src/op/CMakeFiles/opad_op.dir/class_conditional.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/class_conditional.cpp.o.d"
+  "/root/repo/src/op/divergence.cpp" "src/op/CMakeFiles/opad_op.dir/divergence.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/divergence.cpp.o.d"
+  "/root/repo/src/op/drift.cpp" "src/op/CMakeFiles/opad_op.dir/drift.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/drift.cpp.o.d"
+  "/root/repo/src/op/generator_profile.cpp" "src/op/CMakeFiles/opad_op.dir/generator_profile.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/generator_profile.cpp.o.d"
+  "/root/repo/src/op/gmm.cpp" "src/op/CMakeFiles/opad_op.dir/gmm.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/gmm.cpp.o.d"
+  "/root/repo/src/op/histogram.cpp" "src/op/CMakeFiles/opad_op.dir/histogram.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/histogram.cpp.o.d"
+  "/root/repo/src/op/kde.cpp" "src/op/CMakeFiles/opad_op.dir/kde.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/kde.cpp.o.d"
+  "/root/repo/src/op/profile.cpp" "src/op/CMakeFiles/opad_op.dir/profile.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/profile.cpp.o.d"
+  "/root/repo/src/op/synthesizer.cpp" "src/op/CMakeFiles/opad_op.dir/synthesizer.cpp.o" "gcc" "src/op/CMakeFiles/opad_op.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/opad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/opad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_op.dir/cells.cpp.o"
+  "CMakeFiles/opad_op.dir/cells.cpp.o.d"
+  "CMakeFiles/opad_op.dir/class_conditional.cpp.o"
+  "CMakeFiles/opad_op.dir/class_conditional.cpp.o.d"
+  "CMakeFiles/opad_op.dir/divergence.cpp.o"
+  "CMakeFiles/opad_op.dir/divergence.cpp.o.d"
+  "CMakeFiles/opad_op.dir/drift.cpp.o"
+  "CMakeFiles/opad_op.dir/drift.cpp.o.d"
+  "CMakeFiles/opad_op.dir/generator_profile.cpp.o"
+  "CMakeFiles/opad_op.dir/generator_profile.cpp.o.d"
+  "CMakeFiles/opad_op.dir/gmm.cpp.o"
+  "CMakeFiles/opad_op.dir/gmm.cpp.o.d"
+  "CMakeFiles/opad_op.dir/histogram.cpp.o"
+  "CMakeFiles/opad_op.dir/histogram.cpp.o.d"
+  "CMakeFiles/opad_op.dir/kde.cpp.o"
+  "CMakeFiles/opad_op.dir/kde.cpp.o.d"
+  "CMakeFiles/opad_op.dir/profile.cpp.o"
+  "CMakeFiles/opad_op.dir/profile.cpp.o.d"
+  "CMakeFiles/opad_op.dir/synthesizer.cpp.o"
+  "CMakeFiles/opad_op.dir/synthesizer.cpp.o.d"
+  "libopad_op.a"
+  "libopad_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/beta_estimator.cpp" "src/reliability/CMakeFiles/opad_reliability.dir/beta_estimator.cpp.o" "gcc" "src/reliability/CMakeFiles/opad_reliability.dir/beta_estimator.cpp.o.d"
+  "/root/repo/src/reliability/bootstrap.cpp" "src/reliability/CMakeFiles/opad_reliability.dir/bootstrap.cpp.o" "gcc" "src/reliability/CMakeFiles/opad_reliability.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/reliability/cell_model.cpp" "src/reliability/CMakeFiles/opad_reliability.dir/cell_model.cpp.o" "gcc" "src/reliability/CMakeFiles/opad_reliability.dir/cell_model.cpp.o.d"
+  "/root/repo/src/reliability/ground_truth.cpp" "src/reliability/CMakeFiles/opad_reliability.dir/ground_truth.cpp.o" "gcc" "src/reliability/CMakeFiles/opad_reliability.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/reliability/op_accuracy.cpp" "src/reliability/CMakeFiles/opad_reliability.dir/op_accuracy.cpp.o" "gcc" "src/reliability/CMakeFiles/opad_reliability.dir/op_accuracy.cpp.o.d"
+  "/root/repo/src/reliability/planning.cpp" "src/reliability/CMakeFiles/opad_reliability.dir/planning.cpp.o" "gcc" "src/reliability/CMakeFiles/opad_reliability.dir/planning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/opad_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/op/CMakeFiles/opad_op.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/opad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/opad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/naturalness/CMakeFiles/opad_naturalness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/opad_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

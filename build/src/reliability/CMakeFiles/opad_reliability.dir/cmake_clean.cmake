@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_reliability.dir/beta_estimator.cpp.o"
+  "CMakeFiles/opad_reliability.dir/beta_estimator.cpp.o.d"
+  "CMakeFiles/opad_reliability.dir/bootstrap.cpp.o"
+  "CMakeFiles/opad_reliability.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/opad_reliability.dir/cell_model.cpp.o"
+  "CMakeFiles/opad_reliability.dir/cell_model.cpp.o.d"
+  "CMakeFiles/opad_reliability.dir/ground_truth.cpp.o"
+  "CMakeFiles/opad_reliability.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/opad_reliability.dir/op_accuracy.cpp.o"
+  "CMakeFiles/opad_reliability.dir/op_accuracy.cpp.o.d"
+  "CMakeFiles/opad_reliability.dir/planning.cpp.o"
+  "CMakeFiles/opad_reliability.dir/planning.cpp.o.d"
+  "libopad_reliability.a"
+  "libopad_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/opad_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/opad_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/opad_tensor.dir/tensor_ops.cpp.o.d"
+  "libopad_tensor.a"
+  "libopad_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opad_util.dir/csv.cpp.o"
+  "CMakeFiles/opad_util.dir/csv.cpp.o.d"
+  "CMakeFiles/opad_util.dir/distributions.cpp.o"
+  "CMakeFiles/opad_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/opad_util.dir/logging.cpp.o"
+  "CMakeFiles/opad_util.dir/logging.cpp.o.d"
+  "CMakeFiles/opad_util.dir/rng.cpp.o"
+  "CMakeFiles/opad_util.dir/rng.cpp.o.d"
+  "CMakeFiles/opad_util.dir/special_math.cpp.o"
+  "CMakeFiles/opad_util.dir/special_math.cpp.o.d"
+  "CMakeFiles/opad_util.dir/string_util.cpp.o"
+  "CMakeFiles/opad_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/opad_util.dir/table.cpp.o"
+  "CMakeFiles/opad_util.dir/table.cpp.o.d"
+  "libopad_util.a"
+  "libopad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

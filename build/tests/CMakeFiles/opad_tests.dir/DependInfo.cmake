@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attack_properties.cpp" "tests/CMakeFiles/opad_tests.dir/test_attack_properties.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_attack_properties.cpp.o.d"
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/opad_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_autoencoder.cpp" "tests/CMakeFiles/opad_tests.dir/test_autoencoder.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_autoencoder.cpp.o.d"
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/opad_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_cells.cpp" "tests/CMakeFiles/opad_tests.dir/test_cells.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_cells.cpp.o.d"
+  "/root/repo/tests/test_class_conditional.cpp" "tests/CMakeFiles/opad_tests.dir/test_class_conditional.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_class_conditional.cpp.o.d"
+  "/root/repo/tests/test_core_components.cpp" "tests/CMakeFiles/opad_tests.dir/test_core_components.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_core_components.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/opad_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/opad_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_drift.cpp" "tests/CMakeFiles/opad_tests.dir/test_drift.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_drift.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/opad_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/opad_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/opad_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_gmm.cpp" "tests/CMakeFiles/opad_tests.dir/test_gmm.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_gmm.cpp.o.d"
+  "/root/repo/tests/test_helpers.cpp" "tests/CMakeFiles/opad_tests.dir/test_helpers.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_helpers.cpp.o.d"
+  "/root/repo/tests/test_histogram_divergence.cpp" "tests/CMakeFiles/opad_tests.dir/test_histogram_divergence.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_histogram_divergence.cpp.o.d"
+  "/root/repo/tests/test_integration_cnn.cpp" "tests/CMakeFiles/opad_tests.dir/test_integration_cnn.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_integration_cnn.cpp.o.d"
+  "/root/repo/tests/test_kde.cpp" "tests/CMakeFiles/opad_tests.dir/test_kde.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_kde.cpp.o.d"
+  "/root/repo/tests/test_methods.cpp" "tests/CMakeFiles/opad_tests.dir/test_methods.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_methods.cpp.o.d"
+  "/root/repo/tests/test_naturalness.cpp" "tests/CMakeFiles/opad_tests.dir/test_naturalness.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_naturalness.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/opad_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_nn_model.cpp" "tests/CMakeFiles/opad_tests.dir/test_nn_model.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_nn_model.cpp.o.d"
+  "/root/repo/tests/test_nn_training.cpp" "tests/CMakeFiles/opad_tests.dir/test_nn_training.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_nn_training.cpp.o.d"
+  "/root/repo/tests/test_pgd_l2.cpp" "tests/CMakeFiles/opad_tests.dir/test_pgd_l2.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_pgd_l2.cpp.o.d"
+  "/root/repo/tests/test_pipeline_integration.cpp" "tests/CMakeFiles/opad_tests.dir/test_pipeline_integration.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_pipeline_integration.cpp.o.d"
+  "/root/repo/tests/test_reliability.cpp" "tests/CMakeFiles/opad_tests.dir/test_reliability.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_reliability.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/opad_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/opad_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_seed_sampler.cpp" "tests/CMakeFiles/opad_tests.dir/test_seed_sampler.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_seed_sampler.cpp.o.d"
+  "/root/repo/tests/test_special_math.cpp" "tests/CMakeFiles/opad_tests.dir/test_special_math.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_special_math.cpp.o.d"
+  "/root/repo/tests/test_synthesizer.cpp" "tests/CMakeFiles/opad_tests.dir/test_synthesizer.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_synthesizer.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/opad_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tensor_ops.cpp" "tests/CMakeFiles/opad_tests.dir/test_tensor_ops.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_tensor_ops.cpp.o.d"
+  "/root/repo/tests/test_util_io.cpp" "tests/CMakeFiles/opad_tests.dir/test_util_io.cpp.o" "gcc" "tests/CMakeFiles/opad_tests.dir/test_util_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/opad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/opad_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/opad_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/naturalness/CMakeFiles/opad_naturalness.dir/DependInfo.cmake"
+  "/root/repo/build/src/op/CMakeFiles/opad_op.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/opad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/opad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/opad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
