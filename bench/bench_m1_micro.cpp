@@ -30,7 +30,7 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n * n));
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(2);
@@ -129,7 +129,7 @@ void BM_KdeLogDensity(benchmark::State& state) {
     benchmark::DoNotOptimize(kde.log_density(x));
   }
 }
-BENCHMARK(BM_KdeLogDensity)->Arg(100)->Arg(1000);
+BENCHMARK(BM_KdeLogDensity)->Arg(100)->Arg(1000)->Arg(5000);
 
 void BM_NaturalFuzzerAttack(benchmark::State& state) {
   Rng rng(10);

@@ -43,6 +43,15 @@ class Attack {
   virtual AttackResult run(Classifier& model, const Tensor& seed, int label,
                            Rng& rng) const = 0;
 
+  /// Replica of this attack safe to run concurrently with `*this`.
+  /// Attacks are configuration-only by default and return nullptr
+  /// ("share this instance"); attacks holding stateful helpers (e.g. a
+  /// naturalness metric with forward-pass scratch) return a deep copy
+  /// that produces identical results.
+  virtual std::shared_ptr<const Attack> thread_replica() const {
+    return nullptr;
+  }
+
  protected:
   /// True if `candidate` is misclassified w.r.t. `label`.
   static bool is_adversarial(Classifier& model, const Tensor& candidate,

@@ -18,6 +18,14 @@ NaturalnessGuidedFuzzer::NaturalnessGuidedFuzzer(NaturalFuzzerConfig config,
                    "lambda > 0 requires a differentiable naturalness metric");
 }
 
+std::shared_ptr<const Attack> NaturalnessGuidedFuzzer::thread_replica()
+    const {
+  NaturalnessPtr metric_replica = naturalness_->thread_replica();
+  if (!metric_replica) return nullptr;  // metric shareable -> so are we
+  return std::make_shared<NaturalnessGuidedFuzzer>(config_,
+                                                   std::move(metric_replica));
+}
+
 AttackResult NaturalnessGuidedFuzzer::run(Classifier& model,
                                           const Tensor& seed, int label,
                                           Rng& rng) const {

@@ -51,6 +51,8 @@ class NaturalnessGuidedFuzzer : public Attack {
   std::string name() const override { return "OpFuzz"; }
   AttackResult run(Classifier& model, const Tensor& seed, int label,
                    Rng& rng) const override;
+  /// Replicates the wrapped naturalness metric when it is stateful.
+  std::shared_ptr<const Attack> thread_replica() const override;
 
   /// Naturalness score of the result's adversarial input.
   double score(const Tensor& x) const { return naturalness_->score(x); }

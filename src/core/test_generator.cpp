@@ -1,6 +1,30 @@
 #include "core/test_generator.h"
 
+#include <vector>
+
+#include "util/parallel.h"
+
 namespace opad {
+
+namespace {
+
+/// Everything one seed's attack produced, computed in parallel and folded
+/// into the Detection sequentially (in seed order) afterwards.
+struct SeedOutcome {
+  LabeledSample seed;
+  bool seed_fails = false;
+  AttackResult result;
+  double seed_log_density = 0.0;
+  double naturalness = 0.0;
+};
+
+/// Seeds per worker chunk. One seed per chunk maximises load balance (an
+/// attack's query count varies a lot between seeds); the per-chunk model/
+/// metric replica cost is trivial next to the dozens of forward passes a
+/// single attack performs.
+constexpr std::size_t kSeedGrain = 1;
+
+}  // namespace
 
 TestCaseGenerator::TestCaseGenerator(AttackPtr attack, NaturalnessPtr metric,
                                      std::optional<double> tau,
@@ -18,40 +42,76 @@ Detection TestCaseGenerator::generate(
     Classifier& model, const Dataset& pool,
     std::span<const std::size_t> seed_indices, BudgetTracker& budget,
     Rng& rng) const {
+  const std::size_t n = seed_indices.size();
   Detection detection;
-  for (std::size_t index : seed_indices) {
-    if (budget.exhausted()) break;
-    const LabeledSample seed = pool.sample(index);
+  if (n == 0 || budget.exhausted()) return detection;
 
-    // Pre-check: a seed the model already mispredicts is a clean
-    // operational failure — record it at zero distance instead of
-    // spending attack budget searching around it.
-    const std::uint64_t before = model.query_count();
-    const bool seed_fails = model.predict_single(seed.x) != seed.y;
-    AttackResult result;
-    if (seed_fails) {
-      result.success = true;
-      result.adversarial = seed.x;
-      result.linf_distance = 0.0f;
-    } else {
-      result = attack_->run(model, seed.x, seed.y, rng);
+  // Determinism contract: every seed gets its own Rng stream derived from
+  // its position (one draw from the caller's rng per generate() call), and
+  // every worker chunk attacks its own model replica — so the per-seed
+  // outcomes are a pure function of (parameters, seed, stream) and
+  // identical for any OPAD_THREADS value, including 1.
+  const std::uint64_t stream_base = rng();
+
+  std::vector<SeedOutcome> outcomes(n);
+  parallel_for(0, n, kSeedGrain, [&](std::size_t lo, std::size_t hi) {
+    // Per-chunk replicas: attacks mutate layer caches and the query
+    // counter, and some metrics carry forward-pass scratch. Replicas have
+    // equal parameters, so results match attacking `model` directly.
+    Classifier worker_model = model.clone();
+    const AttackPtr attack_replica = attack_->thread_replica();
+    const Attack& attack = attack_replica ? *attack_replica : *attack_;
+    const NaturalnessPtr metric = thread_local_metric(metric_);
+    for (std::size_t i = lo; i < hi; ++i) {
+      SeedOutcome& out = outcomes[i];
+      out.seed = pool.sample(seed_indices[i]);
+      Rng seed_rng(derive_stream_seed(stream_base, i));
+
+      // Pre-check: a seed the model already mispredicts is a clean
+      // operational failure — record it at zero distance instead of
+      // spending attack budget searching around it.
+      const std::uint64_t before = worker_model.query_count();
+      out.seed_fails =
+          worker_model.predict_single(out.seed.x) != out.seed.y;
+      if (out.seed_fails) {
+        out.result.success = true;
+        out.result.adversarial = out.seed.x;
+        out.result.linf_distance = 0.0f;
+      } else {
+        out.result = attack.run(worker_model, out.seed.x, out.seed.y,
+                                seed_rng);
+      }
+      out.result.queries = worker_model.query_count() - before;
+      if (out.result.success) {
+        out.seed_log_density =
+            profile_ ? profile_->log_density(out.seed.x) : 0.0;
+        out.naturalness = metric ? metric->score(out.result.adversarial)
+                                 : 0.0;
+      }
     }
-    result.queries = model.query_count() - before;
+  });
 
-    budget.consume(result.queries);
+  // Sequential fold in seed order: the budget cut-off between seeds is
+  // applied exactly as the serial loop would have, and the consumed
+  // queries are folded back into the primary model's counter.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (budget.exhausted()) break;
+    SeedOutcome& out = outcomes[i];
+    budget.consume(out.result.queries);
+    model.add_queries(out.result.queries);
     detection.stats.seeds_attacked += 1;
-    detection.stats.queries_used += result.queries;
-    if (!result.success) continue;
+    detection.stats.queries_used += out.result.queries;
+    if (!out.result.success) continue;
     detection.stats.aes_found += 1;
-    if (seed_fails) detection.stats.clean_failures += 1;
+    if (out.seed_fails) detection.stats.clean_failures += 1;
 
     OperationalAE ae;
-    ae.seed = seed.x;
-    ae.label = seed.y;
-    ae.adversarial = result.adversarial;
-    ae.linf_distance = result.linf_distance;
-    ae.seed_log_density = profile_ ? profile_->log_density(seed.x) : 0.0;
-    ae.naturalness = metric_ ? metric_->score(ae.adversarial) : 0.0;
+    ae.seed = std::move(out.seed.x);
+    ae.label = out.seed.y;
+    ae.adversarial = std::move(out.result.adversarial);
+    ae.linf_distance = out.result.linf_distance;
+    ae.seed_log_density = out.seed_log_density;
+    ae.naturalness = out.naturalness;
     ae.is_operational = tau_ ? ae.naturalness >= *tau_ : false;
     if (ae.is_operational) detection.stats.operational_aes += 1;
     detection.aes.push_back(std::move(ae));

@@ -22,8 +22,14 @@ class TestCaseGenerator {
   TestCaseGenerator(AttackPtr attack, NaturalnessPtr metric,
                     std::optional<double> tau, ProfilePtr profile);
 
-  /// Attacks pool rows `seed_indices` in order until the budget is
-  /// exhausted (checked between seeds) or the list ends.
+  /// Attacks pool rows `seed_indices`, accounting results in index order
+  /// until the budget is exhausted (checked between seeds) or the list
+  /// ends. Seeds are attacked in parallel on model replicas, each from an
+  /// independent per-seed Rng stream (derived from one draw of `rng`), so
+  /// the returned Detection — including query accounting on `model` — is
+  /// bit-identical for any OPAD_THREADS value. Callers control the
+  /// parallel over-run per call by the span length (the budget cut-off is
+  /// applied after the batch is attacked).
   Detection generate(Classifier& model, const Dataset& pool,
                      std::span<const std::size_t> seed_indices,
                      BudgetTracker& budget, Rng& rng) const;

@@ -20,4 +20,10 @@ Tensor AutoencoderNaturalness::score_gradient(const Tensor& x) const {
   return grad;
 }
 
+std::shared_ptr<const NaturalnessMetric>
+AutoencoderNaturalness::thread_replica() const {
+  return std::make_shared<AutoencoderNaturalness>(
+      std::make_shared<Autoencoder>(autoencoder_->clone()));
+}
+
 }  // namespace opad

@@ -19,6 +19,9 @@ class AutoencoderNaturalness : public NaturalnessMetric {
   double score(const Tensor& x) const override;
   bool has_gradient() const override { return true; }
   Tensor score_gradient(const Tensor& x) const override;
+  /// Deep copy: the wrapped autoencoder's forward caches make a shared
+  /// instance unsafe to score concurrently.
+  std::shared_ptr<const NaturalnessMetric> thread_replica() const override;
 
  private:
   // The autoencoder's forward pass mutates layer caches, so the handle is

@@ -47,6 +47,21 @@ bool CompositeNaturalness::has_gradient() const {
   return true;
 }
 
+std::shared_ptr<const NaturalnessMetric>
+CompositeNaturalness::thread_replica() const {
+  bool any_replicated = false;
+  std::vector<Component> replicas = components_;
+  for (auto& c : replicas) {
+    if (auto replica = c.metric->thread_replica()) {
+      c.metric = std::move(replica);
+      any_replicated = true;
+    }
+  }
+  if (!any_replicated) return nullptr;
+  auto copy = std::make_shared<CompositeNaturalness>(std::move(replicas));
+  return copy;
+}
+
 Tensor CompositeNaturalness::score_gradient(const Tensor& x) const {
   OPAD_EXPECTS(has_gradient());
   Tensor grad({dim()});

@@ -30,6 +30,9 @@ class CompositeNaturalness : public NaturalnessMetric {
   double score(const Tensor& x) const override;
   bool has_gradient() const override;
   Tensor score_gradient(const Tensor& x) const override;
+  /// Replicates only when some component needs its own replica; purely
+  /// shared components are reused as-is.
+  std::shared_ptr<const NaturalnessMetric> thread_replica() const override;
 
   const std::vector<Component>& components() const { return components_; }
 

@@ -31,11 +31,28 @@ class NaturalnessMetric {
   /// Gradient of score w.r.t. x; throws if has_gradient() is false.
   virtual Tensor score_gradient(const Tensor& x) const;
 
+  /// Replica of this metric that is safe to score from another thread
+  /// while `*this` is in use. Pure metrics (the default) return nullptr,
+  /// meaning "share this instance"; metrics with internal forward-pass
+  /// scratch (e.g. an autoencoder's layer caches) return a deep copy that
+  /// produces identical scores.
+  virtual std::shared_ptr<const NaturalnessMetric> thread_replica() const {
+    return nullptr;
+  }
+
   /// Scores every row of a dataset.
   std::vector<double> score_all(const Tensor& inputs) const;
 };
 
 using NaturalnessPtr = std::shared_ptr<const NaturalnessMetric>;
+
+/// `metric->thread_replica()` if the metric needs one, else `metric`
+/// itself. Convenience for parallel workers setting up their lane.
+inline NaturalnessPtr thread_local_metric(const NaturalnessPtr& metric) {
+  if (!metric) return nullptr;
+  NaturalnessPtr replica = metric->thread_replica();
+  return replica ? replica : metric;
+}
 
 /// Threshold tau such that a fraction `quantile` of the reference rows
 /// score *below* tau. E.g. quantile = 0.05 accepts inputs at least as

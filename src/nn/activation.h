@@ -14,6 +14,7 @@ class ReLU : public Layer {
     return input_dim;
   }
   std::string name() const override { return "ReLU"; }
+  LayerPtr clone() const override { return std::make_unique<ReLU>(*this); }
 
  private:
   Tensor cached_input_;
@@ -29,6 +30,9 @@ class LeakyReLU : public Layer {
     return input_dim;
   }
   std::string name() const override;
+  LayerPtr clone() const override {
+    return std::make_unique<LeakyReLU>(*this);
+  }
 
  private:
   float slope_;
@@ -44,6 +48,7 @@ class Tanh : public Layer {
     return input_dim;
   }
   std::string name() const override { return "Tanh"; }
+  LayerPtr clone() const override { return std::make_unique<Tanh>(*this); }
 
  private:
   Tensor cached_output_;
@@ -58,6 +63,9 @@ class Sigmoid : public Layer {
     return input_dim;
   }
   std::string name() const override { return "Sigmoid"; }
+  LayerPtr clone() const override {
+    return std::make_unique<Sigmoid>(*this);
+  }
 
  private:
   Tensor cached_output_;

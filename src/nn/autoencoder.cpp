@@ -40,6 +40,20 @@ Autoencoder::Autoencoder(std::size_t input_dim,
   network_.emplace<Dense>(prev, input_dim, rng);
 }
 
+Autoencoder::Autoencoder(std::size_t input_dim, std::size_t latent_dim,
+                         std::size_t encoder_layers,
+                         AutoencoderConfig config, Sequential network)
+    : input_dim_(input_dim),
+      latent_dim_(latent_dim),
+      encoder_layers_(encoder_layers),
+      config_(std::move(config)),
+      network_(std::move(network)) {}
+
+Autoencoder Autoencoder::clone() const {
+  return Autoencoder(input_dim_, latent_dim_, encoder_layers_, config_,
+                     network_.clone());
+}
+
 double Autoencoder::train(const Tensor& inputs, Rng& rng) {
   OPAD_EXPECTS(inputs.rank() == 2 && inputs.dim(1) == input_dim_);
   OPAD_EXPECTS(inputs.dim(0) > 0);

@@ -47,7 +47,16 @@ class Autoencoder {
   std::size_t input_dim() const { return input_dim_; }
   std::size_t latent_dim() const { return latent_dim_; }
 
+  /// Deep copy. Forward passes mutate the network's layer caches, so a
+  /// shared autoencoder is not safe to score from several threads; each
+  /// parallel worker scores against its own clone instead.
+  Autoencoder clone() const;
+
  private:
+  Autoencoder(std::size_t input_dim, std::size_t latent_dim,
+              std::size_t encoder_layers, AutoencoderConfig config,
+              Sequential network);
+
   std::size_t input_dim_;
   std::size_t latent_dim_;
   std::size_t encoder_layers_;  // layer count of the encoder prefix

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "tensor/tensor_ops.h"
+#include "util/parallel.h"
 
 namespace opad {
 
@@ -37,21 +39,24 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t n = input.dim(0);
   const std::size_t out_features = out_.features();
   Tensor output({n, out_features});
-  cached_cols_.clear();
-  cached_cols_.reserve(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    const Tensor image =
-        input.row(s).reshaped({in_.channels, in_.height, in_.width});
-    Tensor cols = im2col(image, kernel_, kernel_, stride_, pad_);
-    Tensor result = matmul(weight_, cols);  // [out_c, oh*ow]
-    for (std::size_t oc = 0; oc < out_.channels; ++oc) {
-      const float b = bias_.at(oc);
-      auto row = result.row_span(oc);
-      for (float& v : row) v += b;
+  // Samples are independent: each writes its own output row and im2col
+  // cache slot, so the batch loop parallelises without any reduction.
+  cached_cols_.assign(n, Tensor());
+  parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const Tensor image =
+          input.row(s).reshaped({in_.channels, in_.height, in_.width});
+      Tensor cols = im2col(image, kernel_, kernel_, stride_, pad_);
+      Tensor result = matmul(weight_, cols);  // [out_c, oh*ow]
+      for (std::size_t oc = 0; oc < out_.channels; ++oc) {
+        const float b = bias_.at(oc);
+        auto row = result.row_span(oc);
+        for (float& v : row) v += b;
+      }
+      output.set_row(s, result.reshaped({out_features}).data());
+      cached_cols_[s] = std::move(cols);
     }
-    output.set_row(s, result.reshaped({out_features}).data());
-    cached_cols_.push_back(std::move(cols));
-  }
+  });
   return output;
 }
 
@@ -62,22 +67,41 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
                    "Conv2D backward shape mismatch");
   Tensor grad_input({n, in_.features()});
   const std::size_t spatial = out_.height * out_.width;
-  for (std::size_t s = 0; s < n; ++s) {
-    const Tensor grad_maps =
-        grad_output.row(s).reshaped({out_.channels, spatial});
-    // dW += dY * cols^T ; dBias += row sums of dY.
-    grad_weight_ += matmul_transpose_b(grad_maps, cached_cols_[s]);
-    for (std::size_t oc = 0; oc < out_.channels; ++oc) {
-      float acc = 0.0f;
-      auto row = grad_maps.row_span(oc);
-      for (float v : row) acc += v;
-      grad_bias_.at(oc) += acc;
+  // Input gradients are per-sample (disjoint rows); the weight/bias
+  // gradients are a sum over samples, accumulated into per-chunk partials
+  // and folded in chunk order below. With a grain of one sample the fold
+  // order equals the sequential sample order, so the result is identical
+  // to the serial loop for any thread count.
+  const std::size_t chunks = parallel_chunk_count(0, n, 1);
+  std::vector<Tensor> partial_weight(chunks);
+  std::vector<Tensor> partial_bias(chunks);
+  parallel_for_chunks(0, n, 1,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    Tensor pw(grad_weight_.shape());
+    Tensor pb(grad_bias_.shape());
+    for (std::size_t s = lo; s < hi; ++s) {
+      const Tensor grad_maps =
+          grad_output.row(s).reshaped({out_.channels, spatial});
+      // dW += dY * cols^T ; dBias += row sums of dY.
+      pw += matmul_transpose_b(grad_maps, cached_cols_[s]);
+      for (std::size_t oc = 0; oc < out_.channels; ++oc) {
+        float acc = 0.0f;
+        auto row = grad_maps.row_span(oc);
+        for (float v : row) acc += v;
+        pb.at(oc) += acc;
+      }
+      // dX = col2im(W^T * dY).
+      Tensor grad_cols = matmul_transpose_a(weight_, grad_maps);
+      Tensor grad_image = col2im(grad_cols, in_.channels, in_.height,
+                                 in_.width, kernel_, kernel_, stride_, pad_);
+      grad_input.set_row(s, grad_image.reshaped({in_.features()}).data());
     }
-    // dX = col2im(W^T * dY).
-    Tensor grad_cols = matmul_transpose_a(weight_, grad_maps);
-    Tensor grad_image = col2im(grad_cols, in_.channels, in_.height,
-                               in_.width, kernel_, kernel_, stride_, pad_);
-    grad_input.set_row(s, grad_image.reshaped({in_.features()}).data());
+    partial_weight[c] = std::move(pw);
+    partial_bias[c] = std::move(pb);
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    grad_weight_ += partial_weight[c];
+    grad_bias_ += partial_bias[c];
   }
   return grad_input;
 }

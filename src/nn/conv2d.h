@@ -31,6 +31,7 @@ class Conv2D : public Layer {
   }
   std::size_t output_dim(std::size_t input_dim) const override;
   std::string name() const override;
+  LayerPtr clone() const override { return std::make_unique<Conv2D>(*this); }
 
   ImageGeometry input_geometry() const { return in_; }
   ImageGeometry output_geometry() const { return out_; }
@@ -57,6 +58,9 @@ class MaxPool2D : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::size_t output_dim(std::size_t input_dim) const override;
   std::string name() const override;
+  LayerPtr clone() const override {
+    return std::make_unique<MaxPool2D>(*this);
+  }
 
   ImageGeometry output_geometry() const { return out_; }
 

@@ -19,6 +19,7 @@ class Dense : public Layer {
   }
   std::size_t output_dim(std::size_t input_dim) const override;
   std::string name() const override;
+  LayerPtr clone() const override { return std::make_unique<Dense>(*this); }
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }

@@ -21,6 +21,9 @@ class Dropout : public Layer {
     return input_dim;
   }
   std::string name() const override;
+  LayerPtr clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
 
   float rate() const { return rate_; }
 

@@ -22,8 +22,13 @@ class Layer {
   virtual ~Layer() = default;
 
   Layer() = default;
-  Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
+
+  /// Deep copy of this layer (parameters, configuration, and any Rng
+  /// stream; forward caches come along but are overwritten by the next
+  /// forward()). Replica layers back the per-worker model copies that the
+  /// parallel detection loop attacks concurrently.
+  virtual std::unique_ptr<Layer> clone() const = 0;
 
   /// Computes outputs for a batch; caches whatever backward() needs.
   /// `training` lets stochastic layers (none currently) switch behaviour.
@@ -52,6 +57,11 @@ class Layer {
 
   /// Short layer description, e.g. "Dense(64->10)".
   virtual std::string name() const = 0;
+
+ protected:
+  /// Copying is reserved for the clone() implementations of concrete
+  /// layers (protected to prevent accidental slicing through the base).
+  Layer(const Layer&) = default;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

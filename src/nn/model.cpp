@@ -15,6 +15,12 @@ void Sequential::add(LayerPtr layer) {
   layers_.push_back(std::move(layer));
 }
 
+Sequential Sequential::clone() const {
+  Sequential copy(input_dim_);
+  for (const LayerPtr& layer : layers_) copy.add(layer->clone());
+  return copy;
+}
+
 Tensor Sequential::forward(const Tensor& input, bool training) {
   OPAD_EXPECTS_MSG(input.rank() == 2 && input.dim(1) == input_dim_,
                    "model expects [n, " << input_dim_ << "], got "
@@ -84,6 +90,10 @@ Classifier::Classifier(Sequential network, std::size_t num_classes)
                    "network output dim " << network_.output_dim()
                                          << " != num_classes "
                                          << num_classes);
+}
+
+Classifier Classifier::clone() const {
+  return Classifier(network_.clone(), num_classes_);
 }
 
 Tensor Classifier::logits(const Tensor& inputs) {

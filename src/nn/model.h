@@ -27,6 +27,10 @@ class Sequential {
   /// Appends a layer; validates feature-count chaining.
   void add(LayerPtr layer);
 
+  /// Deep copy (layer-by-layer clone). Replicas let parallel workers run
+  /// forward/backward passes without racing on this model's layer caches.
+  Sequential clone() const;
+
   /// Convenience: emplace a layer type directly.
   template <typename L, typename... Args>
   L& emplace(Args&&... args) {
@@ -115,6 +119,17 @@ class Classifier {
   /// query).
   std::uint64_t query_count() const { return queries_; }
   void reset_query_count() { queries_ = 0; }
+
+  /// Folds externally accounted queries (e.g. those a worker replica spent
+  /// attacking seeds in parallel) into this model's counter so the global
+  /// budget arithmetic matches a sequential run exactly.
+  void add_queries(std::uint64_t n) { queries_ += n; }
+
+  /// Deep copy with a fresh query counter. A replica shares no mutable
+  /// state with the original, so each parallel worker can attack its own
+  /// copy; parameters are equal, so per-seed results are identical to
+  /// attacking the original.
+  Classifier clone() const;
 
  private:
   Sequential network_;

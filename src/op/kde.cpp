@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "util/parallel.h"
 #include "util/special_math.h"
 
 namespace opad {
+
+namespace {
+/// Kernels per parallel chunk for the density sums. Fixed (independent of
+/// the thread count) so the chunked reductions below are bit-identical
+/// for any OPAD_THREADS; a single-chunk range degenerates to the plain
+/// sequential sum.
+constexpr std::size_t kKernelGrain = 256;
+}  // namespace
 
 KernelDensityEstimator::KernelDensityEstimator(const Tensor& data,
                                                const KdeConfig& config,
@@ -59,17 +69,28 @@ std::size_t KernelDensityEstimator::dim() const { return points_.dim(1); }
 double KernelDensityEstimator::log_density(const Tensor& x) const {
   OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
   const std::size_t m = points_.dim(0), d = dim();
-  double acc = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto row = points_.row_span(i);
-    double quad = 0.0;
-    for (std::size_t j = 0; j < d; ++j) {
-      const double diff =
-          (static_cast<double>(x.at(j)) - row[j]) / bandwidth_[j];
-      quad += diff * diff;
+  // Per-chunk log-sum-exp accumulators in double, folded in chunk order;
+  // log_add_exp(-inf, v) == v, so one chunk reproduces the plain loop.
+  const std::size_t chunks = parallel_chunk_count(0, m, kKernelGrain);
+  std::vector<double> partial(chunks,
+                              -std::numeric_limits<double>::infinity());
+  parallel_for_chunks(0, m, kKernelGrain,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    double acc = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto row = points_.row_span(i);
+      double quad = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff =
+            (static_cast<double>(x.at(j)) - row[j]) / bandwidth_[j];
+        quad += diff * diff;
+      }
+      acc = log_add_exp(acc, log_norm_const_ - 0.5 * quad);
     }
-    acc = log_add_exp(acc, log_norm_const_ - 0.5 * quad);
-  }
+    partial[c] = acc;
+  });
+  double acc = -std::numeric_limits<double>::infinity();
+  for (double p : partial) acc = log_add_exp(acc, p);
   return acc - std::log(static_cast<double>(m));
 }
 
@@ -88,27 +109,44 @@ Tensor KernelDensityEstimator::log_density_gradient(const Tensor& x) const {
   const std::size_t m = points_.dim(0), d = dim();
   // Responsibilities over kernels, then gradient as in a GMM.
   std::vector<double> log_terms(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto row = points_.row_span(i);
-    double quad = 0.0;
-    for (std::size_t j = 0; j < d; ++j) {
-      const double diff =
-          (static_cast<double>(x.at(j)) - row[j]) / bandwidth_[j];
-      quad += diff * diff;
+  parallel_for(0, m, kKernelGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto row = points_.row_span(i);
+      double quad = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff =
+            (static_cast<double>(x.at(j)) - row[j]) / bandwidth_[j];
+        quad += diff * diff;
+      }
+      log_terms[i] = -0.5 * quad;
     }
-    log_terms[i] = -0.5 * quad;
-  }
+  });
   const double log_z = log_sum_exp(log_terms);
-  Tensor grad({d});
-  for (std::size_t i = 0; i < m; ++i) {
-    const double r = std::exp(log_terms[i] - log_z);
-    if (r < 1e-14) continue;
-    const auto row = points_.row_span(i);
-    for (std::size_t j = 0; j < d; ++j) {
-      grad.at(j) += static_cast<float>(
-          r * -(static_cast<double>(x.at(j)) - row[j]) /
-          (bandwidth_[j] * bandwidth_[j]));
+  // Per-chunk double accumulators for the gradient sum, folded in chunk
+  // order so the float result is identical for any thread count.
+  const std::size_t chunks = parallel_chunk_count(0, m, kKernelGrain);
+  std::vector<std::vector<double>> partial(chunks);
+  parallel_for_chunks(0, m, kKernelGrain,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    std::vector<double>& acc = partial[c];
+    acc.assign(d, 0.0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double r = std::exp(log_terms[i] - log_z);
+      if (r < 1e-14) continue;
+      const auto row = points_.row_span(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        acc[j] += r * -(static_cast<double>(x.at(j)) - row[j]) /
+                  (bandwidth_[j] * bandwidth_[j]);
+      }
     }
+  });
+  std::vector<double> total(d, 0.0);
+  for (const std::vector<double>& acc : partial) {
+    for (std::size_t j = 0; j < d; ++j) total[j] += acc[j];
+  }
+  Tensor grad({d});
+  for (std::size_t j = 0; j < d; ++j) {
+    grad.at(j) = static_cast<float>(total[j]);
   }
   return grad;
 }

@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace opad {
 
 namespace {
 void check_rank2(const Tensor& t, const char* name) {
   OPAD_EXPECTS_MSG(t.rank() == 2, name << " must be rank 2, got "
                                        << shape_to_string(t.shape()));
+}
+
+/// Output rows per parallel chunk, sized so a chunk carries at least
+/// ~32k multiply-adds. Depends only on the row cost (never the thread
+/// count), keeping the chunk decomposition — and therefore the result —
+/// independent of OPAD_THREADS. Each matmul variant computes every C row
+/// entirely within one chunk with an unchanged inner accumulation order,
+/// so the products are bit-identical to the sequential loops.
+std::size_t matmul_row_grain(std::size_t flops_per_row) {
+  constexpr std::size_t kMinChunkFlops = 32768;
+  return std::max<std::size_t>(
+      1, kMinChunkFlops / std::max<std::size_t>(flops_per_row, 1));
 }
 }  // namespace
 
@@ -24,15 +38,21 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data().data();
   float* pc = c.data().data();
   // ikj loop order: streams B rows, good cache behaviour without blocking.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Row blocks are independent (disjoint C rows), so they parallelise
+  // without changing any accumulation order. No zero-skip on aik: 0 * Inf
+  // and 0 * NaN must stay NaN so numerical blow-ups in B surface instead
+  // of being masked by exact zeros in A.
+  parallel_for(0, m, matmul_row_grain(k * n),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = pa[i * k + kk];
+        const float* brow = pb + kk * n;
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -45,16 +65,21 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Each chunk owns C rows [lo, hi) and walks kk in ascending order, so
+  // per-element accumulation order matches the sequential loop exactly.
+  // No zero-skip (see matmul): zeros in A must propagate NaN/Inf from B.
+  parallel_for(0, m, matmul_row_grain(k * n),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = pa + kk * m;
+      const float* brow = pb + kk * n;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float aik = arow[i];
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -67,15 +92,18 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = acc;
+  parallel_for(0, m, matmul_row_grain(k * n),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * k;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        pc[i * n + j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -89,37 +117,57 @@ Tensor transpose(const Tensor& a) {
   return t;
 }
 
+namespace {
+/// Rows per chunk for the row-wise softmax family; rows are independent,
+/// so chunking never changes a result.
+std::size_t softmax_row_grain(std::size_t k) {
+  constexpr std::size_t kMinChunkElements = 4096;
+  return std::max<std::size_t>(1,
+                               kMinChunkElements / std::max<std::size_t>(k, 1));
+}
+}  // namespace
+
 Tensor softmax_rows(const Tensor& logits) {
   check_rank2(logits, "logits");
   Tensor out = logits;
   const std::size_t n = out.dim(0), k = out.dim(1);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto row = out.row_span(i);
-    const float m = *std::max_element(row.begin(), row.end());
-    float total = 0.0f;
-    for (float& v : row) {
-      v = std::exp(v - m);
-      total += v;
+  parallel_for(0, n, softmax_row_grain(k),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto row = out.row_span(i);
+      const float m = *std::max_element(row.begin(), row.end());
+      // Normaliser accumulates in double, matching log_softmax_rows: on
+      // wide rows a float sum drifts enough to skew confidence-derived
+      // seed weights relative to the log variant.
+      double total = 0.0;
+      for (float& v : row) {
+        v = std::exp(v - m);
+        total += static_cast<double>(v);
+      }
+      OPAD_ENSURES(total > 0.0);
+      for (float& v : row) {
+        v = static_cast<float>(static_cast<double>(v) / total);
+      }
     }
-    OPAD_ENSURES(total > 0.0f);
-    for (float& v : row) v /= total;
-  }
-  (void)k;
+  });
   return out;
 }
 
 Tensor log_softmax_rows(const Tensor& logits) {
   check_rank2(logits, "logits");
   Tensor out = logits;
-  const std::size_t n = out.dim(0);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto row = out.row_span(i);
-    const float m = *std::max_element(row.begin(), row.end());
-    double total = 0.0;
-    for (float v : row) total += std::exp(static_cast<double>(v) - m);
-    const float log_z = m + static_cast<float>(std::log(total));
-    for (float& v : row) v -= log_z;
-  }
+  const std::size_t n = out.dim(0), k = out.dim(1);
+  parallel_for(0, n, softmax_row_grain(k),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto row = out.row_span(i);
+      const float m = *std::max_element(row.begin(), row.end());
+      double total = 0.0;
+      for (float v : row) total += std::exp(static_cast<double>(v) - m);
+      const float log_z = m + static_cast<float>(std::log(total));
+      for (float& v : row) v -= log_z;
+    }
+  });
   return out;
 }
 

@@ -1,0 +1,190 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace opad {
+
+namespace {
+thread_local bool tl_in_pool_task = false;
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+/// One indexed task batch in flight. Held by shared_ptr so that a worker
+/// that raced onto a finished batch still owns storage while it observes
+/// `next >= count` and backs off.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  void record_error(std::size_t index) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (index < error_index) {
+      error_index = index;
+      error = std::current_exception();
+    }
+  }
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::shared_ptr<Batch> batch;
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::mutex run_mutex;  // serialises top-level run() calls
+  std::vector<std::thread> workers;
+};
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("OPAD_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? default_thread_count() : threads),
+      impl_(new Impl) {
+  impl_->workers.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+bool ThreadPool::in_worker() { return tl_in_pool_task; }
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->cv.wait(lock, [&] {
+        return impl_->stop || (impl_->generation != seen && impl_->batch);
+      });
+      if (impl_->stop) return;
+      seen = impl_->generation;
+      batch = impl_->batch;
+    }
+    if (batch) work_on(*batch);
+  }
+}
+
+void ThreadPool::work_on(Batch& batch) {
+  const bool was_in_task = tl_in_pool_task;
+  tl_in_pool_task = true;
+  while (true) {
+    const std::size_t index = batch.next.fetch_add(1);
+    if (index >= batch.count) break;
+    try {
+      (*batch.task)(index);
+    } catch (...) {
+      batch.record_error(index);
+    }
+    if (batch.completed.fetch_add(1) + 1 == batch.count) {
+      // Lock before notifying so the submitter cannot check the predicate
+      // and sleep between our fetch_add and the notify.
+      std::lock_guard<std::mutex> lock(batch.done_mutex);
+      batch.done_cv.notify_all();
+    }
+  }
+  tl_in_pool_task = was_in_task;
+}
+
+void ThreadPool::run(std::size_t task_count,
+                     const std::function<void(std::size_t)>& task) {
+  if (task_count == 0) return;
+  if (threads_ <= 1 || task_count == 1 || tl_in_pool_task) {
+    // Inline path. Mirror the parallel contract exactly: attempt every
+    // task, then rethrow the lowest-index exception.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < task_count; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  auto batch = std::make_shared<Batch>();
+  batch->task = &task;
+  batch->count = task_count;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->batch = batch;
+    ++impl_->generation;
+  }
+  impl_->cv.notify_all();
+  work_on(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    batch->done_cv.wait(lock, [&] {
+      return batch->completed.load() == batch->count;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->batch.reset();
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(0);
+  return *slot;
+}
+
+void ThreadPool::configure_global(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  slot.reset();
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace opad

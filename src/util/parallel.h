@@ -1,0 +1,127 @@
+// Deterministic thread-pool parallelism for the OpAD hot paths.
+//
+// Design contract (see DESIGN.md "Threading model"):
+//
+//   * One lazily constructed global ThreadPool whose size comes from the
+//     OPAD_THREADS environment variable (falling back to
+//     hardware_concurrency). OPAD_THREADS=1 disables background workers
+//     entirely — every parallel_for then runs inline on the caller.
+//   * parallel_for splits [begin, end) into fixed chunks of `grain`
+//     iterations. The chunk decomposition depends ONLY on the range and
+//     the grain — never on the thread count — so callers that reduce
+//     per-chunk partial results in chunk order obtain bit-identical
+//     answers for any OPAD_THREADS value, including 1.
+//   * Chunks may execute in any order on any thread; a chunk body must
+//     therefore only write to chunk-private state or to disjoint slices
+//     of the output (e.g. its own output rows / its own partial slot).
+//   * Nested parallel_for calls (a parallel chunk body invoking another
+//     parallel_for, e.g. a per-seed attack calling matmul) execute inline
+//     on the worker thread: no deadlock, no oversubscription, and the
+//     numeric result is unchanged because chunking is order-independent.
+//   * Exceptions: every task in a batch is attempted; afterwards the
+//     pending exception with the LOWEST task index is rethrown to the
+//     caller, which again makes the observable outcome independent of
+//     thread scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace opad {
+
+/// Fixed-size worker pool executing indexed task batches. One batch runs
+/// at a time (concurrent top-level run() calls serialise); the submitting
+/// thread participates in its own batch.
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` total execution lanes (the caller
+  /// counts as one, so `threads - 1` background workers are spawned).
+  /// 0 selects default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (>= 1).
+  std::size_t thread_count() const { return threads_; }
+
+  /// Runs task(0) .. task(task_count - 1), blocking until all complete.
+  /// Tasks are claimed dynamically by the workers and the calling thread.
+  /// All tasks are attempted even if some throw; the exception raised by
+  /// the lowest task index is rethrown once the batch has drained.
+  /// Calls from inside a pool task execute inline (sequentially).
+  void run(std::size_t task_count,
+           const std::function<void(std::size_t)>& task);
+
+  /// True when the calling thread is currently executing a pool task (the
+  /// signal parallel_for uses to run nested loops inline).
+  static bool in_worker();
+
+  /// The process-wide pool, created on first use with
+  /// default_thread_count() lanes.
+  static ThreadPool& global();
+
+  /// Replaces the global pool with one of `threads` lanes (0 = auto).
+  /// Intended for startup configuration and for tests that sweep thread
+  /// counts; must not race with concurrent run() calls on the old pool.
+  static void configure_global(std::size_t threads);
+
+  /// OPAD_THREADS if set to a positive integer, else hardware_concurrency
+  /// (at least 1).
+  static std::size_t default_thread_count();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  void work_on(Batch& batch);
+
+  std::size_t threads_ = 1;
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+/// Number of chunks parallel_for will use for the given range and grain.
+/// Depends only on the arguments (never the thread count), so it is the
+/// right size for per-chunk partial-result buffers.
+inline std::size_t parallel_chunk_count(std::size_t begin, std::size_t end,
+                                        std::size_t grain) {
+  if (begin >= end) return 0;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  return (end - begin + g - 1) / g;
+}
+
+/// Runs fn(chunk_index, chunk_begin, chunk_end) over the fixed chunk
+/// decomposition of [begin, end) with the given grain. Single-chunk ranges
+/// (and nested calls) execute inline on the caller.
+template <typename Fn>
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         std::size_t grain, Fn&& fn) {
+  const std::size_t chunks = parallel_chunk_count(begin, end, grain);
+  if (chunks == 0) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  if (chunks == 1) {
+    fn(std::size_t{0}, begin, end);
+    return;
+  }
+  ThreadPool::global().run(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * g;
+    const std::size_t hi = lo + g < end ? lo + g : end;
+    fn(c, lo, hi);
+  });
+}
+
+/// Runs fn(chunk_begin, chunk_end) over chunks of [begin, end); use when
+/// chunks write disjoint output and no per-chunk reduction is needed.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  parallel_for_chunks(begin, end, grain,
+                      [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+                        fn(lo, hi);
+                      });
+}
+
+}  // namespace opad

@@ -15,6 +15,12 @@ std::uint64_t splitmix64_next(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t index) {
+  std::uint64_t state = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return splitmix64_next(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

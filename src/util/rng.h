@@ -19,6 +19,13 @@ namespace opad {
 /// splitmix64 step; used to expand a single 64-bit seed into a full state.
 std::uint64_t splitmix64_next(std::uint64_t& state);
 
+/// Seed of the `index`-th independent sub-stream of `base_seed`
+/// (splitmix64 over a golden-ratio spread of the index). Parallel loops
+/// give every work item its own stream — derived from the item index, not
+/// the executing thread — so their random draws are identical for any
+/// thread count.
+std::uint64_t derive_stream_seed(std::uint64_t base_seed, std::uint64_t index);
+
 /// Deterministic pseudo-random generator (xoshiro256**).
 ///
 /// Satisfies the UniformRandomBitGenerator requirements so it can also be

@@ -1,0 +1,309 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/campaign.h"
+#include "naturalness/density_naturalness.h"
+#include "nn/metrics.h"
+#include "nn/serialize.h"
+#include "op/generator_profile.h"
+#include "op/kde.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+
+namespace opad {
+namespace {
+
+/// Restores the global pool to its OPAD_THREADS / hardware default when a
+/// thread-count-sweeping test exits (also on failure).
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() { ThreadPool::configure_global(0); }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  EXPECT_EQ(parallel_chunk_count(5, 5, 4), 0u);
+  EXPECT_EQ(parallel_chunk_count(7, 3, 4), 0u);
+  bool called = false;
+  parallel_for(5, 5, 4, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeIsOneInlineChunk) {
+  EXPECT_EQ(parallel_chunk_count(2, 5, 100), 1u);
+  std::size_t calls = 0;
+  parallel_for_chunks(2, 5, 100,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                        ++calls;
+                        EXPECT_EQ(c, 0u);
+                        EXPECT_EQ(lo, 2u);
+                        EXPECT_EQ(hi, 5u);
+                      });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelFor, ChunkDecompositionIgnoresThreadCount) {
+  // The partial-buffer sizing contract: chunk layout is a pure function
+  // of (begin, end, grain).
+  GlobalPoolGuard guard;
+  std::vector<std::vector<std::size_t>> layouts;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::configure_global(threads);
+    std::vector<std::size_t> layout(parallel_chunk_count(3, 40, 7) * 2);
+    parallel_for_chunks(3, 40, 7,
+                        [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                          layout[2 * c] = lo;
+                          layout[2 * c + 1] = hi;
+                        });
+    layouts.push_back(std::move(layout));
+  }
+  EXPECT_EQ(layouts[0], layouts[1]);
+  EXPECT_EQ(layouts[0], layouts[2]);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  GlobalPoolGuard guard;
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    ThreadPool::configure_global(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(0, kN, 17, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunInlineAndCover) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(0, kOuter, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t o = lo; o < hi; ++o) {
+      EXPECT_TRUE(ThreadPool::in_worker() ||
+                  ThreadPool::global().thread_count() >= 1);
+      parallel_for(0, kInner, 8, [&](std::size_t ilo, std::size_t ihi) {
+        for (std::size_t i = ilo; i < ihi; ++i) {
+          hits[o * kInner + i].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionWithLowestIndexWinsAndAllTasksRun) {
+  GlobalPoolGuard guard;
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool::configure_global(threads);
+    std::vector<std::atomic<int>> ran(10);
+    try {
+      ThreadPool::global().run(10, [&](std::size_t i) {
+        ran[i].fetch_add(1);
+        if (i == 3 || i == 7) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3");
+    }
+    // The batch drains fully even when tasks throw.
+    for (std::size_t i = 0; i < ran.size(); ++i) {
+      EXPECT_EQ(ran[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ConfigureGlobalSetsLaneCount) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3u);
+  ThreadPool::configure_global(0);
+  EXPECT_EQ(ThreadPool::global().thread_count(),
+            ThreadPool::default_thread_count());
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ParallelEquivalence, MatmulFamilyBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  Rng rng(1234);
+  const Tensor a = Tensor::randn({37, 23}, rng);
+  const Tensor b = Tensor::randn({23, 31}, rng);
+  const Tensor at = Tensor::randn({23, 37}, rng);
+  const Tensor bt = Tensor::randn({31, 23}, rng);
+  const Tensor logits = Tensor::randn({19, 11}, rng, 0.0f, 4.0f);
+
+  ThreadPool::configure_global(1);
+  const Tensor mm1 = matmul(a, b);
+  const Tensor ma1 = matmul_transpose_a(at, b);
+  const Tensor mb1 = matmul_transpose_b(a, bt);
+  const Tensor sm1 = softmax_rows(logits);
+  const Tensor ls1 = log_softmax_rows(logits);
+
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool::configure_global(threads);
+    EXPECT_TRUE(bitwise_equal(mm1, matmul(a, b))) << threads;
+    EXPECT_TRUE(bitwise_equal(ma1, matmul_transpose_a(at, b))) << threads;
+    EXPECT_TRUE(bitwise_equal(mb1, matmul_transpose_b(a, bt))) << threads;
+    EXPECT_TRUE(bitwise_equal(sm1, softmax_rows(logits))) << threads;
+    EXPECT_TRUE(bitwise_equal(ls1, log_softmax_rows(logits))) << threads;
+  }
+}
+
+TEST(ParallelEquivalence, MatmulPropagatesNonFinite) {
+  // The old zero-skip fast path silently dropped 0 * Inf and 0 * NaN
+  // contributions; regression-check the IEEE behaviour.
+  Tensor a({1, 2});
+  a.at(0) = 0.0f;
+  a.at(1) = 1.0f;
+  Tensor b({2, 1});
+  b.at(0) = std::numeric_limits<float>::infinity();
+  b.at(1) = 1.0f;
+  EXPECT_TRUE(std::isnan(matmul(a, b).at(0)));
+  Tensor a_col({2, 1});
+  a_col.at(0) = 0.0f;
+  a_col.at(1) = 1.0f;
+  EXPECT_TRUE(std::isnan(matmul_transpose_a(a_col, b).at(0)));
+}
+
+TEST(ParallelEquivalence, KdeBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  Rng rng(77);
+  const Tensor data = Tensor::randn({600, 3}, rng);
+  const KernelDensityEstimator kde(data, KdeConfig{}, rng);
+  const Tensor x = Tensor::randn({3}, rng);
+
+  ThreadPool::configure_global(1);
+  const double d1 = kde.log_density(x);
+  const Tensor g1 = kde.log_density_gradient(x);
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool::configure_global(threads);
+    EXPECT_EQ(d1, kde.log_density(x)) << threads;
+    EXPECT_TRUE(bitwise_equal(g1, kde.log_density_gradient(x))) << threads;
+  }
+}
+
+/// The headline regression test from the threading issue: a full
+/// detect -> retrain campaign must produce a bit-identical report whether
+/// it runs on 1, 2, or 8 lanes.
+class ParallelCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new testing::RingTask(testing::make_ring_task(400, 150, 91));
+    Rng rng(92);
+    model_ = new Classifier(testing::train_mlp(task_->train, 16, 14, rng));
+    auto op_gen = task_->generator.with_class_priors({0.5, 0.3, 0.2});
+    op_data_ = new Dataset(op_gen.make_dataset(300, rng));
+    profile_ = std::make_shared<GaussianGeneratorProfile>(op_gen);
+    metric_ = std::make_shared<DensityNaturalness>(profile_);
+    tau_ = naturalness_threshold(*metric_, op_data_->inputs(), 0.25);
+  }
+  static void TearDownTestSuite() {
+    delete op_data_;
+    delete model_;
+    delete task_;
+    op_data_ = nullptr;
+    model_ = nullptr;
+    task_ = nullptr;
+    profile_.reset();
+    metric_.reset();
+  }
+
+  MethodContext context() const {
+    MethodContext ctx;
+    ctx.balanced_data = &task_->test;
+    ctx.operational_data = op_data_;
+    ctx.operational_stream = op_data_;
+    ctx.profile = profile_;
+    ctx.metric = metric_;
+    ctx.tau = tau_;
+    ctx.ball.eps = 0.4f;
+    ctx.ball.input_lo = -5.0f;
+    ctx.ball.input_hi = 5.0f;
+    return ctx;
+  }
+
+  CampaignResult run_once() const {
+    const auto snapshot = snapshot_parameters(model_->network());
+    CampaignConfig config;
+    config.rounds = 2;
+    config.query_budget = 5000;
+    config.base_seed = 7;
+    config.retrain.epochs = 2;
+    const auto opad = make_opad_method(MethodSuiteConfig{});
+    CampaignResult result = run_detect_retrain_campaign(
+        *model_, *opad, context(), *op_data_, config);
+    restore_parameters(model_->network(), snapshot);
+    return result;
+  }
+
+  static void expect_identical(const CampaignResult& a,
+                               const CampaignResult& b, std::size_t threads) {
+    EXPECT_EQ(a.total_aes, b.total_aes) << threads;
+    EXPECT_EQ(a.total_operational_aes, b.total_operational_aes) << threads;
+    EXPECT_EQ(a.total_queries, b.total_queries) << threads;
+    ASSERT_EQ(a.rounds.size(), b.rounds.size()) << threads;
+    for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+      const auto& ra = a.rounds[i];
+      const auto& rb = b.rounds[i];
+      EXPECT_EQ(ra.detection.seeds_attacked, rb.detection.seeds_attacked);
+      EXPECT_EQ(ra.detection.aes_found, rb.detection.aes_found);
+      EXPECT_EQ(ra.detection.clean_failures, rb.detection.clean_failures);
+      EXPECT_EQ(ra.detection.operational_aes, rb.detection.operational_aes);
+      EXPECT_EQ(ra.detection.queries_used, rb.detection.queries_used);
+      EXPECT_EQ(ra.retrain.ae_count, rb.retrain.ae_count);
+      EXPECT_EQ(ra.retrain.clean_count, rb.retrain.clean_count);
+      // Retraining consumes the AEs found; identical inputs + identical
+      // rng streams must give the exact same loss trajectory.
+      EXPECT_EQ(ra.retrain.final_loss, rb.retrain.final_loss)
+          << "round " << i << " threads " << threads;
+    }
+  }
+
+  static testing::RingTask* task_;
+  static Classifier* model_;
+  static Dataset* op_data_;
+  static ProfilePtr profile_;
+  static NaturalnessPtr metric_;
+  static double tau_;
+};
+
+testing::RingTask* ParallelCampaignTest::task_ = nullptr;
+Classifier* ParallelCampaignTest::model_ = nullptr;
+Dataset* ParallelCampaignTest::op_data_ = nullptr;
+ProfilePtr ParallelCampaignTest::profile_;
+NaturalnessPtr ParallelCampaignTest::metric_;
+double ParallelCampaignTest::tau_ = 0.0;
+
+TEST_F(ParallelCampaignTest, ReportBitIdenticalForOneTwoAndEightThreads) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(1);
+  const CampaignResult baseline = run_once();
+  EXPECT_GT(baseline.total_queries, 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool::configure_global(threads);
+    const CampaignResult result = run_once();
+    expect_identical(baseline, result, threads);
+  }
+}
+
+}  // namespace
+}  // namespace opad
