@@ -19,6 +19,18 @@ namespace {
 
 using namespace opad;
 
+/// Reports the square-matmul rate both as items/s (madds, the historic
+/// counter) and GFLOP/s (2mnk flops per product).
+void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t k,
+                       std::size_t n) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * k * n));
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(m * k * n) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
 void BM_MatMul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
@@ -27,10 +39,33 @@ void BM_MatMul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(matmul(a, b));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n * n * n));
+  set_gemm_counters(state, n, n, n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposeA(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_transpose_a(a, b));
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_MatMulTransposeA)->Arg(64)->Arg(256);
+
+void BM_MatMulTransposeB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_transpose_b(a, b));
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_MatMulTransposeB)->Arg(64)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(2);
@@ -55,6 +90,33 @@ void BM_Conv2dBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dBackward);
+
+// Batched conv lowering on a larger geometry: 3x16x16 -> 16 channels,
+// batch 64 gives the GEMM a [27, 16384] column matrix — the large-n
+// shape the per-sample dispatch used to chop into 64 tiny products.
+void BM_Conv2dBatchedForward(benchmark::State& state) {
+  Rng rng(11);
+  Conv2D conv({3, 16, 16}, 16, 3, 1, 1, rng);
+  const Tensor batch = Tensor::rand_uniform({64, 3 * 16 * 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(batch, false));
+  }
+}
+BENCHMARK(BM_Conv2dBatchedForward);
+
+void BM_Conv2dBatchedBackward(benchmark::State& state) {
+  Rng rng(12);
+  Conv2D conv({3, 16, 16}, 16, 3, 1, 1, rng);
+  const Tensor batch = Tensor::rand_uniform({64, 3 * 16 * 16}, rng);
+  const Tensor grad = Tensor::randn({64, conv.output_geometry().features()},
+                                    rng);
+  conv.forward(batch, true);
+  for (auto _ : state) {
+    conv.zero_gradients();
+    benchmark::DoNotOptimize(conv.backward(grad));
+  }
+}
+BENCHMARK(BM_Conv2dBatchedBackward);
 
 Classifier make_digit_model(Rng& rng) {
   Sequential net(64);

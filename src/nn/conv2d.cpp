@@ -1,9 +1,9 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
-#include <vector>
 
 #include "tensor/tensor_ops.h"
 #include "util/parallel.h"
@@ -32,78 +32,89 @@ Conv2D::Conv2D(ImageGeometry in, std::size_t out_channels, std::size_t kernel,
   }
 }
 
+namespace {
+/// Samples per chunk for the gather/scatter loops between the batched
+/// layout [out_c, batch*spatial] and row layout [batch, out_c*spatial];
+/// shape-dependent only.
+std::size_t scatter_grain(std::size_t features) {
+  constexpr std::size_t kMinChunkElements = 32768;
+  return std::max<std::size_t>(
+      1, kMinChunkElements / std::max<std::size_t>(features, 1));
+}
+}  // namespace
+
 Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   OPAD_EXPECTS_MSG(input.rank() == 2 && input.dim(1) == in_.features(),
                    "Conv2D expects [n, " << in_.features() << "], got "
                                          << shape_to_string(input.shape()));
   const std::size_t n = input.dim(0);
-  const std::size_t out_features = out_.features();
-  Tensor output({n, out_features});
-  // Samples are independent: each writes its own output row and im2col
-  // cache slot, so the batch loop parallelises without any reduction.
-  cached_cols_.assign(n, Tensor());
-  parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+  const std::size_t spatial = out_.height * out_.width;
+  cached_batch_ = n;
+  // Batched lowering: one im2col column matrix for the whole minibatch
+  // and ONE large-n GEMM, instead of a per-sample matmul dispatch —
+  // [out_c, c*k*k] x [c*k*k, n*oh*ow].
+  cached_cols_ = im2col_batch(input, in_.channels, in_.height, in_.width,
+                              kernel_, kernel_, stride_, pad_);
+  const Tensor result = matmul(weight_, cached_cols_);
+  // Scatter [out_c, n*spatial] back into output rows [n, out_c*spatial],
+  // adding the bias on the way; samples write disjoint rows.
+  Tensor output({n, out_.features()});
+  const float* pr = result.data().data();
+  float* po = output.data().data();
+  parallel_for(0, n, scatter_grain(out_.features()),
+               [&](std::size_t lo, std::size_t hi) {
     for (std::size_t s = lo; s < hi; ++s) {
-      const Tensor image =
-          input.row(s).reshaped({in_.channels, in_.height, in_.width});
-      Tensor cols = im2col(image, kernel_, kernel_, stride_, pad_);
-      Tensor result = matmul(weight_, cols);  // [out_c, oh*ow]
       for (std::size_t oc = 0; oc < out_.channels; ++oc) {
         const float b = bias_.at(oc);
-        auto row = result.row_span(oc);
-        for (float& v : row) v += b;
+        const float* src = pr + oc * n * spatial + s * spatial;
+        float* dst = po + s * out_.features() + oc * spatial;
+        for (std::size_t p = 0; p < spatial; ++p) dst[p] = src[p] + b;
       }
-      output.set_row(s, result.reshaped({out_features}).data());
-      cached_cols_[s] = std::move(cols);
     }
   });
   return output;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
-  const std::size_t n = cached_cols_.size();
+  const std::size_t n = cached_batch_;
   OPAD_EXPECTS_MSG(grad_output.rank() == 2 && grad_output.dim(0) == n &&
                        grad_output.dim(1) == out_.features(),
                    "Conv2D backward shape mismatch");
-  Tensor grad_input({n, in_.features()});
   const std::size_t spatial = out_.height * out_.width;
-  // Input gradients are per-sample (disjoint rows); the weight/bias
-  // gradients are a sum over samples, accumulated into per-chunk partials
-  // and folded in chunk order below. With a grain of one sample the fold
-  // order equals the sequential sample order, so the result is identical
-  // to the serial loop for any thread count.
-  const std::size_t chunks = parallel_chunk_count(0, n, 1);
-  std::vector<Tensor> partial_weight(chunks);
-  std::vector<Tensor> partial_bias(chunks);
-  parallel_for_chunks(0, n, 1,
-                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
-    Tensor pw(grad_weight_.shape());
-    Tensor pb(grad_bias_.shape());
+  // Gather dY into the batched map layout [out_c, n*spatial] so the
+  // weight and input gradients are each ONE GEMM over k = n*spatial.
+  Tensor grad_maps({out_.channels, n * spatial});
+  const float* pg = grad_output.data().data();
+  float* pm = grad_maps.data().data();
+  parallel_for(0, n, scatter_grain(out_.features()),
+               [&](std::size_t lo, std::size_t hi) {
     for (std::size_t s = lo; s < hi; ++s) {
-      const Tensor grad_maps =
-          grad_output.row(s).reshaped({out_.channels, spatial});
-      // dW += dY * cols^T ; dBias += row sums of dY.
-      pw += matmul_transpose_b(grad_maps, cached_cols_[s]);
       for (std::size_t oc = 0; oc < out_.channels; ++oc) {
-        float acc = 0.0f;
-        auto row = grad_maps.row_span(oc);
-        for (float v : row) acc += v;
-        pb.at(oc) += acc;
+        const float* src = pg + s * out_.features() + oc * spatial;
+        float* dst = pm + oc * n * spatial + s * spatial;
+        for (std::size_t p = 0; p < spatial; ++p) dst[p] = src[p];
       }
-      // dX = col2im(W^T * dY).
-      Tensor grad_cols = matmul_transpose_a(weight_, grad_maps);
-      Tensor grad_image = col2im(grad_cols, in_.channels, in_.height,
-                                 in_.width, kernel_, kernel_, stride_, pad_);
-      grad_input.set_row(s, grad_image.reshaped({in_.features()}).data());
     }
-    partial_weight[c] = std::move(pw);
-    partial_bias[c] = std::move(pb);
   });
-  for (std::size_t c = 0; c < chunks; ++c) {
-    grad_weight_ += partial_weight[c];
-    grad_bias_ += partial_bias[c];
-  }
-  return grad_input;
+  // dW += dY * cols^T. The batched GEMM owes its determinism to the
+  // kernel's fixed kc-blocked accumulation over k = n*spatial, which
+  // replaces the old per-sample partial fold.
+  grad_weight_ += matmul_transpose_b(grad_maps, cached_cols_);
+  // dBias: per-channel row sums, each row summed in index order.
+  float* pb = grad_bias_.data().data();
+  parallel_for(0, out_.channels, scatter_grain(n * spatial),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t oc = lo; oc < hi; ++oc) {
+      const float* row = pm + oc * n * spatial;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < n * spatial; ++p) acc += row[p];
+      pb[oc] += acc;
+    }
+  });
+  // dX = col2im(W^T * dY), batched: one GEMM, then a per-sample scatter.
+  const Tensor grad_cols = matmul_transpose_a(weight_, grad_maps);
+  return col2im_batch(grad_cols, n, in_.channels, in_.height, in_.width,
+                      kernel_, kernel_, stride_, pad_);
 }
 
 std::size_t Conv2D::output_dim(std::size_t input_dim) const {

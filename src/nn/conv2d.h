@@ -46,7 +46,8 @@ class Conv2D : public Layer {
   Tensor bias_;         // [out_c]
   Tensor grad_weight_;
   Tensor grad_bias_;
-  std::vector<Tensor> cached_cols_;  // per-sample im2col matrices
+  Tensor cached_cols_;  // batched im2col matrix [in_c*k*k, batch*oh*ow]
+  std::size_t cached_batch_ = 0;
 };
 
 /// Max pooling with square window and stride = window.

@@ -5,6 +5,7 @@
 
 #include "util/distributions.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace opad {
 
@@ -18,13 +19,24 @@ BootstrapInterval bootstrap_mean_ci(std::span<const double> values,
   result.estimate = mean(values);
   std::vector<double> means(resamples);
   const std::size_t n = values.size();
-  for (std::size_t r = 0; r < resamples; ++r) {
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      total += values[rng.uniform_index(n)];
+  // One independent RNG stream per replicate (same pattern as the test
+  // generator): replicate r's resample is a pure function of
+  // (stream_base, r), and means[r] lands at its replicate-order slot, so
+  // the quantiles — and the caller's generator, advanced exactly once —
+  // are identical for any OPAD_THREADS value.
+  const std::uint64_t stream_base = rng();
+  const std::size_t grain = std::max<std::size_t>(
+      1, 32768 / std::max<std::size_t>(n, 1));
+  parallel_for(0, resamples, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      Rng replicate_rng(derive_stream_seed(stream_base, r));
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        total += values[replicate_rng.uniform_index(n)];
+      }
+      means[r] = total / static_cast<double>(n);
     }
-    means[r] = total / static_cast<double>(n);
-  }
+  });
   const double tail = (1.0 - confidence) / 2.0;
   result.lower = quantile(means, tail);
   result.upper = quantile(std::move(means), 1.0 - tail);

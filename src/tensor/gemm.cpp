@@ -1,0 +1,156 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+#include "util/scratch.h"
+
+namespace opad {
+namespace {
+
+// Register micro-tile: kMr x kNr scalar accumulators. 6x8 keeps the
+// accumulators (12 SSE / 6 AVX registers) plus one broadcast and one B
+// vector inside the x86-64 register file, and the kNr loop is a fixed
+// 8-float span the autovectorizer turns into wide FMAs.
+constexpr std::size_t kMr = 6;
+constexpr std::size_t kNr = 8;
+
+// Cache blocking. C is cut into kMc x kNc tiles — the unit of
+// parallelism: every C element is computed entirely inside one tile, so
+// the schedule can never change a result. Within a tile, k is consumed
+// in kKc-sized blocks; the packed A block (kMc*kKc floats = 48 KB) and
+// the kNr-wide B strip the micro-kernel walks (8 KB) stay cache-resident
+// while the tile's C rows stream through.
+constexpr std::size_t kMc = 48;   // multiple of kMr
+constexpr std::size_t kNc = 256;  // multiple of kNr
+constexpr std::size_t kKc = 256;
+
+/// View of an operand in its effective (post-transpose) orientation.
+struct Operand {
+  const float* data;
+  std::size_t row_stride;
+  std::size_t col_stride;
+
+  float at(std::size_t r, std::size_t c) const {
+    return data[r * row_stride + c * col_stride];
+  }
+};
+
+/// Packs rows [i0, i0+mb) x k-block [p0, p0+kb) of A into kMr-row
+/// panels laid out kk-major, so the micro-kernel reads kMr contiguous
+/// floats per k step. Rows past mb are zero-padded; their accumulators
+/// are discarded on write-back, so padding never leaks into C (not even
+/// as NaN from 0 * Inf against non-finite B values).
+void pack_a(const Operand& a, std::size_t i0, std::size_t mb, std::size_t p0,
+            std::size_t kb, float* ap) {
+  const std::size_t panels = (mb + kMr - 1) / kMr;
+  for (std::size_t p = 0; p < panels; ++p) {
+    float* dst = ap + p * kMr * kb;
+    const std::size_t base = i0 + p * kMr;
+    const std::size_t rows = std::min(kMr, i0 + mb - base);
+    for (std::size_t kk = 0; kk < kb; ++kk) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        dst[kk * kMr + r] = a.at(base + r, p0 + kk);
+      }
+      for (std::size_t r = rows; r < kMr; ++r) dst[kk * kMr + r] = 0.0f;
+    }
+  }
+}
+
+/// Packs k-block [p0, p0+kb) x columns [j0, j0+nb) of B into kNr-column
+/// panels, kk-major, zero-padding columns past nb (discarded on
+/// write-back like the A padding).
+void pack_b(const Operand& b, std::size_t p0, std::size_t kb, std::size_t j0,
+            std::size_t nb, float* bp) {
+  const std::size_t panels = (nb + kNr - 1) / kNr;
+  for (std::size_t p = 0; p < panels; ++p) {
+    float* dst = bp + p * kNr * kb;
+    const std::size_t base = j0 + p * kNr;
+    const std::size_t cols = std::min(kNr, j0 + nb - base);
+    for (std::size_t kk = 0; kk < kb; ++kk) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        dst[kk * kNr + c] = b.at(p0 + kk, base + c);
+      }
+      for (std::size_t c = cols; c < kNr; ++c) dst[kk * kNr + c] = 0.0f;
+    }
+  }
+}
+
+/// kb steps of the register tile: one scalar accumulator per element,
+/// k consumed in ascending order — the association the determinism
+/// contract fixes. The block sum is then added to C; rows/cols mask the
+/// zero-padded edge lanes out of the write-back.
+void micro_kernel(std::size_t kb, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t rows, std::size_t cols) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t kk = 0; kk < kb; ++kk) {
+    const float* a = ap + kk * kMr;
+    const float* b = bp + kk * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = a[r];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += av * b[j];
+    }
+  }
+  if (rows == kMr && cols == kNr) {
+    for (std::size_t r = 0; r < kMr; ++r) {
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+          GemmTranspose trans_a, const float* b, GemmTranspose trans_b,
+          float* c) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const Operand a_op = trans_a == GemmTranspose::kNone
+                           ? Operand{a, k, 1}
+                           : Operand{a, 1, m};
+  const Operand b_op = trans_b == GemmTranspose::kNone
+                           ? Operand{b, n, 1}
+                           : Operand{b, 1, k};
+  const std::size_t tiles_m = (m + kMc - 1) / kMc;
+  const std::size_t tiles_n = (n + kNc - 1) / kNc;
+  // One chunk per C tile: the grid depends only on (m, n), and a tile's
+  // packing + accumulation happen entirely inside its chunk, so the
+  // result is independent of OPAD_THREADS by construction.
+  parallel_for(0, tiles_m * tiles_n, 1,
+               [&](std::size_t lo, std::size_t hi) {
+    auto workspace =
+        ScratchArena::local().lease_floats(kMc * kKc + kNc * kKc);
+    float* ap = workspace.data();
+    float* bp = workspace.data() + kMc * kKc;
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::size_t i0 = (t / tiles_n) * kMc;
+      const std::size_t j0 = (t % tiles_n) * kNc;
+      const std::size_t mb = std::min(kMc, m - i0);
+      const std::size_t nb = std::min(kNc, n - j0);
+      const std::size_t m_panels = (mb + kMr - 1) / kMr;
+      const std::size_t n_panels = (nb + kNr - 1) / kNr;
+      for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+        const std::size_t kb = std::min(kKc, k - p0);
+        pack_a(a_op, i0, mb, p0, kb, ap);
+        pack_b(b_op, p0, kb, j0, nb, bp);
+        // jr outer / ir inner: the kNr-wide B strip stays hot in L1
+        // while every A panel of the tile streams past it.
+        for (std::size_t pn = 0; pn < n_panels; ++pn) {
+          const std::size_t jb = j0 + pn * kNr;
+          const std::size_t cols = std::min(kNr, n - jb);
+          for (std::size_t pm = 0; pm < m_panels; ++pm) {
+            const std::size_t ib = i0 + pm * kMr;
+            const std::size_t rows = std::min(kMr, m - ib);
+            micro_kernel(kb, ap + pm * kMr * kb, bp + pn * kNr * kb,
+                         c + ib * n + jb, n, rows, cols);
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace opad

@@ -1,0 +1,34 @@
+// Cache-blocked packed single-precision GEMM.
+//
+// One kernel backs all three matmul variants in tensor_ops.cpp: the
+// operands are described by an optional transpose flag and the driver
+// packs whatever layout it is given into contiguous tile panels, so the
+// inner micro-kernel only ever sees unit-stride data.
+//
+// Determinism contract (DESIGN.md "Threading model" / "GEMM kernel"):
+// the accumulation order of every C element is a pure function of the
+// problem shape — k is consumed in fixed kc-sized blocks in ascending
+// order with one scalar accumulator per element inside each block —
+// and the C tile grid is a pure function of (m, n), so results are
+// bit-identical for any OPAD_THREADS value.
+#pragma once
+
+#include <cstddef>
+
+namespace opad {
+
+/// Storage layout of a GEMM operand.
+enum class GemmTranspose {
+  kNone,       ///< stored as the effective matrix (row-major)
+  kTranspose,  ///< stored row-major as the transpose of the effective matrix
+};
+
+/// C += op(A) * op(B) where op(A) is [m, k], op(B) is [k, n] and C is a
+/// dense row-major [m, n] buffer the caller has initialised (matmul
+/// zero-fills it). `trans_a` == kTranspose means `a` is stored [k, m];
+/// `trans_b` == kTranspose means `b` is stored [n, k].
+void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+          GemmTranspose trans_a, const float* b, GemmTranspose trans_b,
+          float* c);
+
+}  // namespace opad

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "util/parallel.h"
 
 namespace opad {
@@ -12,19 +13,13 @@ void check_rank2(const Tensor& t, const char* name) {
   OPAD_EXPECTS_MSG(t.rank() == 2, name << " must be rank 2, got "
                                        << shape_to_string(t.shape()));
 }
-
-/// Output rows per parallel chunk, sized so a chunk carries at least
-/// ~32k multiply-adds. Depends only on the row cost (never the thread
-/// count), keeping the chunk decomposition — and therefore the result —
-/// independent of OPAD_THREADS. Each matmul variant computes every C row
-/// entirely within one chunk with an unchanged inner accumulation order,
-/// so the products are bit-identical to the sequential loops.
-std::size_t matmul_row_grain(std::size_t flops_per_row) {
-  constexpr std::size_t kMinChunkFlops = 32768;
-  return std::max<std::size_t>(
-      1, kMinChunkFlops / std::max<std::size_t>(flops_per_row, 1));
-}
 }  // namespace
+
+// All three matmul variants lower to the shared cache-blocked packed
+// kernel in gemm.cpp; only the operand layout flags differ. The kernel
+// has no zero-skip fast path: 0 * Inf and 0 * NaN must stay NaN so
+// numerical blow-ups in one operand surface instead of being masked by
+// exact zeros in the other.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   check_rank2(a, "a");
@@ -34,25 +29,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                       << shape_to_string(a.shape()) << " x "
                                       << shape_to_string(b.shape()));
   Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // ikj loop order: streams B rows, good cache behaviour without blocking.
-  // Row blocks are independent (disjoint C rows), so they parallelise
-  // without changing any accumulation order. No zero-skip on aik: 0 * Inf
-  // and 0 * NaN must stay NaN so numerical blow-ups in B surface instead
-  // of being masked by exact zeros in A.
-  parallel_for(0, m, matmul_row_grain(k * n),
-               [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float aik = pa[i * k + kk];
-        const float* brow = pb + kk * n;
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  });
+  gemm(m, n, k, a.data().data(), GemmTranspose::kNone, b.data().data(),
+       GemmTranspose::kNone, c.data().data());
   return c;
 }
 
@@ -62,24 +40,8 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   OPAD_EXPECTS(b.dim(0) == k);
   Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // Each chunk owns C rows [lo, hi) and walks kk in ascending order, so
-  // per-element accumulation order matches the sequential loop exactly.
-  // No zero-skip (see matmul): zeros in A must propagate NaN/Inf from B.
-  parallel_for(0, m, matmul_row_grain(k * n),
-               [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* arow = pa + kk * m;
-      const float* brow = pb + kk * n;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const float aik = arow[i];
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  });
+  gemm(m, n, k, a.data().data(), GemmTranspose::kTranspose, b.data().data(),
+       GemmTranspose::kNone, c.data().data());
   return c;
 }
 
@@ -89,21 +51,8 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   OPAD_EXPECTS(b.dim(1) == k);
   Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  parallel_for(0, m, matmul_row_grain(k * n),
-               [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float* arow = pa + i * k;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        float acc = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        pc[i * n + j] = acc;
-      }
-    }
-  });
+  gemm(m, n, k, a.data().data(), GemmTranspose::kNone, b.data().data(),
+       GemmTranspose::kTranspose, c.data().data());
   return c;
 }
 
@@ -111,9 +60,30 @@ Tensor transpose(const Tensor& a) {
   check_rank2(a, "a");
   const std::size_t m = a.dim(0), n = a.dim(1);
   Tensor t({n, m});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) t(j, i) = a(i, j);
-  }
+  const float* pa = a.data().data();
+  float* pt = t.data().data();
+  // Square tiling: a 32x32 tile (4 KB in, 4 KB out) turns the O(mn)
+  // strided walk into cache-resident blocks — the conv backward path
+  // transposes wide activation maps, where the naive column walk misses
+  // on every store. Pure data movement, so chunking over row tiles is
+  // trivially deterministic; the grain only keeps tiny transposes off
+  // the pool.
+  constexpr std::size_t kTile = 32;
+  const std::size_t row_tiles = (m + kTile - 1) / kTile;
+  const std::size_t grain = std::max<std::size_t>(
+      1, 65536 / std::max<std::size_t>(kTile * n, 1));
+  parallel_for(0, row_tiles, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t rt = lo; rt < hi; ++rt) {
+      const std::size_t i0 = rt * kTile;
+      const std::size_t i1 = std::min(i0 + kTile, m);
+      for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+        const std::size_t j1 = std::min(j0 + kTile, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) pt[j * m + i] = pa[i * n + j];
+        }
+      }
+    }
+  });
   return t;
 }
 
@@ -210,72 +180,135 @@ std::size_t conv_out_size(std::size_t in, std::size_t k, std::size_t stride,
   return (in + 2 * pad - k) / stride + 1;
 }
 
+namespace {
+/// Samples per chunk for the batched im2col/col2im loops: at least ~32k
+/// moved elements per chunk, shape-dependent only.
+std::size_t sample_grain(std::size_t elements_per_sample) {
+  constexpr std::size_t kMinChunkElements = 32768;
+  return std::max<std::size_t>(
+      1, kMinChunkElements / std::max<std::size_t>(elements_per_sample, 1));
+}
+}  // namespace
+
+Tensor im2col_batch(const Tensor& images, std::size_t c, std::size_t h,
+                    std::size_t w, std::size_t kh, std::size_t kw,
+                    std::size_t stride, std::size_t pad) {
+  OPAD_EXPECTS_MSG(images.rank() == 2 && images.dim(1) == c * h * w,
+                   "im2col_batch expects [batch, " << c * h * w << "], got "
+                                                   << shape_to_string(
+                                                          images.shape()));
+  const std::size_t batch = images.dim(0);
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  const std::size_t spatial = oh * ow;
+  Tensor cols({c * kh * kw, batch * spatial});
+  const float* src = images.data().data();
+  float* dst = cols.data().data();
+  const std::size_t total_cols = batch * spatial;
+  // Sample s owns the column slice [s*spatial, (s+1)*spatial) of every
+  // row — disjoint writes, so the batch loop parallelises freely.
+  parallel_for(0, batch, sample_grain(c * kh * kw * spatial),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const float* image = src + s * c * h * w;
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const float* plane = image + ch * h * w;
+        for (std::size_t ki = 0; ki < kh; ++ki) {
+          for (std::size_t kj = 0; kj < kw; ++kj) {
+            const std::size_t row = (ch * kh + ki) * kw + kj;
+            float* out = dst + row * total_cols + s * spatial;
+            for (std::size_t oi = 0; oi < oh; ++oi) {
+              // Input row index as signed to handle padding.
+              const std::ptrdiff_t ii =
+                  static_cast<std::ptrdiff_t>(oi * stride + ki) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) {
+                for (std::size_t oj = 0; oj < ow; ++oj) {
+                  out[oi * ow + oj] = 0.0f;
+                }
+                continue;
+              }
+              const float* in_row = plane + static_cast<std::size_t>(ii) * w;
+              for (std::size_t oj = 0; oj < ow; ++oj) {
+                const std::ptrdiff_t jj =
+                    static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                    static_cast<std::ptrdiff_t>(pad);
+                out[oi * ow + oj] =
+                    (jj >= 0 && jj < static_cast<std::ptrdiff_t>(w))
+                        ? in_row[static_cast<std::size_t>(jj)]
+                        : 0.0f;
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return cols;
+}
+
+Tensor col2im_batch(const Tensor& cols, std::size_t batch, std::size_t c,
+                    std::size_t h, std::size_t w, std::size_t kh,
+                    std::size_t kw, std::size_t stride, std::size_t pad) {
+  OPAD_EXPECTS(cols.rank() == 2);
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  const std::size_t spatial = oh * ow;
+  OPAD_EXPECTS(cols.dim(0) == c * kh * kw &&
+               cols.dim(1) == batch * spatial);
+  Tensor images({batch, c * h * w});
+  const float* src = cols.data().data();
+  float* dst = images.data().data();
+  const std::size_t total_cols = batch * spatial;
+  // Each sample scatters only into its own image row; the accumulation
+  // order within a sample is the fixed (ch, ki, kj, oi, oj) walk.
+  parallel_for(0, batch, sample_grain(c * kh * kw * spatial),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      float* image = dst + s * c * h * w;
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        float* plane = image + ch * h * w;
+        for (std::size_t ki = 0; ki < kh; ++ki) {
+          for (std::size_t kj = 0; kj < kw; ++kj) {
+            const std::size_t row = (ch * kh + ki) * kw + kj;
+            const float* in = src + row * total_cols + s * spatial;
+            for (std::size_t oi = 0; oi < oh; ++oi) {
+              const std::ptrdiff_t ii =
+                  static_cast<std::ptrdiff_t>(oi * stride + ki) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+              float* out_row = plane + static_cast<std::size_t>(ii) * w;
+              for (std::size_t oj = 0; oj < ow; ++oj) {
+                const std::ptrdiff_t jj =
+                    static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+                out_row[static_cast<std::size_t>(jj)] += in[oi * ow + oj];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return images;
+}
+
 Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad) {
   OPAD_EXPECTS_MSG(image.rank() == 3, "im2col expects [c, h, w], got "
                                           << shape_to_string(image.shape()));
   const std::size_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
-  const std::size_t oh = conv_out_size(h, kh, stride, pad);
-  const std::size_t ow = conv_out_size(w, kw, stride, pad);
-  Tensor cols({c * kh * kw, oh * ow});
-  for (std::size_t ch = 0; ch < c; ++ch) {
-    for (std::size_t ki = 0; ki < kh; ++ki) {
-      for (std::size_t kj = 0; kj < kw; ++kj) {
-        const std::size_t row = (ch * kh + ki) * kw + kj;
-        for (std::size_t oi = 0; oi < oh; ++oi) {
-          // Input row index as signed to handle padding.
-          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi * stride +
-                                                                ki) -
-                                    static_cast<std::ptrdiff_t>(pad);
-          for (std::size_t oj = 0; oj < ow; ++oj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(oj * stride + kj) -
-                static_cast<std::ptrdiff_t>(pad);
-            float v = 0.0f;
-            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(h) && jj >= 0 &&
-                jj < static_cast<std::ptrdiff_t>(w)) {
-              v = image(ch, static_cast<std::size_t>(ii),
-                        static_cast<std::size_t>(jj));
-            }
-            cols(row, oi * ow + oj) = v;
-          }
-        }
-      }
-    }
-  }
-  return cols;
+  return im2col_batch(image.reshaped({1, c * h * w}), c, h, w, kh, kw,
+                      stride, pad);
 }
 
 Tensor col2im(const Tensor& cols, std::size_t c, std::size_t h,
               std::size_t w, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad) {
-  OPAD_EXPECTS(cols.rank() == 2);
-  const std::size_t oh = conv_out_size(h, kh, stride, pad);
-  const std::size_t ow = conv_out_size(w, kw, stride, pad);
-  OPAD_EXPECTS(cols.dim(0) == c * kh * kw && cols.dim(1) == oh * ow);
-  Tensor image({c, h, w});
-  for (std::size_t ch = 0; ch < c; ++ch) {
-    for (std::size_t ki = 0; ki < kh; ++ki) {
-      for (std::size_t kj = 0; kj < kw; ++kj) {
-        const std::size_t row = (ch * kh + ki) * kw + kj;
-        for (std::size_t oi = 0; oi < oh; ++oi) {
-          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi * stride +
-                                                                ki) -
-                                    static_cast<std::ptrdiff_t>(pad);
-          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
-          for (std::size_t oj = 0; oj < ow; ++oj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(oj * stride + kj) -
-                static_cast<std::ptrdiff_t>(pad);
-            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
-            image(ch, static_cast<std::size_t>(ii),
-                  static_cast<std::size_t>(jj)) += cols(row, oi * ow + oj);
-          }
-        }
-      }
-    }
-  }
-  return image;
+  Tensor images = col2im_batch(cols, 1, c, h, w, kh, kw, stride, pad);
+  images.reshape({c, h, w});
+  return images;
 }
 
 float l2_distance(const Tensor& a, const Tensor& b) {

@@ -41,11 +41,28 @@ Tensor sum_rows(const Tensor& m);
 Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad);
 
+/// Batched im2col: expands a minibatch of flattened [c, h, w] images
+/// (rows of `images`, shape [batch, c*h*w]) into one column matrix of
+/// shape [c*kh*kw, batch*out_h*out_w], where sample s occupies the
+/// column slice [s*out_h*out_w, (s+1)*out_h*out_w). Feeding the whole
+/// minibatch to a single large-n GEMM is how Conv2D lowers its
+/// forward/backward passes.
+Tensor im2col_batch(const Tensor& images, std::size_t c, std::size_t h,
+                    std::size_t w, std::size_t kh, std::size_t kw,
+                    std::size_t stride, std::size_t pad);
+
 /// Inverse scatter of im2col: accumulates columns back into an image of
 /// shape [c, h, w].
 Tensor col2im(const Tensor& cols, std::size_t c, std::size_t h,
               std::size_t w, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad);
+
+/// Inverse scatter of im2col_batch: accumulates the [c*kh*kw,
+/// batch*out_h*out_w] column matrix back into flattened image rows of
+/// shape [batch, c*h*w].
+Tensor col2im_batch(const Tensor& cols, std::size_t batch, std::size_t c,
+                    std::size_t h, std::size_t w, std::size_t kh,
+                    std::size_t kw, std::size_t stride, std::size_t pad);
 
 /// Spatial output size for a convolution dimension.
 std::size_t conv_out_size(std::size_t in, std::size_t k, std::size_t stride,

@@ -1,0 +1,54 @@
+#include "util/scratch.h"
+
+#include <new>
+
+#include "util/error.h"
+
+namespace opad {
+
+void ScratchArena::Lease::release() {
+  if (arena_ != nullptr && data_ != nullptr) {
+    arena_->release_slot(slot_);
+  }
+  arena_ = nullptr;
+  data_ = nullptr;
+}
+
+ScratchArena::Lease ScratchArena::lease_floats(std::size_t count) {
+  if (count == 0) return Lease();
+  // Prefer the smallest free slot that already fits; otherwise grow the
+  // largest free slot (or append a new one). Slot count stays bounded by
+  // the deepest nesting of simultaneous leases ever seen on this thread.
+  std::size_t best = slots_.size();
+  std::size_t free_any = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].in_use) continue;
+    free_any = i;
+    if (slots_[i].capacity >= count &&
+        (best == slots_.size() || slots_[i].capacity < slots_[best].capacity)) {
+      best = i;
+    }
+  }
+  const std::size_t slot = best != slots_.size() ? best : free_any;
+  if (slot == slots_.size()) slots_.emplace_back();
+  Slot& s = slots_[slot];
+  if (s.capacity < count) {
+    s.data.reset(static_cast<float*>(::operator new(
+        count * sizeof(float), std::align_val_t{kAlignment})));
+    s.capacity = count;
+  }
+  s.in_use = true;
+  return Lease(this, slot, s.data.get());
+}
+
+void ScratchArena::release_slot(std::size_t slot) {
+  OPAD_EXPECTS(slot < slots_.size() && slots_[slot].in_use);
+  slots_[slot].in_use = false;
+}
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace opad

@@ -1,0 +1,96 @@
+// Per-thread reusable scratch memory for kernel workspaces.
+//
+// The packed GEMM kernel (src/tensor/gemm.cpp) needs a few tens of
+// kilobytes of aligned workspace per chunk to hold packed A/B panels.
+// Allocating that per call would put malloc on the hottest path in the
+// library, so each thread keeps a small arena of cache-line-aligned
+// buffers that are leased for the duration of a kernel invocation and
+// then returned for reuse. Nested kernels on the same thread (a matmul
+// issued from inside another parallel chunk body runs inline, see
+// util/parallel.h) simply take a second slot, so leases never alias.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace opad {
+
+/// Arena of reusable aligned float buffers, one instance per thread via
+/// local(). Not thread-safe across threads by design — never share an
+/// arena or a lease between threads.
+class ScratchArena {
+ public:
+  /// Alignment of every leased buffer, in bytes (one cache line; also
+  /// enough for any vector ISA the autovectorizer may target).
+  static constexpr std::size_t kAlignment = 64;
+
+  /// Move-only handle to a leased buffer; returns the slot to the arena
+  /// on destruction. The buffer contents are uninitialised.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : arena_(other.arena_), slot_(other.slot_), data_(other.data_) {
+      other.arena_ = nullptr;
+      other.data_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        arena_ = other.arena_;
+        slot_ = other.slot_;
+        data_ = other.data_;
+        other.arena_ = nullptr;
+        other.data_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    /// Leased storage (nullptr for an empty lease).
+    float* data() const { return data_; }
+
+   private:
+    friend class ScratchArena;
+    Lease(ScratchArena* arena, std::size_t slot, float* data)
+        : arena_(arena), slot_(slot), data_(data) {}
+    void release();
+
+    ScratchArena* arena_ = nullptr;
+    std::size_t slot_ = 0;
+    float* data_ = nullptr;
+  };
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Leases an aligned buffer of at least `count` floats, preferring a
+  /// free slot that is already large enough. `count` == 0 yields an
+  /// empty lease.
+  Lease lease_floats(std::size_t count);
+
+  /// The calling thread's arena.
+  static ScratchArena& local();
+
+ private:
+  struct AlignedDelete {
+    void operator()(float* p) const {
+      ::operator delete(p, std::align_val_t{kAlignment});
+    }
+  };
+  struct Slot {
+    std::unique_ptr<float[], AlignedDelete> data;
+    std::size_t capacity = 0;
+    bool in_use = false;
+  };
+
+  void release_slot(std::size_t slot);
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace opad

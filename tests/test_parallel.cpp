@@ -15,6 +15,7 @@
 #include "nn/serialize.h"
 #include "op/generator_profile.h"
 #include "op/kde.h"
+#include "reliability/bootstrap.h"
 #include "tensor/tensor_ops.h"
 #include "test_helpers.h"
 
@@ -182,6 +183,29 @@ TEST(ParallelEquivalence, MatmulPropagatesNonFinite) {
   a_col.at(0) = 0.0f;
   a_col.at(1) = 1.0f;
   EXPECT_TRUE(std::isnan(matmul_transpose_a(a_col, b).at(0)));
+}
+
+TEST(ParallelEquivalence, BootstrapCiBitIdenticalAcrossThreadCounts) {
+  // Replicates draw from per-replicate derived streams and fold into
+  // means[] in replicate order, so the interval must not move with the
+  // pool size.
+  GlobalPoolGuard guard;
+  Rng data_rng(5);
+  std::vector<double> values(500);
+  for (double& v : values) v = data_rng.uniform();
+  const auto run = [&values] {
+    Rng rng(99);
+    return bootstrap_mean_ci(values, 0.95, 200, rng);
+  };
+  ThreadPool::configure_global(1);
+  const BootstrapInterval base = run();
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool::configure_global(threads);
+    const BootstrapInterval ci = run();
+    EXPECT_EQ(base.estimate, ci.estimate) << threads;
+    EXPECT_EQ(base.lower, ci.lower) << threads;
+    EXPECT_EQ(base.upper, ci.upper) << threads;
+  }
 }
 
 TEST(ParallelEquivalence, KdeBitIdenticalAcrossThreadCounts) {

@@ -69,6 +69,19 @@ TEST(IncompleteBeta, KnownValue) {
   EXPECT_NEAR(incomplete_beta(1.0, 3.0, 0.5), 0.875, 1e-10);
 }
 
+TEST(IncompleteBeta, HugeSecondParameterConverges) {
+  // Regression: Beta(0.5, n + 0.5) posteriors with n in the millions put
+  // the mirrored continued fraction in a regime where its per-step ratio
+  // oscillates at ~1e-12 around 1 and never meets the strict tolerance
+  // (FMA contraction under -march=native lands exactly there); this used
+  // to throw NumericError. Oracle: for large b the Beta(1/2, b) law
+  // approaches Gamma(1/2) on the b*x scale, so I_x(1/2, b) ->
+  // erf(sqrt(b*x)).
+  const double b = 10000000.5;
+  const double x = 1.5599e-7;
+  EXPECT_NEAR(incomplete_beta(0.5, b, x), std::erf(std::sqrt(b * x)), 1e-5);
+}
+
 TEST(IncompleteBetaInverse, RoundTrips) {
   for (double a : {0.5, 1.0, 2.0, 7.0}) {
     for (double b : {0.5, 1.0, 3.0, 12.0}) {
