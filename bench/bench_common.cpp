@@ -133,7 +133,7 @@ double true_operational_pmi(Classifier& model,
       batch.set_row(i, s.x.data());
       labels[i] = s.y;
     }
-    const auto preds = model.predict(batch);
+    const auto preds = model.predict_labels(batch);
     for (std::size_t i = 0; i < bs; ++i) {
       if (preds[i] != labels[i]) ++wrong;
     }

@@ -6,6 +6,7 @@
 
 #include "attack/natural_fuzzer.h"
 #include "attack/pgd.h"
+#include "core/methods.h"
 #include "data/digits.h"
 #include "naturalness/density_naturalness.h"
 #include "nn/activation.h"
@@ -168,10 +169,13 @@ void BM_GmmLogDensity(benchmark::State& state) {
 BENCHMARK(BM_GmmLogDensity)->Arg(4)->Arg(16);
 
 void BM_GmmFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
   Rng rng(7);
-  const Tensor data = Tensor::randn({300, 8}, rng);
+  const Tensor data = Tensor::randn({n, d}, rng);
   GmmConfig config;
-  config.components = 4;
+  config.components = k;
   config.max_iterations = 20;
   for (auto _ : state) {
     Rng fit_rng(8);
@@ -179,7 +183,44 @@ void BM_GmmFit(benchmark::State& state) {
         GaussianMixtureModel::fit(data, config, fit_rng));
   }
 }
-BENCHMARK(BM_GmmFit);
+// The historic pipeline-startup shape (300x8, k=4) plus the larger OP
+// models the parallel-EM work targets (RQ1 at digits scale and beyond).
+BENCHMARK(BM_GmmFit)
+    ->Args({300, 8, 4})
+    ->Args({2000, 16, 8})
+    ->Args({4000, 64, 16})
+    ->Unit(benchmark::kMillisecond);
+
+// Full OperationalTest baseline campaign on a digits-scale pool: one
+// model query per operational draw, plus the naturalness/density scoring
+// of every misprediction. This is the per-sample stream walk the batched
+// execution path replaces.
+void BM_OperationalTest(benchmark::State& state) {
+  const auto budget = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(13);
+  Classifier model = make_digit_model(rng);
+  const auto generator = SyntheticDigitsGenerator::training_distribution();
+  const Dataset pool = generator.make_dataset(2000, rng);
+  GmmConfig gmm_config;
+  gmm_config.components = 8;
+  gmm_config.max_iterations = 15;
+  auto profile = std::make_shared<GaussianMixtureModel>(
+      GaussianMixtureModel::fit(pool.inputs(), gmm_config, rng));
+  auto metric = std::make_shared<DensityNaturalness>(profile);
+  MethodContext context;
+  context.balanced_data = &pool;
+  context.operational_data = &pool;
+  context.profile = profile;
+  context.metric = metric;
+  context.tau = naturalness_threshold(*metric, pool.inputs(), 0.25);
+  const auto method = make_operational_testing_method();
+  for (auto _ : state) {
+    Rng detect_rng(14);
+    benchmark::DoNotOptimize(
+        method->detect(model, context, budget, detect_rng));
+  }
+}
+BENCHMARK(BM_OperationalTest)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 
 void BM_KdeLogDensity(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

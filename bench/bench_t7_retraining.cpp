@@ -63,9 +63,14 @@ int main() {
     field.push_back({r.adversarial, s.y});
   }
   auto field_fix_rate = [&field](Classifier& model) {
+    Tensor batch({field.size(), field.front().x.dim(0)});
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      batch.set_row(i, field[i].x.data());
+    }
+    const auto preds = model.predict_labels(batch);
     std::size_t fixed = 0;
-    for (const auto& s : field) {
-      if (model.predict_single(s.x) == s.y) ++fixed;
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      if (preds[i] == field[i].y) ++fixed;
     }
     return static_cast<double>(fixed) / static_cast<double>(field.size());
   };

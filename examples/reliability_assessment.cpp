@@ -58,9 +58,20 @@ int main() {
 
   CellReliabilityModel cells(partition, histogram.cell_probabilities());
   Rng probe_rng(17);
-  for (int i = 0; i < 400; ++i) {
-    const LabeledSample s = op_world.sample(probe_rng);
-    bool mishandled = model.predict_single(s.x) != s.y;
+  // Draw the probe set up front so one batched forward pass answers
+  // "mispredicted as-is?" for all 400; the PGD robustness check then only
+  // runs where that quick precheck passed.
+  std::vector<LabeledSample> probes;
+  probes.reserve(400);
+  Tensor probe_batch({400, 2});
+  for (std::size_t i = 0; i < 400; ++i) {
+    probes.push_back(op_world.sample(probe_rng));
+    probe_batch.set_row(i, probes.back().x.data());
+  }
+  const auto predicted = model.predict_labels(probe_batch);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const LabeledSample& s = probes[i];
+    bool mishandled = predicted[i] != s.y;
     if (!mishandled) {
       mishandled = probe.run(model, s.x, s.y, probe_rng).success;
     }

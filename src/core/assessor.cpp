@@ -35,11 +35,22 @@ Assessment ReliabilityAssessor::assess(Classifier& model,
       std::min(config_.probes_per_assessment, operational_data.size());
   const auto indices =
       rng.sample_without_replacement(operational_data.size(), probes);
-  for (std::size_t index : indices) {
+  // Batched precheck: one forward pass answers "is this probe mishandled
+  // as-is?" for every probe. The precheck draws no rng, so the attack
+  // stream below is untouched; each probe is still accounted as one
+  // precheck query plus its attack's queries, with the budget cut-off
+  // applied between probes exactly as the per-row walk did.
+  Tensor batch({probes, operational_data.dim()});
+  for (std::size_t i = 0; i < probes; ++i) {
+    batch.set_row(i, operational_data.row(indices[i]));
+  }
+  std::vector<int> predicted(probes);
+  model.predict_batch(batch, predicted);
+  for (std::size_t i = 0; i < probes; ++i) {
     if (budget.exhausted()) break;
     const std::uint64_t before = model.query_count();
-    const LabeledSample probe = operational_data.sample(index);
-    bool mishandled = model.predict_single(probe.x) != probe.y;
+    const LabeledSample probe = operational_data.sample(indices[i]);
+    bool mishandled = predicted[i] != probe.y;
     if (!mishandled) {
       const AttackResult r =
           probe_attack_->run(model, probe.x, probe.y, rng);
@@ -47,7 +58,7 @@ Assessment ReliabilityAssessor::assess(Classifier& model,
     }
     last_model_->record(probe.x, mishandled);
     assessment.probes += 1;
-    const std::uint64_t delta = model.query_count() - before;
+    const std::uint64_t delta = 1 + (model.query_count() - before);
     assessment.queries_used += delta;
     budget.consume(delta);
   }

@@ -27,9 +27,7 @@ CampaignResult run_detect_retrain_campaign(Classifier& model,
     record.detection = detection.stats;
     record.retrain = retrain;
     result.rounds.push_back(record);
-    result.total_aes += detection.stats.aes_found;
-    result.total_operational_aes += detection.stats.operational_aes;
-    result.total_queries += detection.stats.queries_used;
+    result.totals += detection.stats;
   }
   return result;
 }

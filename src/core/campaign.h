@@ -25,9 +25,10 @@ struct CampaignRound {
 
 struct CampaignResult {
   std::vector<CampaignRound> rounds;
-  std::size_t total_aes = 0;
-  std::size_t total_operational_aes = 0;
-  std::uint64_t total_queries = 0;
+  /// Cross-round accounting, folded with DetectionStats::operator+= so
+  /// every stats field aggregates (the old struct carried three hand-
+  /// picked totals and silently dropped the rest).
+  DetectionStats totals;
 };
 
 /// Runs `method` against `model` for config.rounds rounds, retraining on

@@ -1,5 +1,6 @@
 #include "core/methods.h"
 
+#include <algorithm>
 #include <functional>
 #include <numeric>
 
@@ -8,6 +9,7 @@
 #include "attack/natural_fuzzer.h"
 #include "attack/pgd.h"
 #include "attack/random_fuzzer.h"
+#include "util/parallel.h"
 
 namespace opad {
 
@@ -21,6 +23,61 @@ void check_context(const MethodContext& context) {
   OPAD_EXPECTS(context.metric != nullptr);
 }
 
+/// The attack families the method suite can field. Methods store a kind
+/// rather than an attack instance because the ball (and, for the guided
+/// fuzzer, tau and the metric) only exist once a MethodContext arrives at
+/// detect() time.
+enum class AttackKind {
+  kPgd,
+  kMomentumPgd,
+  kRandomFuzz,
+  kGeneticFuzz,
+  kNaturalGuided,
+};
+
+/// Single construction point for every attack a method runs: suite knobs
+/// plus per-context ball/tau/metric.
+AttackPtr make_attack(AttackKind kind, const MethodSuiteConfig& suite,
+                      const MethodContext& context) {
+  switch (kind) {
+    case AttackKind::kPgd: {
+      PgdConfig pc;
+      pc.ball = context.ball;
+      pc.steps = suite.attack_steps;
+      pc.restarts = suite.attack_restarts;
+      return std::make_shared<Pgd>(pc);
+    }
+    case AttackKind::kMomentumPgd: {
+      MomentumPgdConfig mc;
+      mc.ball = context.ball;
+      mc.steps = suite.attack_steps;
+      mc.restarts = suite.attack_restarts;
+      return std::make_shared<MomentumPgd>(mc);
+    }
+    case AttackKind::kRandomFuzz: {
+      RandomFuzzerConfig rc;
+      rc.ball = context.ball;
+      rc.trials = suite.random_trials;
+      return std::make_shared<RandomFuzzer>(rc);
+    }
+    case AttackKind::kGeneticFuzz: {
+      GeneticFuzzerConfig gc;
+      gc.ball = context.ball;
+      return std::make_shared<GeneticFuzzer>(gc);
+    }
+    case AttackKind::kNaturalGuided: {
+      NaturalFuzzerConfig fc;
+      fc.ball = context.ball;
+      fc.steps = suite.attack_steps;
+      fc.restarts = suite.attack_restarts;
+      fc.lambda = suite.opad_lambda;
+      fc.tau = context.tau;
+      return std::make_shared<NaturalnessGuidedFuzzer>(fc, context.metric);
+    }
+  }
+  return nullptr;  // unreachable; all kinds handled above
+}
+
 /// Shared attack-over-seeds loop: attacks the seeds in `order` (a full
 /// permutation of the pool produced by the method's seed strategy) until
 /// the budget is gone or the pool is exhausted — re-attacking the same
@@ -28,25 +85,21 @@ void check_context(const MethodContext& context) {
 Detection budgeted_campaign(Classifier& model, const Dataset& pool,
                             const MethodContext& context,
                             const AttackPtr& attack,
-                            std::uint64_t query_budget, Rng& rng,
+                            std::uint64_t query_budget,
+                            std::size_t batch_size, Rng& rng,
                             std::vector<std::size_t> order) {
   TestCaseGenerator generator(attack, context.metric, context.tau,
                               context.profile);
   BudgetTracker budget(query_budget);
   Detection total;
-  const std::size_t batch = std::min<std::size_t>(32, pool.size());
+  const std::size_t batch =
+      std::max<std::size_t>(1, std::min(batch_size, pool.size()));
   std::size_t cursor = 0;
   while (!budget.exhausted() && cursor < order.size()) {
     const std::size_t take = std::min(batch, order.size() - cursor);
     const std::span<const std::size_t> seeds(order.data() + cursor, take);
     cursor += take;
-    Detection d = generator.generate(model, pool, seeds, budget, rng);
-    total.stats.seeds_attacked += d.stats.seeds_attacked;
-    total.stats.aes_found += d.stats.aes_found;
-    total.stats.clean_failures += d.stats.clean_failures;
-    total.stats.operational_aes += d.stats.operational_aes;
-    total.stats.queries_used += d.stats.queries_used;
-    for (auto& ae : d.aes) total.aes.push_back(std::move(ae));
+    total += generator.generate(model, pool, seeds, budget, rng);
   }
   return total;
 }
@@ -61,9 +114,11 @@ std::vector<std::size_t> uniform_order(const Dataset& pool, Rng& rng) {
 
 class AttackOnUniformSeeds : public TestingMethod {
  public:
-  AttackOnUniformSeeds(std::string name, AttackPtr attack, bool operational_pool)
+  AttackOnUniformSeeds(std::string name, AttackKind kind,
+                       const MethodSuiteConfig& suite, bool operational_pool)
       : name_(std::move(name)),
-        attack_(std::move(attack)),
+        kind_(kind),
+        suite_(suite),
         operational_pool_(operational_pool) {}
 
   std::string name() const override { return name_; }
@@ -73,13 +128,16 @@ class AttackOnUniformSeeds : public TestingMethod {
     check_context(context);
     const Dataset& pool = operational_pool_ ? *context.operational_data
                                             : *context.balanced_data;
-    return budgeted_campaign(model, pool, context, attack_, query_budget,
-                             rng, uniform_order(pool, rng));
+    return budgeted_campaign(model, pool, context,
+                             make_attack(kind_, suite_, context),
+                             query_budget, suite_.campaign_batch, rng,
+                             uniform_order(pool, rng));
   }
 
  private:
   std::string name_;
-  AttackPtr attack_;
+  AttackKind kind_;
+  MethodSuiteConfig suite_;
   bool operational_pool_;
 };
 
@@ -100,28 +158,17 @@ class WeightedSeedMethod : public TestingMethod {
                    std::uint64_t query_budget, Rng& rng) const override {
     check_context(context);
     const Dataset& pool = *context.operational_data;
-    AttackPtr attack;
-    if (gradient_fuzzer_) {
-      NaturalFuzzerConfig fc;
-      fc.ball = context.ball;
-      fc.steps = suite_.attack_steps;
-      fc.restarts = suite_.attack_restarts;
-      fc.lambda = suite_.opad_lambda;
-      fc.tau = context.tau;
-      attack = std::make_shared<NaturalnessGuidedFuzzer>(fc, context.metric);
-    } else {
-      RandomFuzzerConfig fc;
-      fc.ball = context.ball;
-      fc.trials = suite_.random_trials;
-      attack = std::make_shared<RandomFuzzer>(fc);
-    }
+    AttackPtr attack = make_attack(gradient_fuzzer_
+                                       ? AttackKind::kNaturalGuided
+                                       : AttackKind::kRandomFuzz,
+                                   suite_, context);
     SeedSampler sampler(sampler_config_, context.profile);
     // Weight-biased permutation of the whole pool: highest-priority seeds
     // first, every row at most once.
     std::vector<std::size_t> order =
         sampler.sample(model, pool, pool.size(), rng);
     return budgeted_campaign(model, pool, context, attack, query_budget,
-                             rng, std::move(order));
+                             suite_.campaign_batch, rng, std::move(order));
   }
 
  private:
@@ -143,7 +190,6 @@ class OperationalTestingMethod : public TestingMethod {
     const Dataset& pool = context.operational_stream != nullptr
                               ? *context.operational_stream
                               : *context.operational_data;
-    Detection total;
     BudgetTracker budget(query_budget);
     // Single pass over the pool: executing the same operational input
     // twice reveals no new failure, so the pool (not the budget) may be
@@ -152,29 +198,74 @@ class OperationalTestingMethod : public TestingMethod {
     std::vector<std::size_t> order(pool.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     rng.shuffle(order);
-    std::size_t cursor = 0;
-    while (!budget.exhausted() && cursor < order.size()) {
-      const LabeledSample probe = pool.sample(order[cursor++]);
-      const std::uint64_t before = model.query_count();
-      const bool mispredicted = model.predict_single(probe.x) != probe.y;
-      const std::uint64_t delta = model.query_count() - before;
-      budget.consume(delta);
+    // Every case costs exactly one model query, so the serial walk's
+    // budget cut-off is known up front: it executes exactly
+    // min(pool, remaining) cases. That exact prefix runs batched over
+    // fixed worker chunks — no budget over-run is possible, and the only
+    // rng draw (the shuffle above) already happened, so the per-case work
+    // needs no derived streams. Outcomes fold in visit order below.
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(order.size(), budget.remaining()));
+
+    struct CaseOutcome {
+      bool mispredicted = false;
+      OperationalAE ae;
+    };
+    std::vector<CaseOutcome> outcomes(take);
+    constexpr std::size_t kCaseGrain = 64;
+    const std::size_t chunks = parallel_chunk_count(0, take, kCaseGrain);
+    std::vector<std::uint64_t> chunk_queries(chunks, 0);
+    parallel_for_chunks(
+        0, take, kCaseGrain,
+        [&](std::size_t ch, std::size_t lo, std::size_t hi) {
+          // Per-chunk replicas: the forward pass mutates layer caches and
+          // the query counter, and some metrics carry scratch. Replicas
+          // have equal parameters, so predictions match the primary model.
+          Classifier replica = model.clone();
+          const NaturalnessPtr metric = thread_local_metric(context.metric);
+          Tensor batch({hi - lo, pool.dim()});
+          for (std::size_t i = lo; i < hi; ++i) {
+            batch.set_row(i - lo, pool.row(order[i]));
+          }
+          std::vector<int> predicted(hi - lo);
+          replica.predict_batch(batch, predicted);
+          chunk_queries[ch] = replica.query_count();
+          for (std::size_t i = lo; i < hi; ++i) {
+            CaseOutcome& out = outcomes[i];
+            LabeledSample probe = pool.sample(order[i]);
+            out.mispredicted = predicted[i - lo] != probe.y;
+            if (!out.mispredicted) continue;
+            OperationalAE& ae = out.ae;
+            ae.seed = probe.x;
+            ae.label = probe.y;
+            ae.adversarial = std::move(probe.x);  // the failure point is
+                                                  // the input itself
+            ae.linf_distance = 0.0f;
+            ae.seed_log_density =
+                context.profile ? context.profile->log_density(ae.seed)
+                                : 0.0;
+            ae.naturalness = metric->score(ae.adversarial);
+            ae.is_operational = ae.naturalness >= context.tau;
+          }
+        });
+
+    // Replica query counts fold back into the primary model in chunk
+    // order; outcome accounting folds in visit order — both identical to
+    // the serial walk this replaces.
+    for (std::size_t ch = 0; ch < chunks; ++ch) {
+      model.add_queries(chunk_queries[ch]);
+      budget.consume(chunk_queries[ch]);
+    }
+    Detection total;
+    for (std::size_t i = 0; i < take; ++i) {
+      CaseOutcome& out = outcomes[i];
       total.stats.seeds_attacked += 1;
-      total.stats.queries_used += delta;
-      if (!mispredicted) continue;
+      total.stats.queries_used += 1;
+      if (!out.mispredicted) continue;
       total.stats.aes_found += 1;
       total.stats.clean_failures += 1;
-      OperationalAE ae;
-      ae.seed = probe.x;
-      ae.label = probe.y;
-      ae.adversarial = probe.x;  // the failure point is the input itself
-      ae.linf_distance = 0.0f;
-      ae.seed_log_density =
-          context.profile ? context.profile->log_density(probe.x) : 0.0;
-      ae.naturalness = context.metric->score(ae.adversarial);
-      ae.is_operational = ae.naturalness >= context.tau;
-      if (ae.is_operational) total.stats.operational_aes += 1;
-      total.aes.push_back(std::move(ae));
+      if (out.ae.is_operational) total.stats.operational_aes += 1;
+      total.aes.push_back(std::move(out.ae));
     }
     return total;
   }
@@ -201,96 +292,30 @@ MethodPtr make_opad_nograd_method(const MethodSuiteConfig& config) {
 }
 
 MethodPtr make_pgd_uniform_method(const MethodSuiteConfig& config) {
-  PgdConfig pc;
-  pc.steps = config.attack_steps;
-  pc.restarts = config.attack_restarts;
-  // Ball is supplied per-context: PGD needs it at construction, so the
-  // method rebuilds the attack in detect(). Wrap via a thin adapter:
-  class PgdUniform : public TestingMethod {
-   public:
-    explicit PgdUniform(MethodSuiteConfig suite) : suite_(suite) {}
-    std::string name() const override { return "PGD-Uniform"; }
-    Detection detect(Classifier& model, const MethodContext& context,
-                     std::uint64_t query_budget, Rng& rng) const override {
-      PgdConfig pc;
-      pc.ball = context.ball;
-      pc.steps = suite_.attack_steps;
-      pc.restarts = suite_.attack_restarts;
-      AttackOnUniformSeeds inner("PGD-Uniform", std::make_shared<Pgd>(pc),
-                                 /*operational_pool=*/false);
-      return inner.detect(model, context, query_budget, rng);
-    }
-
-   private:
-    MethodSuiteConfig suite_;
-  };
-  return std::make_unique<PgdUniform>(config);
+  return std::make_unique<AttackOnUniformSeeds>("PGD-Uniform",
+                                                AttackKind::kPgd, config,
+                                                /*operational_pool=*/false);
 }
 
 MethodPtr make_mifgsm_uniform_method(const MethodSuiteConfig& config) {
-  class MifgsmUniform : public TestingMethod {
-   public:
-    explicit MifgsmUniform(MethodSuiteConfig suite) : suite_(suite) {}
-    std::string name() const override { return "MIFGSM-Uniform"; }
-    Detection detect(Classifier& model, const MethodContext& context,
-                     std::uint64_t query_budget, Rng& rng) const override {
-      MomentumPgdConfig mc;
-      mc.ball = context.ball;
-      mc.steps = suite_.attack_steps;
-      mc.restarts = suite_.attack_restarts;
-      AttackOnUniformSeeds inner("MIFGSM-Uniform",
-                                 std::make_shared<MomentumPgd>(mc),
-                                 /*operational_pool=*/false);
-      return inner.detect(model, context, query_budget, rng);
-    }
-
-   private:
-    MethodSuiteConfig suite_;
-  };
-  return std::make_unique<MifgsmUniform>(config);
+  return std::make_unique<AttackOnUniformSeeds>("MIFGSM-Uniform",
+                                                AttackKind::kMomentumPgd,
+                                                config,
+                                                /*operational_pool=*/false);
 }
 
 MethodPtr make_random_fuzz_method(const MethodSuiteConfig& config) {
-  class RandomUniform : public TestingMethod {
-   public:
-    explicit RandomUniform(MethodSuiteConfig suite) : suite_(suite) {}
-    std::string name() const override { return "RandomFuzz"; }
-    Detection detect(Classifier& model, const MethodContext& context,
-                     std::uint64_t query_budget, Rng& rng) const override {
-      RandomFuzzerConfig rc;
-      rc.ball = context.ball;
-      rc.trials = suite_.random_trials;
-      AttackOnUniformSeeds inner("RandomFuzz",
-                                 std::make_shared<RandomFuzzer>(rc),
-                                 /*operational_pool=*/false);
-      return inner.detect(model, context, query_budget, rng);
-    }
-
-   private:
-    MethodSuiteConfig suite_;
-  };
-  return std::make_unique<RandomUniform>(config);
+  return std::make_unique<AttackOnUniformSeeds>("RandomFuzz",
+                                                AttackKind::kRandomFuzz,
+                                                config,
+                                                /*operational_pool=*/false);
 }
 
 MethodPtr make_genetic_fuzz_method(const MethodSuiteConfig& config) {
-  class GeneticUniform : public TestingMethod {
-   public:
-    explicit GeneticUniform(MethodSuiteConfig suite) : suite_(suite) {}
-    std::string name() const override { return "GeneticFuzz"; }
-    Detection detect(Classifier& model, const MethodContext& context,
-                     std::uint64_t query_budget, Rng& rng) const override {
-      GeneticFuzzerConfig gc;
-      gc.ball = context.ball;
-      AttackOnUniformSeeds inner("GeneticFuzz",
-                                 std::make_shared<GeneticFuzzer>(gc),
-                                 /*operational_pool=*/false);
-      return inner.detect(model, context, query_budget, rng);
-    }
-
-   private:
-    MethodSuiteConfig suite_;
-  };
-  return std::make_unique<GeneticUniform>(config);
+  return std::make_unique<AttackOnUniformSeeds>("GeneticFuzz",
+                                                AttackKind::kGeneticFuzz,
+                                                config,
+                                                /*operational_pool=*/false);
 }
 
 MethodPtr make_operational_testing_method() {

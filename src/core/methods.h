@@ -76,6 +76,11 @@ struct MethodSuiteConfig {
   /// fixed).
   double opad_gamma = 0.3;
   AuxiliaryKind opad_aux = AuxiliaryKind::kMargin;
+  /// Seeds handed to the test-case generator per budgeted-campaign round;
+  /// also the unit between budget-exhaustion checks. Larger batches give
+  /// the parallel per-seed execution more work per round, smaller ones
+  /// track the budget more tightly.
+  std::size_t campaign_batch = 32;
 };
 
 /// Builds {OpAD, OpAD-NoGrad, PGD-Uniform, RandomFuzz, GeneticFuzz,

@@ -31,12 +31,34 @@ struct DetectionStats {
   std::size_t clean_failures = 0;     // seeds mispredicted as-is (linf 0)
   std::size_t operational_aes = 0;    // naturalness >= tau
   std::uint64_t queries_used = 0;     // model queries consumed
+
+  /// Folds another campaign's accounting into this one. Every accumulation
+  /// site (batched campaigns, per-seed parallel folds, pipeline round
+  /// totals) goes through here so new fields cannot be silently dropped.
+  DetectionStats& operator+=(const DetectionStats& other) {
+    seeds_attacked += other.seeds_attacked;
+    aes_found += other.aes_found;
+    clean_failures += other.clean_failures;
+    operational_aes += other.operational_aes;
+    queries_used += other.queries_used;
+    return *this;
+  }
 };
 
 /// Result of a detection campaign: the AEs plus accounting.
 struct Detection {
   std::vector<OperationalAE> aes;
   DetectionStats stats;
+
+  /// Appends another detection's AEs (moved from `other`) and folds its
+  /// stats; the fold order is the caller's visit order.
+  Detection& operator+=(Detection&& other) {
+    stats += other.stats;
+    aes.reserve(aes.size() + other.aes.size());
+    for (auto& ae : other.aes) aes.push_back(std::move(ae));
+    other.aes.clear();
+    return *this;
+  }
 };
 
 /// Testing budget in model queries. Components consume from a shared

@@ -76,7 +76,7 @@ std::vector<double> batch_entropies(Classifier& model, const Tensor& inputs) {
 
 double evaluate_accuracy(Classifier& model, const Tensor& inputs,
                          std::span<const int> labels) {
-  return accuracy(model.predict(inputs), labels);
+  return accuracy(model.predict_labels(inputs), labels);
 }
 
 }  // namespace opad

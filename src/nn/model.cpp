@@ -112,9 +112,9 @@ Tensor Classifier::probabilities_single(const Tensor& input) {
   return probs.reshaped({num_classes_});
 }
 
-std::vector<int> Classifier::predict(const Tensor& inputs) {
+void Classifier::predict_batch(const Tensor& inputs, std::span<int> labels) {
+  OPAD_EXPECTS(labels.size() == inputs.dim(0));
   Tensor out = logits(inputs);
-  std::vector<int> labels(out.dim(0));
   for (std::size_t i = 0; i < out.dim(0); ++i) {
     auto row = out.row_span(i);
     std::size_t best = 0;
@@ -123,13 +123,24 @@ std::vector<int> Classifier::predict(const Tensor& inputs) {
     }
     labels[i] = static_cast<int>(best);
   }
+}
+
+std::vector<int> Classifier::predict_labels(const Tensor& inputs) {
+  std::vector<int> labels(inputs.dim(0));
+  predict_batch(inputs, labels);
   return labels;
+}
+
+std::vector<int> Classifier::predict(const Tensor& inputs) {
+  return predict_labels(inputs);
 }
 
 int Classifier::predict_single(const Tensor& input) {
   OPAD_EXPECTS(input.rank() == 1);
   Tensor batch = input.reshaped({1, input.dim(0)});
-  return predict(batch)[0];
+  int label = 0;
+  predict_batch(batch, std::span(&label, 1));
+  return label;
 }
 
 double Classifier::loss(const Tensor& inputs, std::span<const int> labels,

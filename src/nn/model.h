@@ -92,10 +92,23 @@ class Classifier {
   /// Probabilities for a single flat input [d] -> [k].
   Tensor probabilities_single(const Tensor& input);
 
-  /// Predicted labels for a batch.
+  /// Predicted labels for a batch [n, d], written into `labels` (size n).
+  /// This span-based form is the primary inference entry point: one
+  /// forward pass for the whole batch, no allocation, and — because every
+  /// logit row is computed independently inside the GEMM — bit-identical
+  /// to calling predict_single() row by row.
+  void predict_batch(const Tensor& inputs, std::span<int> labels);
+
+  /// Allocating convenience over predict_batch().
+  std::vector<int> predict_labels(const Tensor& inputs);
+
+  /// Deprecated spelling of predict_labels(); prefer the batched names
+  /// above in new code.
   std::vector<int> predict(const Tensor& inputs);
 
-  /// Predicted label for a single flat input [d].
+  /// Predicted label for a single flat input [d]. Deprecated whenever a
+  /// batch is available: each call pays a full forward-pass dispatch for
+  /// one row — assemble an [n, d] tensor and use predict_batch() instead.
   int predict_single(const Tensor& input);
 
   /// Mean loss of a labelled batch (optionally importance-weighted).

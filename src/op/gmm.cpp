@@ -8,6 +8,7 @@
 #include <limits>
 #include <ostream>
 
+#include "util/parallel.h"
 #include "util/special_math.h"
 
 namespace opad {
@@ -97,11 +98,20 @@ Tensor GaussianMixtureModel::log_density_gradient(const Tensor& x) const {
 
 double GaussianMixtureModel::mean_log_likelihood(const Tensor& data) const {
   OPAD_EXPECTS(data.rank() == 2 && data.dim(1) == dim() && data.dim(0) > 0);
+  const std::size_t n = data.dim(0);
+  // Per-chunk partial totals folded in chunk order: thread-count
+  // invariant (see DESIGN.md "Threading model").
+  const std::size_t grain = 64;
+  std::vector<double> partial(parallel_chunk_count(0, n, grain), 0.0);
+  parallel_for_chunks(0, n, grain,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          partial[c] += log_density(data.row(i));
+                        }
+                      });
   double total = 0.0;
-  for (std::size_t i = 0; i < data.dim(0); ++i) {
-    total += log_density(data.row(i));
-  }
-  return total / static_cast<double>(data.dim(0));
+  for (double p : partial) total += p;
+  return total / static_cast<double>(n);
 }
 
 namespace {
@@ -115,15 +125,18 @@ std::vector<std::size_t> kmeanspp_centres(const Tensor& data, std::size_t k,
   std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
   while (centres.size() < k) {
     const auto centre_row = data.row_span(centres.back());
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto row = data.row_span(i);
-      double d = 0.0;
-      for (std::size_t j = 0; j < row.size(); ++j) {
-        const double diff = static_cast<double>(row[j]) - centre_row[j];
-        d += diff * diff;
+    // Disjoint per-point writes: bit-identical for any thread count.
+    parallel_for(0, n, 128, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto row = data.row_span(i);
+        double d = 0.0;
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          const double diff = static_cast<double>(row[j]) - centre_row[j];
+          d += diff * diff;
+        }
+        min_dist[i] = std::min(min_dist[i], d);
       }
-      min_dist[i] = std::min(min_dist[i], d);
-    }
+    });
     double total = 0.0;
     for (double d : min_dist) total += d;
     if (total <= 0.0) {
@@ -140,12 +153,13 @@ std::vector<std::size_t> kmeanspp_centres(const Tensor& data, std::size_t k,
 
 GaussianMixtureModel GaussianMixtureModel::fit(const Tensor& data,
                                                const GmmConfig& config,
-                                               Rng& rng) {
+                                               Rng& rng, GmmFitTrace* trace) {
   OPAD_EXPECTS(data.rank() == 2);
   const std::size_t n = data.dim(0), d = data.dim(1);
   OPAD_EXPECTS_MSG(n >= config.components,
                    "need at least as many samples as components");
   OPAD_EXPECTS(config.components > 0 && config.max_iterations > 0);
+  if (trace) trace->mean_log_likelihood.clear();
 
   // --- initialise from a few rounds of k-means ---
   const auto k = config.components;
@@ -157,34 +171,38 @@ GaussianMixtureModel GaussianMixtureModel::fit(const Tensor& data,
   }
   std::vector<std::size_t> assign(n, 0);
   for (std::size_t iter = 0; iter < config.kmeans_iterations; ++iter) {
+    // Assignment: pure per-point argmin, disjoint writes.
+    parallel_for(0, n, 64, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto row = data.row_span(i);
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+          double dist = 0.0;
+          for (std::size_t j = 0; j < d; ++j) {
+            const double diff = static_cast<double>(row[j]) - centres[c][j];
+            dist += diff * diff;
+          }
+          if (dist < best) {
+            best = dist;
+            assign[i] = c;
+          }
+        }
+      }
+    });
+    // Update: one pass over the points (contributions still fold in
+    // ascending i per cluster, exactly like the old per-cluster scans).
+    std::vector<std::vector<double>> sum(k, std::vector<double>(d, 0.0));
+    std::vector<std::size_t> count(k, 0);
     for (std::size_t i = 0; i < n; ++i) {
       const auto row = data.row_span(i);
-      double best = std::numeric_limits<double>::infinity();
-      for (std::size_t c = 0; c < k; ++c) {
-        double dist = 0.0;
-        for (std::size_t j = 0; j < d; ++j) {
-          const double diff = static_cast<double>(row[j]) - centres[c][j];
-          dist += diff * diff;
-        }
-        if (dist < best) {
-          best = dist;
-          assign[i] = c;
-        }
-      }
+      auto& s = sum[assign[i]];
+      for (std::size_t j = 0; j < d; ++j) s[j] += row[j];
+      ++count[assign[i]];
     }
     for (std::size_t c = 0; c < k; ++c) {
-      std::vector<double> sum(d, 0.0);
-      std::size_t count = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (assign[i] != c) continue;
-        const auto row = data.row_span(i);
-        for (std::size_t j = 0; j < d; ++j) sum[j] += row[j];
-        ++count;
-      }
-      if (count > 0) {
-        for (std::size_t j = 0; j < d; ++j) {
-          centres[c][j] = sum[j] / static_cast<double>(count);
-        }
+      if (count[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        centres[c][j] = sum[c][j] / static_cast<double>(count[c]);
       }
     }
   }
@@ -216,56 +234,132 @@ GaussianMixtureModel GaussianMixtureModel::fit(const Tensor& data,
   GaussianMixtureModel model(comps);
 
   // --- EM iterations ---
+  // The E step and both sufficient-statistic passes of the M step run over
+  // fixed point chunks; every chunk accumulates its own partial totals
+  // (log-likelihood, responsibility mass nk, weighted sums, weighted
+  // squared deviations) which are then folded in chunk order. The chunk
+  // decomposition depends only on (n, grain), so the fitted parameters are
+  // bit-identical for every OPAD_THREADS value. Dead-component reseeding
+  // stays serial and component-ascending to preserve the rng draw order.
+  constexpr std::size_t kPointGrain = 32;
+  const std::size_t chunks = parallel_chunk_count(0, n, kPointGrain);
+  std::vector<double> resp(n * k);
+  std::vector<double> ll_partial(chunks);
+  std::vector<double> nk_partial(chunks * k);
+  std::vector<double> stat_partial(chunks * k * d);  // means, then variances
+  std::vector<double> log_weight(k), base(k);
+  std::vector<double> nk(k), mean_sum(k * d);
+  std::vector<char> dead(k);
   double prev_ll = -std::numeric_limits<double>::infinity();
-  std::vector<std::vector<double>> resp(n);
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
-    // E step.
-    double ll = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Tensor row = data.row(i);
-      std::vector<double> log_terms(k);
-      for (std::size_t c = 0; c < k; ++c) {
-        log_terms[c] = std::log(model.components_[c].weight) +
-                       model.component_log_pdf(c, row);
+    // Per-iteration constants hoisted out of the per-point loop (the
+    // serial code re-derived k*d logarithms for every point).
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto& comp = model.components_[c];
+      log_weight[c] = std::log(comp.weight);
+      double log_det = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        log_det += std::log(comp.variance[j]);
       }
-      const double log_z = log_sum_exp(log_terms);
-      ll += log_z;
-      resp[i].resize(k);
+      base[c] = static_cast<double>(d) * std::log(2.0 * M_PI) + log_det;
+    }
+    std::fill(ll_partial.begin(), ll_partial.end(), 0.0);
+    std::fill(nk_partial.begin(), nk_partial.end(), 0.0);
+    std::fill(stat_partial.begin(), stat_partial.end(), 0.0);
+    // Fused E step + first M-step pass: responsibilities, per-chunk
+    // log-likelihood, responsibility mass, and weighted sums.
+    parallel_for_chunks(
+        0, n, kPointGrain,
+        [&](std::size_t ch, std::size_t lo, std::size_t hi) {
+          std::vector<double> log_terms(k);
+          double* nk_p = nk_partial.data() + ch * k;
+          double* mean_p = stat_partial.data() + ch * k * d;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto row = data.row_span(i);
+            for (std::size_t c = 0; c < k; ++c) {
+              const auto& comp = model.components_[c];
+              double quad = 0.0;
+              for (std::size_t j = 0; j < d; ++j) {
+                const double diff =
+                    static_cast<double>(row[j]) - comp.mean[j];
+                quad += diff * diff / comp.variance[j];
+              }
+              log_terms[c] = log_weight[c] - 0.5 * (base[c] + quad);
+            }
+            const double log_z = log_sum_exp(log_terms);
+            ll_partial[ch] += log_z;
+            double* r = resp.data() + i * k;
+            for (std::size_t c = 0; c < k; ++c) {
+              r[c] = std::exp(log_terms[c] - log_z);
+              nk_p[c] += r[c];
+              double* m = mean_p + c * d;
+              for (std::size_t j = 0; j < d; ++j) {
+                m[j] += r[c] * static_cast<double>(row[j]);
+              }
+            }
+          }
+        });
+    // Chunk-ordered folds.
+    double ll = 0.0;
+    for (std::size_t ch = 0; ch < chunks; ++ch) ll += ll_partial[ch];
+    std::fill(nk.begin(), nk.end(), 0.0);
+    std::fill(mean_sum.begin(), mean_sum.end(), 0.0);
+    for (std::size_t ch = 0; ch < chunks; ++ch) {
       for (std::size_t c = 0; c < k; ++c) {
-        resp[i][c] = std::exp(log_terms[c] - log_z);
+        nk[c] += nk_partial[ch * k + c];
+        const double* m = stat_partial.data() + (ch * k + c) * d;
+        for (std::size_t j = 0; j < d; ++j) mean_sum[c * d + j] += m[j];
       }
     }
-    // M step.
+    // Mean update; dead components re-seed at a random data point with
+    // global spread (serial, c-ascending: rng order matters).
+    std::fill(dead.begin(), dead.end(), 0);
     for (std::size_t c = 0; c < k; ++c) {
-      double nk = 0.0;
-      std::vector<double> mean_v(d, 0.0);
-      for (std::size_t i = 0; i < n; ++i) {
-        nk += resp[i][c];
-        const auto row = data.row_span(i);
-        for (std::size_t j = 0; j < d; ++j) mean_v[j] += resp[i][c] * row[j];
-      }
       auto& comp = model.components_[c];
-      if (nk < 1e-10) {
-        // Dead component: re-seed at a random data point with global spread.
+      if (nk[c] < 1e-10) {
+        dead[c] = 1;
         const auto row = data.row_span(rng.uniform_index(n));
         for (std::size_t j = 0; j < d; ++j) comp.mean[j] = row[j];
         comp.variance = global_var;
         comp.weight = 1.0 / static_cast<double>(n);
         continue;
       }
-      for (std::size_t j = 0; j < d; ++j) comp.mean[j] = mean_v[j] / nk;
-      std::vector<double> var(d, 0.0);
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto row = data.row_span(i);
-        for (std::size_t j = 0; j < d; ++j) {
-          const double diff = static_cast<double>(row[j]) - comp.mean[j];
-          var[j] += resp[i][c] * diff * diff;
-        }
-      }
       for (std::size_t j = 0; j < d; ++j) {
-        comp.variance[j] = std::max(var[j] / nk, config.variance_floor);
+        comp.mean[j] = mean_sum[c * d + j] / nk[c];
       }
-      comp.weight = nk / static_cast<double>(n);
+    }
+    // Second M-step pass: weighted squared deviations about the fresh
+    // means, again per-chunk with a chunk-ordered fold.
+    std::fill(stat_partial.begin(), stat_partial.end(), 0.0);
+    parallel_for_chunks(
+        0, n, kPointGrain,
+        [&](std::size_t ch, std::size_t lo, std::size_t hi) {
+          double* var_p = stat_partial.data() + ch * k * d;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto row = data.row_span(i);
+            const double* r = resp.data() + i * k;
+            for (std::size_t c = 0; c < k; ++c) {
+              if (dead[c]) continue;
+              const auto& mean = model.components_[c].mean;
+              double* v = var_p + c * d;
+              for (std::size_t j = 0; j < d; ++j) {
+                const double diff = static_cast<double>(row[j]) - mean[j];
+                v[j] += r[c] * diff * diff;
+              }
+            }
+          }
+        });
+    for (std::size_t c = 0; c < k; ++c) {
+      if (dead[c]) continue;
+      auto& comp = model.components_[c];
+      for (std::size_t j = 0; j < d; ++j) {
+        double var = 0.0;
+        for (std::size_t ch = 0; ch < chunks; ++ch) {
+          var += stat_partial[(ch * k + c) * d + j];
+        }
+        comp.variance[j] = std::max(var / nk[c], config.variance_floor);
+      }
+      comp.weight = nk[c] / static_cast<double>(n);
     }
     // Renormalise weights (dead-component reseeding can unbalance them).
     double wsum = 0.0;
@@ -273,6 +367,7 @@ GaussianMixtureModel GaussianMixtureModel::fit(const Tensor& data,
     for (auto& comp : model.components_) comp.weight /= wsum;
 
     const double mean_ll = ll / static_cast<double>(n);
+    if (trace) trace->mean_log_likelihood.push_back(mean_ll);
     if (iter > 0 &&
         std::fabs(mean_ll - prev_ll) <
             config.tolerance * (std::fabs(prev_ll) + 1e-12)) {

@@ -22,6 +22,15 @@ struct GmmConfig {
   std::size_t kmeans_iterations = 10;
 };
 
+/// Optional per-fit diagnostics returned by fit(). The mean-log-likelihood
+/// trace (one entry per EM iteration, computed with the parameters that
+/// iteration started from) doubles as the bit-identity witness in the
+/// cross-thread-count tests: chunk-ordered folding makes every entry a
+/// pure function of (data, config, rng), never of OPAD_THREADS.
+struct GmmFitTrace {
+  std::vector<double> mean_log_likelihood;
+};
+
 class GaussianMixtureModel : public OperationalProfile {
  public:
   struct Component {
@@ -34,8 +43,15 @@ class GaussianMixtureModel : public OperationalProfile {
   explicit GaussianMixtureModel(std::vector<Component> components);
 
   /// Fits a GMM to the rows of `data` [n, d] with EM (k-means++ init).
+  ///
+  /// The E step and both sufficient-statistic passes of the M step run in
+  /// parallel over fixed point chunks; per-chunk partials (responsibility
+  /// mass, weighted sums, weighted squared deviations, log-likelihood) are
+  /// folded in chunk order, so the fitted parameters are bit-identical for
+  /// any OPAD_THREADS value. `trace`, when non-null, receives the
+  /// per-iteration mean log-likelihood.
   static GaussianMixtureModel fit(const Tensor& data, const GmmConfig& config,
-                                  Rng& rng);
+                                  Rng& rng, GmmFitTrace* trace = nullptr);
 
   std::size_t dim() const override;
   double log_density(const Tensor& x) const override;

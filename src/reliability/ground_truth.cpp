@@ -19,7 +19,7 @@ BootstrapInterval true_misclassification_rate(
       batch.set_row(i, s.x.data());
       labels[i] = s.y;
     }
-    const auto preds = model.predict(batch);
+    const auto preds = model.predict_labels(batch);
     for (std::size_t i = 0; i < bs; ++i) {
       outcomes[done + i] = preds[i] != labels[i] ? 1.0 : 0.0;
     }

@@ -11,6 +11,46 @@
 namespace opad {
 namespace {
 
+TEST(DetectionStats, PlusEqualsFoldsEveryField) {
+  DetectionStats a;
+  a.seeds_attacked = 3;
+  a.aes_found = 2;
+  a.clean_failures = 1;
+  a.operational_aes = 1;
+  a.queries_used = 40;
+  DetectionStats b;
+  b.seeds_attacked = 5;
+  b.aes_found = 1;
+  b.clean_failures = 0;
+  b.operational_aes = 1;
+  b.queries_used = 17;
+  a += b;
+  EXPECT_EQ(a.seeds_attacked, 8u);
+  EXPECT_EQ(a.aes_found, 3u);
+  EXPECT_EQ(a.clean_failures, 1u);
+  EXPECT_EQ(a.operational_aes, 2u);
+  EXPECT_EQ(a.queries_used, 57u);
+}
+
+TEST(Detection, PlusEqualsMovesAesAndFoldsStats) {
+  Detection a;
+  a.stats.aes_found = 1;
+  a.aes.emplace_back();
+  a.aes.back().label = 1;
+  Detection b;
+  b.stats.aes_found = 2;
+  b.aes.emplace_back();
+  b.aes.back().label = 2;
+  b.aes.emplace_back();
+  b.aes.back().label = 3;
+  a += std::move(b);
+  EXPECT_EQ(a.stats.aes_found, 3u);
+  ASSERT_EQ(a.aes.size(), 3u);
+  EXPECT_EQ(a.aes[0].label, 1);
+  EXPECT_EQ(a.aes[1].label, 2);
+  EXPECT_EQ(a.aes[2].label, 3);
+}
+
 class CampaignTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -81,9 +121,9 @@ TEST_F(CampaignTest, RunsRequestedRoundsAndAccounts) {
     queries += round.detection.queries_used;
     EXPECT_GT(round.detection.seeds_attacked, 0u);
   }
-  EXPECT_EQ(result.total_aes, aes);
-  EXPECT_EQ(result.total_queries, queries);
-  EXPECT_LE(result.total_operational_aes, result.total_aes);
+  EXPECT_EQ(result.totals.aes_found, aes);
+  EXPECT_EQ(result.totals.queries_used, queries);
+  EXPECT_LE(result.totals.operational_aes, result.totals.aes_found);
 }
 
 TEST_F(CampaignTest, RetrainingReducesSubsequentFindings) {
@@ -124,8 +164,8 @@ TEST_F(CampaignTest, DeterministicGivenSeed) {
       *model_, *opad, context(), *op_data_, config);
   restore_parameters(model_->network(), snapshot);
 
-  EXPECT_EQ(a.total_aes, b.total_aes);
-  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.totals.aes_found, b.totals.aes_found);
+  EXPECT_EQ(a.totals.queries_used, b.totals.queries_used);
   ASSERT_EQ(a.rounds.size(), b.rounds.size());
   for (std::size_t i = 0; i < a.rounds.size(); ++i) {
     EXPECT_EQ(a.rounds[i].detection.aes_found,
@@ -152,7 +192,7 @@ TEST_F(CampaignTest, MifgsmMethodAlsoWorks) {
       *model_, *mifgsm, context(), *op_data_, config);
   restore_parameters(model_->network(), snapshot);
   EXPECT_EQ(result.rounds.size(), 2u);
-  EXPECT_GT(result.total_queries, 0u);
+  EXPECT_GT(result.totals.queries_used, 0u);
 }
 
 }  // namespace

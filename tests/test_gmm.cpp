@@ -190,6 +190,31 @@ TEST(GmmFit, VarianceFloorPreventsCollapse) {
   EXPECT_TRUE(std::isfinite(gmm.log_density(probe)));
 }
 
+TEST(GmmFit, TraceRecordsMonotonishLikelihoodPerIteration) {
+  Rng rng(8);
+  const auto generator = GaussianClustersGenerator::make_ring(3, 3.0, 0.3);
+  const Dataset data = generator.make_dataset(300, rng);
+  GmmConfig config;
+  config.components = 3;
+  config.max_iterations = 30;
+  GmmFitTrace trace;
+  const auto gmm =
+      GaussianMixtureModel::fit(data.inputs(), config, rng, &trace);
+  ASSERT_GE(trace.mean_log_likelihood.size(), 2u);
+  ASSERT_LE(trace.mean_log_likelihood.size(), config.max_iterations);
+  for (double ll : trace.mean_log_likelihood) {
+    EXPECT_TRUE(std::isfinite(ll));
+  }
+  // EM's guarantee: the likelihood of the parameters each iteration
+  // starts from never decreases (up to the variance floor's projection).
+  EXPECT_GT(trace.mean_log_likelihood.back(),
+            trace.mean_log_likelihood.front() - 1e-9);
+  // The final trace entry evaluates the second-to-last parameter set; the
+  // returned model is one M step newer and must score at least as well.
+  EXPECT_GE(gmm.mean_log_likelihood(data.inputs()),
+            trace.mean_log_likelihood.back() - 1e-6);
+}
+
 TEST(GmmFit, RejectsTooFewSamples) {
   Rng rng(7);
   GmmConfig config;

@@ -117,6 +117,33 @@ TEST(Classifier, SingleInputHelpersAgreeWithBatch) {
   EXPECT_NEAR(p.sum(), 1.0f, 1e-5f);
 }
 
+TEST(Classifier, PredictBatchBitIdenticalToRowByRowPredict) {
+  // The batched-inference contract: the packed GEMM computes every logit
+  // row with the same fixed association regardless of batch size, so one
+  // predict_batch over [n, d] equals n predict_single calls exactly.
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    Classifier model = testing::make_mlp(6, 10, 4, rng);
+    const Tensor x = Tensor::randn({33, 6}, rng);
+    std::vector<int> batched(x.dim(0));
+    model.predict_batch(x, batched);
+    const auto allocated = model.predict_labels(x);
+    EXPECT_EQ(batched, allocated);
+    for (std::size_t i = 0; i < x.dim(0); ++i) {
+      EXPECT_EQ(batched[i], model.predict_single(x.row(i)))
+          << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+TEST(Classifier, PredictBatchValidatesSpanSize) {
+  Rng rng(22);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  std::vector<int> too_small(2);
+  EXPECT_THROW(model.predict_batch(x, too_small), PreconditionError);
+}
+
 TEST(Classifier, QueryCountTracksRows) {
   Rng rng(10);
   Classifier model = testing::make_mlp(4, 8, 3, rng);

@@ -11,6 +11,7 @@
 
 #include "core/campaign.h"
 #include "naturalness/density_naturalness.h"
+#include "op/gmm.h"
 #include "nn/metrics.h"
 #include "nn/serialize.h"
 #include "op/generator_profile.h"
@@ -281,9 +282,9 @@ class ParallelCampaignTest : public ::testing::Test {
 
   static void expect_identical(const CampaignResult& a,
                                const CampaignResult& b, std::size_t threads) {
-    EXPECT_EQ(a.total_aes, b.total_aes) << threads;
-    EXPECT_EQ(a.total_operational_aes, b.total_operational_aes) << threads;
-    EXPECT_EQ(a.total_queries, b.total_queries) << threads;
+    EXPECT_EQ(a.totals.aes_found, b.totals.aes_found) << threads;
+    EXPECT_EQ(a.totals.operational_aes, b.totals.operational_aes) << threads;
+    EXPECT_EQ(a.totals.queries_used, b.totals.queries_used) << threads;
     ASSERT_EQ(a.rounds.size(), b.rounds.size()) << threads;
     for (std::size_t i = 0; i < a.rounds.size(); ++i) {
       const auto& ra = a.rounds[i];
@@ -321,11 +322,92 @@ TEST_F(ParallelCampaignTest, ReportBitIdenticalForOneTwoAndEightThreads) {
   GlobalPoolGuard guard;
   ThreadPool::configure_global(1);
   const CampaignResult baseline = run_once();
-  EXPECT_GT(baseline.total_queries, 0u);
+  EXPECT_GT(baseline.totals.queries_used, 0u);
   for (std::size_t threads : {2u, 8u}) {
     ThreadPool::configure_global(threads);
     const CampaignResult result = run_once();
     expect_identical(baseline, result, threads);
+  }
+}
+
+TEST_F(ParallelCampaignTest, OperationalTestBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  const auto method = make_operational_testing_method();
+  auto run_detect = [&] {
+    Rng rng(33);
+    return method->detect(*model_, context(), 200, rng);
+  };
+  ThreadPool::configure_global(1);
+  const Detection baseline = run_detect();
+  // Each case costs exactly one query, so a 200-query budget executes
+  // exactly 200 of the 300 pool rows.
+  EXPECT_EQ(baseline.stats.seeds_attacked, 200u);
+  EXPECT_EQ(baseline.stats.queries_used, 200u);
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool::configure_global(threads);
+    const Detection result = run_detect();
+    EXPECT_EQ(result.stats.seeds_attacked, baseline.stats.seeds_attacked)
+        << threads;
+    EXPECT_EQ(result.stats.aes_found, baseline.stats.aes_found) << threads;
+    EXPECT_EQ(result.stats.clean_failures, baseline.stats.clean_failures)
+        << threads;
+    EXPECT_EQ(result.stats.operational_aes, baseline.stats.operational_aes)
+        << threads;
+    EXPECT_EQ(result.stats.queries_used, baseline.stats.queries_used)
+        << threads;
+    ASSERT_EQ(result.aes.size(), baseline.aes.size()) << threads;
+    for (std::size_t i = 0; i < result.aes.size(); ++i) {
+      const auto& a = baseline.aes[i];
+      const auto& b = result.aes[i];
+      EXPECT_TRUE(bitwise_equal(a.seed, b.seed)) << i;
+      EXPECT_TRUE(bitwise_equal(a.adversarial, b.adversarial)) << i;
+      EXPECT_EQ(a.label, b.label) << i;
+      EXPECT_EQ(a.seed_log_density, b.seed_log_density) << i;
+      EXPECT_EQ(a.naturalness, b.naturalness) << i;
+      EXPECT_EQ(a.is_operational, b.is_operational) << i;
+    }
+  }
+}
+
+TEST(ParallelGmm, FitBitIdenticalForOneTwoAndEightThreads) {
+  GlobalPoolGuard guard;
+  Rng data_rng(123);
+  const Tensor data = Tensor::randn({400, 6}, data_rng);
+  GmmConfig config;
+  config.components = 5;
+  config.max_iterations = 25;
+  auto fit_once = [&](GmmFitTrace& trace) {
+    Rng rng(7);
+    return GaussianMixtureModel::fit(data, config, rng, &trace);
+  };
+
+  ThreadPool::configure_global(1);
+  GmmFitTrace baseline_trace;
+  const GaussianMixtureModel baseline = fit_once(baseline_trace);
+  ASSERT_FALSE(baseline_trace.mean_log_likelihood.empty());
+
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool::configure_global(threads);
+    GmmFitTrace trace;
+    const GaussianMixtureModel result = fit_once(trace);
+    // The per-iteration log-likelihood trace is the strictest witness:
+    // any fold-order divergence shows up here first.
+    ASSERT_EQ(trace.mean_log_likelihood.size(),
+              baseline_trace.mean_log_likelihood.size())
+        << threads;
+    for (std::size_t i = 0; i < trace.mean_log_likelihood.size(); ++i) {
+      EXPECT_EQ(trace.mean_log_likelihood[i],
+                baseline_trace.mean_log_likelihood[i])
+          << "iteration " << i << " threads " << threads;
+    }
+    ASSERT_EQ(result.components().size(), baseline.components().size());
+    for (std::size_t c = 0; c < result.components().size(); ++c) {
+      const auto& ca = baseline.components()[c];
+      const auto& cb = result.components()[c];
+      EXPECT_EQ(ca.weight, cb.weight) << "component " << c;
+      EXPECT_EQ(ca.mean, cb.mean) << "component " << c;
+      EXPECT_EQ(ca.variance, cb.variance) << "component " << c;
+    }
   }
 }
 
