@@ -153,6 +153,47 @@ void BM_PgdAttack(benchmark::State& state) {
 }
 BENCHMARK(BM_PgdAttack);
 
+// Lane-based PGD: (lanes, steps). Fixed schedule (no early stop) so every
+// lane pays the full step count and the per-seed rate isolates the
+// batching win: one forward+backward per step amortised over all lanes,
+// versus `lanes` separate passes on the serial path. Items/s counts
+// seeds, so rates are directly comparable across lane widths.
+void BM_AttackBatch(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto steps = static_cast<std::size_t>(state.range(1));
+  Rng rng(15);
+  Classifier model = make_digit_model(rng);
+  PgdConfig config;
+  config.ball.eps = 0.08f;
+  config.steps = steps;
+  config.restarts = 1;
+  config.early_stop = false;
+  const Pgd attack(config);
+  const auto generator = SyntheticDigitsGenerator::training_distribution();
+  Tensor seeds({lanes, 64});
+  std::vector<int> labels(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const LabeledSample s = generator.sample(rng);
+    seeds.set_row(i, s.x.data());
+    labels[i] = s.y;
+  }
+  for (auto _ : state) {
+    std::vector<Rng> rngs;
+    rngs.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      rngs.emplace_back(derive_stream_seed(16, i));
+    }
+    benchmark::DoNotOptimize(attack.run_batch(model, seeds, labels, rngs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_AttackBatch)
+    ->Args({1, 10})
+    ->Args({4, 10})
+    ->Args({8, 10})
+    ->Args({8, 40});
+
 void BM_GmmLogDensity(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   Rng rng(6);

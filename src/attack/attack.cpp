@@ -7,13 +7,35 @@ bool Attack::is_adversarial(Classifier& model, const Tensor& candidate,
   return model.predict_single(candidate) != label;
 }
 
-AttackResult run_with_query_accounting(const Attack& attack,
-                                       Classifier& model, const Tensor& seed,
-                                       int label, Rng& rng) {
+void Attack::check_batch_args(const Tensor& seeds, std::span<const int> labels,
+                              std::span<Rng> rngs) {
+  OPAD_EXPECTS_MSG(seeds.rank() == 2,
+                   "run_batch expects [B, d] seeds, got "
+                       << shape_to_string(seeds.shape()));
+  OPAD_EXPECTS_MSG(labels.size() == seeds.dim(0) &&
+                       rngs.size() == seeds.dim(0),
+                   "run_batch needs one label and one rng per seed row");
+}
+
+AttackResult Attack::run(Classifier& model, const Tensor& seed, int label,
+                         Rng& rng) const {
   const std::uint64_t before = model.query_count();
-  AttackResult result = attack.run(model, seed, label, rng);
+  AttackResult result = run_impl(model, seed, label, rng);
   result.queries = model.query_count() - before;
   return result;
+}
+
+std::vector<AttackResult> Attack::run_batch(Classifier& model,
+                                            const Tensor& seeds,
+                                            std::span<const int> labels,
+                                            std::span<Rng> rngs) const {
+  check_batch_args(seeds, labels, rngs);
+  std::vector<AttackResult> results;
+  results.reserve(seeds.dim(0));
+  for (std::size_t i = 0; i < seeds.dim(0); ++i) {
+    results.push_back(run(model, seeds.row(i), labels[i], rngs[i]));
+  }
+  return results;
 }
 
 }  // namespace opad

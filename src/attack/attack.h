@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "nn/model.h"
 #include "util/rng.h"
@@ -39,9 +40,25 @@ class Attack {
 
   /// Attacks `seed` (rank-1) whose reference label is `label`. The model
   /// is non-const because forward passes mutate layer caches and the
-  /// query counter; attacks never change parameters.
-  virtual AttackResult run(Classifier& model, const Tensor& seed, int label,
-                           Rng& rng) const = 0;
+  /// query counter; attacks never change parameters. Non-virtual: wraps
+  /// the search (run_impl) and populates AttackResult::queries from the
+  /// model's query-counter delta, so every attack reports real usage.
+  AttackResult run(Classifier& model, const Tensor& seed, int label,
+                   Rng& rng) const;
+
+  /// Attacks a batch of seeds (rank-2, row i = seed i, labels[i] its
+  /// reference label, rngs[i] its private random stream). Contract:
+  /// results[i] is bit-identical — success flag, adversarial tensor
+  /// bytes, linf_distance, and queries — to
+  /// run(model, seeds.row(i), labels[i], rngs[i]), for any lane width and
+  /// any OPAD_THREADS. The base implementation is exactly that loop;
+  /// gradient attacks override it with a step-synchronous lane engine
+  /// that amortises one forward+backward across all still-active lanes
+  /// (see DESIGN.md "Lane-based attack execution").
+  virtual std::vector<AttackResult> run_batch(Classifier& model,
+                                              const Tensor& seeds,
+                                              std::span<const int> labels,
+                                              std::span<Rng> rngs) const;
 
   /// Replica of this attack safe to run concurrently with `*this`.
   /// Attacks are configuration-only by default and return nullptr
@@ -53,16 +70,23 @@ class Attack {
   }
 
  protected:
-  /// True if `candidate` is misclassified w.r.t. `label`.
+  /// The actual search. AttackResult::queries may be left at 0; run()
+  /// owns query accounting.
+  virtual AttackResult run_impl(Classifier& model, const Tensor& seed,
+                                int label, Rng& rng) const = 0;
+
+  /// True if `candidate` is misclassified w.r.t. `label`. Routed through
+  /// the batched inference primitive (predict_single delegates to a
+  /// [1, d] predict_batch), so even scalar checks hit the GEMM path.
   static bool is_adversarial(Classifier& model, const Tensor& candidate,
                              int label);
+
+  /// Validates run_batch() arguments; shared by every lane engine.
+  static void check_batch_args(const Tensor& seeds,
+                               std::span<const int> labels,
+                               std::span<Rng> rngs);
 };
 
 using AttackPtr = std::shared_ptr<const Attack>;
-
-/// Convenience wrapper recording query usage around an attack run.
-AttackResult run_with_query_accounting(const Attack& attack,
-                                       Classifier& model, const Tensor& seed,
-                                       int label, Rng& rng);
 
 }  // namespace opad

@@ -1,30 +1,74 @@
 #include "attack/fgsm.h"
 
+#include <numeric>
+#include <vector>
+
+#include "attack/lane.h"
 #include "tensor/tensor_ops.h"
 
 namespace opad {
+
+namespace {
+
+/// The single FGSM update: signed step of size eps + box projection.
+void fgsm_step(Tensor& x, std::span<const float> grad, const Tensor& seed,
+               const BallConfig& ball) {
+  auto xv = x.data();
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    xv[i] +=
+        ball.eps * (grad[i] > 0.0f ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f));
+  }
+  project_linf_ball(x, seed, ball.eps, ball.input_lo, ball.input_hi);
+}
+
+}  // namespace
 
 Fgsm::Fgsm(BallConfig ball) : ball_(ball) {
   OPAD_EXPECTS(ball.eps > 0.0f && ball.input_lo < ball.input_hi);
 }
 
-AttackResult Fgsm::run(Classifier& model, const Tensor& seed, int label,
-                       Rng& /*rng*/) const {
+AttackResult Fgsm::run_impl(Classifier& model, const Tensor& seed, int label,
+                            Rng& /*rng*/) const {
   OPAD_EXPECTS(seed.rank() == 1);
-  Tensor grad = model.input_gradient(seed, label);
+  const Tensor grad = model.input_gradient(seed, label);
   Tensor candidate = seed;
-  auto c = candidate.data();
-  auto g = grad.data();
-  for (std::size_t i = 0; i < c.size(); ++i) {
-    c[i] += ball_.eps * (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f));
-  }
-  project_linf_ball(candidate, seed, ball_.eps, ball_.input_lo,
-                    ball_.input_hi);
+  fgsm_step(candidate, grad.data(), seed, ball_);
   AttackResult result;
   result.success = is_adversarial(model, candidate, label);
   result.linf_distance = linf_distance(candidate, seed);
   result.adversarial = std::move(candidate);
   return result;
+}
+
+std::vector<AttackResult> Fgsm::run_batch(Classifier& model,
+                                          const Tensor& seeds,
+                                          std::span<const int> labels,
+                                          std::span<Rng> rngs) const {
+  check_batch_args(seeds, labels, rngs);
+  const std::size_t n = seeds.dim(0);
+  std::vector<AttackResult> results(n);
+  if (n == 0) return results;
+
+  std::vector<Tensor> seed(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seed[i] = seeds.row(i);
+    x[i] = seed[i];
+  }
+  std::vector<std::size_t> active(n);
+  std::iota(active.begin(), active.end(), std::size_t{0});
+
+  const Tensor grads = lane::gradient_active(model, seed, active, labels);
+  for (std::size_t i = 0; i < n; ++i) {
+    fgsm_step(x[i], grads.row_span(i), seed[i], ball_);
+  }
+  const std::vector<int> preds = lane::predict_active(model, x, active);
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i].success = preds[i] != labels[i];
+    results[i].linf_distance = linf_distance(x[i], seed[i]);
+    results[i].adversarial = std::move(x[i]);
+    results[i].queries = 2;  // one gradient + one check, like the serial walk
+  }
+  return results;
 }
 
 }  // namespace opad

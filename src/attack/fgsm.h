@@ -11,8 +11,17 @@ class Fgsm : public Attack {
   explicit Fgsm(BallConfig ball);
 
   std::string name() const override { return "FGSM"; }
-  AttackResult run(Classifier& model, const Tensor& seed, int label,
-                   Rng& rng) const override;
+
+  /// All lanes take the single signed step off one batched gradient,
+  /// then share one batched misclassification check; bit-identical to
+  /// the serial walk.
+  std::vector<AttackResult> run_batch(Classifier& model, const Tensor& seeds,
+                                      std::span<const int> labels,
+                                      std::span<Rng> rngs) const override;
+
+ protected:
+  AttackResult run_impl(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const override;
 
  private:
   BallConfig ball_;

@@ -18,8 +18,8 @@ GeneticFuzzer::GeneticFuzzer(GeneticFuzzerConfig config)
                config_.naturalness != nullptr);
 }
 
-AttackResult GeneticFuzzer::run(Classifier& model, const Tensor& seed,
-                                int label, Rng& rng) const {
+AttackResult GeneticFuzzer::run_impl(Classifier& model, const Tensor& seed,
+                                     int label, Rng& rng) const {
   OPAD_EXPECTS(seed.rank() == 1);
   const float eps = config_.ball.eps;
   const std::size_t d = seed.dim(0);

@@ -25,8 +25,13 @@ class GeneticFuzzer : public Attack {
   explicit GeneticFuzzer(GeneticFuzzerConfig config);
 
   std::string name() const override { return "GeneticFuzz"; }
-  AttackResult run(Classifier& model, const Tensor& seed, int label,
-                   Rng& rng) const override;
+
+ protected:
+  /// Already population-batched: every generation scores its candidates
+  /// with one [population, d] forward; run_batch keeps the per-seed
+  /// adapter (generations are sequential by construction).
+  AttackResult run_impl(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const override;
 
  private:
   GeneticFuzzerConfig config_;

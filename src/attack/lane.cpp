@@ -1,0 +1,45 @@
+#include "attack/lane.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace opad::lane {
+
+Tensor gather(std::span<const Tensor> xs,
+              std::span<const std::size_t> active) {
+  OPAD_EXPECTS(!active.empty());
+  const std::size_t d = xs[active[0]].dim(0);
+  Tensor batch({active.size(), d});
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    batch.set_row(a, xs[active[a]].data());
+  }
+  return batch;
+}
+
+std::vector<int> predict_active(Classifier& model, std::span<const Tensor> xs,
+                                std::span<const std::size_t> active) {
+  const Tensor batch = gather(xs, active);
+  std::vector<int> preds(active.size());
+  model.predict_batch(batch, preds);
+  return preds;
+}
+
+Tensor gradient_active(Classifier& model, std::span<const Tensor> xs,
+                       std::span<const std::size_t> active,
+                       std::span<const int> labels) {
+  const Tensor batch = gather(xs, active);
+  std::vector<int> ys(active.size());
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    ys[a] = labels[active[a]];
+  }
+  return model.input_gradient_batch(batch, ys);
+}
+
+void linf_random_start(Tensor& x, const Tensor& seed, const BallConfig& ball,
+                       Rng& rng) {
+  for (float& v : x.data()) {
+    v += static_cast<float>(rng.uniform(-ball.eps, ball.eps));
+  }
+  project_linf_ball(x, seed, ball.eps, ball.input_lo, ball.input_hi);
+}
+
+}  // namespace opad::lane

@@ -1,0 +1,48 @@
+// Lane-set utilities for step-synchronous batched attack execution.
+//
+// A lane is one seed's attack walk. The gradient attacks keep an index
+// set of still-active lanes, gather the active iterates into one [A, d]
+// minibatch per step (one forward+backward for the gradients, one
+// forward for the misclassification check), and compact finished lanes
+// out of the set on early stop. Because every GEMM output element is
+// accumulated in a fixed k-ascending order regardless of batch size,
+// each gathered row's gradient and prediction are bitwise what the lane
+// would have computed alone — so a lane's trajectory, and therefore the
+// whole AttackResult, is bit-identical to the serial per-seed walk.
+// See DESIGN.md "Lane-based attack execution".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attack/attack.h"
+#include "nn/model.h"
+
+namespace opad::lane {
+
+/// Gathers the rank-1 per-lane iterates named by `active` into one
+/// [A, d] minibatch (row a = lane active[a]). `active` must be non-empty.
+Tensor gather(std::span<const Tensor> xs, std::span<const std::size_t> active);
+
+/// One batched forward over the active lanes; element a is the model's
+/// label for xs[active[a]]. Bitwise equal to per-lane predict_single.
+/// Costs active.size() queries.
+std::vector<int> predict_active(Classifier& model, std::span<const Tensor> xs,
+                                std::span<const std::size_t> active);
+
+/// One batched forward+backward over the active lanes; row a is the input
+/// gradient of lane active[a] at labels[active[a]] (`labels` is indexed
+/// by lane, not by batch position). Bitwise row-equal to per-lane
+/// input_gradient. Costs active.size() queries.
+Tensor gradient_active(Classifier& model, std::span<const Tensor> xs,
+                       std::span<const std::size_t> active,
+                       std::span<const int> labels);
+
+/// Uniform U(-eps, eps) perturbation of every element followed by the
+/// ball/box projection: the random-restart initialisation shared by the
+/// L-inf attacks. Consumes exactly dim draws from `rng`, in element
+/// order, matching the serial walks draw for draw.
+void linf_random_start(Tensor& x, const Tensor& seed, const BallConfig& ball,
+                       Rng& rng);
+
+}  // namespace opad::lane

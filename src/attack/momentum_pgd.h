@@ -21,8 +21,16 @@ class MomentumPgd : public Attack {
   explicit MomentumPgd(MomentumPgdConfig config);
 
   std::string name() const override { return "MI-FGSM"; }
-  AttackResult run(Classifier& model, const Tensor& seed, int label,
-                   Rng& rng) const override;
+
+  /// Step-synchronous lane engine with per-lane momentum state;
+  /// bit-identical to the serial walk.
+  std::vector<AttackResult> run_batch(Classifier& model, const Tensor& seeds,
+                                      std::span<const int> labels,
+                                      std::span<Rng> rngs) const override;
+
+ protected:
+  AttackResult run_impl(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const override;
 
  private:
   MomentumPgdConfig config_;

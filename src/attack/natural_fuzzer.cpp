@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "attack/lane.h"
 #include "tensor/tensor_ops.h"
 
 namespace opad {
@@ -26,9 +27,9 @@ std::shared_ptr<const Attack> NaturalnessGuidedFuzzer::thread_replica()
                                                    std::move(metric_replica));
 }
 
-AttackResult NaturalnessGuidedFuzzer::run(Classifier& model,
-                                          const Tensor& seed, int label,
-                                          Rng& rng) const {
+AttackResult NaturalnessGuidedFuzzer::run_impl(Classifier& model,
+                                               const Tensor& seed, int label,
+                                               Rng& rng) const {
   OPAD_EXPECTS(seed.rank() == 1);
   const float eps = config_.ball.eps;
   const float alpha = config_.step_size > 0.0f
@@ -51,11 +52,7 @@ AttackResult NaturalnessGuidedFuzzer::run(Classifier& model,
   for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
     Tensor x = seed;
     if (restart > 0) {
-      for (float& v : x.data()) {
-        v += static_cast<float>(rng.uniform(-eps, eps));
-      }
-      project_linf_ball(x, seed, eps, config_.ball.input_lo,
-                        config_.ball.input_hi);
+      lane::linf_random_start(x, seed, config_.ball, rng);
     }
     for (std::size_t step = 0; step < config_.steps; ++step) {
       // Composite ascent direction: sign of the loss gradient, plus the

@@ -49,8 +49,6 @@ class NaturalnessGuidedFuzzer : public Attack {
                           NaturalnessPtr naturalness);
 
   std::string name() const override { return "OpFuzz"; }
-  AttackResult run(Classifier& model, const Tensor& seed, int label,
-                   Rng& rng) const override;
   /// Replicates the wrapped naturalness metric when it is stateful.
   std::shared_ptr<const Attack> thread_replica() const override;
 
@@ -58,6 +56,15 @@ class NaturalnessGuidedFuzzer : public Attack {
   double score(const Tensor& x) const { return naturalness_->score(x); }
 
   const NaturalFuzzerConfig& config() const { return config_; }
+
+ protected:
+  /// The per-step candidate check and score are sequential by
+  /// construction (each iterate depends on the previous check), so
+  /// scoring reaches the batched inference primitive through
+  /// is_adversarial's [1, d] delegation; run_batch keeps the per-seed
+  /// adapter.
+  AttackResult run_impl(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const override;
 
  private:
   NaturalFuzzerConfig config_;

@@ -21,10 +21,17 @@ class Pgd : public Attack {
   explicit Pgd(PgdConfig config);
 
   std::string name() const override { return "PGD"; }
-  AttackResult run(Classifier& model, const Tensor& seed, int label,
-                   Rng& rng) const override;
+
+  /// Step-synchronous lane engine; bit-identical to the serial walk.
+  std::vector<AttackResult> run_batch(Classifier& model, const Tensor& seeds,
+                                      std::span<const int> labels,
+                                      std::span<Rng> rngs) const override;
 
   const PgdConfig& config() const { return config_; }
+
+ protected:
+  AttackResult run_impl(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const override;
 
  private:
   PgdConfig config_;

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
 
+#include "attack/lane.h"
 #include "tensor/tensor_ops.h"
 
 namespace opad {
@@ -30,53 +34,151 @@ void project_l2_ball(Tensor& x, const Tensor& center, float eps, float lo,
   }
 }
 
+namespace {
+
+/// Random direction scaled to a uniform radius within the ball; consumes
+/// dim normal draws plus one uniform draw from `rng`, matching the
+/// serial walk draw for draw.
+void l2_random_start(Tensor& x, const Tensor& seed, const PgdL2Config& config,
+                     Rng& rng) {
+  Tensor noise = Tensor::randn({seed.dim(0)}, rng);
+  const float norm = std::max(noise.l2_norm(), 1e-12f);
+  const auto radius = static_cast<float>(
+      config.eps * std::pow(rng.uniform(), 1.0 / 3.0));
+  noise *= radius / norm;
+  x += noise;
+  project_l2_ball(x, seed, config.eps, config.input_lo, config.input_hi);
+}
+
+/// One L2-normalised ascent step + ball/box projection. Takes the
+/// gradient by value (both callers hand over a fresh tensor) so the
+/// normalisation can scale it in place.
+void l2_step(Tensor& x, Tensor grad, const Tensor& seed, float alpha,
+             const PgdL2Config& config) {
+  const float gnorm = std::max(grad.l2_norm(), 1e-12f);
+  grad *= alpha / gnorm;
+  x += grad;
+  project_l2_ball(x, seed, config.eps, config.input_lo, config.input_hi);
+}
+
+AttackResult success_result(Tensor&& x, const Tensor& seed) {
+  AttackResult result;
+  result.success = true;
+  result.linf_distance = linf_distance(x, seed);
+  result.adversarial = std::move(x);
+  return result;
+}
+
+}  // namespace
+
 PgdL2::PgdL2(PgdL2Config config) : config_(config) {
   OPAD_EXPECTS(config.eps > 0.0f);
   OPAD_EXPECTS(config.input_lo < config.input_hi);
   OPAD_EXPECTS(config.steps > 0 && config.restarts > 0);
 }
 
-AttackResult PgdL2::run(Classifier& model, const Tensor& seed, int label,
-                        Rng& rng) const {
+AttackResult PgdL2::run_impl(Classifier& model, const Tensor& seed, int label,
+                             Rng& rng) const {
   OPAD_EXPECTS(seed.rank() == 1);
-  const float eps = config_.eps;
-  const float alpha = config_.step_size > 0.0f
-                          ? config_.step_size
-                          : 2.5f * eps / static_cast<float>(config_.steps);
-  AttackResult best;
-  best.adversarial = seed;
+  const float alpha =
+      config_.step_size > 0.0f
+          ? config_.step_size
+          : 2.5f * config_.eps / static_cast<float>(config_.steps);
+  // Best failed attempt = the iterate closest to the seed in L-inf.
+  Tensor best_fail;
+  float best_dist = std::numeric_limits<float>::infinity();
 
   for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
     Tensor x = seed;
     if (config_.random_start && restart > 0) {
-      // Random direction scaled to a uniform radius within the ball.
-      Tensor noise = Tensor::randn({seed.dim(0)}, rng);
-      const float norm = std::max(noise.l2_norm(), 1e-12f);
-      const auto radius =
-          static_cast<float>(eps * std::pow(rng.uniform(), 1.0 / 3.0));
-      noise *= radius / norm;
-      x += noise;
-      project_l2_ball(x, seed, eps, config_.input_lo, config_.input_hi);
+      l2_random_start(x, seed, config_, rng);
     }
     for (std::size_t step = 0; step < config_.steps; ++step) {
-      Tensor grad = model.input_gradient(x, label);
-      const float gnorm = std::max(grad.l2_norm(), 1e-12f);
-      grad *= alpha / gnorm;  // L2-normalised ascent step
-      x += grad;
-      project_l2_ball(x, seed, eps, config_.input_lo, config_.input_hi);
+      l2_step(x, model.input_gradient(x, label), seed, alpha, config_);
       if (is_adversarial(model, x, label)) {
-        AttackResult result;
-        result.success = true;
-        result.linf_distance = linf_distance(x, seed);
-        result.adversarial = std::move(x);
-        return result;
+        return success_result(std::move(x), seed);
       }
     }
-    best.adversarial = x;
+    const float dist = linf_distance(x, seed);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_fail = std::move(x);
+    }
   }
+  AttackResult best;
   best.success = false;
-  best.linf_distance = linf_distance(best.adversarial, seed);
+  best.linf_distance = best_dist;
+  best.adversarial = std::move(best_fail);
   return best;
+}
+
+std::vector<AttackResult> PgdL2::run_batch(Classifier& model,
+                                           const Tensor& seeds,
+                                           std::span<const int> labels,
+                                           std::span<Rng> rngs) const {
+  check_batch_args(seeds, labels, rngs);
+  const std::size_t n = seeds.dim(0);
+  std::vector<AttackResult> results(n);
+  if (n == 0) return results;
+  const float alpha =
+      config_.step_size > 0.0f
+          ? config_.step_size
+          : 2.5f * config_.eps / static_cast<float>(config_.steps);
+
+  std::vector<Tensor> seed(n), x(n), best_fail(n);
+  std::vector<float> best_dist(n, std::numeric_limits<float>::infinity());
+  std::vector<std::uint64_t> queries(n, 0);
+  for (std::size_t i = 0; i < n; ++i) seed[i] = seeds.row(i);
+  std::vector<std::size_t> active(n);
+  std::iota(active.begin(), active.end(), std::size_t{0});
+
+  for (std::size_t restart = 0;
+       restart < config_.restarts && !active.empty(); ++restart) {
+    for (std::size_t l : active) {
+      x[l] = seed[l];
+      if (config_.random_start && restart > 0) {
+        l2_random_start(x[l], seed[l], config_, rngs[l]);
+      }
+    }
+    for (std::size_t step = 0; step < config_.steps && !active.empty();
+         ++step) {
+      const Tensor grads = lane::gradient_active(model, x, active, labels);
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const std::size_t l = active[a];
+        queries[l] += 1;
+        l2_step(x[l], grads.row(a), seed[l], alpha, config_);
+      }
+      const std::vector<int> preds = lane::predict_active(model, x, active);
+      std::vector<std::size_t> still;
+      still.reserve(active.size());
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const std::size_t l = active[a];
+        queries[l] += 1;
+        if (preds[a] != labels[l]) {
+          results[l] = success_result(std::move(x[l]), seed[l]);
+        } else {
+          still.push_back(l);
+        }
+      }
+      active = std::move(still);
+    }
+    for (std::size_t l : active) {
+      const float dist = linf_distance(x[l], seed[l]);
+      if (dist < best_dist[l]) {
+        best_dist[l] = dist;
+        best_fail[l] = std::move(x[l]);
+      }
+    }
+  }
+
+  // Serial epilogue for failed lanes reports without a further query.
+  for (std::size_t l : active) {
+    results[l].success = false;
+    results[l].linf_distance = best_dist[l];
+    results[l].adversarial = std::move(best_fail[l]);
+  }
+  for (std::size_t i = 0; i < n; ++i) results[i].queries = queries[i];
+  return results;
 }
 
 }  // namespace opad

@@ -25,8 +25,15 @@ class PgdL2 : public Attack {
   explicit PgdL2(PgdL2Config config);
 
   std::string name() const override { return "PGD-L2"; }
-  AttackResult run(Classifier& model, const Tensor& seed, int label,
-                   Rng& rng) const override;
+
+  /// Step-synchronous lane engine; bit-identical to the serial walk.
+  std::vector<AttackResult> run_batch(Classifier& model, const Tensor& seeds,
+                                      std::span<const int> labels,
+                                      std::span<Rng> rngs) const override;
+
+ protected:
+  AttackResult run_impl(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const override;
 
  private:
   PgdL2Config config_;

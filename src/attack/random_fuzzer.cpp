@@ -8,8 +8,8 @@ RandomFuzzer::RandomFuzzer(RandomFuzzerConfig config) : config_(config) {
   OPAD_EXPECTS(config.ball.eps > 0.0f && config.trials > 0);
 }
 
-AttackResult RandomFuzzer::run(Classifier& model, const Tensor& seed,
-                               int label, Rng& rng) const {
+AttackResult RandomFuzzer::run_impl(Classifier& model, const Tensor& seed,
+                                    int label, Rng& rng) const {
   OPAD_EXPECTS(seed.rank() == 1);
   const float eps = config_.ball.eps;
   AttackResult best;

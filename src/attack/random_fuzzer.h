@@ -15,8 +15,14 @@ class RandomFuzzer : public Attack {
   explicit RandomFuzzer(RandomFuzzerConfig config);
 
   std::string name() const override { return "RandomFuzz"; }
-  AttackResult run(Classifier& model, const Tensor& seed, int label,
-                   Rng& rng) const override;
+
+ protected:
+  /// Trials are checked one at a time (each candidate's draw depends on
+  /// whether the previous one succeeded), so scoring reaches the batched
+  /// inference primitive through is_adversarial's [1, d] delegation;
+  /// run_batch keeps the per-seed adapter.
+  AttackResult run_impl(Classifier& model, const Tensor& seed, int label,
+                        Rng& rng) const override;
 
  private:
   RandomFuzzerConfig config_;

@@ -88,12 +88,14 @@ Detection budgeted_campaign(Classifier& model, const Dataset& pool,
                             std::uint64_t query_budget,
                             std::size_t batch_size, Rng& rng,
                             std::vector<std::size_t> order) {
-  TestCaseGenerator generator(attack, context.metric, context.tau,
-                              context.profile);
-  BudgetTracker budget(query_budget);
-  Detection total;
   const std::size_t batch =
       std::max<std::size_t>(1, std::min(batch_size, pool.size()));
+  // Lane width = campaign batch: every generate() call becomes one
+  // run_batch lane group per worker chunk.
+  TestCaseGenerator generator(attack, context.metric, context.tau,
+                              context.profile, batch);
+  BudgetTracker budget(query_budget);
+  Detection total;
   std::size_t cursor = 0;
   while (!budget.exhausted() && cursor < order.size()) {
     const std::size_t take = std::min(batch, order.size() - cursor);

@@ -77,9 +77,10 @@ struct MethodSuiteConfig {
   double opad_gamma = 0.3;
   AuxiliaryKind opad_aux = AuxiliaryKind::kMargin;
   /// Seeds handed to the test-case generator per budgeted-campaign round;
-  /// also the unit between budget-exhaustion checks. Larger batches give
-  /// the parallel per-seed execution more work per round, smaller ones
-  /// track the budget more tightly.
+  /// also the unit between budget-exhaustion checks and the lane width of
+  /// each Attack::run_batch call. Larger batches amortise more forward/
+  /// backward passes per round, smaller ones track the budget more
+  /// tightly; results are bit-identical either way.
   std::size_t campaign_batch = 32;
 };
 

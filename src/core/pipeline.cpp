@@ -44,7 +44,8 @@ PipelineResult OpTestingPipeline::run(Classifier& model,
   fuzz_config.tau = result.tau;
   auto fuzzer =
       std::make_shared<NaturalnessGuidedFuzzer>(fuzz_config, metric);
-  TestCaseGenerator generator(fuzzer, metric, result.tau, profile);
+  TestCaseGenerator generator(fuzzer, metric, result.tau, profile,
+                              config_.attack_lane_width);
 
   AdversarialRetrainer retrainer(config_.rq4);
 

@@ -43,6 +43,9 @@ struct PipelineConfig {
   bool use_feedback_allocation = true;
   /// Total model-query budget for the whole run (attacks + assessment).
   std::uint64_t query_budget = 500000;
+  /// Seeds per Attack::run_batch lane group in the RQ3 fuzzing step.
+  /// Purely a batching knob: results are bit-identical at any width.
+  std::size_t attack_lane_width = TestCaseGenerator::kDefaultLaneWidth;
 };
 
 struct IterationRecord {

@@ -18,22 +18,19 @@ struct SeedOutcome {
   double naturalness = 0.0;
 };
 
-/// Seeds per worker chunk. One seed per chunk maximises load balance (an
-/// attack's query count varies a lot between seeds); the per-chunk model/
-/// metric replica cost is trivial next to the dozens of forward passes a
-/// single attack performs.
-constexpr std::size_t kSeedGrain = 1;
-
 }  // namespace
 
 TestCaseGenerator::TestCaseGenerator(AttackPtr attack, NaturalnessPtr metric,
                                      std::optional<double> tau,
-                                     ProfilePtr profile)
+                                     ProfilePtr profile,
+                                     std::size_t lane_width)
     : attack_(std::move(attack)),
       metric_(std::move(metric)),
       tau_(tau),
-      profile_(std::move(profile)) {
+      profile_(std::move(profile)),
+      lane_width_(lane_width) {
   OPAD_EXPECTS(attack_ != nullptr);
+  OPAD_EXPECTS(lane_width_ > 0);
   OPAD_EXPECTS_MSG(!tau_ || metric_ != nullptr,
                    "a tau threshold requires a naturalness metric");
 }
@@ -50,11 +47,12 @@ Detection TestCaseGenerator::generate(
   // its position (one draw from the caller's rng per generate() call), and
   // every worker chunk attacks its own model replica — so the per-seed
   // outcomes are a pure function of (parameters, seed, stream) and
-  // identical for any OPAD_THREADS value, including 1.
+  // identical for any OPAD_THREADS value and any lane width.
   const std::uint64_t stream_base = rng();
 
   std::vector<SeedOutcome> outcomes(n);
-  parallel_for(0, n, kSeedGrain, [&](std::size_t lo, std::size_t hi) {
+  parallel_for_chunks(0, n, lane_width_, [&](std::size_t /*chunk*/,
+                                             std::size_t lo, std::size_t hi) {
     // Per-chunk replicas: attacks mutate layer caches and the query
     // counter, and some metrics carry forward-pass scratch. Replicas have
     // equal parameters, so results match attacking `model` directly.
@@ -62,31 +60,67 @@ Detection TestCaseGenerator::generate(
     const AttackPtr attack_replica = attack_->thread_replica();
     const Attack& attack = attack_replica ? *attack_replica : *attack_;
     const NaturalnessPtr metric = thread_local_metric(metric_);
+
+    // Batched pre-check: one forward over the whole lane group decides
+    // which seeds the model already mispredicts. Those are clean
+    // operational failures — recorded at zero distance instead of
+    // spending attack budget searching around them. One query per seed,
+    // exactly like the per-seed pre-check this batches.
+    const std::size_t m = hi - lo;
+    Tensor seed_batch({m, pool.dim()});
+    for (std::size_t i = lo; i < hi; ++i) {
+      outcomes[i].seed = pool.sample(seed_indices[i]);
+      seed_batch.set_row(i - lo, outcomes[i].seed.x.data());
+    }
+    std::vector<int> predicted(m);
+    worker_model.predict_batch(seed_batch, predicted);
+
+    std::vector<std::size_t> attacked;  // outcome indices in [lo, hi)
+    attacked.reserve(m);
     for (std::size_t i = lo; i < hi; ++i) {
       SeedOutcome& out = outcomes[i];
-      out.seed = pool.sample(seed_indices[i]);
-      Rng seed_rng(derive_stream_seed(stream_base, i));
-
-      // Pre-check: a seed the model already mispredicts is a clean
-      // operational failure — record it at zero distance instead of
-      // spending attack budget searching around it.
-      const std::uint64_t before = worker_model.query_count();
-      out.seed_fails =
-          worker_model.predict_single(out.seed.x) != out.seed.y;
+      out.seed_fails = predicted[i - lo] != out.seed.y;
       if (out.seed_fails) {
         out.result.success = true;
         out.result.adversarial = out.seed.x;
         out.result.linf_distance = 0.0f;
+        out.result.queries = 1;  // the pre-check
       } else {
-        out.result = attack.run(worker_model, out.seed.x, out.seed.y,
-                                seed_rng);
+        attacked.push_back(i);
       }
-      out.result.queries = worker_model.query_count() - before;
+    }
+
+    // Attack the surviving seeds as one lane batch. Each lane consumes
+    // its own seed-index-derived stream, so results match the serial
+    // per-seed walk bit for bit regardless of which seeds the pre-check
+    // filtered out.
+    if (!attacked.empty()) {
+      Tensor lane_seeds({attacked.size(), pool.dim()});
+      std::vector<int> labels(attacked.size());
+      std::vector<Rng> rngs;
+      rngs.reserve(attacked.size());
+      for (std::size_t a = 0; a < attacked.size(); ++a) {
+        const SeedOutcome& out = outcomes[attacked[a]];
+        lane_seeds.set_row(a, out.seed.x.data());
+        labels[a] = out.seed.y;
+        rngs.emplace_back(derive_stream_seed(stream_base, attacked[a]));
+      }
+      std::vector<AttackResult> results =
+          attack.run_batch(worker_model, lane_seeds, labels, rngs);
+      for (std::size_t a = 0; a < attacked.size(); ++a) {
+        SeedOutcome& out = outcomes[attacked[a]];
+        out.result = std::move(results[a]);
+        out.result.queries += 1;  // + the pre-check
+      }
+    }
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      SeedOutcome& out = outcomes[i];
       if (out.result.success) {
         out.seed_log_density =
             profile_ ? profile_->log_density(out.seed.x) : 0.0;
-        out.naturalness = metric ? metric->score(out.result.adversarial)
-                                 : 0.0;
+        out.naturalness =
+            metric ? metric->score(out.result.adversarial) : 0.0;
       }
     }
   });

@@ -15,21 +15,30 @@ namespace opad {
 
 class TestCaseGenerator {
  public:
+  /// Seeds attacked together per Attack::run_batch call (and per worker
+  /// chunk). Width only trades load balance against batching efficiency;
+  /// results are bit-identical at any width (test-pinned).
+  static constexpr std::size_t kDefaultLaneWidth = 8;
+
   /// `metric`/`tau` define the operational-AE acceptance rule; both may be
   /// absent for baselines that do not reason about naturalness (every AE
   /// then counts as operational = false, naturalness = NaN -> 0).
   /// `profile` (optional) annotates each AE with its seed's OP density.
   TestCaseGenerator(AttackPtr attack, NaturalnessPtr metric,
-                    std::optional<double> tau, ProfilePtr profile);
+                    std::optional<double> tau, ProfilePtr profile,
+                    std::size_t lane_width = kDefaultLaneWidth);
 
   /// Attacks pool rows `seed_indices`, accounting results in index order
   /// until the budget is exhausted (checked between seeds) or the list
-  /// ends. Seeds are attacked in parallel on model replicas, each from an
-  /// independent per-seed Rng stream (derived from one draw of `rng`), so
+  /// ends. Seeds are partitioned into lanes of `lane_width` and each lane
+  /// group is attacked on a model replica through Attack::run_batch — one
+  /// batched pre-check decides the clean failures, then the attack drives
+  /// all still-active lanes through shared forward/backward passes. Each
+  /// seed keeps its own Rng stream (derived from one draw of `rng`), so
   /// the returned Detection — including query accounting on `model` — is
-  /// bit-identical for any OPAD_THREADS value. Callers control the
-  /// parallel over-run per call by the span length (the budget cut-off is
-  /// applied after the batch is attacked).
+  /// bit-identical for any OPAD_THREADS value and any lane width. Callers
+  /// control the parallel over-run per call by the span length (the
+  /// budget cut-off is applied after the batch is attacked).
   Detection generate(Classifier& model, const Dataset& pool,
                      std::span<const std::size_t> seed_indices,
                      BudgetTracker& budget, Rng& rng) const;
@@ -41,6 +50,7 @@ class TestCaseGenerator {
   NaturalnessPtr metric_;
   std::optional<double> tau_;
   ProfilePtr profile_;
+  std::size_t lane_width_;
 };
 
 }  // namespace opad

@@ -70,6 +70,16 @@ Tensor SoftmaxCrossEntropy::gradient(const Tensor& logits,
   return grad;
 }
 
+Tensor SoftmaxCrossEntropy::gradient_per_sample(
+    const Tensor& logits, std::span<const int> labels) const {
+  check_labels(logits, labels);
+  Tensor grad = softmax_rows(logits);
+  for (std::size_t i = 0; i < logits.dim(0); ++i) {
+    grad(i, static_cast<std::size_t>(labels[i])) -= 1.0f;
+  }
+  return grad;
+}
+
 std::vector<double> SoftmaxCrossEntropy::per_sample_loss(
     const Tensor& logits, std::span<const int> labels) const {
   check_labels(logits, labels);

@@ -23,6 +23,14 @@ class SoftmaxCrossEntropy {
   Tensor gradient(const Tensor& logits, std::span<const int> labels,
                   std::span<const double> weights = {}) const;
 
+  /// Gradient of the *per-sample* (unscaled) loss w.r.t. logits: row i is
+  /// d loss_i / d logits_i with no 1/n averaging. Row i is bitwise equal to
+  /// gradient() on the single-row batch [logits_i], whose scale factor is
+  /// exactly 1.0f — this is what lets batched input gradients reproduce the
+  /// serial per-seed attack walk bit for bit.
+  Tensor gradient_per_sample(const Tensor& logits,
+                             std::span<const int> labels) const;
+
   /// Per-sample cross-entropy values (no averaging).
   std::vector<double> per_sample_loss(const Tensor& logits,
                                       std::span<const int> labels) const;

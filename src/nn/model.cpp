@@ -173,4 +173,16 @@ Tensor Classifier::input_gradient(const Tensor& input, int y) {
   return grad_in.reshaped({input.dim(0)});
 }
 
+Tensor Classifier::input_gradient_batch(const Tensor& xs,
+                                        std::span<const int> ys) {
+  OPAD_EXPECTS(xs.rank() == 2 && xs.dim(1) == input_dim());
+  OPAD_EXPECTS(ys.size() == xs.dim(0));
+  queries_ += xs.dim(0);
+  const Tensor out = network_.forward(xs, /*training=*/true);
+  const Tensor grad_out = loss_fn_.gradient_per_sample(out, ys);
+  Tensor grad_in = network_.backward(grad_out);
+  network_.zero_gradients();
+  return grad_in;
+}
+
 }  // namespace opad

@@ -127,6 +127,15 @@ class Classifier {
   /// entry point.
   Tensor input_gradient(const Tensor& input, int y);
 
+  /// Batched form: gradient of the per-sample (unscaled) cross-entropy
+  /// w.r.t. each row of `xs` [B, d] at labels `ys` [B], in one forward +
+  /// one backward pass. Parameter gradients are left zeroed. Row b is
+  /// bitwise equal to input_gradient(xs.row(b), ys[b]): every GEMM output
+  /// element is accumulated with a fixed k-ascending association
+  /// regardless of batch size, and the per-sample loss gradient carries
+  /// no 1/B scale. Costs B queries, exactly like B single calls.
+  Tensor input_gradient_batch(const Tensor& xs, std::span<const int> ys);
+
   /// Number of forward passes served so far (query counter used by the
   /// testing-budget accounting in the experiments; one batch row = one
   /// query).

@@ -1,0 +1,428 @@
+// Bit-identity suite for the lane-based attack substrate.
+//
+// The run_batch contract (attack/attack.h) promises that batched
+// execution is indistinguishable from the serial per-seed loop at the
+// bit level: every AttackResult field — success flag, adversarial
+// tensor bytes, linf_distance, queries — must match
+// run(model, seeds.row(i), labels[i], rngs[i]) exactly, for any lane
+// width and any OPAD_THREADS. These tests enforce that contract for
+// every native lane engine, including the awkward corners: seeds that
+// early-stop mid-batch (compaction), NaN-poisoned seeds that never
+// leave the active set, and the query-counter invariant.
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "attack/momentum_pgd.h"
+#include "attack/pgd.h"
+#include "attack/pgd_l2.h"
+#include "core/test_generator.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+#include "util/parallel.h"
+
+namespace opad {
+namespace {
+
+/// Restores the global pool to its OPAD_THREADS / hardware default when a
+/// thread-count-sweeping test exits (also on failure).
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() { ThreadPool::configure_global(0); }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+/// Field-by-field comparison; floats compared as bit patterns so NaN
+/// results (from poisoned seeds) still compare equal.
+void expect_same_result(const AttackResult& got, const AttackResult& want) {
+  EXPECT_EQ(got.success, want.success);
+  EXPECT_TRUE(bitwise_equal(got.adversarial, want.adversarial));
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(got.linf_distance),
+            std::bit_cast<std::uint32_t>(want.linf_distance));
+  EXPECT_EQ(got.queries, want.queries);
+}
+
+constexpr std::uint64_t kStreamBase = 0x9e3779b97f4a7c15ull;
+
+/// The serial ground truth: one run() per seed, stream i derived from
+/// the shared base exactly as the batched driver derives it.
+std::vector<AttackResult> serial_reference(const Attack& attack,
+                                           Classifier& model,
+                                           const Tensor& seeds,
+                                           const std::vector<int>& labels) {
+  std::vector<AttackResult> out;
+  out.reserve(seeds.dim(0));
+  for (std::size_t i = 0; i < seeds.dim(0); ++i) {
+    Rng rng(derive_stream_seed(kStreamBase, i));
+    out.push_back(attack.run(model, seeds.row(i), labels[i], rng));
+  }
+  return out;
+}
+
+/// Drives run_batch in lanes of `lane_width` seeds, the way the
+/// test-case generator does, with the same per-seed streams as the
+/// serial reference.
+std::vector<AttackResult> batched_reference(const Attack& attack,
+                                            Classifier& model,
+                                            const Tensor& seeds,
+                                            const std::vector<int>& labels,
+                                            std::size_t lane_width) {
+  std::vector<AttackResult> out;
+  out.reserve(seeds.dim(0));
+  for (std::size_t lo = 0; lo < seeds.dim(0); lo += lane_width) {
+    const std::size_t hi = std::min(lo + lane_width, seeds.dim(0));
+    Tensor lane_seeds({hi - lo, seeds.dim(1)});
+    std::vector<int> lane_labels(hi - lo);
+    std::vector<Rng> rngs;
+    rngs.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      lane_seeds.set_row(i - lo, seeds.row_span(i));
+      lane_labels[i - lo] = labels[i];
+      rngs.emplace_back(derive_stream_seed(kStreamBase, i));
+    }
+    auto chunk = attack.run_batch(model, lane_seeds, lane_labels, rngs);
+    for (auto& r : chunk) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+struct AttackUnderTest {
+  std::string name;
+  AttackPtr attack;
+  bool expect_mixed_outcomes = false;  // batch must contain both a
+                                       // success and a failure, so lane
+                                       // compaction actually triggers
+};
+
+class AttackBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new testing::RingTask(testing::make_ring_task(600, 200, 7));
+    Rng rng(8);
+    model_ = new Classifier(testing::train_mlp(task_->train, 24, 25, rng));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete task_;
+    model_ = nullptr;
+    task_ = nullptr;
+  }
+
+  static BallConfig ball() {
+    BallConfig b;
+    b.eps = 0.3f;
+    b.input_lo = -5.0f;
+    b.input_hi = 5.0f;
+    return b;
+  }
+
+  static double probability_margin_of(const Tensor& probs) {
+    float top1 = -1.0f, top2 = -1.0f;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      const float p = probs.at(i);
+      if (p > top1) {
+        top2 = top1;
+        top1 = p;
+      } else if (p > top2) {
+        top2 = p;
+      }
+    }
+    return top1 - top2;
+  }
+
+  /// A correctly classified seed whose top-2 probability margin lies in
+  /// [lo, hi): low margins crack quickly, high margins resist.
+  static LabeledSample seed_with_margin(Rng& rng, double lo, double hi) {
+    for (int attempt = 0; attempt < 5000; ++attempt) {
+      LabeledSample s = task_->generator.sample(rng);
+      const Tensor probs = model_->probabilities_single(s.x);
+      const int pred = static_cast<int>(probs.argmax());
+      const double margin = probability_margin_of(probs);
+      if (pred == s.y && margin >= lo && margin < hi) return s;
+    }
+    throw std::runtime_error("no seed with requested margin found");
+  }
+
+  /// Eight seeds spanning easy (low margin, early-stops quickly) to hard
+  /// (high margin, likely runs the full schedule) so lanes finish at
+  /// different steps and compaction is exercised.
+  static std::pair<Tensor, std::vector<int>> make_seed_batch() {
+    Rng rng(424242);
+    std::vector<LabeledSample> samples;
+    for (int i = 0; i < 5; ++i)
+      samples.push_back(seed_with_margin(rng, 0.0, 0.5));
+    for (int i = 0; i < 3; ++i)
+      samples.push_back(seed_with_margin(rng, 0.95, 1.01));
+    Tensor seeds({samples.size(), samples[0].x.dim(0)});
+    std::vector<int> labels(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      seeds.set_row(i, samples[i].x.data());
+      labels[i] = samples[i].y;
+    }
+    return {std::move(seeds), std::move(labels)};
+  }
+
+  static std::vector<AttackUnderTest> make_attacks() {
+    std::vector<AttackUnderTest> out;
+    out.push_back({"FGSM", std::make_shared<Fgsm>(ball()), false});
+    PgdConfig early;
+    early.ball = ball();
+    early.steps = 12;
+    early.restarts = 2;
+    early.early_stop = true;
+    out.push_back({"PGD-early-stop", std::make_shared<Pgd>(early), true});
+    PgdConfig full = early;
+    full.steps = 8;
+    full.early_stop = false;
+    out.push_back({"PGD-full-schedule", std::make_shared<Pgd>(full), true});
+    MomentumPgdConfig mc;
+    mc.ball = ball();
+    mc.steps = 10;
+    mc.restarts = 2;
+    out.push_back({"MI-FGSM", std::make_shared<MomentumPgd>(mc), true});
+    PgdL2Config lc;
+    lc.eps = 0.6f;
+    lc.input_lo = -5.0f;
+    lc.input_hi = 5.0f;
+    lc.steps = 10;
+    lc.restarts = 2;
+    out.push_back({"PGD-L2", std::make_shared<PgdL2>(lc), true});
+    return out;
+  }
+
+  static testing::RingTask* task_;
+  static Classifier* model_;
+};
+
+testing::RingTask* AttackBatchTest::task_ = nullptr;
+Classifier* AttackBatchTest::model_ = nullptr;
+
+TEST_F(AttackBatchTest, BatchBitIdenticalToSerialAcrossLanesAndThreads) {
+  GlobalPoolGuard guard;
+  const auto [seeds, labels] = make_seed_batch();
+
+  for (const AttackUnderTest& under_test : make_attacks()) {
+    SCOPED_TRACE(under_test.name);
+    // Serial ground truth, computed once at one thread.
+    ThreadPool::configure_global(1);
+    Classifier serial_model = model_->clone();
+    const auto want =
+        serial_reference(*under_test.attack, serial_model, seeds, labels);
+
+    if (under_test.expect_mixed_outcomes) {
+      std::size_t wins = 0;
+      for (const auto& r : want) wins += r.success ? 1 : 0;
+      ASSERT_GE(wins, 1u) << "batch must early-stop some lanes";
+      ASSERT_LT(wins, want.size()) << "batch must keep some lanes active";
+    }
+
+    for (std::size_t lanes : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        SCOPED_TRACE("lanes=" + std::to_string(lanes) +
+                     " threads=" + std::to_string(threads));
+        ThreadPool::configure_global(threads);
+        Classifier batch_model = model_->clone();
+        batch_model.reset_query_count();
+        const auto got = batched_reference(*under_test.attack, batch_model,
+                                           seeds, labels, lanes);
+        ASSERT_EQ(got.size(), want.size());
+        std::uint64_t total_queries = 0;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          SCOPED_TRACE("seed " + std::to_string(i));
+          expect_same_result(got[i], want[i]);
+          total_queries += got[i].queries;
+        }
+        // Per-lane query accounting must tile the counter delta exactly:
+        // every model query is attributed to exactly one result.
+        EXPECT_EQ(total_queries, batch_model.query_count());
+      }
+    }
+  }
+}
+
+TEST_F(AttackBatchTest, NanSeedSurvivesCompactionBitIdentically) {
+  // A NaN-poisoned seed can never succeed (its prediction is a fixed
+  // deterministic class we use as the label), so its lane stays active
+  // through every compaction while healthy neighbours early-stop around
+  // it. The walk over NaN must still be bit-identical to serial.
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(1);
+
+  auto [seeds, labels] = make_seed_batch();
+  const std::size_t nan_lane = 2;
+  std::vector<float> poison(seeds.dim(1),
+                            std::numeric_limits<float>::quiet_NaN());
+  seeds.set_row(nan_lane, poison);
+  labels[nan_lane] = model_->predict_single(seeds.row(nan_lane));
+
+  for (const AttackUnderTest& under_test : make_attacks()) {
+    SCOPED_TRACE(under_test.name);
+    Classifier serial_model = model_->clone();
+    const auto want =
+        serial_reference(*under_test.attack, serial_model, seeds, labels);
+    ASSERT_FALSE(want[nan_lane].success);
+
+    Classifier batch_model = model_->clone();
+    const auto got = batched_reference(*under_test.attack, batch_model,
+                                       seeds, labels, seeds.dim(0));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE("seed " + std::to_string(i));
+      expect_same_result(got[i], want[i]);
+    }
+  }
+}
+
+TEST_F(AttackBatchTest, RunPopulatesQueriesFromCounterDelta) {
+  // AttackResult::queries comes from the model's query-counter delta
+  // around the search, so it can never silently stay 0.
+  Rng rng(99);
+  const auto seed = seed_with_margin(rng, 0.0, 0.6);
+
+  Classifier model = model_->clone();
+  const Fgsm fgsm(ball());
+  model.reset_query_count();
+  Rng attack_rng(1);
+  const AttackResult fr = fgsm.run(model, seed.x, seed.y, attack_rng);
+  // FGSM is exactly one gradient plus one success check.
+  EXPECT_EQ(fr.queries, 2u);
+  EXPECT_EQ(fr.queries, model.query_count());
+
+  PgdConfig pc;
+  pc.ball = ball();
+  pc.steps = 5;
+  pc.restarts = 2;
+  const Pgd pgd(pc);
+  model.reset_query_count();
+  const AttackResult pr = pgd.run(model, seed.x, seed.y, attack_rng);
+  EXPECT_GE(pr.queries, 1u);
+  EXPECT_EQ(pr.queries, model.query_count());
+}
+
+TEST_F(AttackBatchTest, PgdFailedResultKeepsClosestAttempt) {
+  // Regression for the best-effort contract: a failed PGD must report
+  // the *closest* failed attempt across restarts, not whatever the last
+  // restart happened to end on. With a tiny step budget, restart 0
+  // (which starts at the seed and never draws from the rng) ends within
+  // steps * step_size of the seed, while the later random restarts
+  // start — and stay — much farther out.
+  Rng rng(7777);
+  const auto seed = seed_with_margin(rng, 0.97, 1.01);
+
+  PgdConfig base;
+  base.ball = ball();  // eps 0.3
+  base.steps = 3;
+  base.step_size = 0.01f;
+  base.restarts = 1;
+  base.random_start = true;
+  base.early_stop = true;
+
+  Classifier model = model_->clone();
+  Rng rng_one(555);
+  const AttackResult one = Pgd(base).run(model, seed.x, seed.y, rng_one);
+  ASSERT_FALSE(one.success);
+  // Restart 0's endpoint: at most steps * step_size from the seed.
+  EXPECT_LE(one.linf_distance, 0.03f + 1e-6f);
+  // Early-stop bookkeeping: steps * (gradient + check) + epilogue check.
+  EXPECT_EQ(one.queries, 7u);
+
+  PgdConfig wide = base;
+  wide.restarts = 4;
+  Rng rng_many(555);
+  const AttackResult many = Pgd(wide).run(model, seed.x, seed.y, rng_many);
+  ASSERT_FALSE(many.success);
+  // Extra restarts can only tie or improve the best failed attempt …
+  EXPECT_LE(many.linf_distance, one.linf_distance);
+  // … and here every random restart ends farther out than restart 0, so
+  // the reported best attempt is restart 0's endpoint, byte for byte.
+  // (The pre-fix code reported the last restart's endpoint instead.)
+  EXPECT_TRUE(bitwise_equal(many.adversarial, one.adversarial));
+  EXPECT_EQ(many.queries, 4u * 6u + 1u);
+}
+
+TEST_F(AttackBatchTest, GeneratorBitIdenticalAcrossLaneWidthsAndThreads) {
+  // The campaign layer slices seed lists into lanes; neither the lane
+  // width nor the thread count may leak into results.
+  GlobalPoolGuard guard;
+  PgdConfig pc;
+  pc.ball = ball();
+  pc.steps = 8;
+  pc.restarts = 2;
+  const auto attack = std::make_shared<Pgd>(pc);
+
+  std::vector<std::size_t> seeds(40);
+  std::iota(seeds.begin(), seeds.end(), std::size_t{0});
+
+  std::vector<Detection> detections;
+  for (std::size_t lane_width : {std::size_t{1}, std::size_t{3},
+                                 std::size_t{8}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ThreadPool::configure_global(threads);
+      const TestCaseGenerator generator(attack, nullptr, std::nullopt,
+                                        nullptr, lane_width);
+      Classifier model = model_->clone();
+      BudgetTracker budget(100000);
+      Rng rng(4242);
+      detections.push_back(
+          generator.generate(model, task_->test, seeds, budget, rng));
+    }
+  }
+  const Detection& want = detections.front();
+  for (std::size_t k = 1; k < detections.size(); ++k) {
+    SCOPED_TRACE("variant " + std::to_string(k));
+    const Detection& got = detections[k];
+    EXPECT_EQ(got.stats.seeds_attacked, want.stats.seeds_attacked);
+    EXPECT_EQ(got.stats.aes_found, want.stats.aes_found);
+    EXPECT_EQ(got.stats.clean_failures, want.stats.clean_failures);
+    EXPECT_EQ(got.stats.operational_aes, want.stats.operational_aes);
+    EXPECT_EQ(got.stats.queries_used, want.stats.queries_used);
+    ASSERT_EQ(got.aes.size(), want.aes.size());
+    for (std::size_t i = 0; i < got.aes.size(); ++i) {
+      SCOPED_TRACE("ae " + std::to_string(i));
+      EXPECT_TRUE(bitwise_equal(got.aes[i].seed, want.aes[i].seed));
+      EXPECT_TRUE(
+          bitwise_equal(got.aes[i].adversarial, want.aes[i].adversarial));
+      EXPECT_EQ(got.aes[i].label, want.aes[i].label);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(got.aes[i].linf_distance),
+                std::bit_cast<std::uint32_t>(want.aes[i].linf_distance));
+      EXPECT_EQ(got.aes[i].is_operational, want.aes[i].is_operational);
+    }
+  }
+}
+
+TEST_F(AttackBatchTest, RunBatchValidatesArguments) {
+  Rng rng(1);
+  const Fgsm attack(ball());
+  Classifier model = model_->clone();
+  Tensor seeds({2, 2});
+  std::vector<int> labels = {0, 1};
+  std::vector<Rng> rngs;
+  rngs.emplace_back(1);
+  rngs.emplace_back(2);
+  std::vector<int> short_labels = {0};
+  EXPECT_THROW(attack.run_batch(model, seeds, short_labels, rngs),
+               PreconditionError);
+  std::vector<Rng> short_rngs;
+  short_rngs.emplace_back(1);
+  EXPECT_THROW(attack.run_batch(model, seeds, labels, short_rngs),
+               PreconditionError);
+  Tensor rank1({4});
+  EXPECT_THROW(attack.run_batch(model, rank1, labels, rngs),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace opad

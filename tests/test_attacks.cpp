@@ -144,8 +144,7 @@ TEST_F(AttackTest, QueryAccountingPositive) {
   config.restarts = 1;
   const Pgd attack(config);
   const auto seed = boundary_seed(rng);
-  const AttackResult result =
-      run_with_query_accounting(attack, *model_, seed.x, seed.y, rng);
+  const AttackResult result = attack.run(*model_, seed.x, seed.y, rng);
   EXPECT_GT(result.queries, 0u);
   // 5 gradient queries + <= 5 prediction checks.
   EXPECT_LE(result.queries, 11u);

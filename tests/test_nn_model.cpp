@@ -1,6 +1,7 @@
 #include "nn/model.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -134,6 +135,51 @@ TEST(Classifier, PredictBatchBitIdenticalToRowByRowPredict) {
           << "trial " << trial << " row " << i;
     }
   }
+}
+
+TEST(Classifier, InputGradientBatchBitIdenticalToRowByRow) {
+  // The batched-gradient contract mirrors predict_batch's: one forward +
+  // one backward over [B, d] yields input-gradient rows bitwise equal to
+  // per-row input_gradient — the per-sample loss gradient carries no 1/B
+  // scale (the single-row scale factor is exactly 1.0f) and the packed
+  // GEMM accumulates every output element in a fixed k-ascending order
+  // regardless of batch size.
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    Classifier model = testing::make_mlp(6, 10, 4, rng);
+    const Tensor x = Tensor::randn({17, 6}, rng);
+    std::vector<int> ys(x.dim(0));
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      ys[i] = static_cast<int>(i % model.num_classes());
+    }
+    model.reset_query_count();
+    const Tensor batched = model.input_gradient_batch(x, ys);
+    EXPECT_EQ(model.query_count(), x.dim(0));  // one query per row
+    ASSERT_EQ(batched.shape(), (Shape{17, 6}));
+    // Parameter gradients are scratch and must be left zeroed.
+    for (Tensor* g : model.network().gradients()) {
+      for (float v : g->data()) ASSERT_EQ(v, 0.0f);
+    }
+    for (std::size_t i = 0; i < x.dim(0); ++i) {
+      const Tensor single = model.input_gradient(x.row(i), ys[i]);
+      ASSERT_EQ(single.size(), batched.dim(1));
+      EXPECT_EQ(std::memcmp(batched.row_span(i).data(),
+                            single.data().data(),
+                            single.size() * sizeof(float)),
+                0)
+          << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+TEST(Classifier, InputGradientBatchValidatesArgs) {
+  Rng rng(24);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  std::vector<int> too_few(2, 0);
+  EXPECT_THROW(model.input_gradient_batch(x, too_few), PreconditionError);
+  std::vector<int> bad_label = {0, 1, 7};
+  EXPECT_THROW(model.input_gradient_batch(x, bad_label), PreconditionError);
 }
 
 TEST(Classifier, PredictBatchValidatesSpanSize) {
