@@ -4,6 +4,8 @@
 // density, and the naturalness-guided fuzzer step.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "attack/natural_fuzzer.h"
 #include "attack/pgd.h"
 #include "core/methods.h"
@@ -14,6 +16,8 @@
 #include "nn/dense.h"
 #include "op/gmm.h"
 #include "op/kde.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace {
@@ -43,6 +47,122 @@ void BM_MatMul(benchmark::State& state) {
   set_gemm_counters(state, n, n, n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Small-shape GEMM, routed explicitly: second arg 0 measures the packed
+// path (fast-path limit 0), 1 measures the no-pack small kernel driven
+// directly (squares past kGemmSmallPathMaxRows never qualify for the
+// dispatcher's gate). The two columns are the measurement behind the
+// fast-path gate recorded in DESIGN.md "SIMD micro-kernel dispatch" —
+// on an AVX2 host the packed route wins every square size, which is
+// why the gate keys on skinny m, not on m*n*k alone.
+void BM_MatMulSmall(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool fast_path = state.range(1) != 0;
+  const std::size_t previous_limit = gemm_small_path_limit();
+  set_gemm_small_path_limit(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  if (fast_path) {
+    const detail::Operand a_op{a.data().data(), n, 1};
+    const detail::Operand b_op{b.data().data(), n, 1};
+    Tensor c({n, n});
+    for (auto _ : state) {
+      c.fill(0.0f);
+      detail::gemm_small_strided(n, n, n, 256, a_op, b_op,
+                                 c.data().data());
+      benchmark::DoNotOptimize(c.data().data());
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(matmul(a, b));
+    }
+  }
+  set_gemm_small_path_limit(previous_limit);
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_MatMulSmall)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+// Row-skinny GEMM [m, 64] x [64, 64] — the dense-layer-on-few-samples /
+// surviving-attack-lanes shape the fast path exists for. Second arg as
+// in BM_MatMulSmall; here m <= kGemmSmallPathMaxRows shapes route
+// through the fast path in normal dispatch too, and the m sweep pins
+// where the win dies out (the data behind kGemmSmallPathMaxRows).
+void BM_MatMulSkinny(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const bool fast_path = state.range(1) != 0;
+  const std::size_t previous_limit = gemm_small_path_limit();
+  set_gemm_small_path_limit(
+      fast_path ? std::numeric_limits<std::size_t>::max() : 0);
+  const std::size_t k = 64, n = 64;
+  Rng rng(1);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  if (fast_path && m > kGemmSmallPathMaxRows) {
+    const detail::Operand a_op{a.data().data(), k, 1};
+    const detail::Operand b_op{b.data().data(), n, 1};
+    Tensor c({m, n});
+    for (auto _ : state) {
+      c.fill(0.0f);
+      detail::gemm_small_strided(m, n, k, 256, a_op, b_op,
+                                 c.data().data());
+      benchmark::DoNotOptimize(c.data().data());
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(matmul(a, b));
+    }
+  }
+  set_gemm_small_path_limit(previous_limit);
+  set_gemm_counters(state, m, k, n);
+}
+BENCHMARK(BM_MatMulSkinny)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({6, 0})
+    ->Args({6, 1});
+
+// Micro-kernel comparison at a packed-path shape: second arg selects
+// the kernel (0 = scalar, 1 = avx2, 2 = fma). Unsupported kernels are
+// skipped with an error row rather than silently re-measuring another
+// kernel, so CSVs from different hosts stay comparable.
+void BM_MatMulKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto kernel = static_cast<GemmKernel>(state.range(1));
+  if (!gemm_kernel_supported(kernel)) {
+    state.SkipWithError("kernel not supported on this CPU");
+    return;
+  }
+  const GemmKernel previous = active_gemm_kernel();
+  set_gemm_kernel(kernel);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  set_gemm_kernel(previous);
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_MatMulKernel)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2});
 
 void BM_MatMulTransposeA(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,19 +1,23 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
+#include "tensor/gemm_kernels.h"
+#include "util/cpu_features.h"
+#include "util/error.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 #include "util/scratch.h"
 
 namespace opad {
 namespace {
 
-// Register micro-tile: kMr x kNr scalar accumulators. 6x8 keeps the
-// accumulators (12 SSE / 6 AVX registers) plus one broadcast and one B
-// vector inside the x86-64 register file, and the kNr loop is a fixed
-// 8-float span the autovectorizer turns into wide FMAs.
-constexpr std::size_t kMr = 6;
-constexpr std::size_t kNr = 8;
+using detail::kMr;
+using detail::kNr;
+using detail::Operand;
 
 // Cache blocking. C is cut into kMc x kNc tiles — the unit of
 // parallelism: every C element is computed entirely inside one tile, so
@@ -25,16 +29,9 @@ constexpr std::size_t kMc = 48;   // multiple of kMr
 constexpr std::size_t kNc = 256;  // multiple of kNr
 constexpr std::size_t kKc = 256;
 
-/// View of an operand in its effective (post-transpose) orientation.
-struct Operand {
-  const float* data;
-  std::size_t row_stride;
-  std::size_t col_stride;
-
-  float at(std::size_t r, std::size_t c) const {
-    return data[r * row_stride + c * col_stride];
-  }
-};
+// The fast-path gate promises gemm_small_strided an n that fits its
+// stack row-accumulator buffer.
+static_assert(kGemmSmallPathMaxCols == detail::kSmallPathRowBuffer);
 
 /// Packs rows [i0, i0+mb) x k-block [p0, p0+kb) of A into kMr-row
 /// panels laid out kk-major, so the micro-kernel reads kMr contiguous
@@ -59,7 +56,10 @@ void pack_a(const Operand& a, std::size_t i0, std::size_t mb, std::size_t p0,
 
 /// Packs k-block [p0, p0+kb) x columns [j0, j0+nb) of B into kNr-column
 /// panels, kk-major, zero-padding columns past nb (discarded on
-/// write-back like the A padding).
+/// write-back like the A padding). Each panel starts kNr*kb floats = a
+/// multiple of 32 bytes past the 64-byte-aligned workspace, and each kk
+/// row is kNr floats = 32 bytes, so every B row the micro-kernel loads
+/// is 32-byte aligned — the AVX2/FMA kernels rely on this.
 void pack_b(const Operand& b, std::size_t p0, std::size_t kb, std::size_t j0,
             std::size_t nb, float* bp) {
   const std::size_t panels = (nb + kNr - 1) / kNr;
@@ -76,33 +76,108 @@ void pack_b(const Operand& b, std::size_t p0, std::size_t kb, std::size_t j0,
   }
 }
 
-/// kb steps of the register tile: one scalar accumulator per element,
-/// k consumed in ascending order — the association the determinism
-/// contract fixes. The block sum is then added to C; rows/cols mask the
-/// zero-padded edge lanes out of the write-back.
-void micro_kernel(std::size_t kb, const float* ap, const float* bp, float* c,
-                  std::size_t ldc, std::size_t rows, std::size_t cols) {
-  float acc[kMr][kNr] = {};
-  for (std::size_t kk = 0; kk < kb; ++kk) {
-    const float* a = ap + kk * kMr;
-    const float* b = bp + kk * kNr;
-    for (std::size_t r = 0; r < kMr; ++r) {
-      const float av = a[r];
-      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += av * b[j];
-    }
+detail::MicroKernelFn kernel_fn(GemmKernel kernel) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (kernel) {
+    case GemmKernel::kAvx2: return detail::micro_kernel_avx2;
+    case GemmKernel::kFma: return detail::micro_kernel_fma;
+    default: return detail::micro_kernel_scalar;
   }
-  if (rows == kMr && cols == kNr) {
-    for (std::size_t r = 0; r < kMr; ++r) {
-      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
-    }
+#else
+  (void)kernel;
+  return detail::micro_kernel_scalar;
+#endif
+}
+
+/// The dispatch default: fastest kernel that keeps the portable
+/// bit-identity contract. FMA only becomes the default when the build
+/// opted into native numerics (OPAD_NATIVE_ARCH defines this macro).
+GemmKernel default_kernel() {
+  const CpuFeatures& cpu = cpu_features();
+#if defined(OPAD_NATIVE_ARCH_BUILD)
+  if (cpu.fma) return GemmKernel::kFma;
+#endif
+  if (cpu.avx2) return GemmKernel::kAvx2;
+  return GemmKernel::kScalar;
+}
+
+bool parse_kernel_name(const char* name, GemmKernel* out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = GemmKernel::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = GemmKernel::kAvx2;
+  } else if (std::strcmp(name, "fma") == 0) {
+    *out = GemmKernel::kFma;
   } else {
-    for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
+    return false;
+  }
+  return true;
+}
+
+GemmKernel resolve_initial_kernel() {
+  if (const char* env = std::getenv("OPAD_GEMM_KERNEL")) {
+    GemmKernel requested;
+    if (!parse_kernel_name(env, &requested)) {
+      OPAD_WARN << "OPAD_GEMM_KERNEL=" << env
+                << " is not one of scalar|avx2|fma; using the default";
+    } else if (!gemm_kernel_supported(requested)) {
+      OPAD_WARN << "OPAD_GEMM_KERNEL=" << env
+                << " is not supported by this CPU; using the default";
+    } else {
+      return requested;
     }
   }
+  return default_kernel();
+}
+
+/// Selected kernel; read on every gemm() call (possibly from pool
+/// workers running nested products), written only by set_gemm_kernel.
+std::atomic<GemmKernel>& kernel_state() {
+  static std::atomic<GemmKernel> state{resolve_initial_kernel()};
+  return state;
+}
+
+std::atomic<std::size_t>& small_path_limit_state() {
+  static std::atomic<std::size_t> state{kGemmSmallPathDefaultLimit};
+  return state;
 }
 
 }  // namespace
+
+const char* gemm_kernel_name(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kScalar: return "scalar";
+    case GemmKernel::kAvx2: return "avx2";
+    default: return "fma";
+  }
+}
+
+bool gemm_kernel_supported(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kScalar: return true;
+    case GemmKernel::kAvx2: return cpu_features().avx2;
+    default: return cpu_features().fma;
+  }
+}
+
+GemmKernel active_gemm_kernel() {
+  return kernel_state().load(std::memory_order_relaxed);
+}
+
+void set_gemm_kernel(GemmKernel kernel) {
+  OPAD_EXPECTS_MSG(gemm_kernel_supported(kernel),
+                   "GEMM kernel '" << gemm_kernel_name(kernel)
+                                   << "' is not supported by this CPU");
+  kernel_state().store(kernel, std::memory_order_relaxed);
+}
+
+std::size_t gemm_small_path_limit() {
+  return small_path_limit_state().load(std::memory_order_relaxed);
+}
+
+void set_gemm_small_path_limit(std::size_t mnk_limit) {
+  small_path_limit_state().store(mnk_limit, std::memory_order_relaxed);
+}
 
 void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
           GemmTranspose trans_a, const float* b, GemmTranspose trans_b,
@@ -114,6 +189,19 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
   const Operand b_op = trans_b == GemmTranspose::kNone
                            ? Operand{b, n, 1}
                            : Operand{b, 1, k};
+  // Small-matrix fast path: for row-skinny products (a dense layer on a
+  // single sample, 1-2 surviving attack lanes) packing B costs as much
+  // as the product itself, so a direct strided walk wins ~2-4x. Serial,
+  // but the same accumulation association — bitwise neutral (and
+  // trivially OPAD_THREADS-independent).
+  // (k <= limit/m/n is the overflow-safe form of m*n*k <= limit.)
+  const std::size_t limit = gemm_small_path_limit();
+  if (limit > 0 && m <= kGemmSmallPathMaxRows &&
+      n <= kGemmSmallPathMaxCols && k <= limit / m / n) {
+    detail::gemm_small_strided(m, n, k, kKc, a_op, b_op, c);
+    return;
+  }
+  const detail::MicroKernelFn micro_kernel = kernel_fn(active_gemm_kernel());
   const std::size_t tiles_m = (m + kMc - 1) / kMc;
   const std::size_t tiles_n = (n + kNc - 1) / kNc;
   // One chunk per C tile: the grid depends only on (m, n), and a tile's

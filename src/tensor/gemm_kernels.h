@@ -1,0 +1,82 @@
+// Internal micro-kernels behind the packed GEMM driver (gemm.cpp).
+//
+// Every floating-point accumulation of the GEMM lives in this TU, which
+// the build compiles with -ffp-contract=off (see src/tensor/CMakeLists):
+// the compiler may never fuse the separate multiply and add into an FMA
+// behind our back, so the scalar and AVX2 kernels produce bit-identical
+// results on every build type, including -march=native. The FMA kernel
+// is the one deliberate exception — it uses explicit fused intrinsics
+// and is documented as numerically divergent (DESIGN.md "SIMD
+// micro-kernel dispatch").
+//
+// All kernels share one contract: kb steps of a kMr x kNr register tile
+// over packed panels, one independent accumulator chain per C element,
+// k consumed in ascending order, padded lanes masked out of the
+// write-back. The scalar and AVX2 kernels perform, per element and per
+// k step, one rounding after the multiply and one after the add — the
+// AVX2 kernel merely evaluates 8 such independent chains per vector
+// register, so its lanes are bitwise equal to the scalar chains.
+#pragma once
+
+#include <cstddef>
+
+namespace opad::detail {
+
+// Register micro-tile shape shared by driver packing and kernels. 6x8
+// keeps the accumulators (12 SSE / 6 AVX registers) plus one broadcast
+// and one B vector inside the x86-64 register file.
+inline constexpr std::size_t kMr = 6;
+inline constexpr std::size_t kNr = 8;
+
+/// View of a GEMM operand in its effective (post-transpose) orientation.
+struct Operand {
+  const float* data;
+  std::size_t row_stride;
+  std::size_t col_stride;
+
+  float at(std::size_t r, std::size_t c) const {
+    return data[r * row_stride + c * col_stride];
+  }
+};
+
+/// kb steps of the register tile over a packed kMr-row A panel and a
+/// packed kNr-column B panel (both kk-major), adding the block sum into
+/// the [rows, cols] top-left corner of C (leading dimension ldc).
+/// `bp` must be 32-byte aligned (the AVX2/FMA kernels use aligned
+/// 256-bit loads; the packing layout guarantees this, see gemm.cpp).
+using MicroKernelFn = void (*)(std::size_t kb, const float* ap,
+                               const float* bp, float* c, std::size_t ldc,
+                               std::size_t rows, std::size_t cols);
+
+void micro_kernel_scalar(std::size_t kb, const float* ap, const float* bp,
+                         float* c, std::size_t ldc, std::size_t rows,
+                         std::size_t cols);
+
+#if defined(__x86_64__) || defined(__i386__)
+// Compiled with per-function target attributes so the portable build
+// carries them too; only ever dispatched after cpu_features() confirms
+// the ISA is usable on the running machine.
+void micro_kernel_avx2(std::size_t kb, const float* ap, const float* bp,
+                       float* c, std::size_t ldc, std::size_t rows,
+                       std::size_t cols);
+void micro_kernel_fma(std::size_t kb, const float* ap, const float* bp,
+                      float* c, std::size_t ldc, std::size_t rows,
+                      std::size_t cols);
+#endif
+
+/// Stack row-accumulator width of the small-path kernel; products with
+/// n above this take a per-element fallback loop inside it.
+inline constexpr std::size_t kSmallPathRowBuffer = 256;
+
+/// Small-matrix fast path: computes C += op(A) * op(B) directly from the
+/// strided operands, skipping pack_a/pack_b and the scratch arena. The
+/// caller must guarantee n <= kSmallPathRowBuffer. The accumulation
+/// replays the packed path's association exactly — per C element one
+/// scalar accumulator per kc-sized k block, blocks added to C in
+/// ascending order — so the result is bitwise identical to the scalar
+/// (and therefore AVX2) packed kernel for every shape.
+void gemm_small_strided(std::size_t m, std::size_t n, std::size_t k,
+                        std::size_t kc, const Operand& a, const Operand& b,
+                        float* c);
+
+}  // namespace opad::detail

@@ -1,0 +1,56 @@
+#include "util/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace opad {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XCR0 via the xgetbv instruction, encoded as raw bytes so the TU does
+/// not need -mxsave. Only called after the OSXSAVE cpuid bit confirmed
+/// the instruction exists.
+unsigned long long read_xcr0() {
+  unsigned int eax = 0, edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                   : "=a"(eax), "=d"(edx)
+                   : "c"(0));
+  return (static_cast<unsigned long long>(edx) << 32) | eax;
+}
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  f.sse2 = (edx & (1u << 26)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool cpu_fma = (ecx & (1u << 12)) != 0;
+  const bool cpu_avx = (ecx & (1u << 28)) != 0;
+  // AVX-class registers are usable only if the OS saves/restores ymm
+  // state across context switches: XCR0 bits 1 (xmm) and 2 (ymm).
+  const bool ymm_enabled = osxsave && (read_xcr0() & 0x6) == 0x6;
+  bool cpu_avx2 = false;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    cpu_avx2 = (ebx & (1u << 5)) != 0;
+  }
+  f.avx2 = cpu_avx && cpu_avx2 && ymm_enabled;
+  f.fma = f.avx2 && cpu_fma;  // the FMA kernel also uses AVX2 loads
+  return f;
+}
+
+#else
+
+CpuFeatures detect() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+}  // namespace opad

@@ -1,0 +1,27 @@
+// One-time runtime CPU feature detection for kernel dispatch.
+//
+// The GEMM micro-kernel dispatcher (src/tensor/gemm.cpp) needs to know
+// which vector ISAs the *running* machine supports, independent of the
+// flags the binary was compiled with: the portable build must be able to
+// select an AVX2 kernel on an AVX2 host, and must never select it on a
+// machine that only has SSE2. Detection runs once (cpuid + xgetbv) and
+// the result is cached for the life of the process.
+#pragma once
+
+namespace opad {
+
+/// Vector ISA capabilities of the running CPU. A feature bit is set only
+/// when the instruction set is *usable*: for AVX2/FMA that means the
+/// cpuid bit is present AND the OS has enabled ymm state saving
+/// (OSXSAVE + XCR0), so a kernel guarded by these flags can never fault.
+struct CpuFeatures {
+  bool sse2 = false;  ///< baseline on every x86-64; false elsewhere
+  bool avx2 = false;  ///< 256-bit integer/float vectors, usable
+  bool fma = false;   ///< fused multiply-add (FMA3), usable
+};
+
+/// The host's capabilities, detected on first call and cached.
+/// Thread-safe (function-local static init).
+const CpuFeatures& cpu_features();
+
+}  // namespace opad

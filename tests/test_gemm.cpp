@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/conv2d.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/parallel.h"
 #include "util/scratch.h"
@@ -126,6 +127,87 @@ TEST(GemmOracle, NonFinitePropagatesThroughPackedPath) {
     EXPECT_FLOAT_EQ(c(i0, j0 + 1), static_cast<float>(k - 1))
         << variant_name(v);
   }
+}
+
+// Tail-panel audit: odd shapes whose edges land in the zero-padded
+// region of the packed panels (m % 6, n % 8, k % 256 remainders all in
+// play), with non-finite values planted in the tail rows/columns. A
+// padding bug shows up either as a wrong finite value (0-padding leaked
+// into the write-back) or as NaN bleeding into neighbours (padded lanes
+// multiplied against a non-finite operand and not masked out). Runs
+// under every supported kernel and both dispatch routes.
+TEST(GemmOracle, OddShapeTailPanelsWithNonFiniteEdges) {
+  struct Case {
+    std::size_t m, k, n;
+  };
+  // 1x1, sub-tile, one-past-tile, and prime dims that are coprime to
+  // every blocking constant.
+  const Case cases[] = {{1, 1, 1},    {5, 3, 7},     {6, 4, 9},
+                        {7, 11, 13},  {13, 17, 19},  {23, 29, 31},
+                        {47, 53, 61}, {5, 259, 7}};
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const GemmKernel kernels[] = {GemmKernel::kScalar, GemmKernel::kAvx2,
+                                GemmKernel::kFma};
+  const GemmKernel previous_kernel = active_gemm_kernel();
+  const std::size_t previous_limit = gemm_small_path_limit();
+  Rng rng(40860);
+  for (const Case& c : cases) {
+    for (Variant v : kVariants) {
+      Tensor a = Tensor::randn(stored_a(v, c.m, c.k), rng);
+      Tensor b = Tensor::randn(stored_b(v, c.k, c.n), rng);
+      // Poison the tail region: last A row gets an Inf and a 0 at the
+      // last k slot, last B column gets a NaN at the last k slot. The
+      // oracle below reproduces the resulting non-finite pattern.
+      (v == Variant::kTransposeA ? a(c.k - 1, c.m - 1)
+                                 : a(c.m - 1, c.k - 1)) = inf;
+      if (c.k > 1) {
+        (v == Variant::kTransposeA ? a(0, c.m - 1) : a(c.m - 1, 0)) = 0.0f;
+      }
+      (v == Variant::kTransposeB ? b(c.n - 1, c.k - 1)
+                                 : b(c.k - 1, c.n - 1)) = nan;
+      for (GemmKernel kernel : kernels) {
+        if (!gemm_kernel_supported(kernel)) continue;
+        set_gemm_kernel(kernel);
+        for (std::size_t limit : {std::size_t{0},
+                                  std::numeric_limits<std::size_t>::max()}) {
+          set_gemm_small_path_limit(limit);
+          const Tensor got = run_variant(v, a, b);
+          ASSERT_EQ(got.shape(), (Shape{c.m, c.n}));
+          const double tol =
+              1e-4 + 2e-6 * static_cast<double>(c.k) *
+                         std::sqrt(static_cast<double>(c.k));
+          for (std::size_t i = 0; i < c.m; ++i) {
+            for (std::size_t j = 0; j < c.n; ++j) {
+              double ref = 0.0;
+              for (std::size_t kk = 0; kk < c.k; ++kk) {
+                ref += static_cast<double>(effective_a(v, a, i, kk)) *
+                       static_cast<double>(effective_b(v, b, kk, j));
+              }
+              if (std::isnan(ref)) {
+                ASSERT_TRUE(std::isnan(got(i, j)))
+                    << variant_name(v) << " [" << c.m << "," << c.k << ","
+                    << c.n << "] kernel " << gemm_kernel_name(kernel)
+                    << " limit " << limit << " at (" << i << "," << j
+                    << ")";
+              } else if (std::isinf(ref)) {
+                ASSERT_EQ(static_cast<double>(got(i, j)), ref)
+                    << variant_name(v) << " at (" << i << "," << j << ")";
+              } else {
+                ASSERT_NEAR(got(i, j), ref, tol)
+                    << variant_name(v) << " [" << c.m << "," << c.k << ","
+                    << c.n << "] kernel " << gemm_kernel_name(kernel)
+                    << " limit " << limit << " at (" << i << "," << j
+                    << ")";
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  set_gemm_kernel(previous_kernel);
+  set_gemm_small_path_limit(previous_limit);
 }
 
 TEST(GemmDeterminism, BitIdenticalAcrossThreadCounts) {
