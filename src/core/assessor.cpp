@@ -1,5 +1,8 @@
 #include "core/assessor.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "op/histogram.h"
 
 namespace opad {
@@ -31,15 +34,29 @@ Assessment ReliabilityAssessor::assess(Classifier& model,
       partition_, cell_weights_, config_.prior_alpha, config_.prior_beta);
 
   Assessment assessment;
-  const std::size_t probes =
-      std::min(config_.probes_per_assessment, operational_data.size());
+  // Each probe costs at least its precheck query, so at most remaining()
+  // probes can ever be afforded — clamping up front keeps the batched
+  // precheck from querying probes the budget could never pay for.
+  const std::size_t probes = std::min(
+      {config_.probes_per_assessment, operational_data.size(),
+       static_cast<std::size_t>(std::min<std::uint64_t>(
+           budget.remaining(), std::numeric_limits<std::size_t>::max()))});
+  if (probes == 0) {
+    assessment.pmi_mean = last_model_->pmi_mean();
+    assessment.pmi_upper = last_model_->pmi_upper_bound(
+        config_.confidence, config_.pmi_mc_samples, rng);
+    assessment.target_met = assessment.pmi_upper <= config_.target_pmi;
+    return assessment;
+  }
   const auto indices =
       rng.sample_without_replacement(operational_data.size(), probes);
   // Batched precheck: one forward pass answers "is this probe mishandled
   // as-is?" for every probe. The precheck draws no rng, so the attack
   // stream below is untouched; each probe is still accounted as one
   // precheck query plus its attack's queries, with the budget cut-off
-  // applied between probes exactly as the per-row walk did.
+  // applied between probes exactly as the per-row walk did. A probe whose
+  // measured cost exceeds the remaining budget is discarded and ends the
+  // assessment (exact affordable prefix — the budget never overruns).
   Tensor batch({probes, operational_data.dim()});
   for (std::size_t i = 0; i < probes; ++i) {
     batch.set_row(i, operational_data.row(indices[i]));
@@ -56,9 +73,13 @@ Assessment ReliabilityAssessor::assess(Classifier& model,
           probe_attack_->run(model, probe.x, probe.y, rng);
       mishandled = r.success;
     }
+    const std::uint64_t delta = 1 + (model.query_count() - before);
+    if (delta > budget.remaining()) {
+      budget.mark_depleted();
+      break;
+    }
     last_model_->record(probe.x, mishandled);
     assessment.probes += 1;
-    const std::uint64_t delta = 1 + (model.query_count() - before);
     assessment.queries_used += delta;
     budget.consume(delta);
   }

@@ -125,12 +125,19 @@ Detection TestCaseGenerator::generate(
     }
   });
 
-  // Sequential fold in seed order: the budget cut-off between seeds is
-  // applied exactly as the serial loop would have, and the consumed
-  // queries are folded back into the primary model's counter.
+  // Sequential fold in seed order with the budget cut-off applied between
+  // seeds. A seed whose measured cost no longer fits in the remaining
+  // budget ends the campaign right there (mark_depleted): the fold keeps
+  // the exact affordable prefix, so the accounted total can never overrun
+  // query_budget — not even by the final lane group. Consumed queries are
+  // folded back into the primary model's counter.
   for (std::size_t i = 0; i < n; ++i) {
     if (budget.exhausted()) break;
     SeedOutcome& out = outcomes[i];
+    if (out.result.queries > budget.remaining()) {
+      budget.mark_depleted();
+      break;
+    }
     budget.consume(out.result.queries);
     model.add_queries(out.result.queries);
     detection.stats.seeds_attacked += 1;

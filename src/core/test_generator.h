@@ -37,8 +37,12 @@ class TestCaseGenerator {
   /// seed keeps its own Rng stream (derived from one draw of `rng`), so
   /// the returned Detection — including query accounting on `model` — is
   /// bit-identical for any OPAD_THREADS value and any lane width. Callers
-  /// control the parallel over-run per call by the span length (the
-  /// budget cut-off is applied after the batch is attacked).
+  /// control the parallel over-run per call by the span length; the
+  /// budget cut-off is applied after the batch is attacked, and only the
+  /// exact affordable prefix of seeds is accounted: the first seed whose
+  /// measured cost exceeds the remaining budget is discarded and the
+  /// budget is marked depleted, so the consumed total never exceeds the
+  /// budget (regression-pinned).
   Detection generate(Classifier& model, const Dataset& pool,
                      std::span<const std::size_t> seed_indices,
                      BudgetTracker& budget, Rng& rng) const;

@@ -63,6 +63,11 @@ struct Detection {
 
 /// Testing budget in model queries. Components consume from a shared
 /// tracker so cross-method comparisons are query-for-query fair.
+///
+/// Invariant: used() never exceeds total(). A campaign that measures a
+/// seed's cost only after attacking it must not consume() a cost larger
+/// than remaining(); instead it calls mark_depleted() to end the budget
+/// at the exact affordable prefix (the attacked seed is discarded).
 class BudgetTracker {
  public:
   explicit BudgetTracker(std::uint64_t total) : total_(total) {
@@ -72,17 +77,28 @@ class BudgetTracker {
   std::uint64_t total() const { return total_; }
   std::uint64_t used() const { return used_; }
   std::uint64_t remaining() const {
-    return used_ >= total_ ? 0 : total_ - used_;
+    return depleted_ || used_ >= total_ ? 0 : total_ - used_;
   }
-  bool exhausted() const { return used_ >= total_; }
+  bool exhausted() const { return remaining() == 0; }
 
-  /// Records `n` consumed queries (may overshoot; campaigns check
-  /// exhausted() between seeds, not mid-attack).
-  void consume(std::uint64_t n) { used_ += n; }
+  /// Records `n` consumed queries; `n` must fit in remaining() (callers
+  /// clamp their final batch to the exact budget prefix).
+  void consume(std::uint64_t n) {
+    OPAD_EXPECTS_MSG(n <= remaining(),
+                     "budget overrun: consuming " << n << " with "
+                                                  << remaining() << " left");
+    used_ += n;
+  }
+
+  /// Declares the budget spent without charging further queries: the next
+  /// work item costs more than remaining(), so the campaign stops here.
+  /// used() keeps the true consumption (<= total()).
+  void mark_depleted() { depleted_ = true; }
 
  private:
   std::uint64_t total_;
   std::uint64_t used_ = 0;
+  bool depleted_ = false;
 };
 
 }  // namespace opad

@@ -18,15 +18,19 @@ DriftMonitor::DriftMonitor(std::shared_ptr<const CellPartition> partition,
   OPAD_EXPECTS(config.false_alarm_rate > 0.0 &&
                config.false_alarm_rate < 0.5);
   OPAD_EXPECTS(config.calibration_draws >= 50);
+  calibrate(reference, rng);
+}
+
+void DriftMonitor::calibrate(const Tensor& reference, Rng& rng) {
   OPAD_EXPECTS(reference.rank() == 2 &&
                reference.dim(1) == partition_->input_dim());
-  OPAD_EXPECTS_MSG(reference.dim(0) >= config.window,
+  OPAD_EXPECTS_MSG(reference.dim(0) >= config_.window,
                    "reference must contain at least one window of data");
 
   // Reference cell distribution (smoothed).
   const std::size_t cells = partition_->cell_count();
   std::vector<std::size_t> ref_cells(reference.dim(0));
-  std::vector<double> counts(cells, config.alpha);
+  std::vector<double> counts(cells, config_.alpha);
   for (std::size_t i = 0; i < reference.dim(0); ++i) {
     ref_cells[i] = partition_->cell_index(reference.row(i));
     counts[ref_cells[i]] += 1.0;
@@ -37,13 +41,16 @@ DriftMonitor::DriftMonitor(std::shared_ptr<const CellPartition> partition,
   for (double& p : reference_probs_) p /= total;
 
   window_counts_.assign(cells, 0);
+  window_cells_.clear();
+  current_kl_ = 0.0;
+  alarmed_ = false;
 
   // Calibrate the threshold: KL statistics of bootstrap windows drawn
   // from the reference itself.
-  std::vector<double> stats(config.calibration_draws);
-  for (std::size_t d = 0; d < config.calibration_draws; ++d) {
-    std::vector<double> wcounts(cells, config.alpha);
-    for (std::size_t i = 0; i < config.window; ++i) {
+  std::vector<double> stats(config_.calibration_draws);
+  for (std::size_t d = 0; d < config_.calibration_draws; ++d) {
+    std::vector<double> wcounts(cells, config_.alpha);
+    for (std::size_t i = 0; i < config_.window; ++i) {
       wcounts[ref_cells[rng.uniform_index(ref_cells.size())]] += 1.0;
     }
     double wtotal = 0.0;
@@ -55,7 +62,12 @@ DriftMonitor::DriftMonitor(std::shared_ptr<const CellPartition> partition,
     }
     stats[d] = kl;
   }
-  threshold_ = quantile(std::move(stats), 1.0 - config.false_alarm_rate);
+  threshold_ = quantile(std::move(stats), 1.0 - config_.false_alarm_rate);
+  OPAD_ENSURES(std::isfinite(threshold_) && threshold_ >= 0.0);
+}
+
+void DriftMonitor::rebaseline(const Tensor& reference, Rng& rng) {
+  calibrate(reference, rng);
 }
 
 double DriftMonitor::window_kl() const {

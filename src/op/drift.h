@@ -39,8 +39,18 @@ class DriftMonitor {
                Rng& rng);
 
   /// Feeds one live input; returns true while the monitor is in the
-  /// alarmed state (window KL above threshold).
+  /// alarmed state (window KL above threshold). Never alarms before the
+  /// window has filled, no matter how far out of distribution the stream
+  /// is (regression-pinned) — a part-filled histogram is not comparable
+  /// to the reference.
   bool observe(const Tensor& x);
+
+  /// Re-anchors the monitor to a new reference sample (e.g. after an
+  /// online profile re-fit): recomputes the reference distribution,
+  /// recalibrates the threshold, and clears the window so the next
+  /// `window` observations are judged against the new baseline. The new
+  /// reference must satisfy the same size constraint as at construction.
+  void rebaseline(const Tensor& reference, Rng& rng);
 
   /// Current KL(window || reference); 0 until the window has filled.
   double current_divergence() const { return current_kl_; }
@@ -59,6 +69,7 @@ class DriftMonitor {
 
  private:
   double window_kl() const;
+  void calibrate(const Tensor& reference, Rng& rng);
 
   DriftMonitorConfig config_;
   std::shared_ptr<const CellPartition> partition_;

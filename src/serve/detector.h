@@ -1,0 +1,31 @@
+// The per-batch detector pass of the online service: one batched forward
+// for labels plus a parallel OP-density sweep for naturalness.
+#pragma once
+
+#include <span>
+
+#include "nn/model.h"
+#include "op/profile.h"
+#include "serve/types.h"
+#include "tensor/tensor.h"
+
+namespace opad::serve {
+
+/// Writes log p_OP(row) for every row of `inputs` [n, d] into `out`
+/// (size n). Rows are scored in parallel on the global pool; for a
+/// ClassConditionalProfile the (row, class) term grid is additionally
+/// sharded across workers and folded serially in ascending class order,
+/// which is bitwise equal to calling profile.log_density() row by row
+/// (test-pinned — the serve layer's invariance rests on it).
+void log_density_batch(const OperationalProfile& profile,
+                       const Tensor& inputs, std::span<double> out);
+
+/// Scores one micro-batch: model labels via a single predict_batch, OP
+/// naturalness via log_density_batch, verdicts by thresholding at `tau`.
+/// Every output row is a pure function of its own input row, so results
+/// are invariant to how requests were coalesced into batches.
+void score_batch(Classifier& model, const OperationalProfile& profile,
+                 double tau, const Tensor& inputs,
+                 std::span<DetectResult> out);
+
+}  // namespace opad::serve

@@ -1,0 +1,107 @@
+// Long-lived online detection service with dynamic micro-batching.
+//
+// Requests (single inputs) are admitted into a bounded MPSC queue —
+// submit() blocks when full (backpressure), try_submit() sheds — and a
+// single scheduler thread coalesces whatever is pending into one
+// Classifier::predict_batch plus one detector pass per tick. A batch is
+// dispatched as soon as max_batch requests are pending or the oldest has
+// waited max_delay_us, whichever comes first.
+//
+// Determinism contract (DESIGN.md "Serving layer"): WHICH requests share
+// a micro-batch is timing-dependent, but every per-request DetectResult
+// is a pure function of (input, scoring snapshot) — predict_batch
+// computes each logit row independently and the density sweep folds per
+// row in a fixed order — so results are bit-identical for any max_batch,
+// arrival order, or thread count (test-pinned).
+//
+// Drift response: when constructed with an OnlineDriftTrigger, every
+// served input feeds the monitor; a persistent alarm schedules a
+// background profile re-fit that never stalls serving. The finished
+// profile is swapped in atomically (shared_ptr snapshot exchange) with a
+// tau recalibrated on the refit sample; in-flight batches keep the
+// snapshot they started with.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "nn/model.h"
+#include "serve/drift_trigger.h"
+#include "serve/queue.h"
+#include "serve/types.h"
+
+namespace opad::serve {
+
+class DetectionService {
+ public:
+  /// Takes the serving replica of the model (clone() the original), the
+  /// initial profile and tau. The service is constructed idle: requests
+  /// can be queued immediately but are only served after start() — which
+  /// is what makes queue-full shedding deterministically testable.
+  DetectionService(Classifier model, ProfilePtr profile, double tau,
+                   ServiceConfig config,
+                   std::unique_ptr<OnlineDriftTrigger> trigger = nullptr);
+
+  /// stop()s if still running.
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Launches the scheduler thread. Idempotent.
+  void start();
+
+  /// Closes admission, drains every queued request, joins the scheduler.
+  /// Futures of drained requests complete normally. Idempotent.
+  void stop();
+
+  /// Blocking admission (backpressure): waits for queue space. The future
+  /// resolves when the request's micro-batch has been scored. Throws
+  /// PreconditionError after stop().
+  std::future<DetectResult> submit(Tensor x);
+
+  /// Shedding admission: returns nullopt when the queue is full or the
+  /// service is stopped (counted in stats().shed).
+  std::optional<std::future<DetectResult>> try_submit(Tensor x);
+
+  ServiceStats stats() const;
+
+  /// Current scoring snapshot (changes only on a drift-triggered re-fit).
+  ProfilePtr profile() const;
+  double tau() const;
+
+ private:
+  struct Request {
+    Tensor x;
+    std::promise<DetectResult> promise;
+  };
+
+  /// Immutable scoring snapshot; swapped wholesale on re-fit so a batch
+  /// never sees a profile/tau mix from two generations.
+  struct Scoring {
+    ProfilePtr profile;
+    double tau = 0.0;
+  };
+
+  void scheduler_loop();
+  void serve_batch(std::vector<Request>& batch);
+
+  Classifier model_;
+  ServiceConfig config_;
+  std::unique_ptr<OnlineDriftTrigger> trigger_;
+  std::atomic<std::shared_ptr<const Scoring>> scoring_;
+  BoundedQueue<Request> queue_;
+  std::thread scheduler_;
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> max_batch_seen_{0};
+  std::atomic<std::uint64_t> refits_{0};
+};
+
+}  // namespace opad::serve

@@ -1,0 +1,44 @@
+// Vocabulary types of the online detection service.
+#pragma once
+
+#include <cstdint>
+
+namespace opad::serve {
+
+/// Per-request verdict. Every field is a pure function of the input and
+/// the scoring snapshot (model parameters, profile, tau) that served it —
+/// never of which other requests shared the micro-batch (test-pinned
+/// batch-composition invariance).
+struct DetectResult {
+  int label = 0;             // model prediction
+  double naturalness = 0.0;  // OP log-density of the input
+  /// naturalness >= tau: the input looks operational. Low-naturalness
+  /// inputs are the deployment-time suspects — off-profile or adversarial
+  /// — that the paper's detection framing routes to a fallback.
+  bool natural = false;
+};
+
+/// Micro-batching and admission policy.
+struct ServiceConfig {
+  /// Dispatch a batch as soon as this many requests are pending...
+  std::size_t max_batch = 32;
+  /// ...or when the oldest pending request has waited this long.
+  std::uint64_t max_delay_us = 200;
+  /// Admission queue bound: push() blocks (backpressure), try_push()
+  /// sheds, beyond this many queued requests.
+  std::size_t queue_capacity = 1024;
+  /// Quantile used to recalibrate tau on the re-fit sample after an
+  /// online profile swap (same convention as naturalness_threshold).
+  double tau_quantile = 0.05;
+};
+
+/// Monotonic service counters (snapshot; taken atomically field-wise).
+struct ServiceStats {
+  std::uint64_t served = 0;          // requests completed
+  std::uint64_t batches = 0;         // predict_batch dispatches
+  std::uint64_t shed = 0;            // try_submit rejections (queue full)
+  std::uint64_t max_batch_seen = 0;  // largest micro-batch dispatched
+  std::uint64_t refits = 0;          // profile swaps completed
+};
+
+}  // namespace opad::serve

@@ -1,5 +1,7 @@
 #include "util/csv.h"
 
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "util/error.h"
@@ -45,8 +47,12 @@ void CsvWriter::write_row(const std::vector<double>& fields) {
   std::vector<std::string> text;
   text.reserve(fields.size());
   for (double v : fields) {
+    // Classic locale (no thousands separators, '.' decimal point) and
+    // max_digits10 so values round-trip exactly and the file bytes do not
+    // depend on the host's global locale.
     std::ostringstream os;
-    os.precision(10);
+    os.imbue(std::locale::classic());
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << v;
     text.push_back(os.str());
   }

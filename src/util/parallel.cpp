@@ -93,6 +93,16 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_worker() { return tl_in_pool_task; }
 
+ScopedInlineExecution::ScopedInlineExecution() : previous_(tl_in_pool_task) {
+  // Reuse the nested-parallelism flag: run() already executes inline when
+  // the calling thread is marked as being inside a pool task.
+  tl_in_pool_task = true;
+}
+
+ScopedInlineExecution::~ScopedInlineExecution() {
+  tl_in_pool_task = previous_;
+}
+
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   while (true) {

@@ -83,6 +83,25 @@ class ThreadPool {
   Impl* impl_ = nullptr;
 };
 
+/// Forces every parallel_for / ThreadPool::run issued from the current
+/// thread to execute inline (sequentially) while the guard is alive.
+/// Background service threads (e.g. an online profile re-fit) use this so
+/// they never contend for the global pool with the serving hot path; the
+/// numeric result is unchanged because the chunk decomposition — and
+/// therefore every chunk-ordered reduction — is independent of where
+/// chunks run.
+class ScopedInlineExecution {
+ public:
+  ScopedInlineExecution();
+  ~ScopedInlineExecution();
+
+  ScopedInlineExecution(const ScopedInlineExecution&) = delete;
+  ScopedInlineExecution& operator=(const ScopedInlineExecution&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Number of chunks parallel_for will use for the given range and grain.
 /// Depends only on the arguments (never the thread count), so it is the
 /// right size for per-chunk partial-result buffers.

@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <iomanip>
+#include <locale>
 #include <sstream>
 
 namespace opad {
@@ -31,7 +32,9 @@ std::vector<std::string> split(const std::string& text, char delim) {
 }
 
 std::string format_fixed(double v, int decimals) {
+  // Classic locale: output must not pick up a user-set global locale.
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(decimals) << v;
   return os.str();
 }

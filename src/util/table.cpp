@@ -21,7 +21,10 @@ void Table::add_row(std::vector<std::string> row) {
 }
 
 std::string Table::num(double v, int decimals) {
+  // Classic locale: a user-set global locale (e.g. de_DE's ',' decimal
+  // point or thousands grouping) must not leak into recorded tables/CSVs.
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(decimals) << v;
   return os.str();
 }

@@ -72,10 +72,29 @@ TEST(BudgetTracker, TracksConsumption) {
   budget.consume(60);
   EXPECT_EQ(budget.used(), 60u);
   EXPECT_EQ(budget.remaining(), 40u);
-  budget.consume(50);  // overshoot allowed
+  budget.consume(40);
   EXPECT_TRUE(budget.exhausted());
   EXPECT_EQ(budget.remaining(), 0u);
   EXPECT_THROW(BudgetTracker(0), PreconditionError);
+}
+
+TEST(BudgetTracker, ConsumeBeyondRemainingThrows) {
+  BudgetTracker budget(100);
+  budget.consume(60);
+  EXPECT_THROW(budget.consume(50), PreconditionError);
+  // The failed consume charged nothing.
+  EXPECT_EQ(budget.used(), 60u);
+  EXPECT_EQ(budget.remaining(), 40u);
+}
+
+TEST(BudgetTracker, MarkDepletedEndsBudgetAtTrueConsumption) {
+  BudgetTracker budget(100);
+  budget.consume(60);
+  budget.mark_depleted();  // next item would not fit; stop here
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.remaining(), 0u);
+  EXPECT_EQ(budget.used(), 60u);  // true consumption, not total()
+  EXPECT_THROW(budget.consume(1), PreconditionError);
 }
 
 TEST_F(CoreComponentsTest, GeneratorFindsAndClassifiesAes) {
@@ -110,6 +129,28 @@ TEST_F(CoreComponentsTest, GeneratorStopsAtBudget) {
   const Detection detection =
       generator.generate(*model_snapshot_, task_->test, seeds, budget, rng);
   EXPECT_LT(detection.stats.seeds_attacked, 50u);
+  // Regression: the final batch is clamped to the exact affordable prefix,
+  // so the accounted total never overruns the budget — not even when one
+  // seed's measured cost exceeds what is left.
+  EXPECT_LE(budget.used(), budget.total());
+  EXPECT_LE(detection.stats.queries_used, budget.total());
+  EXPECT_EQ(budget.used(), detection.stats.queries_used);
+}
+
+TEST_F(CoreComponentsTest, GeneratorNeverOverrunsAnyTightBudget) {
+  // Sweep budgets around one attack's cost so the cut-off lands at every
+  // alignment relative to seed boundaries.
+  for (const std::uint64_t total : {1u, 5u, 21u, 22u, 43u, 100u}) {
+    Rng rng(36);
+    const TestCaseGenerator generator(make_attack(), metric_, tau_, profile_);
+    BudgetTracker budget(total);
+    std::vector<std::size_t> seeds(40);
+    std::iota(seeds.begin(), seeds.end(), std::size_t{0});
+    const Detection detection =
+        generator.generate(*model_snapshot_, task_->test, seeds, budget, rng);
+    EXPECT_LE(budget.used(), total) << "budget " << total;
+    EXPECT_EQ(budget.used(), detection.stats.queries_used);
+  }
 }
 
 TEST_F(CoreComponentsTest, GeneratorWithoutMetricMarksNothingOperational) {

@@ -106,6 +106,61 @@ TEST(DriftMonitor, KlZeroUntilWindowFills) {
   EXPECT_GT(monitor.current_divergence(), 0.0);
 }
 
+TEST(DriftMonitor, NeverAlarmsBeforeWindowFillsEvenUnderExtremeShift) {
+  // Regression: a part-filled window histogram is not comparable to the
+  // reference, so even a stream that is entirely out of distribution must
+  // not alarm until `window` observations have arrived.
+  DriftSetup setup;
+  Rng rng(8);
+  DriftMonitorConfig config;
+  config.window = 80;
+  DriftMonitor monitor(setup.partition, setup.reference, config, rng);
+  const auto far_gen = setup.reference_gen.shifted({50.0, 50.0});
+  for (int i = 0; i < 79; ++i) {
+    EXPECT_FALSE(monitor.observe(far_gen.sample(rng).x)) << "at input " << i;
+    EXPECT_FALSE(monitor.alarmed());
+    EXPECT_EQ(monitor.current_divergence(), 0.0);
+  }
+  // The 80th observation completes the window; the extreme shift must
+  // alarm immediately from there.
+  EXPECT_TRUE(monitor.observe(far_gen.sample(rng).x));
+}
+
+TEST(DriftMonitor, RebaselineAdoptsNewReference) {
+  DriftSetup setup;
+  Rng rng(9);
+  DriftMonitorConfig config;
+  config.window = 100;
+  DriftMonitor monitor(setup.partition, setup.reference, config, rng);
+
+  // Drive the monitor into an alarmed state with a shifted stream.
+  const auto shifted_gen = setup.reference_gen.shifted({2.5, 2.5});
+  bool alarmed = false;
+  for (int i = 0; i < 500 && !alarmed; ++i) {
+    alarmed = monitor.observe(shifted_gen.sample(rng).x);
+  }
+  ASSERT_TRUE(alarmed);
+
+  // Re-anchor to the shifted distribution: the alarm clears, the window
+  // resets, and the formerly drifted stream now looks in-distribution.
+  const Dataset new_reference = shifted_gen.make_dataset(1000, rng);
+  monitor.rebaseline(new_reference.inputs(), rng);
+  EXPECT_FALSE(monitor.alarmed());
+  EXPECT_FALSE(monitor.window_full());
+  EXPECT_EQ(monitor.current_divergence(), 0.0);
+  EXPECT_GT(monitor.threshold(), 0.0);
+  std::size_t alarms = 0;
+  for (int i = 0; i < 600; ++i) {
+    if (monitor.observe(shifted_gen.sample(rng).x)) ++alarms;
+  }
+  EXPECT_LT(alarms, 60u);
+
+  // Rebaseline enforces the same reference-size contract as construction.
+  Rng rng2(10);
+  const Dataset tiny = shifted_gen.make_dataset(10, rng2);
+  EXPECT_THROW(monitor.rebaseline(tiny.inputs(), rng2), PreconditionError);
+}
+
 TEST(DriftMonitor, ValidatesConfig) {
   DriftSetup setup;
   Rng rng(7);

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/campaign.h"
@@ -109,6 +110,24 @@ TEST(ParallelFor, NestedCallsRunInlineAndCover) {
     }
   });
   for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ScopedInlineExecutionForcesInlineRuns) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  {
+    ScopedInlineExecution inline_guard;
+    EXPECT_TRUE(ThreadPool::in_worker());
+    // Every chunk must run on the calling thread — no pool handoff.
+    std::vector<std::thread::id> chunk_threads(8);
+    parallel_for_chunks(0, 64, 8,
+                        [&](std::size_t c, std::size_t, std::size_t) {
+                          chunk_threads[c] = std::this_thread::get_id();
+                        });
+    for (const auto& id : chunk_threads) EXPECT_EQ(id, caller);
+  }
+  EXPECT_FALSE(ThreadPool::in_worker());
 }
 
 TEST(ThreadPool, ExceptionWithLowestIndexWinsAndAllTasksRun) {

@@ -52,7 +52,7 @@ TEST(Pipeline, RunsAllIterationsAndRecordsEverything) {
   EXPECT_LE(result.iterations.size(), 3u);
   EXPECT_EQ(callbacks, result.iterations.size());
   EXPECT_GT(result.total_queries, 0u);
-  EXPECT_LE(result.total_queries, 200000u + 100000u);  // budget + slack
+  EXPECT_LE(result.total_queries, 200000u);  // budget is a hard ceiling
   EXPECT_TRUE(std::isfinite(result.tau));
   for (const auto& record : result.iterations) {
     EXPECT_GT(record.detection.seeds_attacked, 0u);
@@ -128,6 +128,34 @@ TEST(Pipeline, RespectsQueryBudget) {
   const PipelineResult result = pipeline.run(model, operational_sample, rng);
   // Budget binds long before 10 iterations complete.
   EXPECT_LT(result.iterations.size(), 10u);
+  // Regression: the final attack batch and the assessor's probe loop are
+  // both clamped to the exact budget prefix, so the recorded consumption
+  // can never overrun the configured budget.
+  EXPECT_LE(result.total_queries, 3000u);
+}
+
+TEST(Pipeline, NeverOverrunsAnyTightBudget) {
+  auto op_generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.15);
+  Rng data_rng(64);
+  const Dataset operational_sample = op_generator.make_dataset(120, data_rng);
+  auto task = testing::make_ring_task(400, 100, 65);
+  Rng train_rng(66);
+  const Classifier model_snapshot =
+      testing::train_mlp(task.train, 16, 10, train_rng);
+
+  // Sweep budgets so the cut-off lands mid-batch, mid-assessment, and
+  // mid-iteration; total_queries <= query_budget must hold at every one.
+  for (const std::uint64_t budget : {37u, 150u, 999u, 2500u}) {
+    Classifier model = model_snapshot.clone();
+    PipelineConfig config = small_pipeline_config();
+    config.query_budget = budget;
+    config.max_iterations = 4;
+    config.rq5.target_pmi = 1e-9;
+    const OpTestingPipeline pipeline(config);
+    Rng rng(67);
+    const PipelineResult result = pipeline.run(model, operational_sample, rng);
+    EXPECT_LE(result.total_queries, budget) << "budget " << budget;
+  }
 }
 
 TEST(Pipeline, DeterministicGivenSeeds) {

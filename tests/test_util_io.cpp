@@ -1,5 +1,6 @@
 #include <cstdio>
 #include <fstream>
+#include <locale>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -61,6 +62,59 @@ TEST(CsvWriter, EscapesSpecialCharacters) {
   EXPECT_NE(content.find("\"has\"\"quote\""), std::string::npos);
 }
 
+// Comma decimal point and '.' thousands grouping — the worst case for
+// numeric output that must stay machine-parseable.
+struct CommaNumpunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Installs a hostile global locale for one scope; restores on exit.
+class ScopedGlobalLocale {
+ public:
+  ScopedGlobalLocale()
+      : previous_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaNumpunct))) {}
+  ~ScopedGlobalLocale() { std::locale::global(previous_); }
+
+ private:
+  std::locale previous_;
+};
+
+TEST(CsvWriter, FloatOutputIgnoresGlobalLocale) {
+  // Regression: number formatting used locale-sensitive streams, so a
+  // global locale with ',' decimal points produced unparseable CSVs
+  // ("2,5" in a comma-separated file) and grouped digits ("1.234").
+  ScopedGlobalLocale hostile;
+  TempFile file;
+  {
+    CsvWriter csv(file.path(), {"a", "b"});
+    csv.write_row(std::vector<double>{2.5, 1234567.0});
+  }
+  EXPECT_EQ(read_file(file.path()), "a,b\n2.5,1234567\n");
+}
+
+TEST(CsvWriter, FloatOutputRoundTripsExactly) {
+  // max_digits10 output parses back to the identical double.
+  const std::vector<double> values{1.0 / 3.0, 0.1, 6.02214076e23,
+                                   -2.2250738585072014e-308};
+  TempFile file;
+  {
+    CsvWriter csv(file.path(), {"a", "b", "c", "d"});
+    csv.write_row(values);
+  }
+  std::ifstream in(file.path());
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  const auto fields = split(row, ',');
+  ASSERT_EQ(fields.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::stod(fields[i]), values[i]) << "field " << i;
+  }
+}
+
 TEST(CsvWriter, RejectsWrongArity) {
   TempFile file;
   CsvWriter csv(file.path(), {"a", "b"});
@@ -88,6 +142,13 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, NumFormatsDecimals) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, NumIgnoresGlobalLocale) {
+  ScopedGlobalLocale hostile;
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(1234567.5, 1), "1234567.5");
+  EXPECT_EQ(format_fixed(2.5, 1), "2.5");
 }
 
 TEST(Table, RejectsAridityMismatch) {
