@@ -8,6 +8,7 @@
 #include "nn/trainer.h"
 #include "op/generator_profile.h"
 #include "naturalness/density_naturalness.h"
+#include "util/resource.h"
 
 namespace opad::bench {
 
@@ -149,8 +150,20 @@ void emit_table(const Table& table, const std::string& name,
   std::cout << std::endl;
   try {
     std::filesystem::create_directories("bench_results");
-    CsvWriter csv("bench_results/" + name + ".csv", csv_header);
-    for (const auto& row : csv_rows) csv.write_row(row);
+    // Every CSV row carries the process peak RSS so memory regressions
+    // show up in recorded results, not just in ad-hoc profiling. The
+    // value is a process-lifetime high-water mark (identical in every
+    // row of one emit), so per-stage attribution needs the low-memory
+    // stage to run first.
+    std::vector<std::string> header = csv_header;
+    header.push_back("peak_rss_kb");
+    const std::string rss = std::to_string(peak_rss_kb());
+    CsvWriter csv("bench_results/" + name + ".csv", header);
+    for (const auto& row : csv_rows) {
+      std::vector<std::string> full = row;
+      full.push_back(rss);
+      csv.write_row(full);
+    }
   } catch (const std::exception& e) {
     std::cerr << "(csv mirror skipped: " << e.what() << ")\n";
   }

@@ -19,10 +19,19 @@
 #include "tensor/gemm.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/tensor_ops.h"
+#include "util/resource.h"
 
 namespace {
 
 using namespace opad;
+
+/// Peak-RSS column for every CSV row. ru_maxrss is a process-lifetime
+/// high-water mark, so values are monotone across the benchmarks of one
+/// run; the per-benchmark column still pins which stage first crossed a
+/// given footprint.
+void set_rss_counter(benchmark::State& state) {
+  state.counters["peak_rss_kb"] = static_cast<double>(peak_rss_kb());
+}
 
 /// Reports the square-matmul rate both as items/s (madds, the historic
 /// counter) and GFLOP/s (2mnk flops per product).
@@ -34,6 +43,7 @@ void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t k,
       2.0 * static_cast<double>(m * k * n) *
           static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+  set_rss_counter(state);
 }
 
 void BM_MatMul(benchmark::State& state) {
@@ -195,6 +205,7 @@ void BM_Conv2dForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.forward(batch, false));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_Conv2dForward);
 
@@ -209,6 +220,7 @@ void BM_Conv2dBackward(benchmark::State& state) {
     conv.zero_gradients();
     benchmark::DoNotOptimize(conv.backward(grad));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_Conv2dBackward);
 
@@ -222,6 +234,7 @@ void BM_Conv2dBatchedForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.forward(batch, false));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_Conv2dBatchedForward);
 
@@ -236,6 +249,7 @@ void BM_Conv2dBatchedBackward(benchmark::State& state) {
     conv.zero_gradients();
     benchmark::DoNotOptimize(conv.backward(grad));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_Conv2dBatchedBackward);
 
@@ -254,6 +268,7 @@ void BM_InputGradient(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.input_gradient(x, 3));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_InputGradient);
 
@@ -270,6 +285,7 @@ void BM_PgdAttack(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(attack.run(model, seed.x, seed.y, rng));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_PgdAttack);
 
@@ -307,6 +323,7 @@ void BM_AttackBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(lanes));
+  set_rss_counter(state);
 }
 BENCHMARK(BM_AttackBatch)
     ->Args({1, 10})
@@ -326,6 +343,7 @@ void BM_GmmLogDensity(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(gmm.log_density(x));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_GmmLogDensity)->Arg(4)->Arg(16);
 
@@ -380,6 +398,8 @@ void BM_OperationalTest(benchmark::State& state) {
     benchmark::DoNotOptimize(
         method->detect(model, context, budget, detect_rng));
   }
+  set_rss_counter(state);
+  set_rss_counter(state);
 }
 BENCHMARK(BM_OperationalTest)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 
@@ -392,6 +412,7 @@ void BM_KdeLogDensity(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(kde.log_density(x));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_KdeLogDensity)->Arg(100)->Arg(1000)->Arg(5000);
 
@@ -416,6 +437,7 @@ void BM_NaturalFuzzerAttack(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(attack.run(model, seed.x, seed.y, rng));
   }
+  set_rss_counter(state);
 }
 BENCHMARK(BM_NaturalFuzzerAttack);
 

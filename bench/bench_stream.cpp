@@ -1,0 +1,191 @@
+// S1 — out-of-core streaming campaign execution.
+//
+// Runs the full campaign chain — OP fit (GMM), cell partition + histogram
+// weights, OperationalTest detection, drift monitoring — over a
+// generator-backed SampleStream that never materialises the operational
+// sample, then (unless --smoke) repeats the same chain on the fully
+// materialised dataset. Records per-stage wall time, throughput, and the
+// process peak RSS after each stage.
+//
+// The streaming leg MUST run first: peak_rss_kb() is a process-lifetime
+// high-water mark, so once the materialised leg has allocated its O(n)
+// buffers the counter can never drop back down. With the ordering below,
+// the RSS recorded after the streaming stages is an honest bound on the
+// streaming footprint, and the materialised rows show the gap.
+//
+// Usage: bench_stream [--smoke] [--n <rows>] [--chunk <rows>]
+//   --smoke   streaming leg only, smaller default n (CI's bounded-memory
+//             leg runs this under ulimit -v).
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "data/stream.h"
+#include "op/drift.h"
+#include "op/histogram.h"
+#include "util/resource.h"
+
+namespace {
+
+using namespace opad;
+using namespace opad::bench;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct StageRow {
+  std::string leg;
+  std::string stage;
+  std::size_t rows = 0;
+  double seconds = 0.0;
+  std::size_t rss_after_kb = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t n = 10'000'000;
+  std::size_t chunk = 8192;
+  bool n_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::size_t>(std::stoull(argv[++i]));
+      n_given = true;
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      chunk = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_stream [--smoke] [--n rows] [--chunk rows]\n";
+      return 2;
+    }
+  }
+  if (smoke && !n_given) n = 200'000;
+
+  // Small in-core ring workload supplies the trained model, profile,
+  // metric, and tau; the campaign itself runs over the big stream.
+  RingWorkloadConfig wc;
+  RingWorkload w = make_ring_workload(wc);
+  const auto op_generator =
+      std::make_shared<GaussianClustersGenerator>(w.op_generator);
+  const GeneratorSampleStream stream(op_generator, n, chunk, /*base_seed=*/41);
+
+  std::vector<StageRow> rows;
+  const auto stage = [&](const char* leg, const char* name, auto&& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    rows.push_back({leg, name, n, seconds_since(start), peak_rss_kb()});
+    std::cout << leg << "/" << name << ": " << rows.back().seconds << " s, rss "
+              << rows.back().rss_after_kb << " KB\n";
+  };
+
+  GmmConfig gmm_config;
+  gmm_config.components = wc.classes;
+  gmm_config.kmeans_iterations = 2;
+  gmm_config.max_iterations = 4;
+  const DriftMonitorConfig drift_config;
+  const Dataset drift_reference_data = materialize_prefix(stream, 2000);
+  const Tensor& drift_reference = drift_reference_data.inputs();
+
+  // --- Streaming leg (first; see header comment) ---
+  stage("stream", "gmm_fit", [&] {
+    Rng rng(77);
+    GaussianMixtureModel::fit(stream, gmm_config, rng);
+  });
+  std::shared_ptr<const CellPartition> partition;
+  stage("stream", "cells_histogram", [&] {
+    Rng rng(78);
+    partition = std::make_shared<const CellPartition>(
+        CellPartition::fit(stream, /*bins_per_dim=*/8, /*grid_dims=*/2, rng));
+    const HistogramProfile histogram(partition, stream);
+    (void)histogram;
+  });
+  stage("stream", "detect", [&] {
+    MethodContext ctx = w.context();
+    ctx.stream = &stream;
+    ctx.max_retained_aes = 256;
+    Rng rng(79);
+    const auto method = make_operational_testing_method();
+    const Detection d = method->detect(*w.model, ctx, n, rng);
+    std::cout << "  cases=" << d.stats.seeds_attacked
+              << " failures=" << d.stats.aes_found
+              << " operational_aes=" << d.stats.operational_aes << "\n";
+  });
+  stage("stream", "drift", [&] {
+    Rng rng(80);
+    DriftMonitor monitor(partition, drift_reference, drift_config, rng);
+    const std::size_t alarms = monitor.observe_stream(stream);
+    std::cout << "  alarms=" << alarms << "\n";
+  });
+  const std::size_t streaming_peak = peak_rss_kb();
+
+  // --- Materialised leg ---
+  if (!smoke) {
+    Dataset all;
+    stage("incore", "materialize", [&] { all = materialize_stream(stream); });
+    stage("incore", "gmm_fit", [&] {
+      Rng rng(77);
+      GaussianMixtureModel::fit(all.inputs(), gmm_config, rng);
+    });
+    std::shared_ptr<const CellPartition> ic_partition;
+    stage("incore", "cells_histogram", [&] {
+      Rng rng(78);
+      ic_partition = std::make_shared<const CellPartition>(CellPartition::fit(
+          all.inputs(), /*bins_per_dim=*/8, /*grid_dims=*/2, rng));
+      const HistogramProfile histogram(ic_partition, all.inputs());
+      (void)histogram;
+    });
+    stage("incore", "detect", [&] {
+      MethodContext ctx = w.context();
+      ctx.operational_stream = &all;
+      Rng rng(79);
+      const auto method = make_operational_testing_method();
+      const Detection d = method->detect(*w.model, ctx, n, rng);
+      std::cout << "  cases=" << d.stats.seeds_attacked
+                << " failures=" << d.stats.aes_found
+                << " operational_aes=" << d.stats.operational_aes << "\n";
+    });
+    stage("incore", "drift", [&] {
+      Rng rng(80);
+      DriftMonitor monitor(ic_partition, drift_reference, drift_config, rng);
+      const std::size_t alarms = monitor.observe_batch(all.inputs());
+      std::cout << "  alarms=" << alarms << "\n";
+    });
+    const std::size_t incore_peak = peak_rss_kb();
+    std::cout << "peak RSS: streaming leg " << streaming_peak
+              << " KB, after materialised leg " << incore_peak << " KB ("
+              << (streaming_peak > 0
+                      ? static_cast<double>(incore_peak) /
+                            static_cast<double>(streaming_peak)
+                      : 0.0)
+              << "x)\n";
+  }
+
+  Table table({"leg", "stage", "rows", "seconds", "rows_per_s",
+               "rss_after_kb"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const StageRow& r : rows) {
+    const double rate =
+        r.seconds > 0.0 ? static_cast<double>(r.rows) / r.seconds : 0.0;
+    std::vector<std::string> row = {
+        r.leg,
+        r.stage,
+        std::to_string(r.rows),
+        Table::num(r.seconds, 3),
+        Table::num(rate, 0),
+        std::to_string(r.rss_after_kb)};
+    table.add_row(row);
+    csv_rows.push_back(std::move(row));
+  }
+  emit_table(table, smoke ? "stream_campaign_smoke" : "stream_campaign",
+             {"leg", "stage", "rows", "seconds", "rows_per_s",
+              "rss_after_kb"},
+             csv_rows);
+  return 0;
+}

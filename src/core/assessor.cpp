@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "data/stream.h"
 #include "op/histogram.h"
 
 namespace opad {
@@ -21,6 +22,24 @@ ReliabilityAssessor::ReliabilityAssessor(AssessorConfig config,
   partition_ = std::make_shared<const CellPartition>(CellPartition::fit(
       operational_data.inputs(), config.bins_per_dim, config.grid_dims, rng));
   const HistogramProfile histogram(partition_, operational_data.inputs(),
+                                   config.histogram_alpha);
+  cell_weights_ = histogram.cell_probabilities();
+}
+
+ReliabilityAssessor::ReliabilityAssessor(AssessorConfig config,
+                                         const SampleStream& stream,
+                                         AttackPtr probe_attack, Rng& rng)
+    : config_(config), probe_attack_(std::move(probe_attack)) {
+  OPAD_EXPECTS(stream.size() > 0);
+  OPAD_EXPECTS(probe_attack_ != nullptr);
+  OPAD_EXPECTS(config.bins_per_dim >= 2 && config.grid_dims >= 1);
+  OPAD_EXPECTS(config.confidence > 0.0 && config.confidence < 1.0);
+  OPAD_EXPECTS(config.target_pmi > 0.0 && config.target_pmi < 1.0);
+  OPAD_EXPECTS(config.probes_per_assessment > 0);
+
+  partition_ = std::make_shared<const CellPartition>(CellPartition::fit(
+      stream, config.bins_per_dim, config.grid_dims, rng));
+  const HistogramProfile histogram(partition_, stream,
                                    config.histogram_alpha);
   cell_weights_ = histogram.cell_probabilities();
 }

@@ -18,6 +18,8 @@
 
 namespace opad {
 
+class SampleStream;
+
 struct AssessorConfig {
   std::size_t bins_per_dim = 8;
   std::size_t grid_dims = 2;       // PCA projection when dim > grid_dims
@@ -44,6 +46,12 @@ class ReliabilityAssessor {
   /// `probe_attack` is the robustness checker used on each probe (keep it
   /// cheap: few steps, one restart).
   ReliabilityAssessor(AssessorConfig config, const Dataset& operational_data,
+                      AttackPtr probe_attack, Rng& rng);
+
+  /// Streaming overload: builds the partition and weights chunk by chunk
+  /// at O(chunk_size) memory, bitwise-identical to constructing from the
+  /// materialised stream.
+  ReliabilityAssessor(AssessorConfig config, const SampleStream& stream,
                       AttackPtr probe_attack, Rng& rng);
 
   /// Probes `model` with fresh operational seeds drawn from

@@ -9,6 +9,7 @@
 #include "attack/natural_fuzzer.h"
 #include "attack/pgd.h"
 #include "attack/random_fuzzer.h"
+#include "data/stream.h"
 #include "util/parallel.h"
 
 namespace opad {
@@ -180,6 +181,79 @@ class WeightedSeedMethod : public TestingMethod {
   MethodSuiteConfig suite_;
 };
 
+/// Executes the cases pool[order[0..take)] where take =
+/// min(order.size(), budget.remaining()) — every case costs exactly one
+/// model query, so the serial walk's budget cut-off is known up front and
+/// no over-run is possible. The prefix runs batched over fixed worker
+/// chunks; replica query counts fold back in chunk order and outcomes in
+/// visit order, both identical to the serial walk this replaces.
+Detection run_operational_cases(Classifier& model, const Dataset& pool,
+                                std::span<const std::size_t> order,
+                                const MethodContext& context,
+                                BudgetTracker& budget) {
+  const std::size_t take = static_cast<std::size_t>(
+      std::min<std::uint64_t>(order.size(), budget.remaining()));
+
+  struct CaseOutcome {
+    bool mispredicted = false;
+    OperationalAE ae;
+  };
+  std::vector<CaseOutcome> outcomes(take);
+  constexpr std::size_t kCaseGrain = 64;
+  const std::size_t chunks = parallel_chunk_count(0, take, kCaseGrain);
+  std::vector<std::uint64_t> chunk_queries(chunks, 0);
+  parallel_for_chunks(
+      0, take, kCaseGrain,
+      [&](std::size_t ch, std::size_t lo, std::size_t hi) {
+        // Per-chunk replicas: the forward pass mutates layer caches and
+        // the query counter, and some metrics carry scratch. Replicas
+        // have equal parameters, so predictions match the primary model.
+        Classifier replica = model.clone();
+        const NaturalnessPtr metric = thread_local_metric(context.metric);
+        Tensor batch({hi - lo, pool.dim()});
+        for (std::size_t i = lo; i < hi; ++i) {
+          batch.set_row(i - lo, pool.row(order[i]));
+        }
+        std::vector<int> predicted(hi - lo);
+        replica.predict_batch(batch, predicted);
+        chunk_queries[ch] = replica.query_count();
+        for (std::size_t i = lo; i < hi; ++i) {
+          CaseOutcome& out = outcomes[i];
+          LabeledSample probe = pool.sample(order[i]);
+          out.mispredicted = predicted[i - lo] != probe.y;
+          if (!out.mispredicted) continue;
+          OperationalAE& ae = out.ae;
+          ae.seed = probe.x;
+          ae.label = probe.y;
+          ae.adversarial = std::move(probe.x);  // the failure point is
+                                                // the input itself
+          ae.linf_distance = 0.0f;
+          ae.seed_log_density =
+              context.profile ? context.profile->log_density(ae.seed)
+                              : 0.0;
+          ae.naturalness = metric->score(ae.adversarial);
+          ae.is_operational = ae.naturalness >= context.tau;
+        }
+      });
+
+  for (std::size_t ch = 0; ch < chunks; ++ch) {
+    model.add_queries(chunk_queries[ch]);
+    budget.consume(chunk_queries[ch]);
+  }
+  Detection total;
+  for (std::size_t i = 0; i < take; ++i) {
+    CaseOutcome& out = outcomes[i];
+    total.stats.seeds_attacked += 1;
+    total.stats.queries_used += 1;
+    if (!out.mispredicted) continue;
+    total.stats.aes_found += 1;
+    total.stats.clean_failures += 1;
+    if (out.ae.is_operational) total.stats.operational_aes += 1;
+    total.aes.push_back(std::move(out.ae));
+  }
+  return total;
+}
+
 /// Classic operational testing: execute OP-drawn inputs, record
 /// mispredictions. One query per test case; no ball search.
 class OperationalTestingMethod : public TestingMethod {
@@ -189,10 +263,34 @@ class OperationalTestingMethod : public TestingMethod {
   Detection detect(Classifier& model, const MethodContext& context,
                    std::uint64_t query_budget, Rng& rng) const override {
     check_context(context);
+    BudgetTracker budget(query_budget);
+
+    if (context.stream != nullptr) {
+      // Out-of-core: execute the stream chunk by chunk in arrival order —
+      // a live operational stream is consumed as it arrives, there is no
+      // pool to shuffle (and no rng draw). One chunk plus its outcomes is
+      // resident at a time; retained AEs are capped by max_retained_aes
+      // (earliest finds kept, stats count everything).
+      const SampleStream& stream = *context.stream;
+      Detection total;
+      std::vector<std::size_t> identity;
+      for (std::size_t c = 0;
+           c < stream.chunk_count() && !budget.exhausted(); ++c) {
+        const Dataset chunk = stream.chunk(c);
+        identity.resize(chunk.size());
+        std::iota(identity.begin(), identity.end(), std::size_t{0});
+        total += run_operational_cases(model, chunk, identity, context,
+                                       budget);
+        if (total.aes.size() > context.max_retained_aes) {
+          total.aes.resize(context.max_retained_aes);
+        }
+      }
+      return total;
+    }
+
     const Dataset& pool = context.operational_stream != nullptr
                               ? *context.operational_stream
                               : *context.operational_data;
-    BudgetTracker budget(query_budget);
     // Single pass over the pool: executing the same operational input
     // twice reveals no new failure, so the pool (not the budget) may be
     // the binding constraint — which is itself the point: operational
@@ -200,76 +298,7 @@ class OperationalTestingMethod : public TestingMethod {
     std::vector<std::size_t> order(pool.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     rng.shuffle(order);
-    // Every case costs exactly one model query, so the serial walk's
-    // budget cut-off is known up front: it executes exactly
-    // min(pool, remaining) cases. That exact prefix runs batched over
-    // fixed worker chunks — no budget over-run is possible, and the only
-    // rng draw (the shuffle above) already happened, so the per-case work
-    // needs no derived streams. Outcomes fold in visit order below.
-    const std::size_t take = static_cast<std::size_t>(
-        std::min<std::uint64_t>(order.size(), budget.remaining()));
-
-    struct CaseOutcome {
-      bool mispredicted = false;
-      OperationalAE ae;
-    };
-    std::vector<CaseOutcome> outcomes(take);
-    constexpr std::size_t kCaseGrain = 64;
-    const std::size_t chunks = parallel_chunk_count(0, take, kCaseGrain);
-    std::vector<std::uint64_t> chunk_queries(chunks, 0);
-    parallel_for_chunks(
-        0, take, kCaseGrain,
-        [&](std::size_t ch, std::size_t lo, std::size_t hi) {
-          // Per-chunk replicas: the forward pass mutates layer caches and
-          // the query counter, and some metrics carry scratch. Replicas
-          // have equal parameters, so predictions match the primary model.
-          Classifier replica = model.clone();
-          const NaturalnessPtr metric = thread_local_metric(context.metric);
-          Tensor batch({hi - lo, pool.dim()});
-          for (std::size_t i = lo; i < hi; ++i) {
-            batch.set_row(i - lo, pool.row(order[i]));
-          }
-          std::vector<int> predicted(hi - lo);
-          replica.predict_batch(batch, predicted);
-          chunk_queries[ch] = replica.query_count();
-          for (std::size_t i = lo; i < hi; ++i) {
-            CaseOutcome& out = outcomes[i];
-            LabeledSample probe = pool.sample(order[i]);
-            out.mispredicted = predicted[i - lo] != probe.y;
-            if (!out.mispredicted) continue;
-            OperationalAE& ae = out.ae;
-            ae.seed = probe.x;
-            ae.label = probe.y;
-            ae.adversarial = std::move(probe.x);  // the failure point is
-                                                  // the input itself
-            ae.linf_distance = 0.0f;
-            ae.seed_log_density =
-                context.profile ? context.profile->log_density(ae.seed)
-                                : 0.0;
-            ae.naturalness = metric->score(ae.adversarial);
-            ae.is_operational = ae.naturalness >= context.tau;
-          }
-        });
-
-    // Replica query counts fold back into the primary model in chunk
-    // order; outcome accounting folds in visit order — both identical to
-    // the serial walk this replaces.
-    for (std::size_t ch = 0; ch < chunks; ++ch) {
-      model.add_queries(chunk_queries[ch]);
-      budget.consume(chunk_queries[ch]);
-    }
-    Detection total;
-    for (std::size_t i = 0; i < take; ++i) {
-      CaseOutcome& out = outcomes[i];
-      total.stats.seeds_attacked += 1;
-      total.stats.queries_used += 1;
-      if (!out.mispredicted) continue;
-      total.stats.aes_found += 1;
-      total.stats.clean_failures += 1;
-      if (out.ae.is_operational) total.stats.operational_aes += 1;
-      total.aes.push_back(std::move(out.ae));
-    }
-    return total;
+    return run_operational_cases(model, pool, order, context, budget);
   }
 };
 

@@ -21,6 +21,7 @@
 //                      guided fuzzing.
 #pragma once
 
+#include <limits>
 #include <memory>
 
 #include "attack/attack.h"
@@ -31,6 +32,8 @@
 
 namespace opad {
 
+class SampleStream;
+
 /// Shared data/context every method detects against.
 struct MethodContext {
   const Dataset* balanced_data = nullptr;     // OP-agnostic seed pool
@@ -40,6 +43,17 @@ struct MethodContext {
   /// runs on these — executing a synthetic augmentation is not a field
   /// test. Null = fall back to operational_data.
   const Dataset* operational_stream = nullptr;
+  /// Out-of-core operational executions. When set it takes precedence
+  /// over operational_stream/operational_data for OperationalTest, which
+  /// then executes the stream chunk by chunk in arrival order (a live
+  /// stream has no pool to shuffle) at O(chunk_size) memory. Stats and
+  /// retained AEs are bit-identical across the stream's chunk_size and
+  /// OPAD_THREADS.
+  const SampleStream* stream = nullptr;
+  /// Cap on OperationalAE payloads retained in Detection::aes (earliest
+  /// finds kept; stats always count every find). Bounds detect() memory
+  /// on long streams.
+  std::size_t max_retained_aes = std::numeric_limits<std::size_t>::max();
   ProfilePtr profile;                         // learned OP (density)
   NaturalnessPtr metric;                      // shared naturalness judge
   double tau = 0.0;                           // operational-AE threshold

@@ -46,6 +46,11 @@ struct PipelineConfig {
   /// Seeds per Attack::run_batch lane group in the RQ3 fuzzing step.
   /// Purely a batching knob: results are bit-identical at any width.
   std::size_t attack_lane_width = TestCaseGenerator::kDefaultLaneWidth;
+  /// Rows per chunk when campaign stages consume a SampleStream (the
+  /// out-of-core path; see DESIGN.md "Out-of-core streaming"). Purely a
+  /// memory/throughput knob: streaming consumers are bit-identical at any
+  /// chunk size.
+  std::size_t stream_chunk_size = 4096;
 };
 
 struct IterationRecord {

@@ -27,6 +27,28 @@ std::size_t Dataset::dim() const {
   return inputs_.dim(1);
 }
 
+const Tensor& Dataset::inputs() const {
+  if (inputs_.rank() == 2 && inputs_.dim(0) != labels_.size()) {
+    inputs_ = inputs_.slice_rows(0, labels_.size());
+  }
+  return inputs_;
+}
+
+void Dataset::ensure_capacity(std::size_t total_rows, std::size_t dim) {
+  const std::size_t cap = capacity_rows();
+  if (cap >= total_rows && inputs_.rank() == 2) return;
+  // Geometric growth keeps repeated appends amortised linear.
+  const std::size_t grown = std::max(total_rows, cap * 2);
+  Tensor next({grown, dim});
+  if (!labels_.empty()) {
+    const auto src = inputs_.data();
+    std::copy(src.begin(),
+              src.begin() + static_cast<std::ptrdiff_t>(size() * dim),
+              next.data().begin());
+  }
+  inputs_ = std::move(next);
+}
+
 LabeledSample Dataset::sample(std::size_t i) const {
   OPAD_EXPECTS(i < size());
   return {inputs_.row(i), labels_[i]};
@@ -44,19 +66,12 @@ int Dataset::label(std::size_t i) const {
 
 void Dataset::append(const Dataset& other) {
   if (other.empty()) return;
-  if (empty()) {
+  if (empty() && capacity_rows() == 0) {
     *this = other;
     return;
   }
-  OPAD_EXPECTS(other.dim() == dim());
   OPAD_EXPECTS(other.num_classes() == num_classes_);
-  Tensor merged({size() + other.size(), dim()});
-  for (std::size_t i = 0; i < size(); ++i) merged.set_row(i, row(i));
-  for (std::size_t i = 0; i < other.size(); ++i) {
-    merged.set_row(size() + i, other.row(i));
-  }
-  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
-  inputs_ = std::move(merged);
+  append_rows(other.inputs().data(), other.labels_);
 }
 
 void Dataset::push_back(const LabeledSample& sample) {
@@ -69,12 +84,44 @@ void Dataset::push_back(const LabeledSample& sample) {
                      "push_back into a default-constructed Dataset requires "
                      "constructing with a class count first");
   }
-  OPAD_EXPECTS(inputs_.size() == 0 || sample.x.dim(0) == dim());
-  Tensor merged({size() + 1, sample.x.dim(0)});
-  for (std::size_t i = 0; i < size(); ++i) merged.set_row(i, row(i));
-  merged.set_row(size(), sample.x.data());
+  OPAD_EXPECTS(inputs_.size() == 0 || sample.x.dim(0) == inputs_.dim(1));
+  ensure_capacity(size() + 1, sample.x.dim(0));
+  inputs_.set_row(size(), sample.x.data());
   labels_.push_back(sample.y);
-  inputs_ = std::move(merged);
+}
+
+void Dataset::append_rows(std::span<const float> flat_rows,
+                          std::span<const int> labels) {
+  if (labels.empty()) return;
+  OPAD_EXPECTS_MSG(num_classes_ >= 2,
+                   "append_rows requires a class count (construct non-empty "
+                   "or reserve_rows first)");
+  OPAD_EXPECTS(inputs_.rank() == 2);
+  const std::size_t d = inputs_.dim(1);
+  OPAD_EXPECTS(flat_rows.size() == labels.size() * d);
+  for (int y : labels) {
+    OPAD_EXPECTS_MSG(y >= 0 && static_cast<std::size_t>(y) < num_classes_,
+                     "label " << y << " out of range");
+  }
+  ensure_capacity(size() + labels.size(), d);
+  std::copy(flat_rows.begin(), flat_rows.end(),
+            inputs_.data().begin() +
+                static_cast<std::ptrdiff_t>(size() * d));
+  labels_.insert(labels_.end(), labels.begin(), labels.end());
+}
+
+void Dataset::reserve_rows(std::size_t rows, std::size_t dim,
+                           std::size_t num_classes) {
+  OPAD_EXPECTS(dim > 0 && num_classes >= 2);
+  if (inputs_.rank() == 2 || !labels_.empty()) {
+    OPAD_EXPECTS(inputs_.dim(1) == dim);
+    OPAD_EXPECTS(num_classes == num_classes_);
+  } else {
+    num_classes_ = num_classes;
+  }
+  if (capacity_rows() < rows || inputs_.rank() != 2) {
+    ensure_capacity(std::max<std::size_t>(rows, 1), dim);
+  }
 }
 
 Dataset Dataset::shuffled(Rng& rng) const {

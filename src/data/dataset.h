@@ -16,6 +16,13 @@ struct LabeledSample {
 };
 
 /// A labelled dataset: inputs [n, d] plus integer labels [n].
+///
+/// Incremental growth (push_back / append / append_rows) follows the
+/// usual capacity model: the input tensor may be over-allocated to
+/// [capacity, d] with the logical row count tracked by the label vector,
+/// so repeated appends cost amortised O(rows appended * d) instead of the
+/// old full-copy-per-call. Row-major storage keeps every logical row span
+/// valid regardless of spare capacity; inputs() trims lazily.
 class Dataset {
  public:
   Dataset() = default;
@@ -29,7 +36,17 @@ class Dataset {
   std::size_t num_classes() const { return num_classes_; }
   bool empty() const { return labels_.empty(); }
 
-  const Tensor& inputs() const { return inputs_; }
+  /// Rows the input tensor can hold before the next reallocation.
+  std::size_t capacity_rows() const {
+    return inputs_.rank() == 2 ? inputs_.dim(0) : 0;
+  }
+
+  /// Exact [size, d] view of the inputs. Spare capacity is trimmed away
+  /// lazily on first access after growth (a no-op when capacity == size,
+  /// so datasets built in one shot never copy). The trim mutates a
+  /// mutable cache under const: do not call inputs() concurrently with a
+  /// first post-growth inputs() call on the same object.
+  const Tensor& inputs() const;
   const std::vector<int>& labels() const { return labels_; }
 
   /// Sample i as (copy of row, label).
@@ -42,8 +59,21 @@ class Dataset {
   /// Appends another dataset (same dim and class count).
   void append(const Dataset& other);
 
-  /// Appends a single sample.
+  /// Appends a single sample (amortised O(d) via capacity doubling).
   void push_back(const LabeledSample& sample);
+
+  /// Bulk-appends `labels.size()` rows given as one flat row-major span
+  /// (flat_rows.size() == labels.size() * dim). One reservation, one
+  /// copy — the chunk-assembly fast path.
+  void append_rows(std::span<const float> flat_rows,
+                   std::span<const int> labels);
+
+  /// Ensures capacity for at least `rows` total rows. On a
+  /// default-constructed dataset this also fixes the feature dimension
+  /// and class count (num_classes >= 2); on a non-empty dataset `dim` and
+  /// `num_classes` must match the existing values.
+  void reserve_rows(std::size_t rows, std::size_t dim,
+                    std::size_t num_classes);
 
   /// Returns a dataset with rows permuted uniformly at random.
   Dataset shuffled(Rng& rng) const;
@@ -61,7 +91,9 @@ class Dataset {
   std::vector<double> class_distribution() const;
 
  private:
-  Tensor inputs_;  // [n, d]
+  void ensure_capacity(std::size_t total_rows, std::size_t dim);
+
+  mutable Tensor inputs_;  // [capacity >= n, d]; rows [0, n) are live
   std::vector<int> labels_;
   std::size_t num_classes_ = 0;
 };

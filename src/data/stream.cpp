@@ -1,0 +1,123 @@
+#include "data/stream.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace opad {
+
+LabeledSample SampleStream::sample_at(std::size_t index) const {
+  OPAD_EXPECTS(index < size());
+  const std::size_t c = index / chunk_size();
+  return chunk(c).sample(index - chunk_begin(c));
+}
+
+InCoreSampleStream::InCoreSampleStream(const Dataset& data,
+                                       std::size_t chunk_size)
+    : data_(&data), chunk_size_(chunk_size) {
+  OPAD_EXPECTS(!data.empty());
+  OPAD_EXPECTS(chunk_size >= 1);
+}
+
+Dataset InCoreSampleStream::chunk(std::size_t i) const {
+  OPAD_EXPECTS(i < chunk_count());
+  const std::size_t begin = chunk_begin(i), rows = chunk_rows(i);
+  Tensor inputs({rows, dim()});
+  std::vector<int> labels(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    inputs.set_row(r, data_->row(begin + r));
+    labels[r] = data_->label(begin + r);
+  }
+  return Dataset(std::move(inputs), std::move(labels), num_classes());
+}
+
+GeneratorSampleStream::GeneratorSampleStream(
+    std::shared_ptr<const DataGenerator> generator, std::size_t size,
+    std::size_t chunk_size, std::uint64_t base_seed)
+    : generator_(std::move(generator)),
+      size_(size),
+      chunk_size_(chunk_size),
+      base_seed_(base_seed) {
+  OPAD_EXPECTS(generator_ != nullptr);
+  OPAD_EXPECTS(size >= 1 && chunk_size >= 1);
+}
+
+Dataset GeneratorSampleStream::chunk(std::size_t i) const {
+  OPAD_EXPECTS(i < chunk_count());
+  const std::size_t rows = chunk_rows(i);
+  Rng rng(derive_stream_seed(base_seed_, i));
+  Tensor inputs({rows, dim()});
+  std::vector<int> labels(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    LabeledSample s = generator_->sample(rng);
+    inputs.set_row(r, s.x.data());
+    labels[r] = s.y;
+  }
+  return Dataset(std::move(inputs), std::move(labels), num_classes());
+}
+
+LabelFilteredStream::LabelFilteredStream(const SampleStream& parent,
+                                         int label)
+    : parent_(&parent), label_(label) {
+  OPAD_EXPECTS(label >= 0 &&
+               static_cast<std::size_t>(label) < parent.num_classes());
+  const std::size_t chunks = parent.chunk_count();
+  cum_.resize(chunks + 1, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const Dataset chunk = parent.chunk(c);
+    std::size_t matches = 0;
+    for (std::size_t r = 0; r < chunk.size(); ++r) {
+      if (chunk.label(r) == label_) ++matches;
+    }
+    cum_[c + 1] = cum_[c] + matches;
+  }
+  OPAD_EXPECTS_MSG(cum_.back() > 0,
+                   "label " << label << " does not occur in the stream");
+}
+
+Dataset LabelFilteredStream::chunk(std::size_t i) const {
+  OPAD_EXPECTS(i < chunk_count());
+  const std::size_t lo = chunk_begin(i), rows = chunk_rows(i);
+  Tensor inputs({rows, dim()});
+  std::vector<int> labels(rows, label_);
+  // First parent chunk whose cumulative match count exceeds lo.
+  std::size_t pc = static_cast<std::size_t>(
+      std::upper_bound(cum_.begin() + 1, cum_.end(), lo) -
+      (cum_.begin() + 1));
+  std::size_t skip = lo - cum_[pc];  // matches to skip inside chunk pc
+  std::size_t out = 0;
+  for (; out < rows; ++pc, skip = 0) {
+    if (cum_[pc + 1] == cum_[pc]) continue;  // no matches in this chunk
+    const Dataset parent_chunk = parent_->chunk(pc);
+    for (std::size_t r = 0; r < parent_chunk.size() && out < rows; ++r) {
+      if (parent_chunk.label(r) != label_) continue;
+      if (skip > 0) {
+        --skip;
+        continue;
+      }
+      inputs.set_row(out++, parent_chunk.row(r));
+    }
+  }
+  return Dataset(std::move(inputs), std::move(labels),
+                 parent_->num_classes());
+}
+
+Dataset materialize_stream(const SampleStream& stream) {
+  return materialize_prefix(stream, stream.size());
+}
+
+Dataset materialize_prefix(const SampleStream& stream, std::size_t rows) {
+  const std::size_t n = std::min(rows, stream.size());
+  OPAD_EXPECTS(n > 0);
+  Dataset out;
+  out.reserve_rows(n, stream.dim(), stream.num_classes());
+  for (std::size_t c = 0; c < stream.chunk_count() && out.size() < n; ++c) {
+    const Dataset chunk = stream.chunk(c);
+    const std::size_t take = std::min(chunk.size(), n - out.size());
+    out.append_rows(chunk.inputs().data().subspan(0, take * stream.dim()),
+                    std::span<const int>(chunk.labels().data(), take));
+  }
+  return out;
+}
+
+}  // namespace opad

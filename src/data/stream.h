@@ -1,0 +1,197 @@
+// Chunked sample streams — the out-of-core substrate for campaign
+// execution (see DESIGN.md "Out-of-core streaming").
+//
+// A SampleStream presents an operational dataset as a sequence of fixed
+// chunk_size Dataset chunks addressed by chunk index. Consumers run
+// shard-then-fold passes over the chunks in chunk order, so only one
+// chunk (plus bounded per-consumer state) is ever resident; sources that
+// re-materialise chunks on demand (GeneratorSampleStream) let streams of
+// 10M+ samples run at O(chunk_size) memory.
+//
+// Determinism contract:
+//   * chunk(i) is a pure function of the stream's construction state and
+//     i — calling it twice, in any order, in any pass, yields the same
+//     bytes. Multi-pass algorithms (EM, PCA) rely on this.
+//   * Consumers that fold per-chunk partials in chunk order, with chunk
+//     boundaries derived from global row offsets (see
+//     for_each_staged_window), produce results that are bit-identical
+//     across chunk_size and OPAD_THREADS — the same discipline as
+//     parallel_for_chunks (util/parallel.h).
+//   * A GeneratorSampleStream's *content* is a function of its own
+//     (base_seed, chunk_size): chunk i is drawn from an Rng seeded with
+//     derive_stream_seed(base_seed, i). Two streams with different
+//     chunk_size are different (equally valid) operational samples;
+//     invariance across chunk_size applies to consumers of a fixed
+//     stream, and to InCoreSampleStream re-chunkings of a fixed Dataset.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <type_traits>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace opad {
+
+/// Read-only chunked view of a labelled sample sequence.
+class SampleStream {
+ public:
+  virtual ~SampleStream() = default;
+
+  /// Total number of rows in the stream.
+  virtual std::size_t size() const = 0;
+  /// Feature dimension of every row.
+  virtual std::size_t dim() const = 0;
+  /// Label space size (>= 2).
+  virtual std::size_t num_classes() const = 0;
+  /// Maximum rows per chunk (>= 1). Every chunk except possibly the last
+  /// has exactly this many rows.
+  virtual std::size_t chunk_size() const = 0;
+
+  /// Materialises chunk i as an owned Dataset of chunk_rows(i) rows.
+  /// Pure: identical bytes on every call.
+  virtual Dataset chunk(std::size_t i) const = 0;
+
+  std::size_t chunk_count() const {
+    return (size() + chunk_size() - 1) / chunk_size();
+  }
+  std::size_t chunk_begin(std::size_t i) const { return i * chunk_size(); }
+  std::size_t chunk_rows(std::size_t i) const {
+    const std::size_t begin = chunk_begin(i);
+    return std::min(chunk_size(), size() - begin);
+  }
+
+  /// Random access to one row (re-materialises the containing chunk;
+  /// O(chunk_size) — intended for rare draws such as EM dead-component
+  /// reseeds, not bulk iteration).
+  LabeledSample sample_at(std::size_t index) const;
+};
+
+/// Adapter presenting an existing in-memory Dataset as a stream. Holds a
+/// non-owning pointer; the Dataset must outlive the adapter.
+class InCoreSampleStream final : public SampleStream {
+ public:
+  InCoreSampleStream(const Dataset& data, std::size_t chunk_size);
+
+  std::size_t size() const override { return data_->size(); }
+  std::size_t dim() const override { return data_->dim(); }
+  std::size_t num_classes() const override { return data_->num_classes(); }
+  std::size_t chunk_size() const override { return chunk_size_; }
+  Dataset chunk(std::size_t i) const override;
+
+ private:
+  const Dataset* data_;
+  std::size_t chunk_size_;
+};
+
+/// Generator-backed stream: chunk i is re-materialised on demand by
+/// drawing chunk_rows(i) samples from `generator` with an Rng seeded
+/// derive_stream_seed(base_seed, i). The full stream never exists in
+/// memory; iterating it twice yields byte-identical chunks.
+class GeneratorSampleStream final : public SampleStream {
+ public:
+  GeneratorSampleStream(std::shared_ptr<const DataGenerator> generator,
+                        std::size_t size, std::size_t chunk_size,
+                        std::uint64_t base_seed);
+
+  std::size_t size() const override { return size_; }
+  std::size_t dim() const override { return generator_->dim(); }
+  std::size_t num_classes() const override {
+    return generator_->num_classes();
+  }
+  std::size_t chunk_size() const override { return chunk_size_; }
+  Dataset chunk(std::size_t i) const override;
+
+ private:
+  std::shared_ptr<const DataGenerator> generator_;
+  std::size_t size_;
+  std::size_t chunk_size_;
+  std::uint64_t base_seed_;
+};
+
+/// Label-filtered view of a parent stream: the subsequence of parent rows
+/// whose label equals `label`, in parent order, re-chunked to the parent's
+/// chunk_size. Construction makes one pass over the parent to index
+/// per-chunk match counts (O(parent chunk_count) memory); chunk(i) then
+/// touches only the parent chunks covering the requested rows. The parent
+/// must outlive the view.
+class LabelFilteredStream final : public SampleStream {
+ public:
+  LabelFilteredStream(const SampleStream& parent, int label);
+
+  std::size_t size() const override { return cum_.back(); }
+  std::size_t dim() const override { return parent_->dim(); }
+  std::size_t num_classes() const override { return parent_->num_classes(); }
+  std::size_t chunk_size() const override { return parent_->chunk_size(); }
+  Dataset chunk(std::size_t i) const override;
+
+ private:
+  const SampleStream* parent_;
+  int label_;
+  std::vector<std::size_t> cum_;  // cum_[c] = matches before parent chunk c
+};
+
+/// Materialises the whole stream as one Dataset (O(n) memory — tests and
+/// small streams only).
+Dataset materialize_stream(const SampleStream& stream);
+
+/// Materialises the first min(rows, stream.size()) rows.
+Dataset materialize_prefix(const SampleStream& stream, std::size_t rows);
+
+/// Copies the stream's rows into consecutive staging windows of
+/// `stage_rows` rows and invokes
+///     fn(window_start, const Tensor& rows, std::span<const int> labels)
+/// once per window, in stream order. Window boundaries fall at global row
+/// offsets that are multiples of stage_rows — independent of the stream's
+/// chunk_size — so a consumer that decomposes each window with a grain
+/// dividing stage_rows sees chunk boundaries at fixed global offsets and
+/// stays bitwise chunk_size-invariant. `fn` may return void, or bool
+/// (false stops the iteration early). Peak memory: one staging window
+/// plus one stream chunk.
+template <typename Fn>
+void for_each_staged_window(const SampleStream& stream,
+                            std::size_t stage_rows, Fn&& fn) {
+  const std::size_t n = stream.size(), d = stream.dim();
+  if (n == 0 || stage_rows == 0) return;
+  Tensor stage({std::min(stage_rows, n), d});
+  std::vector<int> labels(std::min(stage_rows, n));
+  std::size_t window_start = 0;  // global row index of stage row 0
+  std::size_t filled = 0;        // rows currently staged
+  auto invoke = [&](const Tensor& rows) -> bool {
+    const std::span<const int> lab(labels.data(), filled);
+    if constexpr (std::is_void_v<decltype(fn(window_start, rows, lab))>) {
+      fn(window_start, rows, lab);
+      return true;
+    } else {
+      return fn(window_start, rows, lab);
+    }
+  };
+  auto flush = [&]() -> bool {
+    const bool keep_going = filled == stage.dim(0)
+                                ? invoke(stage)
+                                : invoke(stage.slice_rows(0, filled));
+    window_start += filled;
+    filled = 0;
+    return keep_going;
+  };
+  const std::size_t chunks = stream.chunk_count();
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const Dataset chunk = stream.chunk(c);
+    std::size_t row = 0;
+    while (row < chunk.size()) {
+      const std::size_t copy =
+          std::min(stage.dim(0) - filled, chunk.size() - row);
+      for (std::size_t r = 0; r < copy; ++r) {
+        stage.set_row(filled + r, chunk.row(row + r));
+        labels[filled + r] = chunk.label(row + r);
+      }
+      filled += copy;
+      row += copy;
+      if (filled == stage.dim(0) && !flush()) return;
+    }
+  }
+  if (filled > 0) flush();
+}
+
+}  // namespace opad

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "data/stream.h"
 #include "util/error.h"
 
 namespace opad {
@@ -88,14 +89,100 @@ PcaResult fit_pca(const Tensor& data, std::size_t k, Rng& rng,
   return result;
 }
 
+PcaResult fit_pca(const SampleStream& stream, std::size_t k, Rng& rng,
+                  std::size_t iterations) {
+  const std::size_t n = stream.size(), d = stream.dim();
+  OPAD_EXPECTS(n >= 2);
+  OPAD_EXPECTS(k >= 1 && k <= d);
+
+  PcaResult result;
+  result.mean.assign(d, 0.0);
+  for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+    const Dataset chunk = stream.chunk(c);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const auto row = chunk.row(i);
+      for (std::size_t j = 0; j < d; ++j) result.mean[j] += row[j];
+    }
+  }
+  for (double& m : result.mean) m /= static_cast<double>(n);
+
+  // The in-core fit centres the data once into a float copy; here the
+  // centred float row is recomputed on the fly with the same cast, so
+  // every downstream product sees the same bits.
+  std::vector<float> cf(d);
+  const auto centre = [&](std::span<const float> row) {
+    for (std::size_t j = 0; j < d; ++j) {
+      cf[j] = static_cast<float>(row[j] - result.mean[j]);
+    }
+  };
+
+  result.components = Tensor({k, d});
+  result.variances.assign(k, 0.0);
+  std::vector<std::vector<double>> found;
+
+  for (std::size_t comp = 0; comp < k; ++comp) {
+    std::vector<double> v(d);
+    for (double& x : v) x = rng.normal();
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+      // Fused w = X^T (X v) / n: xv_i depends only on row i, so folding
+      // each point's contribution into w immediately after computing xv_i
+      // performs the exact addition sequence of the in-core two-pass
+      // version.
+      std::vector<double> w(d, 0.0);
+      for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+        const Dataset chunk = stream.chunk(c);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          centre(chunk.row(i));
+          double acc = 0.0;
+          for (std::size_t j = 0; j < d; ++j) acc += cf[j] * v[j];
+          for (std::size_t j = 0; j < d; ++j) w[j] += cf[j] * acc;
+        }
+      }
+      for (double& x : w) x /= static_cast<double>(n);
+      for (const auto& u : found) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < d; ++j) dot += w[j] * u[j];
+        for (std::size_t j = 0; j < d; ++j) w[j] -= dot * u[j];
+      }
+      double norm = 0.0;
+      for (double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (std::size_t j = 0; j < d; ++j) v[j] = w[j] / norm;
+    }
+    double quad = 0.0;
+    for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+      const Dataset chunk = stream.chunk(c);
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        centre(chunk.row(i));
+        double acc = 0.0;
+        for (std::size_t j = 0; j < d; ++j) acc += cf[j] * v[j];
+        quad += acc * acc;
+      }
+    }
+    result.variances[comp] = quad / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) {
+      result.components(comp, j) = static_cast<float>(v[j]);
+    }
+    found.push_back(std::move(v));
+  }
+  return result;
+}
+
 std::vector<double> pca_project(const PcaResult& pca, const Tensor& x) {
   OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == pca.mean.size());
+  return pca_project(pca, x.data());
+}
+
+std::vector<double> pca_project(const PcaResult& pca,
+                                std::span<const float> x) {
+  OPAD_EXPECTS(x.size() == pca.mean.size());
   const std::size_t k = pca.components.dim(0), d = pca.mean.size();
   std::vector<double> out(k, 0.0);
   for (std::size_t c = 0; c < k; ++c) {
     double acc = 0.0;
     for (std::size_t j = 0; j < d; ++j) {
-      acc += (static_cast<double>(x.at(j)) - pca.mean[j]) *
+      acc += (static_cast<double>(x[j]) - pca.mean[j]) *
              pca.components(c, j);
     }
     out[c] = acc;
@@ -179,15 +266,75 @@ CellPartition CellPartition::fit(const Tensor& data, std::size_t bins_per_dim,
                        bins_per_dim);
 }
 
+CellPartition CellPartition::fit(const SampleStream& stream,
+                                 std::size_t bins_per_dim,
+                                 std::size_t grid_dims, Rng& rng) {
+  const std::size_t d = stream.dim();
+  OPAD_EXPECTS(stream.size() >= 2);
+  OPAD_EXPECTS(grid_dims >= 1);
+
+  if (d <= grid_dims) {
+    std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+    for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+      const Dataset chunk = stream.chunk(c);
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const auto row = chunk.row(i);
+        for (std::size_t j = 0; j < d; ++j) {
+          lo[j] = std::min(lo[j], static_cast<double>(row[j]));
+          hi[j] = std::max(hi[j], static_cast<double>(row[j]));
+        }
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      const double margin = 0.05 * std::max(hi[j] - lo[j], 1e-6);
+      lo[j] -= margin;
+      hi[j] += margin;
+    }
+    return CellPartition(std::move(lo), std::move(hi), bins_per_dim);
+  }
+
+  PcaResult pca = fit_pca(stream, grid_dims, rng);
+  std::vector<double> lo(grid_dims, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(grid_dims, -std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+    const Dataset chunk = stream.chunk(c);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const auto proj = pca_project(pca, chunk.row(i));
+      for (std::size_t j = 0; j < grid_dims; ++j) {
+        lo[j] = std::min(lo[j], proj[j]);
+        hi[j] = std::max(hi[j], proj[j]);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < grid_dims; ++j) {
+    const double margin = 0.05 * std::max(hi[j] - lo[j], 1e-6);
+    lo[j] -= margin;
+    hi[j] += margin;
+  }
+  return CellPartition(std::move(pca), std::move(lo), std::move(hi),
+                       bins_per_dim);
+}
+
 std::vector<double> CellPartition::to_grid(const Tensor& x) const {
-  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == input_dim_);
+  OPAD_EXPECTS(x.rank() == 1);
+  return to_grid(x.data());
+}
+
+std::vector<double> CellPartition::to_grid(std::span<const float> x) const {
+  OPAD_EXPECTS(x.size() == input_dim_);
   if (projection_) return pca_project(*projection_, x);
-  std::vector<double> out(x.dim(0));
-  for (std::size_t j = 0; j < out.size(); ++j) out[j] = x.at(j);
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] = x[j];
   return out;
 }
 
 std::size_t CellPartition::cell_index(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1);
+  return cell_index(x.data());
+}
+
+std::size_t CellPartition::cell_index(std::span<const float> x) const {
   const auto g = to_grid(x);
   std::size_t index = 0;
   for (std::size_t j = 0; j < g.size(); ++j) {

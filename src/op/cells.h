@@ -10,12 +10,15 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace opad {
+
+class SampleStream;
 
 /// Principal component analysis helper: top-k directions of the rows of
 /// `data`, computed by power iteration with deflation.
@@ -27,8 +30,19 @@ struct PcaResult {
 PcaResult fit_pca(const Tensor& data, std::size_t k, Rng& rng,
                   std::size_t iterations = 60);
 
+/// Streaming overload at O(chunk_size) memory, bitwise-identical to the
+/// in-core fit on the materialised stream (same rng draws, same float
+/// rounding: the centred-row floats are recomputed per pass instead of
+/// cached, and each power-iteration step fuses the X v and X^T (X v)
+/// products point-ascending, which preserves the in-core accumulation
+/// order exactly). Costs k * (iterations + 1) + 1 passes over the stream.
+PcaResult fit_pca(const SampleStream& stream, std::size_t k, Rng& rng,
+                  std::size_t iterations = 60);
+
 /// Applies a PCA projection to a single input: (x - mean) @ components^T.
 std::vector<double> pca_project(const PcaResult& pca, const Tensor& x);
+std::vector<double> pca_project(const PcaResult& pca,
+                                std::span<const float> x);
 
 /// A uniform grid over a (possibly projected) box.
 class CellPartition {
@@ -49,6 +63,14 @@ class CellPartition {
   static CellPartition fit(const Tensor& data, std::size_t bins_per_dim,
                            std::size_t grid_dims, Rng& rng);
 
+  /// Streaming overload: same partition (bit for bit) as fitting on the
+  /// materialised stream, at O(chunk_size) memory. Bounds are folded in
+  /// point-ascending order; the projected branch uses the streaming
+  /// fit_pca.
+  static CellPartition fit(const SampleStream& stream,
+                           std::size_t bins_per_dim, std::size_t grid_dims,
+                           Rng& rng);
+
   std::size_t input_dim() const { return input_dim_; }
   std::size_t grid_dims() const { return lo_.size(); }
   std::size_t bins_per_dim() const { return bins_; }
@@ -57,9 +79,11 @@ class CellPartition {
 
   /// Grid coordinates of x (after projection, if any).
   std::vector<double> to_grid(const Tensor& x) const;
+  std::vector<double> to_grid(std::span<const float> x) const;
 
   /// Flat cell index of x in [0, cell_count).
   std::size_t cell_index(const Tensor& x) const;
+  std::size_t cell_index(std::span<const float> x) const;
 
   /// Centre of a cell in grid coordinates.
   std::vector<double> cell_center(std::size_t index) const;

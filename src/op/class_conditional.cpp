@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "data/stream.h"
 #include "util/special_math.h"
 
 namespace opad {
@@ -82,6 +83,91 @@ ClassConditionalProfile ClassConditionalProfile::fit(
       c.mean = global_mean;
       c.variance = global_var;
       models.push_back(GaussianMixtureModel({c}));
+    }
+  }
+  for (double& p : priors) p /= prior_total;
+  return ClassConditionalProfile(std::move(models), std::move(priors));
+}
+
+ClassConditionalProfile ClassConditionalProfile::fit(
+    const SampleStream& stream, const ClassConditionalConfig& config,
+    Rng& rng) {
+  OPAD_EXPECTS(stream.size() > 0);
+  OPAD_EXPECTS(config.prior_concentration > 0.0);
+  const std::size_t k = stream.num_classes();
+  const std::size_t d = stream.dim();
+  const std::size_t n = stream.size();
+  const std::size_t chunks = stream.chunk_count();
+
+  // Pass 1: class counts + global mean (flat, stream order — the same
+  // addition sequence as the in-core mean loop).
+  std::vector<std::size_t> class_counts(k, 0);
+  std::vector<double> global_mean(d, 0.0), global_var(d, 0.0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const Dataset chunk = stream.chunk(c);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      ++class_counts[static_cast<std::size_t>(chunk.label(i))];
+      const auto row = chunk.row(i);
+      for (std::size_t j = 0; j < d; ++j) global_mean[j] += row[j];
+    }
+  }
+  for (double& m : global_mean) m /= static_cast<double>(n);
+  // Pass 2: global variance.
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const Dataset chunk = stream.chunk(c);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const auto row = chunk.row(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = static_cast<double>(row[j]) - global_mean[j];
+        global_var[j] += diff * diff;
+      }
+    }
+  }
+  for (double& v : global_var) {
+    v = std::max(v / static_cast<double>(n), 1e-4);
+  }
+
+  std::vector<GaussianMixtureModel> models;
+  std::vector<double> priors(k);
+  double prior_total = 0.0;
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    priors[cls] = config.prior_concentration +
+                  static_cast<double>(class_counts[cls]);
+    prior_total += priors[cls];
+
+    if (class_counts[cls] >= std::max(config.min_samples_per_class,
+                                      config.gmm.components)) {
+      // The filtered view yields the class rows in parent order — the
+      // same rows, in the same order, as the in-core gather — so the
+      // streaming GMM fit reproduces the in-core per-class fit exactly.
+      const LabelFilteredStream members(stream, static_cast<int>(cls));
+      models.push_back(GaussianMixtureModel::fit(members, config.gmm, rng));
+    } else if (class_counts[cls] > 0) {
+      // Sparse class: single Gaussian at the class mean, global spread.
+      GaussianMixtureModel::Component comp;
+      comp.weight = 1.0;
+      comp.mean.assign(d, 0.0);
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const Dataset chunk = stream.chunk(c);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          if (chunk.label(i) != static_cast<int>(cls)) continue;
+          const auto row = chunk.row(i);
+          for (std::size_t j = 0; j < d; ++j) comp.mean[j] += row[j];
+        }
+      }
+      for (double& m : comp.mean) {
+        m /= static_cast<double>(class_counts[cls]);
+      }
+      comp.variance = global_var;
+      models.push_back(GaussianMixtureModel({comp}));
+    } else {
+      // Empty class: fall back to the global blob (prior smoothing keeps
+      // its weight tiny but positive).
+      GaussianMixtureModel::Component comp;
+      comp.weight = 1.0;
+      comp.mean = global_mean;
+      comp.variance = global_var;
+      models.push_back(GaussianMixtureModel({comp}));
     }
   }
   for (double& p : priors) p /= prior_total;

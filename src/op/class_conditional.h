@@ -36,6 +36,14 @@ class ClassConditionalProfile : public OperationalProfile,
                                      const ClassConditionalConfig& config,
                                      Rng& rng);
 
+  /// Streaming overload at O(chunk_size) memory, bitwise-identical to
+  /// fitting on the materialised stream: each populated class is fitted
+  /// through a LabelFilteredStream view (same gathered row order as the
+  /// in-core path) with the streaming GMM fit.
+  static ClassConditionalProfile fit(const SampleStream& stream,
+                                     const ClassConditionalConfig& config,
+                                     Rng& rng);
+
   // --- OperationalProfile ---
   std::size_t dim() const override;
   double log_density(const Tensor& x) const override;

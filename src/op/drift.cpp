@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "data/stream.h"
 #include "util/distributions.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace opad {
 
@@ -83,8 +86,7 @@ double DriftMonitor::window_kl() const {
   return kl;
 }
 
-bool DriftMonitor::observe(const Tensor& x) {
-  const std::size_t cell = partition_->cell_index(x);
+bool DriftMonitor::step(std::size_t cell) {
   window_cells_.push_back(cell);
   window_counts_[cell] += 1;
   if (window_cells_.size() > config_.window) {
@@ -100,6 +102,37 @@ bool DriftMonitor::observe(const Tensor& x) {
     alarmed_ = false;
   }
   return alarmed_;
+}
+
+bool DriftMonitor::observe(const Tensor& x) {
+  return step(partition_->cell_index(x));
+}
+
+std::size_t DriftMonitor::observe_batch(const Tensor& rows) {
+  OPAD_EXPECTS(rows.rank() == 2 && rows.dim(1) == partition_->input_dim());
+  const std::size_t m = rows.dim(0);
+  // Cell lookup is a pure per-row function — safe to parallelise; the
+  // stateful window updates below run serially in row order, so the end
+  // state matches m individual observe() calls exactly.
+  std::vector<std::size_t> cells(m);
+  parallel_for(0, m, 256, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      cells[i] = partition_->cell_index(rows.row_span(i));
+    }
+  });
+  std::size_t alarms = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (step(cells[i])) ++alarms;
+  }
+  return alarms;
+}
+
+std::size_t DriftMonitor::observe_stream(const SampleStream& stream) {
+  std::size_t alarms = 0;
+  for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+    alarms += observe_batch(stream.chunk(c).inputs());
+  }
+  return alarms;
 }
 
 }  // namespace opad

@@ -45,6 +45,16 @@ class DriftMonitor {
   /// to the reference.
   bool observe(const Tensor& x);
 
+  /// Feeds every row of `rows` [m, d] in order; returns how many of them
+  /// left the monitor alarmed. State-identical to m observe() calls: the
+  /// pure cell lookups run in parallel, the window/KL updates stay
+  /// serial in row order.
+  std::size_t observe_batch(const Tensor& rows);
+
+  /// Feeds an entire stream chunk by chunk (arrival order) at
+  /// O(chunk_size) memory; returns the total alarmed-observation count.
+  std::size_t observe_stream(const SampleStream& stream);
+
   /// Re-anchors the monitor to a new reference sample (e.g. after an
   /// online profile re-fit): recomputes the reference distribution,
   /// recalibrates the threshold, and clears the window so the next
@@ -70,6 +80,9 @@ class DriftMonitor {
  private:
   double window_kl() const;
   void calibrate(const Tensor& reference, Rng& rng);
+  /// Window/KL/alarm update for one observation already mapped to its
+  /// cell; returns the post-update alarm state.
+  bool step(std::size_t cell);
 
   DriftMonitorConfig config_;
   std::shared_ptr<const CellPartition> partition_;

@@ -14,6 +14,8 @@
 
 namespace opad {
 
+class SampleStream;
+
 struct GmmConfig {
   std::size_t components = 4;
   std::size_t max_iterations = 100;
@@ -52,6 +54,20 @@ class GaussianMixtureModel : public OperationalProfile {
   /// per-iteration mean log-likelihood.
   static GaussianMixtureModel fit(const Tensor& data, const GmmConfig& config,
                                   Rng& rng, GmmFitTrace* trace = nullptr);
+
+  /// Streaming overload: fits on a chunked SampleStream at O(chunk_size)
+  /// memory, multi-pass (k-means++ makes 2 passes per centre, each
+  /// k-means/EM iteration 1-2 passes). Reproduces the in-core overload
+  /// bit for bit — identical parameters, trace, and rng consumption — for
+  /// any stream chunk_size and OPAD_THREADS: every pass stages rows into
+  /// windows aligned to fixed global offsets, so the parallel grain
+  /// decomposition and every fold order match the in-core path exactly
+  /// (see DESIGN.md "Out-of-core streaming"). The second M-step pass
+  /// recomputes responsibilities from the pre-update parameters instead
+  /// of storing the O(n k) responsibility matrix.
+  static GaussianMixtureModel fit(const SampleStream& stream,
+                                  const GmmConfig& config, Rng& rng,
+                                  GmmFitTrace* trace = nullptr);
 
   std::size_t dim() const override;
   double log_density(const Tensor& x) const override;

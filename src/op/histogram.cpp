@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "data/stream.h"
 #include "util/error.h"
 
 namespace opad {
@@ -18,6 +19,30 @@ HistogramProfile::HistogramProfile(
   std::vector<double> counts(partition_->cell_count(), alpha);
   for (std::size_t i = 0; i < data.dim(0); ++i) {
     counts[partition_->cell_index(data.row(i))] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  OPAD_EXPECTS_MSG(total > 0.0,
+                   "histogram needs alpha > 0 or at least one observation");
+  probs_ = std::move(counts);
+  for (double& p : probs_) p /= total;
+}
+
+HistogramProfile::HistogramProfile(
+    std::shared_ptr<const CellPartition> partition,
+    const SampleStream& stream, double alpha)
+    : partition_(std::move(partition)) {
+  OPAD_EXPECTS(partition_ != nullptr);
+  OPAD_EXPECTS(alpha >= 0.0);
+  OPAD_EXPECTS(stream.size() > 0);
+  OPAD_EXPECTS(stream.dim() == partition_->input_dim());
+  observations_ = stream.size();
+  std::vector<double> counts(partition_->cell_count(), alpha);
+  for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+    const Dataset chunk = stream.chunk(c);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      counts[partition_->cell_index(chunk.row(i))] += 1.0;
+    }
   }
   double total = 0.0;
   for (double c : counts) total += c;

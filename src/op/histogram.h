@@ -17,6 +17,12 @@ class HistogramProfile : public OperationalProfile {
   HistogramProfile(std::shared_ptr<const CellPartition> partition,
                    const Tensor& data, double alpha = 0.5);
 
+  /// Streaming overload: identical probabilities to fitting on the
+  /// materialised stream, at O(chunk_size + cell_count) memory (one
+  /// counting pass in stream order).
+  HistogramProfile(std::shared_ptr<const CellPartition> partition,
+                   const SampleStream& stream, double alpha = 0.5);
+
   std::size_t dim() const override;
   /// Piecewise-constant density: P(cell)/volume in grid coordinates. For
   /// projected partitions this is a density over the projected space.

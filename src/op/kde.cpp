@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "data/stream.h"
 #include "util/parallel.h"
 #include "util/special_math.h"
 
@@ -36,7 +39,70 @@ KernelDensityEstimator::KernelDensityEstimator(const Tensor& data,
     points_ = data;
   }
 
-  const std::size_t m = points_.dim(0);
+  finish_init(config);
+}
+
+KernelDensityEstimator::KernelDensityEstimator(const SampleStream& stream,
+                                               const KdeConfig& config,
+                                               Rng& rng) {
+  const std::size_t n = stream.size(), d = stream.dim();
+  OPAD_EXPECTS(n > 0);
+
+  if (config.max_points > 0 && n > config.max_points) {
+    const std::size_t kcount = config.max_points;
+    // Emulate rng.sample_without_replacement(n, kcount) without the O(n)
+    // identity array: a partial Fisher–Yates over a virtual iota with an
+    // overrides map of displaced entries. The rng draws, the selected
+    // indices, and their order are identical to the in-core path.
+    std::unordered_map<std::size_t, std::size_t> moved;
+    const auto value_at = [&](std::size_t pos) {
+      const auto it = moved.find(pos);
+      return it == moved.end() ? pos : it->second;
+    };
+    std::vector<std::size_t> keep(kcount);
+    for (std::size_t i = 0; i < kcount; ++i) {
+      const std::size_t j = i + rng.uniform_index(n - i);
+      const std::size_t vi = value_at(i), vj = value_at(j);
+      moved[i] = vj;
+      moved[j] = vi;
+      keep[i] = vj;
+    }
+    // Gather rows with one materialisation per touched chunk: visit the
+    // (source, destination) pairs in source order.
+    std::vector<std::pair<std::size_t, std::size_t>> fetch(kcount);
+    for (std::size_t i = 0; i < kcount; ++i) fetch[i] = {keep[i], i};
+    std::sort(fetch.begin(), fetch.end());
+    Tensor sub({kcount, d});
+    std::size_t pos = 0;
+    while (pos < kcount) {
+      const std::size_t chunk_id = fetch[pos].first / stream.chunk_size();
+      const Dataset chunk = stream.chunk(chunk_id);
+      const std::size_t begin = stream.chunk_begin(chunk_id);
+      for (; pos < kcount &&
+             fetch[pos].first / stream.chunk_size() == chunk_id;
+           ++pos) {
+        sub.set_row(fetch[pos].second, chunk.row(fetch[pos].first - begin));
+      }
+    }
+    points_ = std::move(sub);
+  } else {
+    // No cap: the estimator stores every point by definition.
+    Tensor all({n, d});
+    std::size_t out = 0;
+    for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+      const Dataset chunk = stream.chunk(c);
+      for (std::size_t r = 0; r < chunk.size(); ++r) {
+        all.set_row(out++, chunk.row(r));
+      }
+    }
+    points_ = std::move(all);
+  }
+
+  finish_init(config);
+}
+
+void KernelDensityEstimator::finish_init(const KdeConfig& config) {
+  const std::size_t m = points_.dim(0), d = points_.dim(1);
   bandwidth_.resize(d);
   if (config.bandwidth > 0.0) {
     std::fill(bandwidth_.begin(), bandwidth_.end(), config.bandwidth);
@@ -61,7 +127,8 @@ KernelDensityEstimator::KernelDensityEstimator(const Tensor& data,
   double log_det = 0.0;
   for (double h : bandwidth_) log_det += std::log(h * h);
   log_norm_const_ =
-      -0.5 * (static_cast<double>(d) * std::log(2.0 * M_PI) + log_det);
+      -0.5 * (static_cast<double>(points_.dim(1)) * std::log(2.0 * M_PI) +
+              log_det);
 }
 
 std::size_t KernelDensityEstimator::dim() const { return points_.dim(1); }

@@ -8,6 +8,8 @@
 
 namespace opad {
 
+class SampleStream;
+
 struct KdeConfig {
   /// Bandwidth; <= 0 selects Scott's rule: n^(-1/(d+4)) * sd per dim.
   double bandwidth = 0.0;
@@ -22,6 +24,16 @@ class KernelDensityEstimator : public OperationalProfile {
   KernelDensityEstimator(const Tensor& data, const KdeConfig& config,
                          Rng& rng);
 
+  /// Streaming overload, bitwise-identical to fitting on the
+  /// materialised stream. With max_points < n the subsample indices are
+  /// drawn by an O(max_points)-memory emulation of
+  /// Rng::sample_without_replacement (same draws, same indices, same
+  /// order) and only the chunks containing selected rows are
+  /// materialised; without a cap the estimator inherently stores all n
+  /// points, so the memory bound requires config.max_points > 0.
+  KernelDensityEstimator(const SampleStream& stream, const KdeConfig& config,
+                         Rng& rng);
+
   std::size_t dim() const override;
   double log_density(const Tensor& x) const override;
   Tensor sample(Rng& rng) const override;
@@ -32,6 +44,9 @@ class KernelDensityEstimator : public OperationalProfile {
   const std::vector<double>& bandwidth() const { return bandwidth_; }
 
  private:
+  /// Bandwidth selection + kernel normaliser from the final points_.
+  void finish_init(const KdeConfig& config);
+
   Tensor points_;                  // [m, d]
   std::vector<double> bandwidth_;  // per-dimension sd
   double log_norm_const_ = 0.0;    // of a single kernel

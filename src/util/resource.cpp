@@ -1,0 +1,24 @@
+#include "util/resource.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace opad {
+
+std::size_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // ru_maxrss is in bytes on macOS, kilobytes on Linux/BSD.
+  return static_cast<std::size_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace opad

@@ -1,0 +1,14 @@
+// Process resource accounting helpers for benchmarks and tooling.
+#pragma once
+
+#include <cstddef>
+
+namespace opad {
+
+/// Peak resident set size of the calling process in kilobytes, from
+/// getrusage(RUSAGE_SELF).ru_maxrss. This is a process-lifetime high-water
+/// mark (it never decreases), so memory-bounded benchmarks must run their
+/// low-memory legs first. Returns 0 on platforms without getrusage.
+std::size_t peak_rss_kb();
+
+}  // namespace opad

@@ -1,0 +1,527 @@
+// Out-of-core streaming: chunked SampleStream sources and the streaming
+// consumer paths. The load-bearing claims are bitwise ones — streaming
+// fits/detection/drift must reproduce their in-core counterparts exactly,
+// for any chunk_size and any OPAD_THREADS — so these tests compare with
+// operator== on floats/doubles, never with tolerances.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/assessor.h"
+#include "core/methods.h"
+#include "data/stream.h"
+#include "naturalness/density_naturalness.h"
+#include "op/class_conditional.h"
+#include "op/drift.h"
+#include "op/gmm.h"
+#include "op/histogram.h"
+#include "op/kde.h"
+#include "op/generator_profile.h"
+#include "attack/pgd.h"
+#include "test_helpers.h"
+#include "util/parallel.h"
+
+namespace opad {
+namespace {
+
+/// Restores the default (env-sized) global pool after a test that pins
+/// the thread count.
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() { ThreadPool::configure_global(0); }
+};
+
+Dataset make_op_dataset(std::size_t n, std::uint64_t seed) {
+  auto generator = GaussianClustersGenerator::make_ring(3, 2.0, 0.5)
+                       .with_class_priors({0.6, 0.3, 0.1});
+  Rng rng(seed);
+  return generator.make_dataset(n, rng);
+}
+
+void expect_same_dataset(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.dim(), b.dim());
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    const auto ra = a.row(i), rb = b.row(i);
+    for (std::size_t j = 0; j < a.dim(); ++j) EXPECT_EQ(ra[j], rb[j]);
+  }
+}
+
+void expect_same_gmm(const GaussianMixtureModel& a,
+                     const GaussianMixtureModel& b) {
+  ASSERT_EQ(a.components().size(), b.components().size());
+  for (std::size_t k = 0; k < a.components().size(); ++k) {
+    const auto& ca = a.components()[k];
+    const auto& cb = b.components()[k];
+    EXPECT_EQ(ca.weight, cb.weight);
+    ASSERT_EQ(ca.mean.size(), cb.mean.size());
+    for (std::size_t j = 0; j < ca.mean.size(); ++j) {
+      EXPECT_EQ(ca.mean[j], cb.mean[j]) << "component " << k << " dim " << j;
+      EXPECT_EQ(ca.variance[j], cb.variance[j]);
+    }
+  }
+}
+
+// --- Dataset growth -------------------------------------------------------
+
+TEST(DatasetGrowth, PushBackReservesGeometrically) {
+  Dataset data;
+  data.reserve_rows(1, 4, 3);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({Tensor::randn({4}, rng), i % 3});
+  }
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_GE(data.capacity_rows(), 100u);
+  // The logical view trims back to the live rows.
+  EXPECT_EQ(data.inputs().dim(0), 100u);
+  EXPECT_EQ(data.inputs().dim(1), 4u);
+}
+
+TEST(DatasetGrowth, AppendRowsBulk) {
+  Dataset data;
+  data.reserve_rows(8, 3, 2);
+  const std::vector<float> flat = {1, 2, 3, 4, 5, 6};
+  const std::vector<int> labels = {0, 1};
+  data.append_rows(flat, labels);
+  data.append_rows(flat, labels);
+  ASSERT_EQ(data.size(), 4u);
+  EXPECT_EQ(data.row(2)[0], 1.0f);
+  EXPECT_EQ(data.row(3)[2], 6.0f);
+  EXPECT_EQ(data.label(3), 1);
+}
+
+TEST(DatasetGrowth, AppendMatchesConcatenation) {
+  Dataset a = make_op_dataset(37, 5);
+  const Dataset b = make_op_dataset(21, 6);
+  Dataset expected = make_op_dataset(37, 5);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    expected.push_back(b.sample(i));
+  }
+  a.append(b);
+  expect_same_dataset(a, expected);
+}
+
+// --- Stream sources -------------------------------------------------------
+
+TEST(SampleStreamTest, InCoreChunksTileTheDataset) {
+  const Dataset data = make_op_dataset(103, 7);
+  for (const std::size_t chunk_size : {1u, 16u, 103u, 200u}) {
+    const InCoreSampleStream stream(data, chunk_size);
+    EXPECT_EQ(stream.size(), data.size());
+    expect_same_dataset(materialize_stream(stream), data);
+    const LabeledSample s = stream.sample_at(59);
+    EXPECT_EQ(s.y, data.label(59));
+    EXPECT_EQ(s.x.at(0), data.row(59)[0]);
+  }
+}
+
+TEST(SampleStreamTest, GeneratorChunksAreByteIdenticalAcrossIterations) {
+  const auto generator = std::make_shared<GaussianClustersGenerator>(
+      GaussianClustersGenerator::make_ring(3, 2.0, 0.5));
+  const GeneratorSampleStream stream(generator, 500, 64, 99);
+  const Dataset first = materialize_stream(stream);
+  // Second full iteration, chunks visited out of order.
+  for (std::size_t c = stream.chunk_count(); c > 0; --c) {
+    const Dataset chunk = stream.chunk(c - 1);
+    const std::size_t begin = stream.chunk_begin(c - 1);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      EXPECT_EQ(chunk.label(i), first.label(begin + i));
+      const auto ra = chunk.row(i), rb = first.row(begin + i);
+      for (std::size_t j = 0; j < chunk.dim(); ++j) EXPECT_EQ(ra[j], rb[j]);
+    }
+  }
+}
+
+TEST(SampleStreamTest, MaterializePrefixTakesExactRows) {
+  const Dataset data = make_op_dataset(100, 8);
+  const InCoreSampleStream stream(data, 33);
+  const Dataset prefix = materialize_prefix(stream, 50);
+  ASSERT_EQ(prefix.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(prefix.label(i), data.label(i));
+    EXPECT_EQ(prefix.row(i)[1], data.row(i)[1]);
+  }
+}
+
+TEST(SampleStreamTest, LabelFilteredStreamKeepsParentOrder) {
+  const Dataset data = make_op_dataset(211, 9);
+  const InCoreSampleStream parent(data, 32);
+  for (int label = 0; label < 3; ++label) {
+    const LabelFilteredStream filtered(parent, label);
+    Dataset expected;
+    expected.reserve_rows(1, data.dim(), data.num_classes());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data.label(i) == label) {
+        expected.push_back(data.sample(i));
+      }
+    }
+    expect_same_dataset(materialize_stream(filtered), expected);
+  }
+}
+
+// --- Streaming fits reproduce in-core bit for bit -------------------------
+
+TEST(StreamingGmmTest, BitwiseEqualAcrossChunkSizeAndThreads) {
+  GlobalPoolGuard guard;
+  const Dataset data = make_op_dataset(500, 11);
+  GmmConfig config;
+  config.components = 3;
+  config.kmeans_iterations = 3;
+  config.max_iterations = 6;
+
+  Rng ref_rng(42);
+  GmmFitTrace ref_trace;
+  const auto reference =
+      GaussianMixtureModel::fit(data.inputs(), config, ref_rng, &ref_trace);
+  const double ref_next_draw = ref_rng.uniform();
+
+  for (const std::size_t threads : {1u, 8u}) {
+    ThreadPool::configure_global(threads);
+    for (const std::size_t chunk_size : {64u, 4096u, 500u}) {
+      const InCoreSampleStream stream(data, chunk_size);
+      Rng rng(42);
+      GmmFitTrace trace;
+      const auto fitted =
+          GaussianMixtureModel::fit(stream, config, rng, &trace);
+      expect_same_gmm(fitted, reference);
+      ASSERT_EQ(trace.mean_log_likelihood.size(),
+                ref_trace.mean_log_likelihood.size());
+      for (std::size_t i = 0; i < trace.mean_log_likelihood.size(); ++i) {
+        EXPECT_EQ(trace.mean_log_likelihood[i],
+                  ref_trace.mean_log_likelihood[i])
+            << "chunk=" << chunk_size << " threads=" << threads;
+      }
+      // Identical rng consumption: the next draw matches too.
+      EXPECT_EQ(rng.uniform(), ref_next_draw);
+    }
+  }
+}
+
+TEST(StreamingKdeTest, SubsampledPointsAndBandwidthMatchInCore) {
+  const Dataset data = make_op_dataset(400, 12);
+  KdeConfig config;
+  config.max_points = 60;
+  Rng ref_rng(13);
+  const KernelDensityEstimator reference(data.inputs(), config, ref_rng);
+  for (const std::size_t chunk_size : {32u, 400u}) {
+    const InCoreSampleStream stream(data, chunk_size);
+    Rng rng(13);
+    const KernelDensityEstimator kde(stream, config, rng);
+    ASSERT_EQ(kde.point_count(), reference.point_count());
+    for (std::size_t j = 0; j < kde.bandwidth().size(); ++j) {
+      EXPECT_EQ(kde.bandwidth()[j], reference.bandwidth()[j]);
+    }
+    Rng probe_rng(14);
+    const Tensor x = Tensor::randn({data.dim()}, probe_rng);
+    EXPECT_EQ(kde.log_density(x), reference.log_density(x));
+  }
+}
+
+TEST(StreamingKdeTest, UncappedPathKeepsEveryPoint) {
+  const Dataset data = make_op_dataset(120, 15);
+  Rng ref_rng(16);
+  const KernelDensityEstimator reference(data.inputs(), KdeConfig{}, ref_rng);
+  const InCoreSampleStream stream(data, 37);
+  Rng rng(16);
+  const KernelDensityEstimator kde(stream, KdeConfig{}, rng);
+  ASSERT_EQ(kde.point_count(), 120u);
+  Rng probe_rng(17);
+  const Tensor x = Tensor::randn({data.dim()}, probe_rng);
+  EXPECT_EQ(kde.log_density(x), reference.log_density(x));
+}
+
+TEST(StreamingCellsTest, PcaAndPartitionMatchInCore) {
+  // 8-D data forces the projected branch (grid_dims = 2).
+  Rng data_rng(18);
+  Tensor high({300, 8});
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      high(i, j) = static_cast<float>(data_rng.normal(0.0, 1.0 + j));
+    }
+  }
+  std::vector<int> labels(300);
+  for (std::size_t i = 0; i < 300; ++i) labels[i] = i % 2;
+  const Dataset data(high, labels, 2);
+
+  Rng ref_rng(19);
+  const PcaResult ref_pca = fit_pca(data.inputs(), 2, ref_rng);
+  const InCoreSampleStream stream(data, 64);
+  Rng rng(19);
+  const PcaResult pca = fit_pca(stream, 2, rng);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(pca.mean[j], ref_pca.mean[j]);
+    EXPECT_EQ(pca.components(0, j), ref_pca.components(0, j));
+    EXPECT_EQ(pca.components(1, j), ref_pca.components(1, j));
+  }
+  EXPECT_EQ(pca.variances[0], ref_pca.variances[0]);
+  EXPECT_EQ(pca.variances[1], ref_pca.variances[1]);
+
+  Rng part_ref_rng(20);
+  const CellPartition reference =
+      CellPartition::fit(data.inputs(), 8, 2, part_ref_rng);
+  Rng part_rng(20);
+  const CellPartition partition = CellPartition::fit(stream, 8, 2, part_rng);
+  ASSERT_EQ(partition.cell_count(), reference.cell_count());
+  EXPECT_TRUE(partition.is_projected());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(partition.cell_index(data.row(i)),
+              reference.cell_index(data.row(i)));
+  }
+}
+
+TEST(StreamingHistogramTest, ProbabilitiesMatchInCore) {
+  const Dataset data = make_op_dataset(300, 21);
+  Rng rng(22);
+  const auto partition = std::make_shared<const CellPartition>(
+      CellPartition::fit(data.inputs(), 8, 2, rng));
+  const HistogramProfile reference(partition, data.inputs());
+  for (const std::size_t chunk_size : {16u, 300u}) {
+    const InCoreSampleStream stream(data, chunk_size);
+    const HistogramProfile histogram(partition, stream);
+    ASSERT_EQ(histogram.cell_probabilities().size(),
+              reference.cell_probabilities().size());
+    for (std::size_t c = 0; c < reference.cell_probabilities().size(); ++c) {
+      EXPECT_EQ(histogram.cell_probabilities()[c],
+                reference.cell_probabilities()[c]);
+    }
+    EXPECT_EQ(histogram.observation_count(), reference.observation_count());
+  }
+}
+
+TEST(StreamingClassConditionalTest, ModelsAndPriorsMatchInCore) {
+  const Dataset data = make_op_dataset(400, 23);
+  ClassConditionalConfig config;
+  config.gmm.components = 2;
+  config.gmm.kmeans_iterations = 2;
+  config.gmm.max_iterations = 4;
+  Rng ref_rng(24);
+  const auto reference = ClassConditionalProfile::fit(data, config, ref_rng);
+  for (const std::size_t chunk_size : {64u, 400u}) {
+    const InCoreSampleStream stream(data, chunk_size);
+    Rng rng(24);
+    const auto fitted = ClassConditionalProfile::fit(stream, config, rng);
+    ASSERT_EQ(fitted.num_classes(), reference.num_classes());
+    for (std::size_t cls = 0; cls < fitted.num_classes(); ++cls) {
+      EXPECT_EQ(fitted.class_priors()[cls], reference.class_priors()[cls]);
+      expect_same_gmm(fitted.class_model(cls), reference.class_model(cls));
+    }
+  }
+}
+
+// --- Streaming campaign stages -------------------------------------------
+
+class StreamCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new testing::RingTask(testing::make_ring_task(500, 200, 81));
+    Rng rng(82);
+    model_ = new Classifier(testing::train_mlp(task_->train, 20, 18, rng));
+    auto op_generator = task_->generator.with_class_priors({0.6, 0.3, 0.1});
+    op_data_ = new Dataset(op_generator.make_dataset(600, rng));
+    profile_ = std::make_shared<GaussianGeneratorProfile>(op_generator);
+    metric_ = std::make_shared<DensityNaturalness>(profile_);
+    tau_ = naturalness_threshold(*metric_, op_data_->inputs(), 0.05);
+  }
+  static void TearDownTestSuite() {
+    delete op_data_;
+    delete model_;
+    delete task_;
+    op_data_ = nullptr;
+    model_ = nullptr;
+    task_ = nullptr;
+    profile_.reset();
+    metric_.reset();
+  }
+
+  MethodContext context() const {
+    MethodContext ctx;
+    ctx.balanced_data = &task_->test;
+    ctx.operational_data = op_data_;
+    ctx.profile = profile_;
+    ctx.metric = metric_;
+    ctx.tau = tau_;
+    ctx.ball.eps = 0.4f;
+    ctx.ball.input_lo = -5.0f;
+    ctx.ball.input_hi = 5.0f;
+    return ctx;
+  }
+
+  /// Serial arrival-order reference for OperationalTest-over-stream.
+  Detection serial_reference(const SampleStream& stream,
+                             std::uint64_t budget) const {
+    Classifier replica = model_->clone();
+    Detection total;
+    std::uint64_t used = 0;
+    for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+      const Dataset chunk = stream.chunk(c);
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        if (used >= budget) return total;
+        LabeledSample probe = chunk.sample(i);
+        const int predicted = replica.predict_single(probe.x);
+        ++used;
+        total.stats.seeds_attacked += 1;
+        total.stats.queries_used += 1;
+        if (predicted == probe.y) continue;
+        total.stats.aes_found += 1;
+        total.stats.clean_failures += 1;
+        OperationalAE ae;
+        ae.seed = probe.x;
+        ae.label = probe.y;
+        ae.adversarial = std::move(probe.x);
+        ae.linf_distance = 0.0f;
+        ae.seed_log_density = profile_->log_density(ae.seed);
+        ae.naturalness = metric_->score(ae.adversarial);
+        ae.is_operational = ae.naturalness >= tau_;
+        if (ae.is_operational) total.stats.operational_aes += 1;
+        total.aes.push_back(std::move(ae));
+      }
+    }
+    return total;
+  }
+
+  static testing::RingTask* task_;
+  static Classifier* model_;
+  static Dataset* op_data_;
+  static ProfilePtr profile_;
+  static NaturalnessPtr metric_;
+  static double tau_;
+};
+
+testing::RingTask* StreamCampaignTest::task_ = nullptr;
+Classifier* StreamCampaignTest::model_ = nullptr;
+Dataset* StreamCampaignTest::op_data_ = nullptr;
+ProfilePtr StreamCampaignTest::profile_;
+NaturalnessPtr StreamCampaignTest::metric_;
+double StreamCampaignTest::tau_ = 0.0;
+
+TEST_F(StreamCampaignTest, DetectMatchesSerialReferenceAcrossChunksThreads) {
+  GlobalPoolGuard guard;
+  const std::uint64_t budget = 600;
+  const InCoreSampleStream ref_stream(*op_data_, op_data_->size());
+  const Detection reference = serial_reference(ref_stream, budget);
+  ASSERT_GT(reference.stats.aes_found, 0u);
+
+  const auto method = make_operational_testing_method();
+  for (const std::size_t threads : {1u, 8u}) {
+    ThreadPool::configure_global(threads);
+    for (const std::size_t chunk_size : {64u, 4096u, 600u}) {
+      const InCoreSampleStream stream(*op_data_, chunk_size);
+      MethodContext ctx = context();
+      ctx.stream = &stream;
+      Classifier model = model_->clone();
+      Rng rng(83);
+      const Detection d = method->detect(model, ctx, budget, rng);
+      EXPECT_EQ(d.stats.seeds_attacked, reference.stats.seeds_attacked);
+      EXPECT_EQ(d.stats.queries_used, reference.stats.queries_used);
+      EXPECT_EQ(d.stats.aes_found, reference.stats.aes_found);
+      EXPECT_EQ(d.stats.clean_failures, reference.stats.clean_failures);
+      EXPECT_EQ(d.stats.operational_aes, reference.stats.operational_aes);
+      ASSERT_EQ(d.aes.size(), reference.aes.size());
+      for (std::size_t i = 0; i < d.aes.size(); ++i) {
+        EXPECT_EQ(d.aes[i].label, reference.aes[i].label);
+        EXPECT_EQ(d.aes[i].naturalness, reference.aes[i].naturalness);
+        EXPECT_EQ(d.aes[i].seed_log_density,
+                  reference.aes[i].seed_log_density);
+        EXPECT_EQ(d.aes[i].is_operational, reference.aes[i].is_operational);
+        for (std::size_t j = 0; j < d.aes[i].seed.dim(0); ++j) {
+          EXPECT_EQ(d.aes[i].seed.at(j), reference.aes[i].seed.at(j));
+        }
+      }
+      // The untracked per-detect budget never overruns.
+      EXPECT_LE(d.stats.queries_used, budget);
+    }
+  }
+}
+
+TEST_F(StreamCampaignTest, DetectCapsRetainedAes) {
+  const InCoreSampleStream stream(*op_data_, 64);
+  MethodContext ctx = context();
+  ctx.stream = &stream;
+  ctx.max_retained_aes = 3;
+  Classifier model = model_->clone();
+  Rng rng(84);
+  const auto method = make_operational_testing_method();
+  const Detection d = method->detect(model, ctx, 600, rng);
+  EXPECT_LE(d.aes.size(), 3u);
+  EXPECT_GT(d.stats.aes_found, 3u);  // stats still count every find
+  // The retained prefix is the earliest finds.
+  const Detection reference =
+      serial_reference(InCoreSampleStream(*op_data_, op_data_->size()), 600);
+  for (std::size_t i = 0; i < d.aes.size(); ++i) {
+    EXPECT_EQ(d.aes[i].naturalness, reference.aes[i].naturalness);
+  }
+}
+
+TEST_F(StreamCampaignTest, DriftObserveStreamMatchesSerialObserve) {
+  Rng rng(85);
+  const auto partition = std::make_shared<const CellPartition>(
+      CellPartition::fit(op_data_->inputs(), 8, 2, rng));
+  DriftMonitorConfig config;
+  config.window = 50;
+  config.calibration_draws = 60;
+
+  GlobalPoolGuard guard;
+  for (const std::size_t threads : {1u, 8u}) {
+    ThreadPool::configure_global(threads);
+    Rng serial_rng(86);
+    DriftMonitor serial(partition, op_data_->inputs(), config, serial_rng);
+    std::size_t serial_alarms = 0;
+    for (std::size_t i = 0; i < op_data_->size(); ++i) {
+      if (serial.observe(op_data_->sample(i).x)) ++serial_alarms;
+    }
+
+    for (const std::size_t chunk_size : {64u, 600u}) {
+      Rng stream_rng(86);
+      DriftMonitor streamed(partition, op_data_->inputs(), config,
+                            stream_rng);
+      const InCoreSampleStream stream(*op_data_, chunk_size);
+      const std::size_t alarms = streamed.observe_stream(stream);
+      EXPECT_EQ(alarms, serial_alarms);
+      EXPECT_EQ(streamed.observed(), serial.observed());
+      EXPECT_EQ(streamed.current_divergence(), serial.current_divergence());
+      EXPECT_EQ(streamed.alarmed(), serial.alarmed());
+      EXPECT_EQ(streamed.threshold(), serial.threshold());
+    }
+  }
+}
+
+TEST_F(StreamCampaignTest, AssessorStreamingCtorMatchesInCore) {
+  PgdConfig probe_config;
+  probe_config.ball.eps = 0.4f;
+  probe_config.ball.input_lo = -5.0f;
+  probe_config.ball.input_hi = 5.0f;
+  probe_config.steps = 3;
+  probe_config.restarts = 1;
+  AssessorConfig config;
+  config.probes_per_assessment = 40;
+
+  Rng ref_rng(87);
+  ReliabilityAssessor reference(config, *op_data_,
+                                std::make_shared<Pgd>(probe_config), ref_rng);
+  const InCoreSampleStream stream(*op_data_, 64);
+  Rng rng(87);
+  ReliabilityAssessor streamed(config, stream,
+                               std::make_shared<Pgd>(probe_config), rng);
+  ASSERT_EQ(streamed.partition().cell_count(),
+            reference.partition().cell_count());
+
+  // Identical construction implies identical assessments.
+  Classifier model_a = model_->clone();
+  Classifier model_b = model_->clone();
+  BudgetTracker budget_a(4000), budget_b(4000);
+  Rng assess_a(88), assess_b(88);
+  const Assessment a = reference.assess(model_a, *op_data_, budget_a,
+                                        assess_a);
+  const Assessment b = streamed.assess(model_b, *op_data_, budget_b,
+                                       assess_b);
+  EXPECT_EQ(a.pmi_mean, b.pmi_mean);
+  EXPECT_EQ(a.pmi_upper, b.pmi_upper);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.queries_used, b.queries_used);
+}
+
+}  // namespace
+}  // namespace opad
