@@ -36,9 +36,9 @@ std::unique_ptr<Classifier> train_model(const Dataset& train,
 
 MethodContext DigitsWorkload::context() const {
   MethodContext ctx;
-  ctx.balanced_data = &test;
-  ctx.operational_data = &op.operational_dataset;
-  ctx.operational_stream = &operational_sample;
+  ctx.seeds.balanced = &test;
+  ctx.seeds.operational = &op.operational_dataset;
+  ctx.seeds.observed = &operational_sample;
   ctx.profile = op.profile;
   ctx.metric = metric;
   ctx.tau = tau;
@@ -83,9 +83,9 @@ DigitsWorkload make_digits_workload(const DigitsWorkloadConfig& config) {
 
 MethodContext RingWorkload::context() const {
   MethodContext ctx;
-  ctx.balanced_data = &test;
-  ctx.operational_data = &op.operational_dataset;
-  ctx.operational_stream = &operational_sample;
+  ctx.seeds.balanced = &test;
+  ctx.seeds.operational = &op.operational_dataset;
+  ctx.seeds.observed = &operational_sample;
   ctx.profile = op.profile;
   ctx.metric = metric;
   ctx.tau = tau;

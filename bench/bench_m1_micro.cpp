@@ -387,8 +387,8 @@ void BM_OperationalTest(benchmark::State& state) {
       GaussianMixtureModel::fit(pool.inputs(), gmm_config, rng));
   auto metric = std::make_shared<DensityNaturalness>(profile);
   MethodContext context;
-  context.balanced_data = &pool;
-  context.operational_data = &pool;
+  context.seeds.balanced = &pool;
+  context.seeds.operational = &pool;
   context.profile = profile;
   context.metric = metric;
   context.tau = naturalness_threshold(*metric, pool.inputs(), 0.25);

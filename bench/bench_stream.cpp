@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
   });
   stage("stream", "detect", [&] {
     MethodContext ctx = w.context();
-    ctx.stream = &stream;
+    ctx.seeds.stream = &stream;
     ctx.max_retained_aes = 256;
     Rng rng(79);
     const auto method = make_operational_testing_method();
@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
     });
     stage("incore", "detect", [&] {
       MethodContext ctx = w.context();
-      ctx.operational_stream = &all;
+      ctx.seeds.observed = &all;
       Rng rng(79);
       const auto method = make_operational_testing_method();
       const Detection d = method->detect(*w.model, ctx, n, rng);

@@ -72,9 +72,9 @@ int main() {
 
   // Method shoot-out under a fixed budget.
   MethodContext ctx;
-  ctx.balanced_data = &lab_test;
-  ctx.operational_data = &op.operational_dataset;
-  ctx.operational_stream = &observed;
+  ctx.seeds.balanced = &lab_test;
+  ctx.seeds.operational = &op.operational_dataset;
+  ctx.seeds.observed = &observed;
   ctx.profile = op.profile;
   ctx.metric = metric;
   ctx.tau = tau;

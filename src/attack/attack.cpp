@@ -2,6 +2,26 @@
 
 namespace opad {
 
+void apply_evasion_term(const EvasionTerm& evasion, const Tensor& x,
+                        Tensor& direction) {
+  Tensor grad = evasion.scorer->score_gradient(x);
+  const float norm = grad.linf_norm();
+  if (norm > 1e-12f) {
+    grad *= static_cast<float>(evasion.lambda) / norm;
+    direction += grad;
+  }
+}
+
+void check_evasion_term(const std::optional<EvasionTerm>& evasion) {
+  if (!evasion) return;
+  OPAD_EXPECTS(evasion->scorer != nullptr);
+  OPAD_EXPECTS(evasion->lambda > 0.0);
+  OPAD_EXPECTS_MSG(evasion->scorer->has_gradient(),
+                   "an evasion term requires a differentiable scorer; attack "
+                   "non-differentiable detectors with the score-based guided "
+                   "search instead");
+}
+
 bool Attack::is_adversarial(Classifier& model, const Tensor& candidate,
                             int label) {
   return model.predict_single(candidate) != label;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "naturalness/metric.h"
 #include "nn/model.h"
 #include "util/rng.h"
 
@@ -23,6 +24,28 @@ struct BallConfig {
   float input_lo = 0.0f;   // valid input box, applied after projection
   float input_hi = 1.0f;
 };
+
+/// Detector-aware adaptive-attack guidance (Carlini & Wagner, "Bypassing
+/// Ten Detection Methods"): gradient attacks that carry an EvasionTerm
+/// add lambda * (scorer gradient normalised to unit L-inf) to their
+/// signed ascent direction, so the search climbs the model loss *and*
+/// the detector's benign-score simultaneously — the exact composition of
+/// the RQ3 fuzzer's opad_lambda naturalness term. `scorer` is typically
+/// a DetectorNaturalness wrapped around the detector under evaluation
+/// and must be differentiable.
+struct EvasionTerm {
+  NaturalnessPtr scorer;
+  double lambda = 0.5;
+};
+
+/// Adds the evasion term to an ascent `direction` in place (no-op when
+/// the scorer gradient's L-inf norm underflows). Shared by every lane
+/// engine and its serial walk so the two stay bitwise identical.
+void apply_evasion_term(const EvasionTerm& evasion, const Tensor& x,
+                        Tensor& direction);
+
+/// Validates an optional evasion term at attack-construction time.
+void check_evasion_term(const std::optional<EvasionTerm>& evasion);
 
 /// Outcome of attacking one seed.
 struct AttackResult {

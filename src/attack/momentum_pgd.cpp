@@ -26,9 +26,24 @@ void momentum_step(Tensor& x, Tensor& momentum, std::span<const float> grad,
     mv[i] = static_cast<float>(config.decay * mv[i] +
                                grad[i] / static_cast<float>(l1));
   }
-  auto xv = x.data();
-  for (std::size_t i = 0; i < xv.size(); ++i) {
-    xv[i] += alpha * (mv[i] > 0.0f ? 1.0f : (mv[i] < 0.0f ? -1.0f : 0.0f));
+  if (!config.evasion) {
+    auto xv = x.data();
+    for (std::size_t i = 0; i < xv.size(); ++i) {
+      xv[i] += alpha * (mv[i] > 0.0f ? 1.0f : (mv[i] < 0.0f ? -1.0f : 0.0f));
+    }
+  } else {
+    // Adaptive mode: compose sign(momentum) with the detector-evasion
+    // term, exactly as the PGD lane engine does with sign(grad).
+    Tensor direction({x.dim(0)});
+    auto dv = direction.data();
+    for (std::size_t i = 0; i < dv.size(); ++i) {
+      dv[i] = mv[i] > 0.0f ? 1.0f : (mv[i] < 0.0f ? -1.0f : 0.0f);
+    }
+    apply_evasion_term(*config.evasion, x, direction);
+    auto xv = x.data();
+    for (std::size_t i = 0; i < xv.size(); ++i) {
+      xv[i] += alpha * dv[i];
+    }
   }
   project_linf_ball(x, seed, config.ball.eps, config.ball.input_lo,
                     config.ball.input_hi);
@@ -44,10 +59,21 @@ AttackResult success_result(Tensor&& x, const Tensor& seed) {
 
 }  // namespace
 
-MomentumPgd::MomentumPgd(MomentumPgdConfig config) : config_(config) {
-  OPAD_EXPECTS(config.ball.eps > 0.0f);
-  OPAD_EXPECTS(config.steps > 0 && config.restarts > 0);
-  OPAD_EXPECTS(config.decay >= 0.0);
+MomentumPgd::MomentumPgd(MomentumPgdConfig config)
+    : config_(std::move(config)) {
+  OPAD_EXPECTS(config_.ball.eps > 0.0f);
+  OPAD_EXPECTS(config_.steps > 0 && config_.restarts > 0);
+  OPAD_EXPECTS(config_.decay >= 0.0);
+  check_evasion_term(config_.evasion);
+}
+
+std::shared_ptr<const Attack> MomentumPgd::thread_replica() const {
+  if (!config_.evasion) return nullptr;
+  NaturalnessPtr replica = config_.evasion->scorer->thread_replica();
+  if (!replica) return nullptr;  // scorer shareable -> so are we
+  MomentumPgdConfig copy = config_;
+  copy.evasion->scorer = std::move(replica);
+  return std::make_shared<MomentumPgd>(std::move(copy));
 }
 
 AttackResult MomentumPgd::run_impl(Classifier& model, const Tensor& seed,

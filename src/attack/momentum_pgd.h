@@ -14,13 +14,23 @@ struct MomentumPgdConfig {
   float step_size = 0.0f;  // <= 0 selects eps / steps (the MI-FGSM default)
   double decay = 1.0;      // momentum decay factor mu
   std::size_t restarts = 1;
+  /// Detector-aware adaptive mode: direction = sign(momentum) + lambda *
+  /// unit-L-inf scorer gradient (see EvasionTerm). Absent by default, in
+  /// which case the update is bitwise the classic MI-FGSM step.
+  std::optional<EvasionTerm> evasion;
 };
 
 class MomentumPgd : public Attack {
  public:
   explicit MomentumPgd(MomentumPgdConfig config);
 
-  std::string name() const override { return "MI-FGSM"; }
+  std::string name() const override {
+    return config_.evasion ? "MI-FGSM-Evade" : "MI-FGSM";
+  }
+
+  /// Deep copy with a replicated evasion scorer when the scorer is
+  /// stateful; nullptr (shareable) otherwise.
+  std::shared_ptr<const Attack> thread_replica() const override;
 
   /// Step-synchronous lane engine with per-lane momentum state;
   /// bit-identical to the serial walk.

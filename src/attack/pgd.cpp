@@ -31,6 +31,29 @@ void signed_step(Tensor& x, std::span<const float> grad, const Tensor& seed,
   project_linf_ball(x, seed, ball.eps, ball.input_lo, ball.input_hi);
 }
 
+/// Signed step, optionally composed with the detector-evasion term. The
+/// no-evasion branch is the untouched classic update, so plain PGD stays
+/// bitwise unchanged by the adaptive mode's existence.
+void guided_step(Tensor& x, std::span<const float> grad, const Tensor& seed,
+                 float alpha, const PgdConfig& config) {
+  if (!config.evasion) {
+    signed_step(x, grad, seed, alpha, config.ball);
+    return;
+  }
+  Tensor direction({x.dim(0)});
+  auto dv = direction.data();
+  for (std::size_t i = 0; i < dv.size(); ++i) {
+    dv[i] = grad[i] > 0.0f ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+  }
+  apply_evasion_term(*config.evasion, x, direction);
+  auto xv = x.data();
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    xv[i] += alpha * dv[i];
+  }
+  project_linf_ball(x, seed, config.ball.eps, config.ball.input_lo,
+                    config.ball.input_hi);
+}
+
 AttackResult success_result(Tensor&& x, const Tensor& seed) {
   AttackResult result;
   result.success = true;
@@ -41,9 +64,19 @@ AttackResult success_result(Tensor&& x, const Tensor& seed) {
 
 }  // namespace
 
-Pgd::Pgd(PgdConfig config) : config_(config) {
-  OPAD_EXPECTS(config.ball.eps > 0.0f);
-  OPAD_EXPECTS(config.steps > 0 && config.restarts > 0);
+Pgd::Pgd(PgdConfig config) : config_(std::move(config)) {
+  OPAD_EXPECTS(config_.ball.eps > 0.0f);
+  OPAD_EXPECTS(config_.steps > 0 && config_.restarts > 0);
+  check_evasion_term(config_.evasion);
+}
+
+std::shared_ptr<const Attack> Pgd::thread_replica() const {
+  if (!config_.evasion) return nullptr;
+  NaturalnessPtr replica = config_.evasion->scorer->thread_replica();
+  if (!replica) return nullptr;  // scorer shareable -> so are we
+  PgdConfig copy = config_;
+  copy.evasion->scorer = std::move(replica);
+  return std::make_shared<Pgd>(std::move(copy));
 }
 
 AttackResult Pgd::run_impl(Classifier& model, const Tensor& seed, int label,
@@ -63,7 +96,7 @@ AttackResult Pgd::run_impl(Classifier& model, const Tensor& seed, int label,
     }
     for (std::size_t step = 0; step < config_.steps; ++step) {
       const Tensor grad = model.input_gradient(x, label);
-      signed_step(x, grad.data(), seed, alpha, config_.ball);
+      guided_step(x, grad.data(), seed, alpha, config_);
       if (config_.early_stop && is_adversarial(model, x, label)) {
         return success_result(std::move(x), seed);
       }
@@ -133,7 +166,7 @@ std::vector<AttackResult> Pgd::run_batch(Classifier& model,
       for (std::size_t a = 0; a < active.size(); ++a) {
         const std::size_t l = active[a];
         queries[l] += 1;
-        signed_step(x[l], grads.row_span(a), seed[l], alpha, config_.ball);
+        guided_step(x[l], grads.row_span(a), seed[l], alpha, config_);
       }
       if (config_.early_stop) check_and_compact();
     }

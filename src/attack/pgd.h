@@ -14,13 +14,24 @@ struct PgdConfig {
   std::size_t restarts = 3; // random restarts inside the ball
   bool random_start = true;
   bool early_stop = true;   // stop a restart at the first misclassification
+  /// Detector-aware adaptive mode: when set, every step's direction is
+  /// sign(loss grad) + lambda * unit-L-inf scorer gradient (see
+  /// EvasionTerm). Absent (the default), the update is bitwise the
+  /// classic signed step.
+  std::optional<EvasionTerm> evasion;
 };
 
 class Pgd : public Attack {
  public:
   explicit Pgd(PgdConfig config);
 
-  std::string name() const override { return "PGD"; }
+  std::string name() const override {
+    return config_.evasion ? "PGD-Evade" : "PGD";
+  }
+
+  /// Deep copy with a replicated evasion scorer when the scorer is
+  /// stateful; nullptr (shareable) otherwise.
+  std::shared_ptr<const Attack> thread_replica() const override;
 
   /// Step-synchronous lane engine; bit-identical to the serial walk.
   std::vector<AttackResult> run_batch(Classifier& model, const Tensor& seeds,

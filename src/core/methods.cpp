@@ -14,13 +14,31 @@
 
 namespace opad {
 
+const Dataset& SeedSources::balanced_pool() const {
+  OPAD_EXPECTS_MSG(has_balanced(), "no balanced seed pool attached");
+  return *balanced;
+}
+
+const Dataset& SeedSources::operational_pool() const {
+  OPAD_EXPECTS_MSG(has_operational(), "no operational seed pool attached");
+  return *operational;
+}
+
+const Dataset& SeedSources::observed_pool() const {
+  if (observed != nullptr && !observed->empty()) return *observed;
+  return operational_pool();
+}
+
+const SampleStream& SeedSources::field_stream() const {
+  OPAD_EXPECTS_MSG(has_stream(), "no operational stream attached");
+  return *stream;
+}
+
 namespace {
 
 void check_context(const MethodContext& context) {
-  OPAD_EXPECTS(context.balanced_data != nullptr &&
-               !context.balanced_data->empty());
-  OPAD_EXPECTS(context.operational_data != nullptr &&
-               !context.operational_data->empty());
+  OPAD_EXPECTS(context.seeds.has_balanced());
+  OPAD_EXPECTS(context.seeds.has_operational());
   OPAD_EXPECTS(context.metric != nullptr);
 }
 
@@ -83,8 +101,12 @@ AttackPtr make_attack(AttackKind kind, const MethodSuiteConfig& suite,
 /// permutation of the pool produced by the method's seed strategy) until
 /// the budget is gone or the pool is exhausted — re-attacking the same
 /// input reveals no new failure, so each row is visited at most once.
+/// `metric`/`tau` are the judge of what counts as an operational AE —
+/// the shared context judge for the standard suite, the detector's own
+/// score and threshold for DetectorMethod.
 Detection budgeted_campaign(Classifier& model, const Dataset& pool,
                             const MethodContext& context,
+                            const NaturalnessPtr& metric, double tau,
                             const AttackPtr& attack,
                             std::uint64_t query_budget,
                             std::size_t batch_size, Rng& rng,
@@ -93,8 +115,7 @@ Detection budgeted_campaign(Classifier& model, const Dataset& pool,
       std::max<std::size_t>(1, std::min(batch_size, pool.size()));
   // Lane width = campaign batch: every generate() call becomes one
   // run_batch lane group per worker chunk.
-  TestCaseGenerator generator(attack, context.metric, context.tau,
-                              context.profile, batch);
+  TestCaseGenerator generator(attack, metric, tau, context.profile, batch);
   BudgetTracker budget(query_budget);
   Detection total;
   std::size_t cursor = 0;
@@ -129,10 +150,11 @@ class AttackOnUniformSeeds : public TestingMethod {
   Detection detect(Classifier& model, const MethodContext& context,
                    std::uint64_t query_budget, Rng& rng) const override {
     check_context(context);
-    const Dataset& pool = operational_pool_ ? *context.operational_data
-                                            : *context.balanced_data;
-    return budgeted_campaign(model, pool, context,
-                             make_attack(kind_, suite_, context),
+    const Dataset& pool = operational_pool_
+                              ? context.seeds.operational_pool()
+                              : context.seeds.balanced_pool();
+    return budgeted_campaign(model, pool, context, context.metric,
+                             context.tau, make_attack(kind_, suite_, context),
                              query_budget, suite_.campaign_batch, rng,
                              uniform_order(pool, rng));
   }
@@ -160,7 +182,7 @@ class WeightedSeedMethod : public TestingMethod {
   Detection detect(Classifier& model, const MethodContext& context,
                    std::uint64_t query_budget, Rng& rng) const override {
     check_context(context);
-    const Dataset& pool = *context.operational_data;
+    const Dataset& pool = context.seeds.operational_pool();
     AttackPtr attack = make_attack(gradient_fuzzer_
                                        ? AttackKind::kNaturalGuided
                                        : AttackKind::kRandomFuzz,
@@ -170,7 +192,8 @@ class WeightedSeedMethod : public TestingMethod {
     // first, every row at most once.
     std::vector<std::size_t> order =
         sampler.sample(model, pool, pool.size(), rng);
-    return budgeted_campaign(model, pool, context, attack, query_budget,
+    return budgeted_campaign(model, pool, context, context.metric,
+                             context.tau, attack, query_budget,
                              suite_.campaign_batch, rng, std::move(order));
   }
 
@@ -265,13 +288,13 @@ class OperationalTestingMethod : public TestingMethod {
     check_context(context);
     BudgetTracker budget(query_budget);
 
-    if (context.stream != nullptr) {
+    if (context.seeds.has_stream()) {
       // Out-of-core: execute the stream chunk by chunk in arrival order —
       // a live operational stream is consumed as it arrives, there is no
       // pool to shuffle (and no rng draw). One chunk plus its outcomes is
       // resident at a time; retained AEs are capped by max_retained_aes
       // (earliest finds kept, stats count everything).
-      const SampleStream& stream = *context.stream;
+      const SampleStream& stream = context.seeds.field_stream();
       Detection total;
       std::vector<std::size_t> identity;
       for (std::size_t c = 0;
@@ -288,9 +311,7 @@ class OperationalTestingMethod : public TestingMethod {
       return total;
     }
 
-    const Dataset& pool = context.operational_stream != nullptr
-                              ? *context.operational_stream
-                              : *context.operational_data;
+    const Dataset& pool = context.seeds.observed_pool();
     // Single pass over the pool: executing the same operational input
     // twice reveals no new failure, so the pool (not the budget) may be
     // the binding constraint — which is itself the point: operational
@@ -300,6 +321,77 @@ class OperationalTestingMethod : public TestingMethod {
     rng.shuffle(order);
     return run_operational_cases(model, pool, order, context, budget);
   }
+};
+
+/// A zoo detector run as a campaign method: attack operational seeds,
+/// judge every ball AE by the detector's own score at the detector's own
+/// threshold. Because the judge convention matches (higher = benign,
+/// flag below threshold), operational_aes counts *evasions* — AEs the
+/// detector waves through — so the cross-method tables compare detectors
+/// without new plumbing.
+///
+/// Transfer mode attacks with plain PGD (the attacker never heard of the
+/// detector); adaptive mode follows Carlini & Wagner: a PGD evasion term
+/// on the detector's gradient when it has one, otherwise the score-based
+/// guided search (the RQ3 fuzzer with the detector as its metric and
+/// tau = the detector threshold).
+class DetectorMethod : public TestingMethod {
+ public:
+  DetectorMethod(DetectorPtr detector, DetectorMethodConfig config)
+      : detector_(std::move(detector)), config_(config) {
+    OPAD_EXPECTS(detector_ != nullptr);
+    OPAD_EXPECTS_MSG(detector_->fitted(),
+                     "DetectorMethod requires a fitted detector");
+    judge_ = std::make_shared<DetectorNaturalness>(detector_);
+  }
+
+  std::string name() const override {
+    return detector_->name() + (config_.adaptive ? "-Adaptive" : "-Transfer");
+  }
+
+  Detection detect(Classifier& model, const MethodContext& context,
+                   std::uint64_t query_budget, Rng& rng) const override {
+    const Dataset& pool = context.seeds.operational_pool();
+    AttackPtr attack = make_attack(context);
+    return budgeted_campaign(model, pool, context, judge_,
+                             detector_->threshold(), attack, query_budget,
+                             config_.campaign_batch, rng,
+                             uniform_order(pool, rng));
+  }
+
+ private:
+  AttackPtr make_attack(const MethodContext& context) const {
+    if (config_.adaptive && detector_->has_gradient()) {
+      PgdConfig pc;
+      pc.ball = context.ball;
+      pc.steps = config_.attack_steps;
+      pc.restarts = config_.attack_restarts;
+      pc.evasion = EvasionTerm{judge_, config_.evasion_lambda};
+      return std::make_shared<Pgd>(std::move(pc));
+    }
+    if (config_.adaptive) {
+      // Score-based adaptive attack for non-differentiable detectors:
+      // keep the most benign-scoring AE, accept at the detector's own
+      // threshold, spend bounded polish budget after a flagged find.
+      NaturalFuzzerConfig fc;
+      fc.ball = context.ball;
+      fc.steps = config_.attack_steps;
+      fc.restarts = config_.attack_restarts;
+      fc.lambda = 0.0;
+      fc.tau = detector_->threshold();
+      fc.polish_steps = config_.polish_steps;
+      return std::make_shared<NaturalnessGuidedFuzzer>(fc, judge_);
+    }
+    PgdConfig pc;
+    pc.ball = context.ball;
+    pc.steps = config_.attack_steps;
+    pc.restarts = config_.attack_restarts;
+    return std::make_shared<Pgd>(pc);
+  }
+
+  DetectorPtr detector_;
+  DetectorMethodConfig config_;
+  NaturalnessPtr judge_;
 };
 
 }  // namespace
@@ -351,6 +443,26 @@ MethodPtr make_genetic_fuzz_method(const MethodSuiteConfig& config) {
 
 MethodPtr make_operational_testing_method() {
   return std::make_unique<OperationalTestingMethod>();
+}
+
+MethodPtr make_method(const std::string& name,
+                      const MethodSuiteConfig& config) {
+  if (name == "OpAD") return make_opad_method(config);
+  if (name == "OpAD-NoGrad") return make_opad_nograd_method(config);
+  if (name == "PGD-Uniform") return make_pgd_uniform_method(config);
+  if (name == "MIFGSM-Uniform") return make_mifgsm_uniform_method(config);
+  if (name == "RandomFuzz") return make_random_fuzz_method(config);
+  if (name == "GeneticFuzz") return make_genetic_fuzz_method(config);
+  if (name == "OperationalTest") return make_operational_testing_method();
+  throw PreconditionError(
+      "unknown method '" + name +
+      "'; expected one of {OpAD, OpAD-NoGrad, PGD-Uniform, MIFGSM-Uniform, "
+      "RandomFuzz, GeneticFuzz, OperationalTest}");
+}
+
+MethodPtr make_detector_method(DetectorPtr detector,
+                               const DetectorMethodConfig& config) {
+  return std::make_unique<DetectorMethod>(std::move(detector), config);
 }
 
 std::vector<MethodPtr> standard_method_suite(

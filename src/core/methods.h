@@ -28,28 +28,52 @@
 #include "core/seed_sampler.h"
 #include "core/test_generator.h"
 #include "core/types.h"
+#include "detect/detector.h"
 #include "naturalness/metric.h"
 
 namespace opad {
 
 class SampleStream;
 
+/// The seed/execution pools a method may draw from, with one precedence
+/// rule replacing the old per-field fallback comments:
+///
+///   Ball-search methods take seeds from `operational` (OP-aware, may be
+///   synthesised) or `balanced` (OP-agnostic), per method. Field
+///   execution (OperationalTest) runs real operational draws and prefers
+///   stream > observed > operational — the out-of-core stream when one
+///   is attached, else the observed executions, else the synthesised
+///   pool as a last resort (executing an augmentation is not a field
+///   test, but it beats running nothing).
+///
+/// The accessors apply that rule; methods never touch the raw pointers.
+struct SeedSources {
+  const Dataset* balanced = nullptr;     // OP-agnostic seed pool
+  const Dataset* operational = nullptr;  // OP-aware pool (may be synthetic)
+  const Dataset* observed = nullptr;     // real operational executions
+  /// Out-of-core operational executions, consumed chunk by chunk in
+  /// arrival order at O(chunk_size) memory; stats and retained AEs are
+  /// bit-identical across chunk_size and OPAD_THREADS.
+  const SampleStream* stream = nullptr;
+
+  bool has_balanced() const { return balanced && !balanced->empty(); }
+  bool has_operational() const { return operational && !operational->empty(); }
+  bool has_stream() const { return stream != nullptr; }
+
+  /// Seed pools for ball-search methods; throw when absent.
+  const Dataset& balanced_pool() const;
+  const Dataset& operational_pool() const;
+
+  /// Field-execution pool: observed executions, else the operational
+  /// pool. Callers must check has_stream() first — the stream outranks
+  /// both.
+  const Dataset& observed_pool() const;
+  const SampleStream& field_stream() const;  // requires has_stream()
+};
+
 /// Shared data/context every method detects against.
 struct MethodContext {
-  const Dataset* balanced_data = nullptr;     // OP-agnostic seed pool
-  const Dataset* operational_data = nullptr;  // OP-aware seed pool
-                                              // (may be synthesised)
-  /// Real operational executions (observed OP draws). OperationalTest
-  /// runs on these — executing a synthetic augmentation is not a field
-  /// test. Null = fall back to operational_data.
-  const Dataset* operational_stream = nullptr;
-  /// Out-of-core operational executions. When set it takes precedence
-  /// over operational_stream/operational_data for OperationalTest, which
-  /// then executes the stream chunk by chunk in arrival order (a live
-  /// stream has no pool to shuffle) at O(chunk_size) memory. Stats and
-  /// retained AEs are bit-identical across the stream's chunk_size and
-  /// OPAD_THREADS.
-  const SampleStream* stream = nullptr;
+  SeedSources seeds;
   /// Cap on OperationalAE payloads retained in Detection::aes (earliest
   /// finds kept; stats always count every find). Bounds detect() memory
   /// on long streams.
@@ -112,5 +136,38 @@ MethodPtr make_mifgsm_uniform_method(const MethodSuiteConfig& config);
 MethodPtr make_random_fuzz_method(const MethodSuiteConfig& config);
 MethodPtr make_genetic_fuzz_method(const MethodSuiteConfig& config);
 MethodPtr make_operational_testing_method();
+
+/// String-keyed method factory (mirror of make_attack / make_detector):
+/// accepts {"OpAD", "OpAD-NoGrad", "PGD-Uniform", "MIFGSM-Uniform",
+/// "RandomFuzz", "GeneticFuzz", "OperationalTest"} and throws
+/// PreconditionError on anything else, listing the valid names.
+MethodPtr make_method(const std::string& name,
+                      const MethodSuiteConfig& config);
+
+/// How a DetectorMethod exercises its detector.
+struct DetectorMethodConfig {
+  std::size_t attack_steps = 15;
+  std::size_t attack_restarts = 2;
+  /// Detector-aware adaptive mode (Carlini & Wagner's evaluation
+  /// discipline). Differentiable detectors get a PGD evasion term of
+  /// weight `evasion_lambda`; non-differentiable ones get the
+  /// score-based guided search (the RQ3 fuzzer judging candidates by
+  /// detector score, with `polish_steps` extra budget after the first
+  /// flagged find). false = transfer mode: plain PGD, obliviously.
+  bool adaptive = false;
+  double evasion_lambda = 0.5;
+  std::size_t polish_steps = 4;
+  /// Seeds per campaign round / Attack::run_batch lane width.
+  std::size_t campaign_batch = 32;
+};
+
+/// Wraps a fitted (and thresholded) zoo detector as a TestingMethod so
+/// the campaign compares detectors exactly like methods: seeds from the
+/// operational pool, AEs judged by the *detector's own score* at its own
+/// threshold — Detection.stats.operational_aes therefore counts
+/// *evasions* (ball AEs the detector fails to flag), and the detection
+/// rate is 1 - operational_aes / aes_found over ball finds.
+MethodPtr make_detector_method(DetectorPtr detector,
+                               const DetectorMethodConfig& config);
 
 }  // namespace opad

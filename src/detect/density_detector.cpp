@@ -1,0 +1,102 @@
+#include "detect/density_detector.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+#include "util/parallel.h"
+#include "util/special_math.h"
+
+namespace opad {
+
+namespace {
+
+/// Rows per worker chunk for the generic per-row sweep.
+constexpr std::size_t kRowGrain = 8;
+/// (row, class) terms per worker chunk for the sharded sweep.
+constexpr std::size_t kTermGrain = 4;
+
+/// Class-conditional sharding: the [n, k] grid of per-class terms
+/// log(prior_c) + log p_c(row_r) is embarrassingly parallel, so it is
+/// chunked across the pool; the per-row mixture is then folded serially
+/// in ascending class order from -inf — the exact expression and fold
+/// order of ClassConditionalProfile::log_density, hence bitwise equal.
+void class_sharded_sweep(const ClassConditionalProfile& profile,
+                         const Tensor& inputs, std::span<double> out) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t k = profile.num_classes();
+  const std::vector<double> priors = profile.class_priors();
+  std::vector<double> terms(n * k);
+  parallel_for(0, n * k, kTermGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const std::size_t r = idx / k;
+      const std::size_t c = idx % k;
+      terms[idx] = std::log(priors[c]) +
+                   profile.class_model(c).log_density(inputs.row(r));
+    }
+  });
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      acc = log_add_exp(acc, terms[r * k + c]);
+    }
+    out[r] = acc;
+  }
+}
+
+}  // namespace
+
+void log_density_batch(const OperationalProfile& profile, const Tensor& inputs,
+                       std::span<double> out) {
+  OPAD_EXPECTS(inputs.rank() == 2 && inputs.dim(1) == profile.dim());
+  OPAD_EXPECTS(out.size() == inputs.dim(0));
+  if (const auto* cc =
+          dynamic_cast<const ClassConditionalProfile*>(&profile)) {
+    class_sharded_sweep(*cc, inputs, out);
+    return;
+  }
+  parallel_for(0, inputs.dim(0), kRowGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t r = lo; r < hi; ++r) {
+                   out[r] = profile.log_density(inputs.row(r));
+                 }
+               });
+}
+
+DensityDetector::DensityDetector(ProfilePtr profile)
+    : profile_(std::move(profile)) {
+  OPAD_EXPECTS(profile_ != nullptr);
+}
+
+DensityDetector::DensityDetector(ClassConditionalConfig config)
+    : config_(std::move(config)) {}
+
+std::size_t DensityDetector::dim() const {
+  OPAD_EXPECTS_MSG(profile_ != nullptr, "DensityDetector is not fitted");
+  return profile_->dim();
+}
+
+void DensityDetector::fit(const Dataset& reference, Rng& rng) {
+  OPAD_EXPECTS(!reference.empty());
+  profile_ = std::make_shared<ClassConditionalProfile>(
+      ClassConditionalProfile::fit(reference, config_, rng));
+}
+
+void DensityDetector::score_batch(const Tensor& inputs,
+                                  std::span<double> out) const {
+  OPAD_EXPECTS_MSG(profile_ != nullptr, "DensityDetector is not fitted");
+  log_density_batch(*profile_, inputs, out);
+}
+
+bool DensityDetector::has_gradient() const {
+  return profile_ != nullptr && profile_->has_gradient();
+}
+
+Tensor DensityDetector::score_gradient(const Tensor& x) const {
+  OPAD_EXPECTS_MSG(has_gradient(), "profile has no density gradient");
+  return profile_->log_density_gradient(x);
+}
+
+}  // namespace opad

@@ -1,0 +1,59 @@
+#include "detect/detector.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/error.h"
+
+namespace opad {
+
+double Detector::score(const Tensor& x) const {
+  OPAD_EXPECTS(x.rank() == 1 && x.dim(0) == dim());
+  const Tensor batch = x.reshaped({1, x.dim(0)});
+  double out = 0.0;
+  score_batch(batch, std::span(&out, 1));
+  return out;
+}
+
+void Detector::calibrate(const Dataset& clean, double quantile) {
+  OPAD_EXPECTS(!clean.empty() && clean.dim() == dim());
+  OPAD_EXPECTS(quantile >= 0.0 && quantile <= 1.0);
+  std::vector<double> scores(clean.size());
+  score_batch(clean.inputs(), scores);
+  threshold_ = opad::quantile(std::move(scores), quantile);
+}
+
+Tensor Detector::score_gradient(const Tensor&) const {
+  throw PreconditionError("detector '" + name() + "' has no score gradient");
+}
+
+DetectorNaturalness::DetectorNaturalness(DetectorPtr detector)
+    : detector_(std::move(detector)) {
+  OPAD_EXPECTS(detector_ != nullptr);
+  OPAD_EXPECTS_MSG(detector_->fitted(),
+                   "DetectorNaturalness requires a fitted detector");
+}
+
+std::size_t DetectorNaturalness::dim() const { return detector_->dim(); }
+
+double DetectorNaturalness::score(const Tensor& x) const {
+  return detector_->score(x);
+}
+
+bool DetectorNaturalness::has_gradient() const {
+  return detector_->has_gradient();
+}
+
+Tensor DetectorNaturalness::score_gradient(const Tensor& x) const {
+  return detector_->score_gradient(x);
+}
+
+std::shared_ptr<const NaturalnessMetric> DetectorNaturalness::thread_replica()
+    const {
+  DetectorPtr replica = detector_->thread_replica();
+  if (!replica) return nullptr;
+  return std::make_shared<DetectorNaturalness>(std::move(replica));
+}
+
+}  // namespace opad

@@ -1,0 +1,127 @@
+// Adversarial-input detector abstraction — the detector zoo.
+//
+// The paper positions OP-aware detection against the standard
+// adversarial-example-detection battery (density/KDE, LID, feature
+// squeezing, model mutation). A Detector is fitted once on clean
+// operational data, scores inputs with the convention *higher = more
+// benign*, and flags an input as adversarial when its score falls below
+// threshold(). That is deliberately the same convention as the
+// naturalness tau, so detector verdicts and operational-AE verdicts are
+// directly comparable and any detector can stand in for a
+// NaturalnessMetric (see DetectorNaturalness).
+//
+// Carlini & Wagner ("Bypassing Ten Detection Methods") require detectors
+// to be judged under detector-aware *adaptive* attacks, not just
+// transfer. Differentiable detectors therefore expose score_gradient()
+// for the attack-side evasion term (EvasionTerm in attack/attack.h);
+// non-differentiable ones are attacked through score-based guided search
+// (see make_detector_method in core/methods.h).
+//
+// Determinism contract: score_batch row r is a pure function of
+// inputs.row(r) — scores are bit-identical across OPAD_THREADS, batch
+// composition, and batch size, like every other subsystem (test-pinned
+// per detector in tests/test_detect.cpp).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "data/dataset.h"
+#include "naturalness/metric.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace opad {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Stable identifier used by the factory, benches, and CSV tables.
+  virtual std::string name() const = 0;
+
+  /// Input feature dimension the detector scores.
+  virtual std::size_t dim() const = 0;
+
+  /// Fits reference statistics on clean (operational) data. Must be
+  /// called before scoring unless the detector was constructed around
+  /// pre-fitted state; detectors are fit-once, score-many.
+  virtual void fit(const Dataset& reference, Rng& rng) = 0;
+  virtual bool fitted() const = 0;
+
+  /// Scores every row of `inputs` [n, dim] into `out` (size n); higher =
+  /// more benign. Row r must be a pure function of inputs.row(r) (the
+  /// zoo-wide bit-identity contract above).
+  virtual void score_batch(const Tensor& inputs,
+                           std::span<double> out) const = 0;
+
+  /// Rank-1 convenience over score_batch (x is a flat [dim] vector).
+  double score(const Tensor& x) const;
+
+  /// Flag threshold: scores below threshold() are flagged adversarial.
+  /// Defaults to -inf (flag nothing) until calibrated or set explicitly.
+  double threshold() const { return threshold_; }
+  void set_threshold(double threshold) { threshold_ = threshold; }
+
+  /// Calibrates threshold() to the `quantile`-th empirical quantile of
+  /// the clean rows' scores — the detector's false-positive budget, the
+  /// exact convention of naturalness_threshold(). Calibrate on data
+  /// disjoint from what fit() memorised (reference-bank detectors like
+  /// LID score their own bank rows degenerately well).
+  void calibrate(const Dataset& clean, double quantile);
+
+  /// Verdict for one input: true = flagged adversarial.
+  bool flags(const Tensor& x) const { return score(x) < threshold_; }
+
+  /// Differentiable detectors (density) support gradient-based evasion.
+  virtual bool has_gradient() const { return false; }
+
+  /// Gradient of score w.r.t. a flat input [dim]; throws if
+  /// has_gradient() is false.
+  virtual Tensor score_gradient(const Tensor& x) const;
+
+  /// Replica safe to score from another thread while *this* is in use.
+  /// nullptr (the default) means "share this instance"; model-backed
+  /// detectors with forward-pass scratch return a deep copy producing
+  /// bit-identical scores.
+  virtual std::shared_ptr<const Detector> thread_replica() const {
+    return nullptr;
+  }
+
+ private:
+  double threshold_ = -std::numeric_limits<double>::infinity();
+};
+
+using DetectorPtr = std::shared_ptr<const Detector>;
+
+/// `detector->thread_replica()` if it needs one, else `detector` itself.
+inline DetectorPtr thread_local_detector(const DetectorPtr& detector) {
+  if (!detector) return nullptr;
+  DetectorPtr replica = detector->thread_replica();
+  return replica ? replica : detector;
+}
+
+/// Adapter presenting a Detector's score as a NaturalnessMetric, so the
+/// whole naturalness machinery — tau thresholds, the RQ3 guided fuzzer,
+/// TestCaseGenerator's operational verdicts — applies verbatim to any
+/// zoo detector. The shared score convention (higher = benign) makes
+/// this a direct passthrough.
+class DetectorNaturalness : public NaturalnessMetric {
+ public:
+  explicit DetectorNaturalness(DetectorPtr detector);
+
+  std::size_t dim() const override;
+  double score(const Tensor& x) const override;
+  bool has_gradient() const override;
+  Tensor score_gradient(const Tensor& x) const override;
+  std::shared_ptr<const NaturalnessMetric> thread_replica() const override;
+
+  const Detector& detector() const { return *detector_; }
+
+ private:
+  DetectorPtr detector_;
+};
+
+}  // namespace opad

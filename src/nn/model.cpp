@@ -21,12 +21,20 @@ Sequential Sequential::clone() const {
   return copy;
 }
 
-Tensor Sequential::forward(const Tensor& input, bool training) {
+Tensor Sequential::forward(const Tensor& input, bool training,
+                           ActivationTape* tape) {
   OPAD_EXPECTS_MSG(input.rank() == 2 && input.dim(1) == input_dim_,
                    "model expects [n, " << input_dim_ << "], got "
                                         << shape_to_string(input.shape()));
   Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x, training);
+  if (tape != nullptr) {
+    tape->clear();
+    tape->layers.reserve(layers_.size());
+  }
+  for (auto& layer : layers_) {
+    x = layer->forward(x, training);
+    if (tape != nullptr) tape->layers.push_back(x);
+  }
   return x;
 }
 
@@ -96,9 +104,9 @@ Classifier Classifier::clone() const {
   return Classifier(network_.clone(), num_classes_);
 }
 
-Tensor Classifier::logits(const Tensor& inputs) {
+Tensor Classifier::logits(const Tensor& inputs, ActivationTape* tape) {
   queries_ += inputs.dim(0);
-  return network_.forward(inputs, /*training=*/false);
+  return network_.forward(inputs, /*training=*/false, tape);
 }
 
 Tensor Classifier::probabilities(const Tensor& inputs) {

@@ -15,6 +15,20 @@
 
 namespace opad {
 
+/// Caller-provided recorder of per-layer forward outputs. Passing a tape
+/// to forward() appends a copy of every layer's output batch ([n, d_l]
+/// for layer l, in layer order, the final entry being the network
+/// output). Hidden-activation detectors (LID) read their features from
+/// here. The hook is zero-cost when no tape is supplied — one pointer
+/// check per layer — and recording never perturbs the forward numerics:
+/// outputs are copied after they are computed (test-pinned bitwise).
+struct ActivationTape {
+  std::vector<Tensor> layers;
+
+  void clear() { layers.clear(); }
+  std::size_t layer_count() const { return layers.size(); }
+};
+
 /// An ordered stack of layers with reverse-mode differentiation.
 class Sequential {
  public:
@@ -44,8 +58,11 @@ class Sequential {
   std::size_t output_dim() const { return output_dim_; }
   std::size_t layer_count() const { return layers_.size(); }
 
-  /// Forward pass over a [n, input_dim] batch.
-  Tensor forward(const Tensor& input, bool training = false);
+  /// Forward pass over a [n, input_dim] batch. A non-null `tape` records
+  /// every layer's output (see ActivationTape); the computed result is
+  /// bitwise independent of whether a tape is attached.
+  Tensor forward(const Tensor& input, bool training = false,
+                 ActivationTape* tape = nullptr);
 
   /// Forward pass through only the first `layer_count` layers (inference
   /// mode). Used to read out intermediate representations, e.g. the
@@ -83,8 +100,11 @@ class Classifier {
   std::size_t num_classes() const { return num_classes_; }
   Sequential& network() { return network_; }
 
-  /// Raw logits for a batch [n, d] -> [n, k].
-  Tensor logits(const Tensor& inputs);
+  /// Raw logits for a batch [n, d] -> [n, k]. A non-null `tape` records
+  /// per-layer activations (the detector-facing capture hook); logits are
+  /// bitwise identical with and without a tape, and the pass costs the
+  /// same n queries either way.
+  Tensor logits(const Tensor& inputs, ActivationTape* tape = nullptr);
 
   /// Softmax probabilities for a batch.
   Tensor probabilities(const Tensor& inputs);

@@ -1,9 +1,10 @@
 // The per-batch detector pass of the online service: one batched forward
-// for labels plus a parallel OP-density sweep for naturalness.
+// for labels plus a parallel detector-score sweep for naturalness.
 #pragma once
 
 #include <span>
 
+#include "detect/detector.h"
 #include "nn/model.h"
 #include "op/profile.h"
 #include "serve/types.h"
@@ -12,18 +13,23 @@
 namespace opad::serve {
 
 /// Writes log p_OP(row) for every row of `inputs` [n, d] into `out`
-/// (size n). Rows are scored in parallel on the global pool; for a
-/// ClassConditionalProfile the (row, class) term grid is additionally
-/// sharded across workers and folded serially in ascending class order,
-/// which is bitwise equal to calling profile.log_density() row by row
-/// (test-pinned — the serve layer's invariance rests on it).
+/// (size n). Thin alias of opad::log_density_batch (the sweep now lives
+/// with DensityDetector in src/detect); kept so serve callers and the
+/// invariance tests keep their spelling.
 void log_density_batch(const OperationalProfile& profile,
                        const Tensor& inputs, std::span<double> out);
 
-/// Scores one micro-batch: model labels via a single predict_batch, OP
-/// naturalness via log_density_batch, verdicts by thresholding at `tau`.
-/// Every output row is a pure function of its own input row, so results
-/// are invariant to how requests were coalesced into batches.
+/// Scores one micro-batch with any zoo detector: model labels via a
+/// single predict_batch, naturalness via Detector::score_batch, verdicts
+/// at the detector's own threshold. Every output row is a pure function
+/// of its own input row, so results are invariant to how requests were
+/// coalesced into batches.
+void score_batch(Classifier& model, const Detector& detector,
+                 const Tensor& inputs, std::span<DetectResult> out);
+
+/// Legacy profile/tau spelling: density naturalness thresholded at tau
+/// (bitwise what the Detector overload computes for a DensityDetector
+/// with threshold tau).
 void score_batch(Classifier& model, const OperationalProfile& profile,
                  double tau, const Tensor& inputs,
                  std::span<DetectResult> out);

@@ -3,26 +3,49 @@
 #include <utility>
 #include <vector>
 
+#include "detect/density_detector.h"
 #include "naturalness/density_naturalness.h"
 #include "serve/detector.h"
 #include "util/error.h"
 
 namespace opad::serve {
 
-DetectionService::DetectionService(Classifier model, ProfilePtr profile,
-                                   double tau, ServiceConfig config,
+namespace {
+
+/// The legacy {profile, tau} pair as a zoo detector.
+std::shared_ptr<const Detector> wrap_profile(ProfilePtr profile, double tau) {
+  OPAD_EXPECTS(profile != nullptr);
+  auto detector = std::make_shared<DensityDetector>(std::move(profile));
+  detector->set_threshold(tau);
+  return detector;
+}
+
+}  // namespace
+
+DetectionService::DetectionService(Classifier model,
+                                   std::shared_ptr<const Detector> detector,
+                                   ServiceConfig config,
                                    std::unique_ptr<OnlineDriftTrigger> trigger)
     : model_(std::move(model)),
       config_(config),
       trigger_(std::move(trigger)),
       queue_(config.queue_capacity) {
-  OPAD_EXPECTS(profile != nullptr);
-  OPAD_EXPECTS(profile->dim() == model_.input_dim());
+  OPAD_EXPECTS(detector != nullptr);
+  OPAD_EXPECTS_MSG(detector->fitted(),
+                   "DetectionService requires a fitted detector");
+  OPAD_EXPECTS(detector->dim() == model_.input_dim());
   OPAD_EXPECTS(config.max_batch > 0);
   OPAD_EXPECTS(config.tau_quantile > 0.0 && config.tau_quantile < 1.0);
   scoring_.store(std::make_shared<const Scoring>(
-      Scoring{std::move(profile), tau}));
+      Scoring{std::move(detector)}));
 }
+
+DetectionService::DetectionService(Classifier model, ProfilePtr profile,
+                                   double tau, ServiceConfig config,
+                                   std::unique_ptr<OnlineDriftTrigger> trigger)
+    : DetectionService(std::move(model),
+                       wrap_profile(std::move(profile), tau), config,
+                       std::move(trigger)) {}
 
 DetectionService::~DetectionService() { stop(); }
 
@@ -69,11 +92,14 @@ void DetectionService::scheduler_loop() {
     if (!trigger_) continue;
     for (const Request& request : batch) trigger_->observe(request.x);
     if (auto refit = trigger_->poll()) {
+      // Re-fits always produce a density snapshot: the trigger's RefitFn
+      // returns a profile, and tau is recalibrated on the refit sample —
+      // numerically the exact pre-zoo swap.
       const DensityNaturalness metric(refit->profile);
       const double tau = naturalness_threshold(metric, refit->sample,
                                                config_.tau_quantile);
       scoring_.store(std::make_shared<const Scoring>(
-          Scoring{std::move(refit->profile), tau}));
+          Scoring{wrap_profile(std::move(refit->profile), tau)}));
       refits_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -87,7 +113,7 @@ void DetectionService::serve_batch(std::vector<Request>& batch) {
   }
   const std::shared_ptr<const Scoring> scoring = scoring_.load();
   std::vector<DetectResult> results(n);
-  score_batch(model_, *scoring->profile, scoring->tau, inputs, results);
+  score_batch(model_, *scoring->detector, inputs, results);
   for (std::size_t i = 0; i < n; ++i) {
     batch[i].promise.set_value(results[i]);
   }
@@ -110,10 +136,21 @@ ServiceStats DetectionService::stats() const {
   return stats;
 }
 
-ProfilePtr DetectionService::profile() const {
-  return scoring_.load()->profile;
+std::shared_ptr<const Detector> DetectionService::detector() const {
+  return scoring_.load()->detector;
 }
 
-double DetectionService::tau() const { return scoring_.load()->tau; }
+ProfilePtr DetectionService::profile() const {
+  const std::shared_ptr<const Detector> detector = scoring_.load()->detector;
+  if (const auto* density =
+          dynamic_cast<const DensityDetector*>(detector.get())) {
+    return density->profile();
+  }
+  return nullptr;
+}
+
+double DetectionService::tau() const {
+  return scoring_.load()->detector->threshold();
+}
 
 }  // namespace opad::serve

@@ -28,6 +28,7 @@
 #include <optional>
 #include <thread>
 
+#include "detect/detector.h"
 #include "nn/model.h"
 #include "serve/drift_trigger.h"
 #include "serve/queue.h"
@@ -37,10 +38,17 @@ namespace opad::serve {
 
 class DetectionService {
  public:
-  /// Takes the serving replica of the model (clone() the original), the
-  /// initial profile and tau. The service is constructed idle: requests
-  /// can be queued immediately but are only served after start() — which
-  /// is what makes queue-full shedding deterministically testable.
+  /// Takes the serving replica of the model (clone() the original) and a
+  /// fitted, thresholded zoo detector — any Detector can serve online.
+  /// The service is constructed idle: requests can be queued immediately
+  /// but are only served after start() — which is what makes queue-full
+  /// shedding deterministically testable.
+  DetectionService(Classifier model, std::shared_ptr<const Detector> detector,
+                   ServiceConfig config,
+                   std::unique_ptr<OnlineDriftTrigger> trigger = nullptr);
+
+  /// Legacy profile/tau spelling: wraps the pair as a DensityDetector
+  /// with threshold tau (bitwise the same scoring path).
   DetectionService(Classifier model, ProfilePtr profile, double tau,
                    ServiceConfig config,
                    std::unique_ptr<OnlineDriftTrigger> trigger = nullptr);
@@ -70,7 +78,11 @@ class DetectionService {
   ServiceStats stats() const;
 
   /// Current scoring snapshot (changes only on a drift-triggered re-fit).
+  std::shared_ptr<const Detector> detector() const;
+  /// The snapshot's OP profile when it serves a DensityDetector; nullptr
+  /// for other zoo detectors.
   ProfilePtr profile() const;
+  /// The snapshot detector's flag threshold.
   double tau() const;
 
  private:
@@ -80,10 +92,11 @@ class DetectionService {
   };
 
   /// Immutable scoring snapshot; swapped wholesale on re-fit so a batch
-  /// never sees a profile/tau mix from two generations.
+  /// never sees detector state from two generations. The detector
+  /// carries its own threshold, so the old {profile, tau} pair collapses
+  /// to one pointer.
   struct Scoring {
-    ProfilePtr profile;
-    double tau = 0.0;
+    std::shared_ptr<const Detector> detector;
   };
 
   void scheduler_loop();

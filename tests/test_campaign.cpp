@@ -76,9 +76,9 @@ class CampaignTest : public ::testing::Test {
 
   MethodContext context() const {
     MethodContext ctx;
-    ctx.balanced_data = &task_->test;
-    ctx.operational_data = op_data_;
-    ctx.operational_stream = op_data_;
+    ctx.seeds.balanced = &task_->test;
+    ctx.seeds.operational = op_data_;
+    ctx.seeds.observed = op_data_;
     ctx.profile = profile_;
     ctx.metric = metric_;
     ctx.tau = tau_;

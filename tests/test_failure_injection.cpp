@@ -146,9 +146,9 @@ TEST(FailureInjection, MethodContextMissingPiecesRejected) {
   const auto opad = make_opad_method(MethodSuiteConfig{});
   MethodContext ctx;  // everything null
   EXPECT_THROW(opad->detect(model, ctx, 100, rng), PreconditionError);
-  ctx.balanced_data = &task.test;
+  ctx.seeds.balanced = &task.test;
   EXPECT_THROW(opad->detect(model, ctx, 100, rng), PreconditionError);
-  ctx.operational_data = &task.test;
+  ctx.seeds.operational = &task.test;
   // metric still missing
   EXPECT_THROW(opad->detect(model, ctx, 100, rng), PreconditionError);
 }

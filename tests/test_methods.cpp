@@ -36,8 +36,8 @@ class MethodsTest : public ::testing::Test {
 
   MethodContext context() const {
     MethodContext ctx;
-    ctx.balanced_data = &task_->test;
-    ctx.operational_data = op_data_;
+    ctx.seeds.balanced = &task_->test;
+    ctx.seeds.operational = op_data_;
     ctx.profile = profile_;
     ctx.metric = metric_;
     ctx.tau = tau_;
@@ -162,7 +162,7 @@ TEST_F(MethodsTest, GradientGuidanceBeatsRandomFuzzPerQuery) {
 TEST_F(MethodsTest, ContextValidation) {
   Rng rng(79);
   MethodContext bad = context();
-  bad.balanced_data = nullptr;
+  bad.seeds.balanced = nullptr;
   const auto opad = make_opad_method(MethodSuiteConfig{});
   EXPECT_THROW(opad->detect(*model_, bad, 1000, rng), PreconditionError);
 }

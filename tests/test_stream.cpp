@@ -338,8 +338,8 @@ class StreamCampaignTest : public ::testing::Test {
 
   MethodContext context() const {
     MethodContext ctx;
-    ctx.balanced_data = &task_->test;
-    ctx.operational_data = op_data_;
+    ctx.seeds.balanced = &task_->test;
+    ctx.seeds.operational = op_data_;
     ctx.profile = profile_;
     ctx.metric = metric_;
     ctx.tau = tau_;
@@ -410,7 +410,7 @@ TEST_F(StreamCampaignTest, DetectMatchesSerialReferenceAcrossChunksThreads) {
     for (const std::size_t chunk_size : {64u, 4096u, 600u}) {
       const InCoreSampleStream stream(*op_data_, chunk_size);
       MethodContext ctx = context();
-      ctx.stream = &stream;
+      ctx.seeds.stream = &stream;
       Classifier model = model_->clone();
       Rng rng(83);
       const Detection d = method->detect(model, ctx, budget, rng);
@@ -439,7 +439,7 @@ TEST_F(StreamCampaignTest, DetectMatchesSerialReferenceAcrossChunksThreads) {
 TEST_F(StreamCampaignTest, DetectCapsRetainedAes) {
   const InCoreSampleStream stream(*op_data_, 64);
   MethodContext ctx = context();
-  ctx.stream = &stream;
+  ctx.seeds.stream = &stream;
   ctx.max_retained_aes = 3;
   Classifier model = model_->clone();
   Rng rng(84);
