@@ -13,6 +13,15 @@
 //                         retrained model; stop when the upper credible
 //                         bound on pmi meets the target, else feed the
 //                         posterior back into step 2.
+//
+// Execution: each iteration's steps 3-5 run as a stage graph
+// (sched/graph.h) whose fuzz / score / fold / collect stages overlap at
+// seed-chunk granularity — while the serial fold accounts chunk i, the
+// fuzzer already attacks chunk i+1 — with retraining and assessment as
+// exclusive stages that get the whole pool. The pre-refactor serial walk
+// is retained as ExecutionMode::kSerialReference; both paths are
+// bit-identical in every PipelineResult field except `trace`
+// (test-pinned at overlap {0,2,4} x OPAD_THREADS {1,8}).
 #pragma once
 
 #include <functional>
@@ -24,6 +33,7 @@
 #include "core/seed_sampler.h"
 #include "core/test_generator.h"
 #include "op/synthesizer.h"
+#include "sched/graph.h"
 
 namespace opad {
 
@@ -51,6 +61,15 @@ struct PipelineConfig {
   /// memory/throughput knob: streaming consumers are bit-identical at any
   /// chunk size.
   std::size_t stream_chunk_size = 4096;
+  /// Stage-graph vs serial-reference execution, and the overlap depth.
+  /// Purely a scheduling knob: results are bit-identical in either mode
+  /// at any overlap (only PipelineResult::trace differs).
+  sched::ExecutionPolicy execution;
+  /// Cap on PipelineResult::all_aes (0 = retain everything). Detection
+  /// stats stay uncapped — the cap bounds long-campaign memory, keeping
+  /// the first `max_retained_aes` AEs in canonical seed order
+  /// (regression-pinned).
+  std::size_t max_retained_aes = 0;
 };
 
 struct IterationRecord {
@@ -66,7 +85,14 @@ struct PipelineResult {
   bool target_reached = false;
   std::uint64_t total_queries = 0;
   double tau = 0.0;
-  std::vector<OperationalAE> all_aes;  // across iterations
+  std::vector<OperationalAE> all_aes;  // across iterations (capped)
+  /// RQ1 GMM fit witness (empty when the OP model is a KDE): per-EM-
+  /// iteration mean log-likelihood, bit-identical across thread counts,
+  /// overlap depths and execution modes.
+  GmmFitTrace gmm_trace;
+  /// Where the wall-clock went (per stage, merged across iterations).
+  /// Attribution only — excluded from the determinism contract.
+  sched::StageTrace trace;
 };
 
 class OpTestingPipeline {

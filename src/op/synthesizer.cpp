@@ -52,7 +52,7 @@ std::pair<double, double> ClassPriorEstimator::credible_interval(
 
 OperationalLearningResult learn_operational_profile(
     const Dataset& operational_sample, const SynthesizerConfig& config,
-    Rng& rng) {
+    Rng& rng, GmmFitTrace* gmm_trace) {
   OPAD_EXPECTS(!operational_sample.empty());
   OPAD_EXPECTS(config.synthetic_size >= operational_sample.size());
 
@@ -93,8 +93,8 @@ OperationalLearningResult learn_operational_profile(
   // (iii) density model over the synthesised inputs.
   std::shared_ptr<OperationalProfile> profile;
   if (config.model == OpModelKind::kGmm) {
-    profile = std::make_shared<GaussianMixtureModel>(
-        GaussianMixtureModel::fit(synthetic.inputs(), config.gmm, rng));
+    profile = std::make_shared<GaussianMixtureModel>(GaussianMixtureModel::fit(
+        synthetic.inputs(), config.gmm, rng, gmm_trace));
   } else {
     profile = std::make_shared<KernelDensityEstimator>(synthetic.inputs(),
                                                        config.kde, rng);

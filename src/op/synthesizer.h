@@ -80,9 +80,12 @@ struct OperationalLearningResult {
   std::vector<double> class_priors;       // posterior-mean priors
 };
 
-/// Learns the OP from an observed operational sample.
+/// Learns the OP from an observed operational sample. `gmm_trace`, when
+/// non-null and the density model is a GMM, receives the fit's
+/// per-iteration mean log-likelihood (a bit-identity witness — see
+/// GmmFitTrace).
 OperationalLearningResult learn_operational_profile(
     const Dataset& operational_sample, const SynthesizerConfig& config,
-    Rng& rng);
+    Rng& rng, GmmFitTrace* gmm_trace = nullptr);
 
 }  // namespace opad

@@ -1,0 +1,405 @@
+#include "sched/graph.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace opad::sched {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - from)
+          .count());
+}
+
+}  // namespace
+
+struct StageGraph::RunState {
+  struct PerStage {
+    std::vector<std::uint8_t> started;
+    std::size_t completed = 0;      // done items (serial: the frontier)
+    std::size_t first_unstarted = 0;
+    std::vector<std::uint8_t> done;  // per-item, for elementwise deps
+    std::uint64_t busy_us = 0;
+    std::size_t rows = 0;
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<PerStage> per_stage;
+  std::vector<std::vector<std::uint8_t>> edge_in_cycle;  // [stage][dep]
+  std::size_t wide_running = 0;
+  std::size_t total_done = 0;
+  std::size_t total_items = 0;
+  bool failed = false;
+  std::exception_ptr error;
+};
+
+StageId StageGraph::add_stage(std::string name, std::size_t items,
+                              StageKind kind, Body body) {
+  OPAD_EXPECTS_MSG(!ran_, "cannot grow a StageGraph after run()");
+  OPAD_EXPECTS_MSG(body != nullptr, "stage '" << name << "' needs a body");
+  StageNode node;
+  node.name = std::move(name);
+  node.items = items;
+  node.kind = kind;
+  node.body = std::move(body);
+  stages_.push_back(std::move(node));
+  return stages_.size() - 1;
+}
+
+void StageGraph::connect(StageId from, StageId to) {
+  connect_offset(from, to, 0);
+}
+
+void StageGraph::connect_offset(StageId from, StageId to,
+                                std::size_t offset) {
+  OPAD_EXPECTS(from < stages_.size() && to < stages_.size());
+  OPAD_EXPECTS_MSG(from != to, "a stage cannot depend on itself");
+  if (offset == 0) {
+    OPAD_EXPECTS_MSG(
+        stages_[from].items == stages_[to].items,
+        "elementwise edge between stages of different item counts: '"
+            << stages_[from].name << "' (" << stages_[from].items
+            << ") -> '" << stages_[to].name << "' (" << stages_[to].items
+            << ")");
+  } else {
+    OPAD_EXPECTS_MSG(
+        stages_[to].items <= stages_[from].items + offset,
+        "offset edge leaves items of '" << stages_[to].name
+                                        << "' without a producer");
+  }
+  stages_[to].deps.push_back(Edge{from, offset, false});
+}
+
+void StageGraph::connect_barrier(StageId from, StageId to) {
+  OPAD_EXPECTS(from < stages_.size() && to < stages_.size());
+  OPAD_EXPECTS_MSG(from != to, "a stage cannot depend on itself");
+  stages_[to].deps.push_back(Edge{from, 0, true});
+}
+
+void StageGraph::validate() const {
+  const std::size_t n = stages_.size();
+
+  // Full-graph reachability (any edge kind): reach[u][v] = an edge path
+  // leads from u to v. Sizes are a handful of stages, so the cubic sweep
+  // is free and keeps the logic obvious.
+  std::vector<std::vector<std::uint8_t>> reach(
+      n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t to = 0; to < n; ++to) {
+    for (const Edge& e : stages_[to].deps) reach[e.from][to] = 1;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = 1;
+      }
+    }
+  }
+
+  // (a) The zero-offset subgraph (elementwise + barrier edges) must be
+  // acyclic: a cycle there has no item-level topological order. Cycles
+  // through offset >= 1 edges are legal loop-carried dependencies
+  // (campaign round r+1 needing round r's retrained model).
+  std::vector<std::vector<std::uint8_t>> reach0(
+      n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t to = 0; to < n; ++to) {
+    for (const Edge& e : stages_[to].deps) {
+      if (e.offset == 0) reach0[e.from][to] = 1;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reach0[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (reach0[k][j]) reach0[i][j] = 1;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    OPAD_EXPECTS_MSG(!reach0[s][s], "stage graph cycle through '"
+                                        << stages_[s].name
+                                        << "' (zero-offset edges)");
+  }
+
+  // (b) A barrier edge inside any cycle can never be satisfied: it wants
+  // ALL upstream items before the first downstream one, while the cycle
+  // feeds upstream items from downstream rounds.
+  for (std::size_t to = 0; to < n; ++to) {
+    for (const Edge& e : stages_[to].deps) {
+      OPAD_EXPECTS_MSG(!(e.barrier && reach[to][e.from]),
+                       "barrier edge '" << stages_[e.from].name << "' -> '"
+                                        << stages_[to].name
+                                        << "' lies on a cycle");
+    }
+  }
+}
+
+void StageGraph::compute_serial_windows() {
+  // serial_windows(s) = serial/exclusive stages reachable from s through
+  // zero-offset non-barrier edges: their fold frontiers bound how far s
+  // may run ahead under RunOptions::overlap.
+  const std::size_t n = stages_.size();
+  std::vector<std::vector<std::uint8_t>> next(n);
+  for (std::size_t to = 0; to < n; ++to) {
+    for (const Edge& e : stages_[to].deps) {
+      if (e.offset == 0 && !e.barrier) {
+        if (next[e.from].empty()) next[e.from].assign(n, 0);
+        next[e.from][to] = 1;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    stages_[s].serial_windows.clear();
+    // DFS from s over zero-offset elementwise edges.
+    std::vector<std::uint8_t> seen(n, 0);
+    std::vector<std::size_t> stack{s};
+    seen[s] = 1;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      if (next[u].empty()) continue;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!next[u][v] || seen[v]) continue;
+        seen[v] = 1;
+        stack.push_back(v);
+        if (stages_[v].kind != StageKind::kParallel) {
+          stages_[s].serial_windows.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+bool StageGraph::startable(const RunState& state, StageId s,
+                           std::size_t item, std::size_t overlap) const {
+  const StageNode& stage = stages_[s];
+  const RunState::PerStage& ps = state.per_stage[s];
+  if (item >= stage.items || ps.started[item]) return false;
+  if (stage.kind != StageKind::kParallel && ps.completed != item) {
+    return false;  // serial stages run one item at a time, in order
+  }
+  for (std::size_t d = 0; d < stage.deps.size(); ++d) {
+    const Edge& e = stage.deps[d];
+    const RunState::PerStage& from = state.per_stage[e.from];
+    const bool as_barrier =
+        e.barrier || (overlap == 0 && e.offset == 0 &&
+                      !state.edge_in_cycle[s][d]);
+    if (as_barrier) {
+      if (from.completed != stages_[e.from].items) return false;
+      continue;
+    }
+    if (item + 1 > e.offset) {
+      const std::size_t need = item - e.offset;
+      if (need < stages_[e.from].items && !from.done[need]) return false;
+    }
+  }
+  if (overlap > 0) {
+    for (const StageId d : stage.serial_windows) {
+      if (item >= state.per_stage[d].completed + overlap) return false;
+    }
+  }
+  return true;
+}
+
+StageTrace StageGraph::run(const RunOptions& options) {
+  OPAD_EXPECTS_MSG(!ran_, "StageGraph::run is single-shot");
+  validate();
+  compute_serial_windows();
+  ran_ = true;
+
+  RunState state;
+  const std::size_t n = stages_.size();
+  state.per_stage.resize(n);
+  state.edge_in_cycle.resize(n);
+  // Full-graph reachability once more, to flag in-cycle edges: under
+  // overlap = 0 an elementwise edge is hardened into a barrier *unless*
+  // it lies on a (offset-carried) cycle, where a barrier would deadlock
+  // the loop it pipelines.
+  std::vector<std::vector<std::uint8_t>> reach(
+      n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t to = 0; to < n; ++to) {
+    for (const Edge& e : stages_[to].deps) reach[e.from][to] = 1;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = 1;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    state.per_stage[s].started.assign(stages_[s].items, 0);
+    state.per_stage[s].done.assign(stages_[s].items, 0);
+    state.edge_in_cycle[s].resize(stages_[s].deps.size());
+    for (std::size_t d = 0; d < stages_[s].deps.size(); ++d) {
+      state.edge_in_cycle[s][d] = reach[s][stages_[s].deps[d].from];
+    }
+    state.total_items += stages_[s].items;
+  }
+
+  const std::size_t workers =
+      options.workers > 0 ? options.workers
+                          : ThreadPool::global().thread_count();
+  const auto t_run = std::chrono::steady_clock::now();
+  active_ = &state;
+
+  // A worker lane of the wide wave: claim startable parallel/serial items
+  // until none are startable and none are running (then exclusive work, a
+  // stall, or completion is the caller's problem).
+  const auto wide_worker = [&]() {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    while (true) {
+      if (state.failed) return;
+      bool launched = false;
+      for (StageId s = 0; s < n && !launched; ++s) {
+        if (stages_[s].kind == StageKind::kExclusive) continue;
+        RunState::PerStage& ps = state.per_stage[s];
+        while (ps.first_unstarted < stages_[s].items &&
+               ps.started[ps.first_unstarted]) {
+          ++ps.first_unstarted;
+        }
+        const std::size_t begin =
+            stages_[s].kind == StageKind::kParallel ? ps.first_unstarted
+                                                    : ps.completed;
+        for (std::size_t i = begin; i < stages_[s].items; ++i) {
+          if (!startable(state, s, i, options.overlap)) {
+            if (stages_[s].kind != StageKind::kParallel) break;
+            continue;
+          }
+          ps.started[i] = 1;
+          ++state.wide_running;
+          lock.unlock();
+          const auto t0 = std::chrono::steady_clock::now();
+          std::exception_ptr error;
+          try {
+            stages_[s].body(i);
+          } catch (...) {
+            error = std::current_exception();
+          }
+          const std::uint64_t us = elapsed_us(t0);
+          lock.lock();
+          --state.wide_running;
+          if (error) {
+            if (!state.failed) {
+              state.failed = true;
+              state.error = error;
+            }
+          } else {
+            ps.busy_us += us;
+            ps.done[i] = 1;
+            ps.completed += 1;
+            ++state.total_done;
+          }
+          state.cv.notify_all();
+          launched = true;
+          break;
+        }
+      }
+      if (launched) continue;
+      if (state.wide_running == 0) return;
+      state.cv.wait(lock);
+    }
+  };
+
+  while (true) {
+    std::size_t exclusive_stage = n;
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      if (state.failed) break;
+      if (state.total_done == state.total_items) break;
+      bool wide = false;
+      for (StageId s = 0; s < n && !wide; ++s) {
+        if (stages_[s].kind == StageKind::kExclusive) continue;
+        for (std::size_t i = 0; i < stages_[s].items; ++i) {
+          if (startable(state, s, i, options.overlap)) {
+            wide = true;
+            break;
+          }
+        }
+      }
+      if (!wide) {
+        for (StageId s = 0; s < n; ++s) {
+          if (stages_[s].kind != StageKind::kExclusive) continue;
+          const std::size_t i = state.per_stage[s].completed;
+          if (startable(state, s, i, options.overlap)) {
+            exclusive_stage = s;
+            state.per_stage[s].started[i] = 1;
+            break;
+          }
+        }
+        OPAD_EXPECTS_MSG(exclusive_stage < n,
+                         "stage graph stalled with "
+                             << state.total_items - state.total_done
+                             << " items pending");
+      }
+      if (wide) {
+        lock.unlock();
+        ThreadPool::global().run(workers, [&](std::size_t) { wide_worker(); });
+        continue;
+      }
+    }
+    // Exclusive item on the submitting thread, with no wide wave active:
+    // its internal parallel_for calls get the whole pool.
+    const std::size_t item = state.per_stage[exclusive_stage].completed;
+    std::unique_lock<std::mutex> lock(state.mutex, std::defer_lock);
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      stages_[exclusive_stage].body(item);
+      const std::uint64_t us = elapsed_us(t0);
+      lock.lock();
+      RunState::PerStage& ps = state.per_stage[exclusive_stage];
+      ps.busy_us += us;
+      ps.done[item] = 1;
+      ps.completed += 1;
+      ++state.total_done;
+    } catch (...) {
+      active_ = nullptr;
+      throw;
+    }
+  }
+
+  active_ = nullptr;
+  if (state.failed) std::rethrow_exception(state.error);
+
+  StageTrace trace;
+  trace.wall_us = elapsed_us(t_run);
+  trace.overlap = options.overlap;
+  trace.workers = workers;
+  trace.stages.reserve(n);
+  for (StageId s = 0; s < n; ++s) {
+    StageStats stats;
+    stats.name = stages_[s].name;
+    stats.items = state.per_stage[s].completed;
+    stats.rows = state.per_stage[s].rows;
+    stats.busy_us = state.per_stage[s].busy_us;
+    if (stages_[s].queue_probe) stats.peak_queue = stages_[s].queue_probe();
+    trace.stages.push_back(std::move(stats));
+  }
+  return trace;
+}
+
+void StageGraph::add_rows(StageId stage, std::size_t rows) {
+  OPAD_EXPECTS(stage < stages_.size());
+  OPAD_EXPECTS_MSG(active_ != nullptr,
+                   "add_rows is only valid from inside a running graph");
+  std::lock_guard<std::mutex> lock(active_->mutex);
+  active_->per_stage[stage].rows += rows;
+}
+
+void StageGraph::set_queue_probe(StageId stage,
+                                 std::function<std::size_t()> probe) {
+  OPAD_EXPECTS(stage < stages_.size());
+  stages_[stage].queue_probe = std::move(probe);
+}
+
+}  // namespace opad::sched

@@ -1,0 +1,142 @@
+// Deterministic stage-graph executor for the Figure-1 pipeline and the
+// detect→retrain campaigns (DESIGN.md "Stage-graph execution").
+//
+// A StageGraph is a small DAG of *stages*, each executing `items` chunk
+// bodies, connected by explicit data-dependency edges:
+//
+//   connect(a, b)            item i of b needs item i of a (elementwise;
+//                            equal item counts)
+//   connect_offset(a, b, k)  item i of b needs item i-k of a (software
+//                            pipelining across loop rounds: campaign
+//                            round r+1's detect needs round r's retrain)
+//   connect_barrier(a, b)    every item of b needs ALL items of a
+//
+// Stage kinds fix where chunk bodies may run and in what order:
+//
+//   kParallel   items run in any order, concurrently, on the pool's wide
+//               wave. Bodies must be pure functions of their item index
+//               and captured state (per-item rng streams come from
+//               derive_stream_seed, model access goes through replicas).
+//   kSerial     items run one at a time in ascending index order — the
+//               canonical fold lane. All stats/budget/AE accumulation
+//               lives here, which is what makes every result independent
+//               of completion order.
+//   kExclusive  like kSerial, but the body runs on the submitting thread
+//               with NO wide wave active, so its own parallel_for calls
+//               get the full pool (retraining, GMM fits, assessment).
+//
+// Execution maps onto the existing util/parallel.h pool in hybrid waves:
+// wide waves run every startable parallel/serial item via
+// ThreadPool::run (nested parallelism inside chunk bodies executes
+// inline, exactly like the parallel_for_chunks code this replaces);
+// between waves, startable exclusive items run on the caller. The
+// `overlap` knob bounds how many chunks any stage may run ahead of each
+// serial fold frontier downstream of it (0 = a full barrier between
+// stages — the conservative reference schedule). Because parallel bodies
+// are pure, serial bodies fold in canonical order, and rng streams are
+// derived per item, results are bit-identical at any overlap depth and
+// any OPAD_THREADS value; only the StageTrace timings differ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/trace.h"
+
+namespace opad::sched {
+
+using StageId = std::size_t;
+
+enum class StageKind { kParallel, kSerial, kExclusive };
+
+/// How a graph-backed component executes: through the stage graph (the
+/// production path) or through the retained pre-refactor serial walk (the
+/// determinism oracle the bit-identity tests compare against).
+enum class ExecutionMode { kStageGraph, kSerialReference };
+
+struct ExecutionPolicy {
+  ExecutionMode mode = ExecutionMode::kStageGraph;
+  /// Chunks any stage may run ahead of each downstream serial fold
+  /// frontier. 0 = no overlap: every stage drains before the next starts.
+  std::size_t overlap = 4;
+};
+
+struct RunOptions {
+  std::size_t overlap = 0;
+  /// Wide-wave worker lanes; 0 = the global pool's thread count.
+  std::size_t workers = 0;
+};
+
+class StageGraph {
+ public:
+  /// body(item) for item in [0, items).
+  using Body = std::function<void(std::size_t)>;
+
+  StageGraph() = default;
+  StageGraph(const StageGraph&) = delete;
+  StageGraph& operator=(const StageGraph&) = delete;
+
+  StageId add_stage(std::string name, std::size_t items, StageKind kind,
+                    Body body);
+
+  /// Elementwise dependency; both stages must have equal item counts.
+  void connect(StageId from, StageId to);
+
+  /// item i of `to` requires item i - offset of `from` (items with
+  /// i < offset depend on nothing through this edge). offset = 0 is
+  /// connect(). Requires items(to) <= items(from) + offset.
+  void connect_offset(StageId from, StageId to, std::size_t offset);
+
+  /// Every item of `to` requires every item of `from`.
+  void connect_barrier(StageId from, StageId to);
+
+  /// Trace hook: rows processed, callable from inside stage bodies.
+  void add_rows(StageId stage, std::size_t rows);
+
+  /// Trace hook: called once after the run to record the stage's peak
+  /// input-queue occupancy (typically ReorderWindow::peak_size).
+  void set_queue_probe(StageId stage, std::function<std::size_t()> probe);
+
+  /// Build-time DAG validation; throws PreconditionError on a cycle of
+  /// zero-offset edges, a barrier edge inside any cycle, or an item-count
+  /// mismatch. run() validates implicitly.
+  void validate() const;
+
+  /// Executes the graph to completion and returns the trace. A graph is
+  /// single-shot: run() may be called once.
+  StageTrace run(const RunOptions& options = {});
+
+  std::size_t stage_count() const { return stages_.size(); }
+
+ private:
+  struct Edge {
+    StageId from = 0;
+    std::size_t offset = 0;
+    bool barrier = false;
+  };
+
+  struct StageNode {
+    std::string name;
+    std::size_t items = 0;
+    StageKind kind = StageKind::kParallel;
+    Body body;
+    std::vector<Edge> deps;               // incoming edges
+    std::vector<StageId> serial_windows;  // serial stages whose fold
+                                          // frontier throttles this stage
+    std::function<std::size_t()> queue_probe;
+  };
+
+  struct RunState;
+
+  bool startable(const RunState& state, StageId s, std::size_t item,
+                 std::size_t overlap) const;
+  void compute_serial_windows();
+
+  std::vector<StageNode> stages_;
+  RunState* active_ = nullptr;  // run-scoped; targeted by add_rows
+  bool ran_ = false;
+};
+
+}  // namespace opad::sched

@@ -1,0 +1,81 @@
+// Canonical-order consumption of an out-of-order indexed channel.
+//
+// Parallel producer stages complete chunks in any order and push
+// (index, payload) pairs into a Channel. Consumer stages — elementwise
+// successors scheduled by the StageGraph — need chunk i specifically when
+// executing item i. A ReorderWindow drains the channel into an index
+// stash and hands out exactly the requested chunk.
+//
+// take(i) never blocks: the scheduler only dispatches consumer item i
+// after producer item i completed, and the producer pushes its chunk
+// before completion is recorded, so the chunk is already in the channel
+// or in the stash (a missing chunk is a precondition violation, not a
+// wait).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/channel.h"
+#include "util/error.h"
+
+namespace opad::sched {
+
+template <typename T>
+class ReorderWindow {
+ public:
+  using Item = std::pair<std::size_t, T>;
+
+  /// `capacity` bounds the channel (chunks pushed but not yet taken);
+  /// graph builders size it to the total chunk count so the scheduler's
+  /// overlap window — not the channel — is the operative backpressure,
+  /// and a push can never block inside a pool task.
+  explicit ReorderWindow(std::size_t capacity) : channel_(capacity) {}
+
+  /// Producer side: publish chunk `index`.
+  void put(std::size_t index, T value) {
+    const bool ok = channel_.try_push({index, std::move(value)});
+    OPAD_EXPECTS_MSG(ok, "ReorderWindow channel overflow at chunk " << index);
+    const std::size_t pending = pending_.fetch_add(1) + 1;
+    std::size_t peak = peak_pending_.load();
+    while (pending > peak &&
+           !peak_pending_.compare_exchange_weak(peak, pending)) {
+    }
+  }
+
+  /// Consumer side: retrieve chunk `index`, which must already have been
+  /// put (guaranteed by stage-graph dependency scheduling).
+  T take(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stash_.find(index);
+    while (it == stash_.end()) {
+      Item item;
+      const bool ok = channel_.try_pop(item);
+      OPAD_EXPECTS_MSG(ok, "ReorderWindow take(" << index
+                                                 << ") before the chunk "
+                                                    "was produced");
+      stash_.emplace(item.first, std::move(item.second));
+      if (item.first == index) it = stash_.find(index);
+    }
+    T value = std::move(it->second);
+    stash_.erase(it);
+    pending_.fetch_sub(1);
+    return value;
+  }
+
+  /// Peak number of chunks produced but not yet taken (channel + stash) —
+  /// the StageTrace queue-occupancy probe: how far the producer stage ran
+  /// ahead of this consumer.
+  std::size_t peak_size() const { return peak_pending_.load(); }
+
+ private:
+  Channel<Item> channel_;
+  std::mutex mutex_;  // serialises concurrent take() calls
+  std::unordered_map<std::size_t, T> stash_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> peak_pending_{0};
+};
+
+}  // namespace opad::sched

@@ -1,0 +1,61 @@
+// Per-stage observability of a StageGraph run.
+//
+// A StageTrace is attribution, not result: it tells a production operator
+// where a campaign's wall-clock went (which stage was busy, how many
+// chunks/rows it processed, how far its input queue backed up) without
+// participating in any determinism contract. Results that embed a trace
+// (PipelineResult, CampaignResult) are bit-identical across thread counts
+// and overlap depths in every field *except* the trace, whose timings are
+// scheduling-dependent by nature.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opad::sched {
+
+struct StageStats {
+  std::string name;
+  std::size_t items = 0;       // stage executions (chunks) completed
+  std::size_t rows = 0;        // rows processed, as reported by the stage
+  std::uint64_t busy_us = 0;   // summed wall time of the stage bodies
+  std::size_t peak_queue = 0;  // peak occupancy of the stage's input channel
+};
+
+struct StageTrace {
+  std::vector<StageStats> stages;
+  std::uint64_t wall_us = 0;  // whole-graph wall time
+  std::size_t overlap = 0;    // RunOptions::overlap of the run
+  std::size_t workers = 0;    // wide-wave worker lanes used
+
+  /// Folds another run's stats into this one by stage name (items/rows/
+  /// busy sum, peak_queue max; unknown names are appended in order).
+  /// Pipelines that execute one graph per iteration merge the per-
+  /// iteration traces into the single trace they report.
+  void merge(const StageTrace& other) {
+    wall_us += other.wall_us;
+    overlap = other.overlap;
+    workers = other.workers;
+    for (const StageStats& in : other.stages) {
+      StageStats* slot = nullptr;
+      for (StageStats& existing : stages) {
+        if (existing.name == in.name) {
+          slot = &existing;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        stages.push_back(in);
+        continue;
+      }
+      slot->items += in.items;
+      slot->rows += in.rows;
+      slot->busy_us += in.busy_us;
+      slot->peak_queue = std::max(slot->peak_queue, in.peak_queue);
+    }
+  }
+};
+
+}  // namespace opad::sched

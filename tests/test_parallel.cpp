@@ -130,6 +130,44 @@ TEST(ParallelFor, ScopedInlineExecutionForcesInlineRuns) {
   EXPECT_FALSE(ThreadPool::in_worker());
 }
 
+TEST(ParallelFor, ScopedInlineExecutionNestsSafely) {
+  // Each scope must restore the state it found, not unconditionally reset
+  // it: a nested scope exiting inside an outer scope must leave inline
+  // execution active until the outer scope exits too.
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(4);
+  EXPECT_FALSE(ThreadPool::in_worker());
+  {
+    ScopedInlineExecution outer;
+    EXPECT_TRUE(ThreadPool::in_worker());
+    {
+      ScopedInlineExecution inner;
+      EXPECT_TRUE(ThreadPool::in_worker());
+    }
+    // The inner scope's exit must not cancel the outer scope.
+    EXPECT_TRUE(ThreadPool::in_worker());
+    const std::thread::id caller = std::this_thread::get_id();
+    parallel_for_chunks(0, 32, 4,
+                        [&](std::size_t, std::size_t, std::size_t) {
+                          EXPECT_EQ(std::this_thread::get_id(), caller);
+                        });
+  }
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ParallelFor, ScopedInlineExecutionInsidePoolTaskIsANoOpOnExit) {
+  // Pool workers already run nested parallelism inline; a scope created
+  // inside a pool task must leave that flag set when it exits.
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(4);
+  std::atomic<int> still_inline{0};
+  ThreadPool::global().run(4, [&](std::size_t) {
+    { ScopedInlineExecution scope; }
+    if (ThreadPool::in_worker()) still_inline.fetch_add(1);
+  });
+  EXPECT_EQ(still_inline.load(), 4);
+}
+
 TEST(ThreadPool, ExceptionWithLowestIndexWinsAndAllTasksRun) {
   GlobalPoolGuard guard;
   for (std::size_t threads : {1u, 4u}) {

@@ -1,0 +1,715 @@
+// Tests for the stage-graph executor (sched/graph.h), the generic
+// Channel<T> it hands chunks through (util/channel.h), and the
+// bit-identity contract of the graph-backed pipeline and campaign:
+// results must match the retained serial-reference walk exactly, at any
+// overlap depth and any OPAD_THREADS value.
+#include "sched/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/pipeline.h"
+#include "naturalness/density_naturalness.h"
+#include "nn/serialize.h"
+#include "op/generator_profile.h"
+#include "sched/reorder.h"
+#include "test_helpers.h"
+#include "util/channel.h"
+#include "util/parallel.h"
+
+namespace opad {
+namespace {
+
+/// Restores the global pool to its OPAD_THREADS / hardware default when a
+/// thread-count-sweeping test exits (also on failure).
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() { ThreadPool::configure_global(0); }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Channel<T> — the extracted serve::BoundedQueue.
+
+TEST(Channel, MultiProducerDeliversEverythingOnce) {
+  Channel<int> channel(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&channel, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(channel.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::size_t received = 0;
+  while (received < seen.size()) {
+    const auto batch =
+        channel.pop_batch(32, std::chrono::microseconds(2000));
+    for (int v : batch) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(static_cast<std::size_t>(v), seen.size());
+      seen[static_cast<std::size_t>(v)] += 1;
+    }
+    received += batch.size();
+  }
+  for (std::thread& t : producers) t.join();
+  for (int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_GE(channel.peak_size(), 1u);
+  EXPECT_LE(channel.peak_size(), channel.capacity());
+}
+
+TEST(Channel, TryPushShedsWhenFull) {
+  Channel<int> channel(2);
+  EXPECT_TRUE(channel.try_push(1));
+  EXPECT_TRUE(channel.try_push(2));
+  EXPECT_FALSE(channel.try_push(3));  // full: shed, not block
+  int out = 0;
+  EXPECT_TRUE(channel.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(channel.try_push(3));  // space again
+  EXPECT_EQ(channel.size(), 2u);
+}
+
+TEST(Channel, CloseFailsPushesButDrainsPendingItems) {
+  Channel<int> channel(8);
+  EXPECT_TRUE(channel.push(1));
+  EXPECT_TRUE(channel.push(2));
+  channel.close();
+  EXPECT_TRUE(channel.closed());
+  EXPECT_FALSE(channel.push(3));
+  EXPECT_FALSE(channel.try_push(3));
+  // Pending items remain poppable after close.
+  int out = 0;
+  EXPECT_TRUE(channel.try_pop(out));
+  EXPECT_EQ(out, 1);
+  const auto rest = channel.pop_batch(8, std::chrono::microseconds(0));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], 2);
+  // Closed and drained: pop_batch returns empty instead of blocking.
+  EXPECT_TRUE(channel.pop_batch(8, std::chrono::microseconds(0)).empty());
+}
+
+TEST(Channel, CloseWakesBlockedProducer) {
+  Channel<int> channel(1);
+  ASSERT_TRUE(channel.push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result = channel.push(2) ? 1 : 0; });
+  channel.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);  // woken with failure, item dropped
+}
+
+TEST(ReorderWindowTest, OutOfOrderPutsComeBackInIndexOrder) {
+  sched::ReorderWindow<int> window(8);
+  window.put(2, 102);
+  window.put(0, 100);
+  window.put(1, 101);
+  EXPECT_EQ(window.take(0), 100);
+  EXPECT_EQ(window.take(1), 101);
+  EXPECT_EQ(window.take(2), 102);
+  EXPECT_EQ(window.peak_size(), 3u);  // all three were pending at once
+}
+
+// ---------------------------------------------------------------------------
+// StageGraph validation.
+
+TEST(StageGraphValidate, RejectsZeroOffsetCycle) {
+  sched::StageGraph graph;
+  const auto a =
+      graph.add_stage("a", 3, sched::StageKind::kParallel, [](std::size_t) {});
+  const auto b =
+      graph.add_stage("b", 3, sched::StageKind::kParallel, [](std::size_t) {});
+  graph.connect(a, b);
+  graph.connect(b, a);
+  EXPECT_THROW(graph.validate(), PreconditionError);
+}
+
+TEST(StageGraphValidate, AcceptsOffsetCarriedCycle) {
+  // The campaign shape: a->b elementwise plus the loop-carried b->a.
+  sched::StageGraph graph;
+  const auto a =
+      graph.add_stage("a", 3, sched::StageKind::kSerial, [](std::size_t) {});
+  const auto b =
+      graph.add_stage("b", 3, sched::StageKind::kSerial, [](std::size_t) {});
+  graph.connect(a, b);
+  graph.connect_offset(b, a, 1);
+  EXPECT_NO_THROW(graph.validate());
+}
+
+TEST(StageGraphValidate, RejectsBarrierEdgeOnACycle) {
+  // A barrier inside a loop-carried cycle wants all of `a` before the
+  // first item of `b`, while later items of `a` need items of `b`.
+  sched::StageGraph graph;
+  const auto a =
+      graph.add_stage("a", 3, sched::StageKind::kSerial, [](std::size_t) {});
+  const auto b =
+      graph.add_stage("b", 3, sched::StageKind::kSerial, [](std::size_t) {});
+  graph.connect_barrier(a, b);
+  graph.connect_offset(b, a, 1);
+  EXPECT_THROW(graph.validate(), PreconditionError);
+}
+
+TEST(StageGraphValidate, RejectsMismatchedElementwiseCounts) {
+  sched::StageGraph graph;
+  const auto a =
+      graph.add_stage("a", 3, sched::StageKind::kParallel, [](std::size_t) {});
+  const auto b =
+      graph.add_stage("b", 4, sched::StageKind::kParallel, [](std::size_t) {});
+  EXPECT_THROW(graph.connect(a, b), PreconditionError);
+}
+
+TEST(StageGraphValidate, RejectsOffsetEdgeWithoutProducers) {
+  sched::StageGraph graph;
+  const auto a =
+      graph.add_stage("a", 2, sched::StageKind::kSerial, [](std::size_t) {});
+  const auto b =
+      graph.add_stage("b", 5, sched::StageKind::kSerial, [](std::size_t) {});
+  // b items 3 and 4 would need a items 2 and 3, which do not exist.
+  EXPECT_THROW(graph.connect_offset(a, b, 1), PreconditionError);
+}
+
+TEST(StageGraphValidate, RejectsSelfEdgeAndRunIsSingleShot) {
+  sched::StageGraph graph;
+  const auto a =
+      graph.add_stage("a", 1, sched::StageKind::kSerial, [](std::size_t) {});
+  EXPECT_THROW(graph.connect(a, a), PreconditionError);
+  graph.run();
+  EXPECT_THROW(graph.run(), PreconditionError);
+  EXPECT_THROW(graph.add_stage("late", 1, sched::StageKind::kSerial,
+                               [](std::size_t) {}),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// StageGraph execution.
+
+TEST(StageGraphRun, SerialStageFoldsInAscendingOrderAtAnyOverlap) {
+  GlobalPoolGuard guard;
+  constexpr std::size_t kItems = 40;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool::configure_global(threads);
+    for (const std::size_t overlap : {0u, 1u, 4u, 16u}) {
+      std::vector<int> produced(kItems, 0);
+      std::vector<std::size_t> fold_order;
+      sched::StageGraph graph;
+      const auto produce = graph.add_stage(
+          "produce", kItems, sched::StageKind::kParallel, [&](std::size_t i) {
+            produced[i] = static_cast<int>(i * i);
+          });
+      const auto fold = graph.add_stage(
+          "fold", kItems, sched::StageKind::kSerial,
+          [&](std::size_t i) { fold_order.push_back(i); });
+      graph.connect(produce, fold);
+      sched::RunOptions options;
+      options.overlap = overlap;
+      const sched::StageTrace trace = graph.run(options);
+
+      ASSERT_EQ(fold_order.size(), kItems)
+          << "threads " << threads << " overlap " << overlap;
+      for (std::size_t i = 0; i < kItems; ++i) {
+        EXPECT_EQ(fold_order[i], i) << "threads " << threads;
+        EXPECT_EQ(produced[i], static_cast<int>(i * i));
+      }
+      ASSERT_EQ(trace.stages.size(), 2u);
+      EXPECT_EQ(trace.stages[0].name, "produce");
+      EXPECT_EQ(trace.stages[0].items, kItems);
+      EXPECT_EQ(trace.stages[1].items, kItems);
+      EXPECT_EQ(trace.overlap, overlap);
+    }
+  }
+}
+
+TEST(StageGraphRun, OverlapWindowBoundsProducerRunAhead) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(8);
+  constexpr std::size_t kItems = 32;
+  constexpr std::size_t kOverlap = 3;
+  std::atomic<std::size_t> folded{0};
+  std::atomic<std::size_t> max_ahead{0};
+  sched::StageGraph graph;
+  const auto produce = graph.add_stage(
+      "produce", kItems, sched::StageKind::kParallel, [&](std::size_t i) {
+        const std::size_t f = folded.load();
+        const std::size_t ahead = i >= f ? i - f : 0;
+        std::size_t seen = max_ahead.load();
+        while (ahead > seen && !max_ahead.compare_exchange_weak(seen, ahead)) {
+        }
+      });
+  const auto fold =
+      graph.add_stage("fold", kItems, sched::StageKind::kSerial,
+                      [&](std::size_t) { folded.fetch_add(1); });
+  graph.connect(produce, fold);
+  sched::RunOptions options;
+  options.overlap = kOverlap;
+  graph.run(options);
+  // produce item i only starts while i < folded + overlap; the frontier
+  // read inside the body can only have advanced since admission.
+  EXPECT_LT(max_ahead.load(), kOverlap + 1);
+}
+
+TEST(StageGraphRun, OffsetCycleExecutesRoundRobin) {
+  // The campaign shape: detect -> retrain elementwise, retrain -> detect
+  // carried by one round. Exclusive stages run on the caller, so the
+  // execution log is exactly a0 b0 a1 b1 ...
+  constexpr std::size_t kRounds = 4;
+  std::vector<std::string> log;
+  for (const std::size_t overlap : {0u, 2u}) {
+    log.clear();
+    sched::StageGraph graph;
+    const auto a = graph.add_stage(
+        "a", kRounds, sched::StageKind::kExclusive,
+        [&](std::size_t r) { log.push_back("a" + std::to_string(r)); });
+    const auto b = graph.add_stage(
+        "b", kRounds, sched::StageKind::kExclusive,
+        [&](std::size_t r) { log.push_back("b" + std::to_string(r)); });
+    graph.connect(a, b);
+    graph.connect_offset(b, a, 1);
+    sched::RunOptions options;
+    options.overlap = overlap;
+    graph.run(options);
+    ASSERT_EQ(log.size(), 2 * kRounds) << "overlap " << overlap;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      const std::string round = std::to_string(r);
+      EXPECT_EQ(log[2 * r], std::string("a") + round);
+      EXPECT_EQ(log[2 * r + 1], std::string("b") + round);
+    }
+  }
+}
+
+TEST(StageGraphRun, ExclusiveStagesRunOnCallerWithFullPool) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> exclusive_on_caller{false};
+  std::atomic<bool> exclusive_outside_worker{false};
+  sched::StageGraph graph;
+  const auto wide = graph.add_stage("wide", 8, sched::StageKind::kParallel,
+                                    [](std::size_t) {});
+  const auto heavy = graph.add_stage(
+      "heavy", 1, sched::StageKind::kExclusive, [&](std::size_t) {
+        exclusive_on_caller = std::this_thread::get_id() == caller;
+        // Not inside a pool task: nested parallel_for fans out to the
+        // whole pool instead of running inline.
+        exclusive_outside_worker = !ThreadPool::in_worker();
+      });
+  graph.connect_barrier(wide, heavy);
+  graph.run();
+  EXPECT_TRUE(exclusive_on_caller.load());
+  EXPECT_TRUE(exclusive_outside_worker.load());
+}
+
+TEST(StageGraphRun, ZeroItemStagesCompleteImmediately) {
+  sched::StageGraph graph;
+  const auto empty = graph.add_stage("empty", 0, sched::StageKind::kParallel,
+                                     [](std::size_t) { FAIL(); });
+  bool ran = false;
+  const auto after = graph.add_stage("after", 1, sched::StageKind::kExclusive,
+                                     [&](std::size_t) { ran = true; });
+  graph.connect_barrier(empty, after);
+  const sched::StageTrace trace = graph.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(trace.stages[0].items, 0u);
+}
+
+TEST(StageGraphRun, BodyExceptionPropagatesFromWideWave) {
+  GlobalPoolGuard guard;
+  for (const std::size_t threads : {1u, 8u}) {
+    ThreadPool::configure_global(threads);
+    sched::StageGraph graph;
+    graph.add_stage("boom", 16, sched::StageKind::kParallel,
+                    [](std::size_t i) {
+                      if (i == 5) throw std::runtime_error("stage failed");
+                    });
+    EXPECT_THROW(graph.run(), std::runtime_error) << threads;
+  }
+}
+
+TEST(StageGraphRun, BodyExceptionPropagatesFromExclusiveStage) {
+  sched::StageGraph graph;
+  graph.add_stage("boom", 1, sched::StageKind::kExclusive,
+                  [](std::size_t) { throw std::runtime_error("heavy"); });
+  EXPECT_THROW(graph.run(), std::runtime_error);
+}
+
+TEST(StageGraphRun, TraceAccountsRowsAndQueueProbe) {
+  sched::StageGraph graph;
+  sched::StageId work = 0;
+  work = graph.add_stage("work", 4, sched::StageKind::kSerial,
+                         [&](std::size_t) { graph.add_rows(work, 10); });
+  graph.set_queue_probe(work, [] { return std::size_t{7}; });
+  const sched::StageTrace trace = graph.run();
+  ASSERT_EQ(trace.stages.size(), 1u);
+  EXPECT_EQ(trace.stages[0].rows, 40u);
+  EXPECT_EQ(trace.stages[0].peak_queue, 7u);
+  EXPECT_EQ(trace.stages[0].items, 4u);
+}
+
+TEST(StageTraceMerge, FoldsByNameAndAppendsUnknown) {
+  sched::StageTrace a;
+  a.stages.push_back({"fuzz", 2, 20, 100, 3});
+  a.wall_us = 50;
+  sched::StageTrace b;
+  b.stages.push_back({"fuzz", 3, 30, 200, 5});
+  b.stages.push_back({"fold", 5, 50, 10, 1});
+  b.wall_us = 70;
+  b.overlap = 4;
+  b.workers = 8;
+  a.merge(b);
+  ASSERT_EQ(a.stages.size(), 2u);
+  EXPECT_EQ(a.stages[0].items, 5u);
+  EXPECT_EQ(a.stages[0].rows, 50u);
+  EXPECT_EQ(a.stages[0].busy_us, 300u);
+  EXPECT_EQ(a.stages[0].peak_queue, 5u);  // max, not sum
+  EXPECT_EQ(a.stages[1].name, "fold");
+  EXPECT_EQ(a.wall_us, 120u);
+  EXPECT_EQ(a.overlap, 4u);
+  EXPECT_EQ(a.workers, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: graph-backed pipeline vs the serial reference.
+
+PipelineConfig sched_pipeline_config() {
+  PipelineConfig config;
+  config.rq1.synthetic_size = 300;
+  config.rq1.gmm.components = 3;
+  config.rq3.ball.eps = 0.4f;
+  config.rq3.ball.input_lo = -5.0f;
+  config.rq3.ball.input_hi = 5.0f;
+  config.rq3.steps = 8;
+  config.rq3.restarts = 2;
+  config.rq4.epochs = 2;
+  config.rq5.bins_per_dim = 4;
+  config.rq5.probes_per_assessment = 30;
+  config.rq5.target_pmi = 1e-6;  // never met: run all iterations
+  config.seeds_per_iteration = 24;
+  config.max_iterations = 2;
+  config.query_budget = 100000;
+  return config;
+}
+
+struct PipelineRunResult {
+  PipelineResult result;
+  std::vector<Tensor> weights;   // model parameters after the run
+  std::uint64_t rng_next = 0;    // post-run rng state witness
+};
+
+class SchedPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new testing::RingTask(testing::make_ring_task(300, 50, 211));
+    auto op_gen = task_->generator.with_class_priors({0.6, 0.3, 0.1});
+    Rng rng(212);
+    op_sample_ = new Dataset(op_gen.make_dataset(120, rng));
+    Rng train_rng(213);
+    model_ = new Classifier(testing::train_mlp(task_->train, 12, 8, train_rng));
+  }
+  static void TearDownTestSuite() {
+    delete op_sample_;
+    delete model_;
+    op_sample_ = nullptr;
+    model_ = nullptr;
+    delete task_;
+    task_ = nullptr;
+  }
+
+  static PipelineRunResult run_once(sched::ExecutionMode mode,
+                                    std::size_t overlap,
+                                    std::size_t max_retained = 0) {
+    PipelineConfig config = sched_pipeline_config();
+    config.execution.mode = mode;
+    config.execution.overlap = overlap;
+    config.max_retained_aes = max_retained;
+    const OpTestingPipeline pipeline(config);
+    Classifier model = model_->clone();
+    Rng rng(214);
+    PipelineRunResult out;
+    out.result = pipeline.run(model, *op_sample_, rng);
+    out.weights = snapshot_parameters(model.network());
+    out.rng_next = rng();  // shared-rng draw count must match exactly
+    return out;
+  }
+
+  static void expect_identical(const PipelineRunResult& a,
+                               const PipelineRunResult& b,
+                               const std::string& label) {
+    SCOPED_TRACE(label);
+    const PipelineResult& ra = a.result;
+    const PipelineResult& rb = b.result;
+    EXPECT_EQ(ra.total_queries, rb.total_queries);
+    EXPECT_EQ(ra.target_reached, rb.target_reached);
+    EXPECT_EQ(ra.tau, rb.tau);
+    ASSERT_EQ(ra.iterations.size(), rb.iterations.size());
+    for (std::size_t i = 0; i < ra.iterations.size(); ++i) {
+      const IterationRecord& ia = ra.iterations[i];
+      const IterationRecord& ib = rb.iterations[i];
+      EXPECT_EQ(ia.detection.seeds_attacked, ib.detection.seeds_attacked);
+      EXPECT_EQ(ia.detection.aes_found, ib.detection.aes_found);
+      EXPECT_EQ(ia.detection.clean_failures, ib.detection.clean_failures);
+      EXPECT_EQ(ia.detection.operational_aes, ib.detection.operational_aes);
+      EXPECT_EQ(ia.detection.queries_used, ib.detection.queries_used);
+      EXPECT_EQ(ia.retrain.ae_count, ib.retrain.ae_count);
+      EXPECT_EQ(ia.retrain.final_loss, ib.retrain.final_loss);
+      EXPECT_EQ(ia.assessment.pmi_mean, ib.assessment.pmi_mean);
+      EXPECT_EQ(ia.assessment.pmi_upper, ib.assessment.pmi_upper);
+      EXPECT_EQ(ia.assessment.probes, ib.assessment.probes);
+      EXPECT_EQ(ia.assessment.target_met, ib.assessment.target_met);
+      EXPECT_EQ(ia.budget_used_total, ib.budget_used_total);
+    }
+    ASSERT_EQ(ra.all_aes.size(), rb.all_aes.size());
+    for (std::size_t i = 0; i < ra.all_aes.size(); ++i) {
+      EXPECT_TRUE(bitwise_equal(ra.all_aes[i].seed, rb.all_aes[i].seed)) << i;
+      EXPECT_TRUE(
+          bitwise_equal(ra.all_aes[i].adversarial, rb.all_aes[i].adversarial))
+          << i;
+      EXPECT_EQ(ra.all_aes[i].naturalness, rb.all_aes[i].naturalness) << i;
+      EXPECT_EQ(ra.all_aes[i].is_operational, rb.all_aes[i].is_operational)
+          << i;
+    }
+    // The RQ1 GMM fit trace is the strictest float witness.
+    ASSERT_EQ(ra.gmm_trace.mean_log_likelihood.size(),
+              rb.gmm_trace.mean_log_likelihood.size());
+    for (std::size_t i = 0; i < ra.gmm_trace.mean_log_likelihood.size(); ++i) {
+      EXPECT_EQ(ra.gmm_trace.mean_log_likelihood[i],
+                rb.gmm_trace.mean_log_likelihood[i])
+          << i;
+    }
+    // Retrained weights and the shared rng's post-run state must agree:
+    // both paths consumed the same draws in the same order.
+    ASSERT_EQ(a.weights.size(), b.weights.size());
+    for (std::size_t i = 0; i < a.weights.size(); ++i) {
+      EXPECT_TRUE(bitwise_equal(a.weights[i], b.weights[i])) << "param " << i;
+    }
+    EXPECT_EQ(a.rng_next, b.rng_next);
+  }
+
+  static testing::RingTask* task_;
+  static Dataset* op_sample_;
+  static Classifier* model_;
+};
+
+testing::RingTask* SchedPipelineTest::task_ = nullptr;
+Dataset* SchedPipelineTest::op_sample_ = nullptr;
+Classifier* SchedPipelineTest::model_ = nullptr;
+
+TEST_F(SchedPipelineTest, StageGraphBitIdenticalToSerialReference) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(1);
+  const PipelineRunResult baseline =
+      run_once(sched::ExecutionMode::kSerialReference, 0);
+  ASSERT_FALSE(baseline.result.iterations.empty());
+  ASSERT_FALSE(baseline.result.gmm_trace.mean_log_likelihood.empty());
+
+  for (const std::size_t threads : {1u, 8u}) {
+    ThreadPool::configure_global(threads);
+    {
+      const PipelineRunResult serial =
+          run_once(sched::ExecutionMode::kSerialReference, 0);
+      expect_identical(baseline, serial,
+                       "serial threads=" + std::to_string(threads));
+    }
+    for (const std::size_t overlap : {0u, 2u, 4u}) {
+      const PipelineRunResult graph =
+          run_once(sched::ExecutionMode::kStageGraph, overlap);
+      expect_identical(baseline, graph,
+                       "graph threads=" + std::to_string(threads) +
+                           " overlap=" + std::to_string(overlap));
+    }
+  }
+}
+
+TEST_F(SchedPipelineTest, StageTraceReportsEveryPipelineStage) {
+  const PipelineRunResult graph =
+      run_once(sched::ExecutionMode::kStageGraph, 4);
+  const sched::StageTrace& trace = graph.result.trace;
+  for (const char* name :
+       {"sample", "fuzz", "score", "fold", "collect", "retrain", "assess"}) {
+    bool found = false;
+    for (const auto& stage : trace.stages) {
+      if (stage.name == name) {
+        found = true;
+        EXPECT_GT(stage.items, 0u) << name;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing stage '" << name << "' in trace";
+  }
+  EXPECT_EQ(trace.overlap, 4u);
+}
+
+TEST_F(SchedPipelineTest, MaxRetainedAesCapsRetentionNotStats) {
+  const PipelineRunResult full =
+      run_once(sched::ExecutionMode::kStageGraph, 4);
+  ASSERT_GE(full.result.all_aes.size(), 3u)
+      << "config must find enough AEs for the cap to bind";
+  const std::size_t cap = full.result.all_aes.size() / 2;
+
+  for (const sched::ExecutionMode mode :
+       {sched::ExecutionMode::kStageGraph,
+        sched::ExecutionMode::kSerialReference}) {
+    const PipelineRunResult capped = run_once(mode, 4, cap);
+    // Retention capped to the first `cap` AEs in canonical order...
+    ASSERT_EQ(capped.result.all_aes.size(), cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      EXPECT_TRUE(bitwise_equal(capped.result.all_aes[i].adversarial,
+                                full.result.all_aes[i].adversarial))
+          << i;
+    }
+    // ...while stats, accounting, and the retrained model are untouched.
+    ASSERT_EQ(capped.result.iterations.size(), full.result.iterations.size());
+    for (std::size_t i = 0; i < capped.result.iterations.size(); ++i) {
+      EXPECT_EQ(capped.result.iterations[i].detection.aes_found,
+                full.result.iterations[i].detection.aes_found);
+      EXPECT_EQ(capped.result.iterations[i].detection.operational_aes,
+                full.result.iterations[i].detection.operational_aes);
+    }
+    EXPECT_EQ(capped.result.total_queries, full.result.total_queries);
+    ASSERT_EQ(capped.weights.size(), full.weights.size());
+    for (std::size_t i = 0; i < capped.weights.size(); ++i) {
+      EXPECT_TRUE(bitwise_equal(capped.weights[i], full.weights[i])) << i;
+    }
+    EXPECT_EQ(capped.rng_next, full.rng_next);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: graph-backed campaign vs the serial reference.
+
+class SchedCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new testing::RingTask(testing::make_ring_task(300, 120, 221));
+    Rng rng(222);
+    model_ = new Classifier(testing::train_mlp(task_->train, 14, 10, rng));
+    auto op_gen = task_->generator.with_class_priors({0.5, 0.3, 0.2});
+    op_data_ = new Dataset(op_gen.make_dataset(250, rng));
+    profile_ = std::make_shared<GaussianGeneratorProfile>(op_gen);
+    metric_ = std::make_shared<DensityNaturalness>(profile_);
+    tau_ = naturalness_threshold(*metric_, op_data_->inputs(), 0.25);
+  }
+  static void TearDownTestSuite() {
+    delete op_data_;
+    delete model_;
+    delete task_;
+    op_data_ = nullptr;
+    model_ = nullptr;
+    task_ = nullptr;
+    profile_.reset();
+    metric_.reset();
+  }
+
+  static MethodContext context() {
+    MethodContext ctx;
+    ctx.seeds.balanced = &task_->test;
+    ctx.seeds.operational = op_data_;
+    ctx.seeds.observed = op_data_;
+    ctx.profile = profile_;
+    ctx.metric = metric_;
+    ctx.tau = tau_;
+    ctx.ball.eps = 0.4f;
+    ctx.ball.input_lo = -5.0f;
+    ctx.ball.input_hi = 5.0f;
+    return ctx;
+  }
+
+  static CampaignResult run_once(sched::ExecutionMode mode,
+                                 std::size_t overlap) {
+    const auto snapshot = snapshot_parameters(model_->network());
+    CampaignConfig config;
+    config.rounds = 3;
+    config.query_budget = 6000;
+    config.base_seed = 17;
+    config.retrain.epochs = 2;
+    config.execution.mode = mode;
+    config.execution.overlap = overlap;
+    const auto opad = make_opad_method(MethodSuiteConfig{});
+    CampaignResult result = run_detect_retrain_campaign(
+        *model_, *opad, context(), *op_data_, config);
+    restore_parameters(model_->network(), snapshot);
+    return result;
+  }
+
+  static void expect_identical(const CampaignResult& a,
+                               const CampaignResult& b,
+                               const std::string& label) {
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.totals.aes_found, b.totals.aes_found);
+    EXPECT_EQ(a.totals.operational_aes, b.totals.operational_aes);
+    EXPECT_EQ(a.totals.queries_used, b.totals.queries_used);
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+      EXPECT_EQ(a.rounds[i].round, b.rounds[i].round);
+      EXPECT_EQ(a.rounds[i].detection.seeds_attacked,
+                b.rounds[i].detection.seeds_attacked);
+      EXPECT_EQ(a.rounds[i].detection.aes_found,
+                b.rounds[i].detection.aes_found);
+      EXPECT_EQ(a.rounds[i].detection.queries_used,
+                b.rounds[i].detection.queries_used);
+      EXPECT_EQ(a.rounds[i].retrain.ae_count, b.rounds[i].retrain.ae_count);
+      EXPECT_EQ(a.rounds[i].retrain.final_loss,
+                b.rounds[i].retrain.final_loss)
+          << "round " << i;
+    }
+  }
+
+  static testing::RingTask* task_;
+  static Classifier* model_;
+  static Dataset* op_data_;
+  static ProfilePtr profile_;
+  static NaturalnessPtr metric_;
+  static double tau_;
+};
+
+testing::RingTask* SchedCampaignTest::task_ = nullptr;
+Classifier* SchedCampaignTest::model_ = nullptr;
+Dataset* SchedCampaignTest::op_data_ = nullptr;
+ProfilePtr SchedCampaignTest::profile_;
+NaturalnessPtr SchedCampaignTest::metric_;
+double SchedCampaignTest::tau_ = 0.0;
+
+TEST_F(SchedCampaignTest, StageGraphBitIdenticalToSerialReference) {
+  GlobalPoolGuard guard;
+  ThreadPool::configure_global(1);
+  const CampaignResult baseline =
+      run_once(sched::ExecutionMode::kSerialReference, 0);
+  EXPECT_GT(baseline.totals.queries_used, 0u);
+
+  for (const std::size_t threads : {1u, 8u}) {
+    ThreadPool::configure_global(threads);
+    for (const std::size_t overlap : {0u, 2u, 4u}) {
+      const CampaignResult graph =
+          run_once(sched::ExecutionMode::kStageGraph, overlap);
+      expect_identical(baseline, graph,
+                       "threads=" + std::to_string(threads) +
+                           " overlap=" + std::to_string(overlap));
+    }
+  }
+}
+
+TEST_F(SchedCampaignTest, StageTraceReportsCampaignStages) {
+  const CampaignResult result =
+      run_once(sched::ExecutionMode::kStageGraph, 2);
+  ASSERT_EQ(result.trace.stages.size(), 3u);
+  EXPECT_EQ(result.trace.stages[0].name, "detect");
+  EXPECT_EQ(result.trace.stages[1].name, "retrain");
+  EXPECT_EQ(result.trace.stages[2].name, "record");
+  for (const auto& stage : result.trace.stages) {
+    EXPECT_EQ(stage.items, 3u) << stage.name;
+  }
+}
+
+}  // namespace
+}  // namespace opad
