@@ -8,6 +8,8 @@
 #include "nn/trainer.h"
 #include "op/generator_profile.h"
 #include "naturalness/density_naturalness.h"
+#include "tensor/gemm.h"
+#include "util/cpu_features.h"
 #include "util/resource.h"
 
 namespace opad::bench {
@@ -147,21 +149,27 @@ void emit_table(const Table& table, const std::string& name,
                 const std::vector<std::string>& csv_header,
                 const std::vector<std::vector<std::string>>& csv_rows) {
   table.print(std::cout, name);
+  std::cout << "(cpu: " << cpu_features_string() << "; gemm kernel: "
+            << gemm_kernel_name(active_gemm_kernel()) << ")\n";
   std::cout << std::endl;
   try {
     std::filesystem::create_directories("bench_results");
     // Every CSV row carries the process peak RSS so memory regressions
-    // show up in recorded results, not just in ad-hoc profiling. The
-    // value is a process-lifetime high-water mark (identical in every
-    // row of one emit), so per-stage attribution needs the low-memory
-    // stage to run first.
+    // show up in recorded results, not just in ad-hoc profiling (the
+    // value is a process-lifetime high-water mark, identical in every
+    // row of one emit, so per-stage attribution needs the low-memory
+    // stage to run first) — plus the dispatched GEMM kernel, so numbers
+    // recorded on hosts with different SIMD tiers are distinguishable.
     std::vector<std::string> header = csv_header;
     header.push_back("peak_rss_kb");
+    header.push_back("kernel");
     const std::string rss = std::to_string(peak_rss_kb());
+    const std::string kernel = gemm_kernel_name(active_gemm_kernel());
     CsvWriter csv("bench_results/" + name + ".csv", header);
     for (const auto& row : csv_rows) {
       std::vector<std::string> full = row;
       full.push_back(rss);
+      full.push_back(kernel);
       csv.write_row(full);
     }
   } catch (const std::exception& e) {

@@ -16,6 +16,11 @@
 // the forward pass and density sweep — throughput rises with offered
 // concurrency while p50 stays near the coalescing window.
 //
+// Every configuration runs under both serving engines — the float32
+// replica and its opt-in int8 snapshot (DESIGN.md "Quantized
+// inference") — so the quantized throughput win is recorded side by
+// side with the float baseline in the same CSV.
+//
 // --smoke runs a seconds-scale variant of the same sweep (used by the
 // CI TSan soak leg); numbers from smoke mode are not meaningful.
 #include <algorithm>
@@ -24,10 +29,13 @@
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "detect/density_detector.h"
+#include "nn/quantized.h"
 #include "serve/queue.h"
 #include "serve/service.h"
 #include "util/stopwatch.h"
@@ -75,15 +83,33 @@ struct LoadResult {
   serve::ServiceStats stats;
 };
 
+/// The serving engines under comparison: the float32 model replica, or
+/// its int8 snapshot (opt-in quantized inference). Detector scoring is
+/// identical in both — only the per-batch forward pass changes.
+constexpr bool kEngines[] = {false, true};
+
+std::unique_ptr<serve::DetectionService> make_service(
+    const RingWorkload& workload, const serve::ServiceConfig& config,
+    bool quantized) {
+  if (!quantized) {
+    return std::make_unique<serve::DetectionService>(
+        workload.model->clone(), workload.op.profile, workload.tau, config);
+  }
+  auto detector = std::make_shared<DensityDetector>(workload.op.profile);
+  detector->set_threshold(workload.tau);
+  return std::make_unique<serve::DetectionService>(
+      QuantizedClassifier(*workload.model), std::move(detector), config);
+}
+
 LoadResult closed_loop(const RingWorkload& workload,
                        const std::vector<Tensor>& inputs,
-                       const BatchConfig& batch, std::size_t producers,
-                       std::size_t per_producer) {
+                       const BatchConfig& batch, bool quantized,
+                       std::size_t producers, std::size_t per_producer) {
   serve::ServiceConfig config;
   config.max_batch = batch.max_batch;
   config.max_delay_us = batch.max_delay_us;
-  serve::DetectionService service(workload.model->clone(),
-                                  workload.op.profile, workload.tau, config);
+  const auto service_ptr = make_service(workload, config, quantized);
+  serve::DetectionService& service = *service_ptr;
   service.start();
   std::vector<std::vector<double>> latencies(producers);
   const auto begin = Clock::now();
@@ -115,14 +141,14 @@ LoadResult closed_loop(const RingWorkload& workload,
 
 LoadResult open_loop(const RingWorkload& workload,
                      const std::vector<Tensor>& inputs,
-                     const BatchConfig& batch, double rate_per_s,
-                     std::size_t total) {
+                     const BatchConfig& batch, bool quantized,
+                     double rate_per_s, std::size_t total) {
   serve::ServiceConfig config;
   config.max_batch = batch.max_batch;
   config.max_delay_us = batch.max_delay_us;
   config.queue_capacity = 256;
-  serve::DetectionService service(workload.model->clone(),
-                                  workload.op.profile, workload.tau, config);
+  const auto service_ptr = make_service(workload, config, quantized);
+  serve::DetectionService& service = *service_ptr;
   service.start();
 
   struct Timed {
@@ -193,38 +219,41 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 4, 8};
 
   {
-    Table table({"max_batch", "delay_us", "producers", "requests",
+    Table table({"engine", "max_batch", "delay_us", "producers", "requests",
                  "throughput_rps", "p50_us", "p99_us", "p999_us",
                  "mean_batch"});
     std::vector<std::vector<std::string>> csv_rows;
-    for (const BatchConfig& batch : kConfigs) {
-      for (const std::size_t producers : producer_counts) {
-        const LoadResult result =
-            closed_loop(workload, inputs, batch, producers, per_producer);
-        const auto p = percentiles(result.latencies_us);
-        const double rps =
-            static_cast<double>(result.stats.served) / result.wall_s;
-        const double mean_batch =
-            static_cast<double>(result.stats.served) /
-            static_cast<double>(std::max<std::uint64_t>(1,
-                                                        result.stats.batches));
-        std::vector<std::string> row{
-            std::to_string(batch.max_batch),
-            std::to_string(batch.max_delay_us),
-            std::to_string(producers),
-            std::to_string(result.stats.served),
-            Table::num(rps, 0),
-            Table::num(p.p50, 1),
-            Table::num(p.p99, 1),
-            Table::num(p.p999, 1),
-            Table::num(mean_batch, 2)};
-        table.add_row(row);
-        csv_rows.push_back(std::move(row));
+    for (const bool quantized : kEngines) {
+      for (const BatchConfig& batch : kConfigs) {
+        for (const std::size_t producers : producer_counts) {
+          const LoadResult result = closed_loop(
+              workload, inputs, batch, quantized, producers, per_producer);
+          const auto p = percentiles(result.latencies_us);
+          const double rps =
+              static_cast<double>(result.stats.served) / result.wall_s;
+          const double mean_batch =
+              static_cast<double>(result.stats.served) /
+              static_cast<double>(
+                  std::max<std::uint64_t>(1, result.stats.batches));
+          std::vector<std::string> row{
+              quantized ? "int8" : "float32",
+              std::to_string(batch.max_batch),
+              std::to_string(batch.max_delay_us),
+              std::to_string(producers),
+              std::to_string(result.stats.served),
+              Table::num(rps, 0),
+              Table::num(p.p50, 1),
+              Table::num(p.p99, 1),
+              Table::num(p.p999, 1),
+              Table::num(mean_batch, 2)};
+          table.add_row(row);
+          csv_rows.push_back(std::move(row));
+        }
       }
     }
     table.print(std::cout, "closed loop — P synchronous producers");
     emit_table(table, "serve_closed_loop",
-               {"max_batch", "delay_us", "producers", "requests",
+               {"engine", "max_batch", "delay_us", "producers", "requests",
                 "throughput_rps", "p50_us", "p99_us", "p999_us",
                 "mean_batch"},
                csv_rows);
@@ -236,36 +265,39 @@ int main(int argc, char** argv) {
         smoke ? std::vector<double>{5000.0}
               : std::vector<double>{5000.0, 20000.0};
     const std::size_t total = smoke ? 500 : 5000;
-    Table table({"max_batch", "delay_us", "offered_rps", "served", "shed",
-                 "p50_us", "p99_us", "p999_us", "mean_batch"});
+    Table table({"engine", "max_batch", "delay_us", "offered_rps", "served",
+                 "shed", "p50_us", "p99_us", "p999_us", "mean_batch"});
     std::vector<std::vector<std::string>> csv_rows;
-    for (const BatchConfig& batch : kConfigs) {
-      for (const double rate : rates) {
-        const LoadResult result =
-            open_loop(workload, inputs, batch, rate, total);
-        const auto p = percentiles(result.latencies_us);
-        const double mean_batch =
-            static_cast<double>(result.stats.served) /
-            static_cast<double>(std::max<std::uint64_t>(1,
-                                                        result.stats.batches));
-        std::vector<std::string> row{
-            std::to_string(batch.max_batch),
-            std::to_string(batch.max_delay_us),
-            Table::num(rate, 0),
-            std::to_string(result.stats.served),
-            std::to_string(result.stats.shed),
-            Table::num(p.p50, 1),
-            Table::num(p.p99, 1),
-            Table::num(p.p999, 1),
-            Table::num(mean_batch, 2)};
-        table.add_row(row);
-        csv_rows.push_back(std::move(row));
+    for (const bool quantized : kEngines) {
+      for (const BatchConfig& batch : kConfigs) {
+        for (const double rate : rates) {
+          const LoadResult result =
+              open_loop(workload, inputs, batch, quantized, rate, total);
+          const auto p = percentiles(result.latencies_us);
+          const double mean_batch =
+              static_cast<double>(result.stats.served) /
+              static_cast<double>(
+                  std::max<std::uint64_t>(1, result.stats.batches));
+          std::vector<std::string> row{
+              quantized ? "int8" : "float32",
+              std::to_string(batch.max_batch),
+              std::to_string(batch.max_delay_us),
+              Table::num(rate, 0),
+              std::to_string(result.stats.served),
+              std::to_string(result.stats.shed),
+              Table::num(p.p50, 1),
+              Table::num(p.p99, 1),
+              Table::num(p.p999, 1),
+              Table::num(mean_batch, 2)};
+          table.add_row(row);
+          csv_rows.push_back(std::move(row));
+        }
       }
     }
     table.print(std::cout, "open loop — paced arrivals, shedding admission");
     emit_table(table, "serve_open_loop",
-               {"max_batch", "delay_us", "offered_rps", "served", "shed",
-                "p50_us", "p99_us", "p999_us", "mean_batch"},
+               {"engine", "max_batch", "delay_us", "offered_rps", "served",
+                "shed", "p50_us", "p99_us", "p999_us", "mean_batch"},
                csv_rows);
   }
 

@@ -12,8 +12,11 @@
 // matching the zoo convention.
 #pragma once
 
+#include <memory>
+
 #include "detect/detector.h"
 #include "nn/model.h"
+#include "nn/quantized.h"
 
 namespace opad {
 
@@ -33,8 +36,14 @@ class LidDetector : public Detector {
   /// from the campaign's point of view).
   LidDetector(const Classifier& model, LidConfig config);
 
+  /// int8 variant: the traced forward runs through a private quantized
+  /// replica (opt-in; see DESIGN.md "Quantized inference") whose tape
+  /// records the dequantized per-layer activations, so the estimator is
+  /// unchanged.
+  LidDetector(const QuantizedClassifier& model, LidConfig config);
+
   std::string name() const override { return "LID"; }
-  std::size_t dim() const override { return model_.input_dim(); }
+  std::size_t dim() const override { return model_->input_dim(); }
   void fit(const Dataset& reference, Rng& rng) override;
   bool fitted() const override { return bank_ != nullptr; }
   void score_batch(const Tensor& inputs,
@@ -49,7 +58,8 @@ class LidDetector : public Detector {
  private:
   LidDetector(const LidDetector& other);
 
-  mutable Classifier model_;  // private replica; layer caches are scratch
+  // Private replica (float or int8); layer caches are scratch.
+  std::unique_ptr<ForwardScorer> model_;
   LidConfig config_;
   /// Per-layer clean activation banks [m, d_l]; immutable once fitted and
   /// shared across thread replicas.

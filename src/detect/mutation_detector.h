@@ -10,10 +10,12 @@
 // unmutated model. The score negates the LCR so higher = more benign.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "detect/detector.h"
 #include "nn/model.h"
+#include "nn/quantized.h"
 
 namespace opad {
 
@@ -23,6 +25,11 @@ struct MutationConfig {
   /// Noise scale, relative to each parameter tensor's RMS: every element
   /// receives sigma * rms(tensor) * N(0, 1).
   double sigma = 0.05;
+  /// Serve each perturbed replica through an int8 snapshot (opt-in; see
+  /// DESIGN.md "Quantized inference"). Mutation still perturbs float
+  /// weights — quantization happens after the noise is applied, so the
+  /// replica bank is the same pure function of the fit-time RNG state.
+  bool quantize_replicas = false;
 };
 
 class MutationDetector : public Detector {
@@ -50,7 +57,9 @@ class MutationDetector : public Detector {
 
   mutable Classifier model_;  // unmutated reference predictions
   MutationConfig config_;
-  mutable std::vector<Classifier> replicas_;
+  // Perturbed replicas: float Classifiers, or int8 snapshots when
+  // config_.quantize_replicas is set.
+  std::vector<std::unique_ptr<ForwardScorer>> replicas_;
 };
 
 }  // namespace opad

@@ -8,8 +8,11 @@
 // negates it so higher = more benign, matching the zoo convention.
 #pragma once
 
+#include <memory>
+
 #include "detect/detector.h"
 #include "nn/model.h"
+#include "nn/quantized.h"
 
 namespace opad {
 
@@ -31,8 +34,13 @@ class SqueezeDetector : public Detector {
   /// queries to the attacked model's budget.
   SqueezeDetector(const Classifier& model, SqueezeConfig config);
 
+  /// int8 variant: predictions run through a private quantized replica
+  /// (opt-in; see DESIGN.md "Quantized inference"). The statistic and
+  /// threshold semantics are unchanged.
+  SqueezeDetector(const QuantizedClassifier& model, SqueezeConfig config);
+
   std::string name() const override { return "FeatureSqueeze"; }
-  std::size_t dim() const override { return model_.input_dim(); }
+  std::size_t dim() const override { return model_->input_dim(); }
   /// Purely model-based — fit() only records that the reference was seen
   /// (the interface requires a fit before scoring).
   void fit(const Dataset& reference, Rng& rng) override;
@@ -44,7 +52,8 @@ class SqueezeDetector : public Detector {
  private:
   SqueezeDetector(const SqueezeDetector& other);
 
-  mutable Classifier model_;  // private replica; layer caches are scratch
+  // Private replica (float or int8); layer caches are scratch.
+  std::unique_ptr<ForwardScorer> model_;
   SqueezeConfig config_;
   bool fitted_ = false;
 };

@@ -35,6 +35,11 @@ class Conv2D : public Layer {
 
   ImageGeometry input_geometry() const { return in_; }
   ImageGeometry output_geometry() const { return out_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t pad() const { return pad_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   ImageGeometry in_;

@@ -25,6 +25,8 @@ class Dense : public Layer {
   std::size_t out_features() const { return out_; }
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   std::size_t in_;

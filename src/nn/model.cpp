@@ -4,6 +4,30 @@
 
 namespace opad {
 
+Tensor ForwardScorer::probabilities(const Tensor& inputs) {
+  return softmax_rows(logits(inputs));
+}
+
+void ForwardScorer::predict_batch(const Tensor& inputs,
+                                  std::span<int> labels) {
+  OPAD_EXPECTS(labels.size() == inputs.dim(0));
+  Tensor out = logits(inputs);
+  for (std::size_t i = 0; i < out.dim(0); ++i) {
+    auto row = out.row_span(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    labels[i] = static_cast<int>(best);
+  }
+}
+
+std::vector<int> ForwardScorer::predict_labels(const Tensor& inputs) {
+  std::vector<int> labels(inputs.dim(0));
+  predict_batch(inputs, labels);
+  return labels;
+}
+
 Sequential::Sequential(std::size_t input_dim)
     : input_dim_(input_dim), output_dim_(input_dim) {
   OPAD_EXPECTS(input_dim > 0);
@@ -19,6 +43,16 @@ Sequential Sequential::clone() const {
   Sequential copy(input_dim_);
   for (const LayerPtr& layer : layers_) copy.add(layer->clone());
   return copy;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  OPAD_EXPECTS(i < layers_.size());
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+  OPAD_EXPECTS(i < layers_.size());
+  return *layers_[i];
 }
 
 Tensor Sequential::forward(const Tensor& input, bool training,
@@ -104,13 +138,13 @@ Classifier Classifier::clone() const {
   return Classifier(network_.clone(), num_classes_);
 }
 
+std::unique_ptr<ForwardScorer> Classifier::clone_scorer() const {
+  return std::make_unique<Classifier>(clone());
+}
+
 Tensor Classifier::logits(const Tensor& inputs, ActivationTape* tape) {
   queries_ += inputs.dim(0);
   return network_.forward(inputs, /*training=*/false, tape);
-}
-
-Tensor Classifier::probabilities(const Tensor& inputs) {
-  return softmax_rows(logits(inputs));
 }
 
 Tensor Classifier::probabilities_single(const Tensor& input) {
@@ -118,25 +152,6 @@ Tensor Classifier::probabilities_single(const Tensor& input) {
   Tensor batch = input.reshaped({1, input.dim(0)});
   Tensor probs = probabilities(batch);
   return probs.reshaped({num_classes_});
-}
-
-void Classifier::predict_batch(const Tensor& inputs, std::span<int> labels) {
-  OPAD_EXPECTS(labels.size() == inputs.dim(0));
-  Tensor out = logits(inputs);
-  for (std::size_t i = 0; i < out.dim(0); ++i) {
-    auto row = out.row_span(i);
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < row.size(); ++j) {
-      if (row[j] > row[best]) best = j;
-    }
-    labels[i] = static_cast<int>(best);
-  }
-}
-
-std::vector<int> Classifier::predict_labels(const Tensor& inputs) {
-  std::vector<int> labels(inputs.dim(0));
-  predict_batch(inputs, labels);
-  return labels;
 }
 
 std::vector<int> Classifier::predict(const Tensor& inputs) {

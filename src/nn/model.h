@@ -29,6 +29,56 @@ struct ActivationTape {
   std::size_t layer_count() const { return layers.size(); }
 };
 
+/// Minimal polymorphic forward-pass interface: everything a consumer
+/// that only *queries* a model needs (logits, probabilities, argmax
+/// labels, query accounting), with none of the training surface. The
+/// float Classifier and the int8 QuantizedClassifier (nn/quantized.h)
+/// both implement it, so the serving layer and the detector zoo can
+/// hold either behind one pointer and a quantized snapshot can stand in
+/// for the float model anywhere inference is all that is asked.
+class ForwardScorer {
+ public:
+  virtual ~ForwardScorer() = default;
+
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t num_classes() const = 0;
+
+  /// Raw logits for a batch [n, d] -> [n, k], costing n queries. A
+  /// non-null `tape` records per-layer activations (see ActivationTape).
+  virtual Tensor logits(const Tensor& inputs, ActivationTape* tape = nullptr) = 0;
+
+  /// Softmax probabilities for a batch.
+  Tensor probabilities(const Tensor& inputs);
+
+  /// Predicted labels for a batch [n, d], written into `labels` (size
+  /// n). One forward pass for the whole batch; argmax takes the first
+  /// maximum on ties, matching Tensor::argmax.
+  void predict_batch(const Tensor& inputs, std::span<int> labels);
+
+  /// Allocating convenience over predict_batch().
+  std::vector<int> predict_labels(const Tensor& inputs);
+
+  /// Forward passes served so far (one batch row = one query), and the
+  /// fold-in hook parallel workers use to keep global budget arithmetic
+  /// equal to a sequential run.
+  virtual std::uint64_t query_count() const = 0;
+  virtual void reset_query_count() = 0;
+  virtual void add_queries(std::uint64_t n) = 0;
+
+  /// Deep copy behind the interface; replicas share no mutable state,
+  /// so each thread can score on its own copy.
+  virtual std::unique_ptr<ForwardScorer> clone_scorer() const = 0;
+
+  /// Numeric format of the forward pass, e.g. "float32" / "int8" —
+  /// logged by serving and recorded in bench CSVs.
+  virtual const char* precision() const = 0;
+
+ protected:
+  ForwardScorer() = default;
+  ForwardScorer(const ForwardScorer&) = default;
+  ForwardScorer& operator=(const ForwardScorer&) = default;
+};
+
 /// An ordered stack of layers with reverse-mode differentiation.
 class Sequential {
  public:
@@ -57,6 +107,12 @@ class Sequential {
   std::size_t input_dim() const { return input_dim_; }
   std::size_t output_dim() const { return output_dim_; }
   std::size_t layer_count() const { return layers_.size(); }
+
+  /// Direct access to layer `i` (0-based, in forward order). The
+  /// quantized snapshot builder walks the stack through this to find
+  /// the Dense/Conv2D layers whose weights it pre-quantizes.
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
 
   /// Forward pass over a [n, input_dim] batch. A non-null `tape` records
   /// every layer's output (see ActivationTape); the computed result is
@@ -92,38 +148,30 @@ class Sequential {
 /// This is the model type the operational testing pipeline (and every
 /// attack) operates on. All query-counting in the experiments is done at
 /// this interface.
-class Classifier {
+class Classifier : public ForwardScorer {
  public:
   Classifier(Sequential network, std::size_t num_classes);
 
-  std::size_t input_dim() const { return network_.input_dim(); }
-  std::size_t num_classes() const { return num_classes_; }
+  std::size_t input_dim() const override { return network_.input_dim(); }
+  std::size_t num_classes() const override { return num_classes_; }
   Sequential& network() { return network_; }
+  const Sequential& network() const { return network_; }
 
   /// Raw logits for a batch [n, d] -> [n, k]. A non-null `tape` records
   /// per-layer activations (the detector-facing capture hook); logits are
   /// bitwise identical with and without a tape, and the pass costs the
-  /// same n queries either way.
-  Tensor logits(const Tensor& inputs, ActivationTape* tape = nullptr);
-
-  /// Softmax probabilities for a batch.
-  Tensor probabilities(const Tensor& inputs);
+  /// same n queries either way. (predict_batch / predict_labels /
+  /// probabilities are inherited from ForwardScorer and route through
+  /// this — one forward pass for the whole batch, bit-identical to
+  /// calling predict_single() row by row because every logit row is
+  /// computed independently inside the GEMM.)
+  Tensor logits(const Tensor& inputs, ActivationTape* tape = nullptr) override;
 
   /// Probabilities for a single flat input [d] -> [k].
   Tensor probabilities_single(const Tensor& input);
 
-  /// Predicted labels for a batch [n, d], written into `labels` (size n).
-  /// This span-based form is the primary inference entry point: one
-  /// forward pass for the whole batch, no allocation, and — because every
-  /// logit row is computed independently inside the GEMM — bit-identical
-  /// to calling predict_single() row by row.
-  void predict_batch(const Tensor& inputs, std::span<int> labels);
-
-  /// Allocating convenience over predict_batch().
-  std::vector<int> predict_labels(const Tensor& inputs);
-
   /// Deprecated spelling of predict_labels(); prefer the batched names
-  /// above in new code.
+  /// in ForwardScorer in new code.
   std::vector<int> predict(const Tensor& inputs);
 
   /// Predicted label for a single flat input [d]. Deprecated whenever a
@@ -159,19 +207,22 @@ class Classifier {
   /// Number of forward passes served so far (query counter used by the
   /// testing-budget accounting in the experiments; one batch row = one
   /// query).
-  std::uint64_t query_count() const { return queries_; }
-  void reset_query_count() { queries_ = 0; }
+  std::uint64_t query_count() const override { return queries_; }
+  void reset_query_count() override { queries_ = 0; }
 
   /// Folds externally accounted queries (e.g. those a worker replica spent
   /// attacking seeds in parallel) into this model's counter so the global
   /// budget arithmetic matches a sequential run exactly.
-  void add_queries(std::uint64_t n) { queries_ += n; }
+  void add_queries(std::uint64_t n) override { queries_ += n; }
 
   /// Deep copy with a fresh query counter. A replica shares no mutable
   /// state with the original, so each parallel worker can attack its own
   /// copy; parameters are equal, so per-seed results are identical to
   /// attacking the original.
   Classifier clone() const;
+  std::unique_ptr<ForwardScorer> clone_scorer() const override;
+
+  const char* precision() const override { return "float32"; }
 
  private:
   Sequential network_;

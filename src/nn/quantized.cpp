@@ -1,0 +1,130 @@
+#include "nn/quantized.h"
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "tensor/tensor_ops.h"
+#include "util/parallel.h"
+
+namespace opad {
+
+QuantizedClassifier::QuantizedClassifier(const Classifier& model)
+    : QuantizedClassifier(model.network().clone(), model.num_classes()) {}
+
+QuantizedClassifier::QuantizedClassifier(Sequential network,
+                                         std::size_t num_classes)
+    : network_(std::move(network)), num_classes_(num_classes) {
+  build_plan();
+}
+
+void QuantizedClassifier::build_plan() {
+  plan_.clear();
+  plan_.reserve(network_.layer_count());
+  for (std::size_t i = 0; i < network_.layer_count(); ++i) {
+    LayerPlan plan;
+    plan.layer_index = i;
+    Layer& layer = network_.layer(i);
+    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      plan.kind = LayerPlan::Kind::kDense;
+      // Dense weights are already [in, out]: per-column quantization is
+      // per output feature.
+      plan.weight = QuantizedMatrix::quantize(dense->weight());
+      const auto b = dense->bias().data();
+      plan.bias.assign(b.begin(), b.end());
+    } else if (auto* conv = dynamic_cast<Conv2D*>(&layer)) {
+      plan.kind = LayerPlan::Kind::kConv;
+      // Conv weights are [out_c, c*k*k]; quantize the transpose so a
+      // column (= one output channel) carries one scale, and the im2col
+      // product becomes rows-of-patches x [c*k*k, out_c].
+      plan.weight = QuantizedMatrix::quantize(transpose(conv->weight()));
+      const auto b = conv->bias().data();
+      plan.bias.assign(b.begin(), b.end());
+      const ImageGeometry in = conv->input_geometry();
+      const ImageGeometry out = conv->output_geometry();
+      plan.in_c = in.channels;
+      plan.in_h = in.height;
+      plan.in_w = in.width;
+      plan.kernel = conv->kernel();
+      plan.stride = conv->stride();
+      plan.pad = conv->pad();
+      plan.out_c = out.channels;
+      plan.out_h = out.height;
+      plan.out_w = out.width;
+    }
+    plan_.push_back(std::move(plan));
+  }
+}
+
+std::size_t QuantizedClassifier::quantized_layer_count() const {
+  std::size_t n = 0;
+  for (const LayerPlan& plan : plan_) {
+    if (plan.kind != LayerPlan::Kind::kPassthrough) ++n;
+  }
+  return n;
+}
+
+Tensor QuantizedClassifier::logits(const Tensor& inputs,
+                                   ActivationTape* tape) {
+  OPAD_EXPECTS_MSG(
+      inputs.rank() == 2 && inputs.dim(1) == network_.input_dim(),
+      "model expects [n, " << network_.input_dim() << "], got "
+                           << shape_to_string(inputs.shape()));
+  queries_ += inputs.dim(0);
+  const std::size_t n = inputs.dim(0);
+  if (tape != nullptr) {
+    tape->clear();
+    tape->layers.reserve(plan_.size());
+  }
+  Tensor x = inputs;
+  for (const LayerPlan& plan : plan_) {
+    switch (plan.kind) {
+      case LayerPlan::Kind::kDense:
+        x = qgemm(x, plan.weight, plan.bias);
+        break;
+      case LayerPlan::Kind::kConv: {
+        // Same batched im2col lowering as Conv2D::forward, with the
+        // GEMM transposed into rows-of-patches form for qgemm's
+        // row-parallel kernels: [n*spatial, c*k*k] x [c*k*k, out_c].
+        const std::size_t spatial = plan.out_h * plan.out_w;
+        const Tensor cols =
+            im2col_batch(x, plan.in_c, plan.in_h, plan.in_w, plan.kernel,
+                         plan.kernel, plan.stride, plan.pad);
+        const Tensor q = qgemm(transpose(cols), plan.weight);
+        // Scatter [n*spatial, out_c] into rows [n, out_c*spatial],
+        // adding the bias; samples write disjoint rows.
+        Tensor output({n, plan.out_c * spatial});
+        const float* pq = q.data().data();
+        float* po = output.data().data();
+        parallel_for(0, n, 8, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t s = lo; s < hi; ++s) {
+            for (std::size_t oc = 0; oc < plan.out_c; ++oc) {
+              const float b = plan.bias[oc];
+              float* dst = po + s * plan.out_c * spatial + oc * spatial;
+              const float* src = pq + s * spatial * plan.out_c + oc;
+              for (std::size_t p = 0; p < spatial; ++p) {
+                dst[p] = src[p * plan.out_c] + b;
+              }
+            }
+          }
+        });
+        x = std::move(output);
+        break;
+      }
+      case LayerPlan::Kind::kPassthrough:
+        x = network_.layer(plan.layer_index).forward(x, /*training=*/false);
+        break;
+    }
+    if (tape != nullptr) tape->layers.push_back(x);
+  }
+  OPAD_ENSURES(x.dim(1) == num_classes_);
+  return x;
+}
+
+QuantizedClassifier QuantizedClassifier::clone() const {
+  return QuantizedClassifier(network_.clone(), num_classes_);
+}
+
+std::unique_ptr<ForwardScorer> QuantizedClassifier::clone_scorer() const {
+  return std::make_unique<QuantizedClassifier>(clone());
+}
+
+}  // namespace opad

@@ -1,0 +1,87 @@
+// Opt-in int8 inference snapshot of a trained Classifier.
+//
+// QuantizedClassifier pre-quantizes every Dense and Conv2D weight
+// matrix once (per-output-feature symmetric scales, tensor/qgemm.h) and
+// serves the ForwardScorer surface — logits, probabilities,
+// predict_batch — through the int8 path with per-batch dynamic
+// activation scales. Non-GEMM layers (activations, pooling, flatten)
+// run their ordinary float forward between the quantized products.
+//
+// Accuracy contract (DESIGN.md "Quantized inference"): this path is
+// NEVER the default — nothing routes through it unless a caller
+// explicitly constructs a snapshot — and it is tolerance-tested against
+// the float model plus label-agreement-pinned on the recorded workloads
+// at OPAD_THREADS {1, 8}, the same discipline the FMA kernel set for
+// numerically divergent speed paths. Scores are bit-identical across
+// OPAD_THREADS, batch composition and qgemm path (the int32 core is
+// exact; see tensor/qgemm.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/model.h"
+#include "tensor/qgemm.h"
+
+namespace opad {
+
+/// int8 serving snapshot of a Classifier. Move-only like Classifier;
+/// clone() deep-copies for thread replicas.
+class QuantizedClassifier : public ForwardScorer {
+ public:
+  /// Snapshots `model`: clones its network and quantizes every
+  /// Dense/Conv2D weight. The source model is not modified and no
+  /// queries are charged to it.
+  explicit QuantizedClassifier(const Classifier& model);
+
+  QuantizedClassifier(QuantizedClassifier&&) = default;
+  QuantizedClassifier& operator=(QuantizedClassifier&&) = default;
+
+  std::size_t input_dim() const override { return network_.input_dim(); }
+  std::size_t num_classes() const override { return num_classes_; }
+
+  /// int8 forward pass for a batch [n, d] -> [n, k], costing n queries.
+  /// A non-null `tape` records each layer's (dequantized float) output,
+  /// so activation-reading detectors work on the quantized path too.
+  Tensor logits(const Tensor& inputs, ActivationTape* tape = nullptr) override;
+
+  std::uint64_t query_count() const override { return queries_; }
+  void reset_query_count() override { queries_ = 0; }
+  void add_queries(std::uint64_t n) override { queries_ += n; }
+
+  /// Deep copy with a fresh query counter.
+  QuantizedClassifier clone() const;
+  std::unique_ptr<ForwardScorer> clone_scorer() const override;
+
+  const char* precision() const override { return "int8"; }
+
+  /// Number of layers whose weights were quantized (tests assert the
+  /// snapshot actually took over the GEMMs).
+  std::size_t quantized_layer_count() const;
+
+ private:
+  /// Per-layer execution plan. Dense/Conv2D layers carry their packed
+  /// int8 weights; everything else runs the float layer in network_.
+  struct LayerPlan {
+    enum class Kind { kPassthrough, kDense, kConv };
+    Kind kind = Kind::kPassthrough;
+    std::size_t layer_index = 0;
+    QuantizedMatrix weight;   // dense: [in, out]; conv: [c*k*k, out_c]
+    std::vector<float> bias;  // [out] / [out_c]
+    // Conv geometry (kind == kConv only).
+    std::size_t in_c = 0, in_h = 0, in_w = 0;
+    std::size_t kernel = 0, stride = 0, pad = 0;
+    std::size_t out_c = 0, out_h = 0, out_w = 0;
+  };
+
+  QuantizedClassifier(Sequential network, std::size_t num_classes);
+  void build_plan();
+
+  Sequential network_;
+  std::size_t num_classes_;
+  std::vector<LayerPlan> plan_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace opad

@@ -12,7 +12,7 @@ void log_density_batch(const OperationalProfile& profile,
   opad::log_density_batch(profile, inputs, out);
 }
 
-void score_batch(Classifier& model, const Detector& detector,
+void score_batch(ForwardScorer& model, const Detector& detector,
                  const Tensor& inputs, std::span<DetectResult> out) {
   const std::size_t n = inputs.dim(0);
   OPAD_EXPECTS(out.size() == n);
@@ -28,7 +28,7 @@ void score_batch(Classifier& model, const Detector& detector,
   }
 }
 
-void score_batch(Classifier& model, const OperationalProfile& profile,
+void score_batch(ForwardScorer& model, const OperationalProfile& profile,
                  double tau, const Tensor& inputs,
                  std::span<DetectResult> out) {
   const std::size_t n = inputs.dim(0);

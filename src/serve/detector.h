@@ -23,14 +23,16 @@ void log_density_batch(const OperationalProfile& profile,
 /// single predict_batch, naturalness via Detector::score_batch, verdicts
 /// at the detector's own threshold. Every output row is a pure function
 /// of its own input row, so results are invariant to how requests were
-/// coalesced into batches.
-void score_batch(Classifier& model, const Detector& detector,
+/// coalesced into batches. `model` is any ForwardScorer — the float
+/// Classifier or an int8 QuantizedClassifier snapshot serve through the
+/// same call.
+void score_batch(ForwardScorer& model, const Detector& detector,
                  const Tensor& inputs, std::span<DetectResult> out);
 
 /// Legacy profile/tau spelling: density naturalness thresholded at tau
 /// (bitwise what the Detector overload computes for a DensityDetector
 /// with threshold tau).
-void score_batch(Classifier& model, const OperationalProfile& profile,
+void score_batch(ForwardScorer& model, const OperationalProfile& profile,
                  double tau, const Tensor& inputs,
                  std::span<DetectResult> out);
 

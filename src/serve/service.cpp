@@ -22,7 +22,7 @@ std::shared_ptr<const Detector> wrap_profile(ProfilePtr profile, double tau) {
 
 }  // namespace
 
-DetectionService::DetectionService(Classifier model,
+DetectionService::DetectionService(std::unique_ptr<ForwardScorer> model,
                                    std::shared_ptr<const Detector> detector,
                                    ServiceConfig config,
                                    std::unique_ptr<OnlineDriftTrigger> trigger)
@@ -30,15 +30,34 @@ DetectionService::DetectionService(Classifier model,
       config_(config),
       trigger_(std::move(trigger)),
       queue_(config.queue_capacity) {
+  OPAD_EXPECTS(model_ != nullptr);
   OPAD_EXPECTS(detector != nullptr);
   OPAD_EXPECTS_MSG(detector->fitted(),
                    "DetectionService requires a fitted detector");
-  OPAD_EXPECTS(detector->dim() == model_.input_dim());
+  OPAD_EXPECTS(detector->dim() == model_->input_dim());
   OPAD_EXPECTS(config.max_batch > 0);
   OPAD_EXPECTS(config.tau_quantile > 0.0 && config.tau_quantile < 1.0);
   scoring_.store(std::make_shared<const Scoring>(
       Scoring{std::move(detector)}));
 }
+
+DetectionService::DetectionService(Classifier model,
+                                   std::shared_ptr<const Detector> detector,
+                                   ServiceConfig config,
+                                   std::unique_ptr<OnlineDriftTrigger> trigger)
+    : DetectionService(
+          std::unique_ptr<ForwardScorer>(
+              std::make_unique<Classifier>(std::move(model))),
+          std::move(detector), config, std::move(trigger)) {}
+
+DetectionService::DetectionService(QuantizedClassifier model,
+                                   std::shared_ptr<const Detector> detector,
+                                   ServiceConfig config,
+                                   std::unique_ptr<OnlineDriftTrigger> trigger)
+    : DetectionService(
+          std::unique_ptr<ForwardScorer>(
+              std::make_unique<QuantizedClassifier>(std::move(model))),
+          std::move(detector), config, std::move(trigger)) {}
 
 DetectionService::DetectionService(Classifier model, ProfilePtr profile,
                                    double tau, ServiceConfig config,
@@ -107,13 +126,13 @@ void DetectionService::scheduler_loop() {
 
 void DetectionService::serve_batch(std::vector<Request>& batch) {
   const std::size_t n = batch.size();
-  Tensor inputs({n, model_.input_dim()});
+  Tensor inputs({n, model_->input_dim()});
   for (std::size_t i = 0; i < n; ++i) {
     inputs.set_row(i, batch[i].x.data());
   }
   const std::shared_ptr<const Scoring> scoring = scoring_.load();
   std::vector<DetectResult> results(n);
-  score_batch(model_, *scoring->detector, inputs, results);
+  score_batch(*model_, *scoring->detector, inputs, results);
   for (std::size_t i = 0; i < n; ++i) {
     batch[i].promise.set_value(results[i]);
   }

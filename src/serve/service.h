@@ -30,6 +30,7 @@
 
 #include "detect/detector.h"
 #include "nn/model.h"
+#include "nn/quantized.h"
 #include "serve/drift_trigger.h"
 #include "serve/queue.h"
 #include "serve/types.h"
@@ -44,6 +45,20 @@ class DetectionService {
   /// but are only served after start() — which is what makes queue-full
   /// shedding deterministically testable.
   DetectionService(Classifier model, std::shared_ptr<const Detector> detector,
+                   ServiceConfig config,
+                   std::unique_ptr<OnlineDriftTrigger> trigger = nullptr);
+
+  /// int8 serving: the scheduler's per-tick predict_batch runs through
+  /// the quantized snapshot (opt-in; see DESIGN.md "Quantized
+  /// inference"). Detector scoring is unchanged.
+  DetectionService(QuantizedClassifier model,
+                   std::shared_ptr<const Detector> detector,
+                   ServiceConfig config,
+                   std::unique_ptr<OnlineDriftTrigger> trigger = nullptr);
+
+  /// Fully general spelling: serve any ForwardScorer.
+  DetectionService(std::unique_ptr<ForwardScorer> model,
+                   std::shared_ptr<const Detector> detector,
                    ServiceConfig config,
                    std::unique_ptr<OnlineDriftTrigger> trigger = nullptr);
 
@@ -77,6 +92,9 @@ class DetectionService {
 
   ServiceStats stats() const;
 
+  /// Numeric format of the serving forward pass ("float32" / "int8").
+  const char* model_precision() const { return model_->precision(); }
+
   /// Current scoring snapshot (changes only on a drift-triggered re-fit).
   std::shared_ptr<const Detector> detector() const;
   /// The snapshot's OP profile when it serves a DensityDetector; nullptr
@@ -102,7 +120,7 @@ class DetectionService {
   void scheduler_loop();
   void serve_batch(std::vector<Request>& batch);
 
-  Classifier model_;
+  std::unique_ptr<ForwardScorer> model_;
   ServiceConfig config_;
   std::unique_ptr<OnlineDriftTrigger> trigger_;
   std::atomic<std::shared_ptr<const Scoring>> scoring_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -26,8 +27,9 @@ using detail::Operand;
 // the kNr-wide B strip the micro-kernel walks (8 KB) stay cache-resident
 // while the tile's C rows stream through.
 constexpr std::size_t kMc = 48;   // multiple of kMr
-constexpr std::size_t kNc = 256;  // multiple of kNr
+constexpr std::size_t kNc = 256;  // multiple of every kernel's panel width
 constexpr std::size_t kKc = 256;
+static_assert(kNc % detail::kNrWide == 0 && kNc % kNr == 0);
 
 // The fast-path gate promises gemm_small_strided an n that fits its
 // stack row-accumulator buffer.
@@ -54,38 +56,48 @@ void pack_a(const Operand& a, std::size_t i0, std::size_t mb, std::size_t p0,
   }
 }
 
-/// Packs k-block [p0, p0+kb) x columns [j0, j0+nb) of B into kNr-column
+/// Packs k-block [p0, p0+kb) x columns [j0, j0+nb) of B into nr-column
 /// panels, kk-major, zero-padding columns past nb (discarded on
-/// write-back like the A padding). Each panel starts kNr*kb floats = a
-/// multiple of 32 bytes past the 64-byte-aligned workspace, and each kk
-/// row is kNr floats = 32 bytes, so every B row the micro-kernel loads
-/// is 32-byte aligned — the AVX2/FMA kernels rely on this.
+/// write-back like the A padding). Each panel starts nr*kb floats past
+/// the workspace base and each kk row is nr floats — 32 bytes at
+/// nr = kNr, 64 bytes at nr = kNrWide — so with the workspace leased at
+/// the kernel's row width every B row the micro-kernel loads carries
+/// the alignment its vector loads assume.
 void pack_b(const Operand& b, std::size_t p0, std::size_t kb, std::size_t j0,
-            std::size_t nb, float* bp) {
-  const std::size_t panels = (nb + kNr - 1) / kNr;
+            std::size_t nb, std::size_t nr, float* bp) {
+  const std::size_t panels = (nb + nr - 1) / nr;
   for (std::size_t p = 0; p < panels; ++p) {
-    float* dst = bp + p * kNr * kb;
-    const std::size_t base = j0 + p * kNr;
-    const std::size_t cols = std::min(kNr, j0 + nb - base);
+    float* dst = bp + p * nr * kb;
+    const std::size_t base = j0 + p * nr;
+    const std::size_t cols = std::min(nr, j0 + nb - base);
     for (std::size_t kk = 0; kk < kb; ++kk) {
       for (std::size_t c = 0; c < cols; ++c) {
-        dst[kk * kNr + c] = b.at(p0 + kk, base + c);
+        dst[kk * nr + c] = b.at(p0 + kk, base + c);
       }
-      for (std::size_t c = cols; c < kNr; ++c) dst[kk * kNr + c] = 0.0f;
+      for (std::size_t c = cols; c < nr; ++c) dst[kk * nr + c] = 0.0f;
     }
   }
 }
 
-detail::MicroKernelFn kernel_fn(GemmKernel kernel) {
+/// A kernel's dispatch parameters: entry point, B-panel width, and the
+/// byte alignment its packed-B loads assume (one panel row).
+struct KernelPlan {
+  detail::MicroKernelFn fn;
+  std::size_t nr;
+};
+
+KernelPlan kernel_plan(GemmKernel kernel) {
 #if defined(__x86_64__) || defined(__i386__)
   switch (kernel) {
-    case GemmKernel::kAvx2: return detail::micro_kernel_avx2;
-    case GemmKernel::kFma: return detail::micro_kernel_fma;
-    default: return detail::micro_kernel_scalar;
+    case GemmKernel::kAvx2: return {detail::micro_kernel_avx2, kNr};
+    case GemmKernel::kFma: return {detail::micro_kernel_fma, kNr};
+    case GemmKernel::kAvx512:
+      return {detail::micro_kernel_avx512, detail::kNrWide};
+    default: return {detail::micro_kernel_scalar, kNr};
   }
 #else
   (void)kernel;
-  return detail::micro_kernel_scalar;
+  return {detail::micro_kernel_scalar, kNr};
 #endif
 }
 
@@ -97,6 +109,7 @@ GemmKernel default_kernel() {
 #if defined(OPAD_NATIVE_ARCH_BUILD)
   if (cpu.fma) return GemmKernel::kFma;
 #endif
+  if (cpu.avx512f) return GemmKernel::kAvx512;
   if (cpu.avx2) return GemmKernel::kAvx2;
   return GemmKernel::kScalar;
 }
@@ -108,6 +121,8 @@ bool parse_kernel_name(const char* name, GemmKernel* out) {
     *out = GemmKernel::kAvx2;
   } else if (std::strcmp(name, "fma") == 0) {
     *out = GemmKernel::kFma;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = GemmKernel::kAvx512;
   } else {
     return false;
   }
@@ -116,16 +131,7 @@ bool parse_kernel_name(const char* name, GemmKernel* out) {
 
 GemmKernel resolve_initial_kernel() {
   if (const char* env = std::getenv("OPAD_GEMM_KERNEL")) {
-    GemmKernel requested;
-    if (!parse_kernel_name(env, &requested)) {
-      OPAD_WARN << "OPAD_GEMM_KERNEL=" << env
-                << " is not one of scalar|avx2|fma; using the default";
-    } else if (!gemm_kernel_supported(requested)) {
-      OPAD_WARN << "OPAD_GEMM_KERNEL=" << env
-                << " is not supported by this CPU; using the default";
-    } else {
-      return requested;
-    }
+    return resolve_gemm_kernel_choice(env);
   }
   return default_kernel();
 }
@@ -148,6 +154,7 @@ const char* gemm_kernel_name(GemmKernel kernel) {
   switch (kernel) {
     case GemmKernel::kScalar: return "scalar";
     case GemmKernel::kAvx2: return "avx2";
+    case GemmKernel::kAvx512: return "avx512";
     default: return "fma";
   }
 }
@@ -156,12 +163,27 @@ bool gemm_kernel_supported(GemmKernel kernel) {
   switch (kernel) {
     case GemmKernel::kScalar: return true;
     case GemmKernel::kAvx2: return cpu_features().avx2;
+    case GemmKernel::kAvx512: return cpu_features().avx512f;
     default: return cpu_features().fma;
   }
 }
 
 GemmKernel active_gemm_kernel() {
   return kernel_state().load(std::memory_order_relaxed);
+}
+
+GemmKernel resolve_gemm_kernel_choice(const char* name) {
+  GemmKernel requested;
+  if (!parse_kernel_name(name, &requested)) {
+    OPAD_WARN << "OPAD_GEMM_KERNEL=" << name
+              << " is not one of scalar|avx2|fma|avx512; using the default";
+  } else if (!gemm_kernel_supported(requested)) {
+    OPAD_WARN << "OPAD_GEMM_KERNEL=" << name
+              << " is not supported by this CPU; using the default";
+  } else {
+    return requested;
+  }
+  return default_kernel();
 }
 
 void set_gemm_kernel(GemmKernel kernel) {
@@ -201,7 +223,16 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
     detail::gemm_small_strided(m, n, k, kKc, a_op, b_op, c);
     return;
   }
-  const detail::MicroKernelFn micro_kernel = kernel_fn(active_gemm_kernel());
+  const KernelPlan plan = kernel_plan(active_gemm_kernel());
+  const std::size_t nr = plan.nr;
+  // Each packed-B panel row is nr floats; leasing the workspace at that
+  // byte width keeps every row the kernel vector-loads aligned. The A
+  // block sits first, so the B block's offset must preserve the lease
+  // alignment for the widest kernel's 64-byte rows.
+  const std::size_t bp_align = nr * sizeof(float);
+  static_assert(kMc * kKc * sizeof(float) %
+                    (detail::kNrWide * sizeof(float)) ==
+                0);
   const std::size_t tiles_m = (m + kMc - 1) / kMc;
   const std::size_t tiles_n = (n + kNc - 1) / kNc;
   // One chunk per C tile: the grid depends only on (m, n), and a tile's
@@ -210,30 +241,31 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
   parallel_for(0, tiles_m * tiles_n, 1,
                [&](std::size_t lo, std::size_t hi) {
     auto workspace =
-        ScratchArena::local().lease_floats(kMc * kKc + kNc * kKc);
+        ScratchArena::local().lease_floats(kMc * kKc + kNc * kKc, bp_align);
     float* ap = workspace.data();
     float* bp = workspace.data() + kMc * kKc;
+    OPAD_EXPECTS(reinterpret_cast<std::uintptr_t>(bp) % bp_align == 0);
     for (std::size_t t = lo; t < hi; ++t) {
       const std::size_t i0 = (t / tiles_n) * kMc;
       const std::size_t j0 = (t % tiles_n) * kNc;
       const std::size_t mb = std::min(kMc, m - i0);
       const std::size_t nb = std::min(kNc, n - j0);
       const std::size_t m_panels = (mb + kMr - 1) / kMr;
-      const std::size_t n_panels = (nb + kNr - 1) / kNr;
+      const std::size_t n_panels = (nb + nr - 1) / nr;
       for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
         const std::size_t kb = std::min(kKc, k - p0);
         pack_a(a_op, i0, mb, p0, kb, ap);
-        pack_b(b_op, p0, kb, j0, nb, bp);
-        // jr outer / ir inner: the kNr-wide B strip stays hot in L1
+        pack_b(b_op, p0, kb, j0, nb, nr, bp);
+        // jr outer / ir inner: the nr-wide B strip stays hot in L1
         // while every A panel of the tile streams past it.
         for (std::size_t pn = 0; pn < n_panels; ++pn) {
-          const std::size_t jb = j0 + pn * kNr;
-          const std::size_t cols = std::min(kNr, n - jb);
+          const std::size_t jb = j0 + pn * nr;
+          const std::size_t cols = std::min(nr, n - jb);
           for (std::size_t pm = 0; pm < m_panels; ++pm) {
             const std::size_t ib = i0 + pm * kMr;
             const std::size_t rows = std::min(kMr, m - ib);
-            micro_kernel(kb, ap + pm * kMr * kb, bp + pn * kNr * kb,
-                         c + ib * n + jb, n, rows, cols);
+            plan.fn(kb, ap + pm * kMr * kb, bp + pn * nr * kb,
+                    c + ib * n + jb, n, rows, cols);
           }
         }
       }

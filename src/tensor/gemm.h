@@ -5,9 +5,9 @@
 // operands are described by an optional transpose flag and the driver
 // packs whatever layout it is given into contiguous tile panels, so the
 // inner micro-kernel only ever sees unit-stride data. The micro-kernel
-// itself is selected once per process from {scalar, avx2, fma} by
-// cpuid-based detection (src/util/cpu_features.h), overridable with the
-// OPAD_GEMM_KERNEL environment variable or set_gemm_kernel().
+// itself is selected once per process from {scalar, avx2, fma, avx512}
+// by cpuid-based detection (src/util/cpu_features.h), overridable with
+// the OPAD_GEMM_KERNEL environment variable or set_gemm_kernel().
 //
 // Determinism contract (DESIGN.md "Threading model" / "GEMM kernel" /
 // "SIMD micro-kernel dispatch"): the accumulation order of every C
@@ -15,12 +15,14 @@
 // fixed kc-sized blocks in ascending order with one independent
 // accumulator chain per element inside each block — and the C tile grid
 // is a pure function of (m, n), so results are bit-identical for any
-// OPAD_THREADS value. The scalar and AVX2 kernels round identically
-// (separate multiply + add per step; the kernel TU is built with
-// -ffp-contract=off) and are bitwise interchangeable; the FMA kernel is
-// single-rounded and numerically divergent, so it is never selected by
-// default on portable builds. The small-matrix fast path skips packing
-// but replays the same association, so it is bitwise neutral too.
+// OPAD_THREADS value. The scalar, AVX2 and AVX-512 kernels round
+// identically (separate multiply + add per step; the kernel TU is built
+// with -ffp-contract=off) and are bitwise interchangeable — panel width
+// (8 vs 16) only reorders *between* independent element chains, never
+// within one; the FMA kernel is single-rounded and numerically
+// divergent, so it is never selected by default on portable builds. The
+// small-matrix fast path skips packing but replays the same
+// association, so it is bitwise neutral too.
 #pragma once
 
 #include <cstddef>
@@ -38,10 +40,11 @@ enum class GemmKernel {
   kScalar,  ///< portable reference; bit-identity baseline
   kAvx2,    ///< 8-wide over N, separate mul+add; bitwise equal to kScalar
   kFma,     ///< fused multiply-add; faster but numerically divergent
+  kAvx512,  ///< 16-wide over N, separate mul+add; bitwise equal to kScalar
 };
 
-/// Human-readable kernel name ("scalar" / "avx2" / "fma"), matching the
-/// OPAD_GEMM_KERNEL spellings.
+/// Human-readable kernel name ("scalar" / "avx2" / "fma" / "avx512"),
+/// matching the OPAD_GEMM_KERNEL spellings.
 const char* gemm_kernel_name(GemmKernel kernel);
 
 /// Whether the running CPU can execute `kernel`. kScalar is always
@@ -49,12 +52,19 @@ const char* gemm_kernel_name(GemmKernel kernel);
 bool gemm_kernel_supported(GemmKernel kernel);
 
 /// The kernel the next gemm() call will dispatch to. On first use this
-/// resolves OPAD_GEMM_KERNEL (scalar|avx2|fma; unknown or unsupported
-/// values are ignored with a warning) and otherwise defaults to the
-/// fastest bit-identity-preserving kernel the CPU supports — fma only
-/// becomes the default on OPAD_NATIVE_ARCH builds, which already accept
-/// FMA-shifted numerics.
+/// resolves OPAD_GEMM_KERNEL (scalar|avx2|fma|avx512; unknown or
+/// unsupported values are ignored with a warning) and otherwise
+/// defaults to the fastest bit-identity-preserving kernel the CPU
+/// supports (avx512 > avx2 > scalar) — fma only becomes the default on
+/// OPAD_NATIVE_ARCH builds, which already accept FMA-shifted numerics.
 GemmKernel active_gemm_kernel();
+
+/// The warn+fallback resolution behind the OPAD_GEMM_KERNEL override:
+/// parses `name` and returns the requested kernel when this CPU
+/// supports it, otherwise logs a warning and returns the built-in
+/// default. Exposed so tests can pin the fallback behaviour without
+/// re-execing under a doctored environment.
+GemmKernel resolve_gemm_kernel_choice(const char* name);
 
 /// Overrides the dispatched kernel for the whole process (tests, bench
 /// harnesses). Throws PreconditionError if the CPU does not support it.

@@ -112,6 +112,49 @@ __attribute__((target("avx2,fma"))) void micro_kernel_fma(
   }
 }
 
+// AVX-512 variant: the same separate-mul-then-add chains as scalar/AVX2
+// but 16 lanes per register, so one zmm accumulator covers a whole
+// kNrWide panel row. Lane j of accumulator r computes exactly the
+// scalar chain acc[r][j] += a[r] * b[j] — no FMA (foundation target
+// only, contraction banned TU-wide), so the result stays bitwise equal
+// to the scalar kernel. Dispatched only after cpu_features().avx512f
+// confirms zmm state is usable.
+__attribute__((target("avx512f"))) void micro_kernel_avx512(
+    std::size_t kb, const float* ap, const float* bp, float* c,
+    std::size_t ldc, std::size_t rows, std::size_t cols) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  __m512 acc4 = _mm512_setzero_ps(), acc5 = _mm512_setzero_ps();
+  for (std::size_t kk = 0; kk < kb; ++kk) {
+    const float* a = ap + kk * kMr;
+    // Panels are kNrWide-float rows off a 64-byte-aligned lease:
+    // every row load is 64-byte aligned (asserted in gemm.cpp).
+    const __m512 bv = _mm512_load_ps(bp + kk * kNrWide);
+    acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(_mm512_set1_ps(a[0]), bv));
+    acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(_mm512_set1_ps(a[1]), bv));
+    acc2 = _mm512_add_ps(acc2, _mm512_mul_ps(_mm512_set1_ps(a[2]), bv));
+    acc3 = _mm512_add_ps(acc3, _mm512_mul_ps(_mm512_set1_ps(a[3]), bv));
+    acc4 = _mm512_add_ps(acc4, _mm512_mul_ps(_mm512_set1_ps(a[4]), bv));
+    acc5 = _mm512_add_ps(acc5, _mm512_mul_ps(_mm512_set1_ps(a[5]), bv));
+  }
+  const __m512 acc[kMr] = {acc0, acc1, acc2, acc3, acc4, acc5};
+  if (rows == kMr && cols == kNrWide) {
+    for (std::size_t r = 0; r < kMr; ++r) {
+      float* cr = c + r * ldc;  // C rows are unaligned in general
+      _mm512_storeu_ps(cr, _mm512_add_ps(_mm512_loadu_ps(cr), acc[r]));
+    }
+  } else {
+    // Edge tile: spill and add only live lanes, as in the AVX2 kernel —
+    // zero-padded lanes (and any NaN/Inf poison the padding suppressed)
+    // never leak into C.
+    alignas(64) float tile[kMr][kNrWide];
+    for (std::size_t r = 0; r < kMr; ++r) _mm512_store_ps(tile[r], acc[r]);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += tile[r][j];
+    }
+  }
+}
+
 #endif  // x86
 
 void gemm_small_strided(std::size_t m, std::size_t n, std::size_t k,

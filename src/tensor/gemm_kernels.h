@@ -9,13 +9,16 @@
 // and is documented as numerically divergent (DESIGN.md "SIMD
 // micro-kernel dispatch").
 //
-// All kernels share one contract: kb steps of a kMr x kNr register tile
+// All kernels share one contract: kb steps of a kMr x nr register tile
 // over packed panels, one independent accumulator chain per C element,
 // k consumed in ascending order, padded lanes masked out of the
-// write-back. The scalar and AVX2 kernels perform, per element and per
-// k step, one rounding after the multiply and one after the add — the
-// AVX2 kernel merely evaluates 8 such independent chains per vector
-// register, so its lanes are bitwise equal to the scalar chains.
+// write-back. The scalar, AVX2 and AVX-512 kernels perform, per element
+// and per k step, one rounding after the multiply and one after the add
+// — the vector kernels merely evaluate 8 (ymm) or 16 (zmm) such
+// independent chains per register, so their lanes are bitwise equal to
+// the scalar chains. Panel width nr only decides *which* element's
+// chain advances next, never the order within a chain, so kNr- and
+// kNrWide-packed runs of the same product are bitwise interchangeable.
 #pragma once
 
 #include <cstddef>
@@ -24,9 +27,12 @@ namespace opad::detail {
 
 // Register micro-tile shape shared by driver packing and kernels. 6x8
 // keeps the accumulators (12 SSE / 6 AVX registers) plus one broadcast
-// and one B vector inside the x86-64 register file.
+// and one B vector inside the x86-64 register file. The AVX-512 kernel
+// widens the panel to 6x16 — six zmm accumulators — which halves the
+// loop trips per B strip without leaving the 32-register zmm file.
 inline constexpr std::size_t kMr = 6;
 inline constexpr std::size_t kNr = 8;
+inline constexpr std::size_t kNrWide = 16;
 
 /// View of a GEMM operand in its effective (post-transpose) orientation.
 struct Operand {
@@ -40,10 +46,13 @@ struct Operand {
 };
 
 /// kb steps of the register tile over a packed kMr-row A panel and a
-/// packed kNr-column B panel (both kk-major), adding the block sum into
-/// the [rows, cols] top-left corner of C (leading dimension ldc).
-/// `bp` must be 32-byte aligned (the AVX2/FMA kernels use aligned
-/// 256-bit loads; the packing layout guarantees this, see gemm.cpp).
+/// packed nr-column B panel (both kk-major), adding the block sum into
+/// the [rows, cols] top-left corner of C (leading dimension ldc). Each
+/// kernel's `bp` alignment contract equals its B-row byte width —
+/// 32 bytes for the kNr = 8 kernels (AVX2/FMA aligned 256-bit loads),
+/// 64 bytes for the kNrWide = 16 AVX-512 kernel (aligned 512-bit
+/// loads); the driver leases the workspace at the kernel's alignment
+/// and asserts it before dispatch (see gemm.cpp).
 using MicroKernelFn = void (*)(std::size_t kb, const float* ap,
                                const float* bp, float* c, std::size_t ldc,
                                std::size_t rows, std::size_t cols);
@@ -62,6 +71,11 @@ void micro_kernel_avx2(std::size_t kb, const float* ap, const float* bp,
 void micro_kernel_fma(std::size_t kb, const float* ap, const float* bp,
                       float* c, std::size_t ldc, std::size_t rows,
                       std::size_t cols);
+/// kMr x kNrWide tile (the only kernel with a 16-wide panel); bitwise
+/// identical to the scalar chains like micro_kernel_avx2.
+void micro_kernel_avx512(std::size_t kb, const float* ap, const float* bp,
+                         float* c, std::size_t ldc, std::size_t rows,
+                         std::size_t cols);
 #endif
 
 /// Stack row-accumulator width of the small-path kernel; products with

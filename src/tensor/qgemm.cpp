@@ -1,0 +1,478 @@
+// int8 GEMM kernels. Compiled with -ffp-contract=off (see
+// src/tensor/CMakeLists) so the dequantization multiply+add on
+// write-back can never be fused into an FMA behind our back — the
+// integer core is exact everywhere, and this keeps the few float steps
+// bitwise stable across build types too.
+#include "tensor/qgemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "util/cpu_features.h"
+#include "util/error.h"
+#include "util/parallel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace opad {
+namespace {
+
+constexpr std::size_t kQNr = QuantizedMatrix::kPanelCols;
+
+/// Rows per register block in the integer kernels: each packed-B load
+/// is reused across kQMr activation rows, which is where the int8 path
+/// overtakes the float kernels on bandwidth.
+constexpr std::size_t kQMr = 4;
+
+/// int32 accumulation overflow bound: per k-pair a madd contributes at
+/// most 2*127*127, so k may grow to ~2^17 before 2^31 is reachable.
+constexpr std::size_t kMaxK = std::size_t{1} << 17;
+
+/// Round-to-nearest-even via lrintf: one cvtss2si instruction, unlike
+/// lround's libm call — this sits on the per-call activation path, where
+/// it is the difference between the int8 kernels winning and losing.
+std::int16_t quantize_value(float v, float inv_scale) {
+  const long q = std::lrintf(v * inv_scale);
+  return static_cast<std::int16_t>(std::clamp(q, -127L, 127L));
+}
+
+/// Quantizes one activation row: dst[i] = quantize_value(src[i], inv).
+/// The vector variants below are bitwise-identical — cvtps_epi32 rounds
+/// to nearest-even under the default MXCSR mode, exactly like lrintf —
+/// so the cross-path identity contract holds through quantization too.
+void quantize_row_scalar(const float* src, std::size_t k, float inv,
+                         std::int16_t* dst) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    dst[kk] = quantize_value(src[kk], inv);
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2"))) void quantize_row_avx2(const float* src,
+                                                       std::size_t k,
+                                                       float inv,
+                                                       std::int16_t* dst) {
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i lo = _mm256_set1_epi16(-127);
+  const __m256i hi = _mm256_set1_epi16(127);
+  std::size_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    const __m256i i0 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_loadu_ps(src + kk), vinv));
+    const __m256i i1 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_loadu_ps(src + kk + 8), vinv));
+    // packs interleaves 128-bit lanes; permute restores element order.
+    __m256i p = _mm256_permute4x64_epi64(_mm256_packs_epi32(i0, i1),
+                                         _MM_SHUFFLE(3, 1, 2, 0));
+    p = _mm256_min_epi16(_mm256_max_epi16(p, lo), hi);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kk), p);
+  }
+  for (; kk < k; ++kk) dst[kk] = quantize_value(src[kk], inv);
+}
+
+// GCC's unmasked _mm512_cvt* wrappers pass _mm512_undefined_epi32 (a
+// self-initialized local) as the merge operand, tripping a spurious
+// -Wmaybe-uninitialized; the value is fully overwritten.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512bw"))) void quantize_row_avx512(
+    const float* src, std::size_t k, float inv, std::int16_t* dst) {
+  const __m512 vinv = _mm512_set1_ps(inv);
+  const __m256i lo = _mm256_set1_epi16(-127);
+  const __m256i hi = _mm256_set1_epi16(127);
+  std::size_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    const __m512i i0 = _mm512_cvtps_epi32(
+        _mm512_mul_ps(_mm512_loadu_ps(src + kk), vinv));
+    // Saturating int32 -> int16 narrow keeps element order.
+    __m256i p = _mm512_cvtsepi32_epi16(i0);
+    p = _mm256_min_epi16(_mm256_max_epi16(p, lo), hi);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kk), p);
+  }
+  for (; kk < k; ++kk) dst[kk] = quantize_value(src[kk], inv);
+}
+#pragma GCC diagnostic pop
+
+#endif  // x86
+
+using QuantizeRowFn = void (*)(const float*, std::size_t, float,
+                               std::int16_t*);
+
+QuantizeRowFn quantize_row_fn(QGemmPath path) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (path) {
+    case QGemmPath::kAvx2: return quantize_row_avx2;
+    case QGemmPath::kAvx512: return quantize_row_avx512;
+    default: return quantize_row_scalar;
+  }
+#else
+  (void)path;
+  return quantize_row_scalar;
+#endif
+}
+
+/// The (x_even, x_odd) int16 pair at k-pair `kp` of a quantized row,
+/// widened to the int32 broadcast payload madd_epi16 pairs against the
+/// packed panel entries. The quantized row buffer is zero-padded to an
+/// even k, so the 4-byte load is always in bounds.
+std::int32_t row_pair(const std::int16_t* qx_row, std::size_t kp) {
+  std::int32_t pair;
+  std::memcpy(&pair, qx_row + 2 * kp, sizeof(pair));
+  return pair;
+}
+
+/// Scalar reference: accumulates `rows` (<= kQMr) activation rows
+/// against one 16-column panel into acc [kQMr][kQNr]. Identical int32
+/// results to the vector kernels — integer addition is exact.
+void qkernel_scalar(const std::int16_t* qx, std::size_t row_stride,
+                    std::size_t rows, std::size_t k_pairs,
+                    const std::int16_t* panel, std::int32_t* acc) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int16_t* x = qx + r * row_stride;
+    std::int32_t* a = acc + r * kQNr;
+    for (std::size_t c = 0; c < kQNr; ++c) a[c] = 0;
+    for (std::size_t kp = 0; kp < k_pairs; ++kp) {
+      const std::int32_t xe = x[2 * kp];
+      const std::int32_t xo = x[2 * kp + 1];
+      const std::int16_t* b = panel + kp * 2 * kQNr;
+      for (std::size_t c = 0; c < kQNr; ++c) {
+        a[c] += xe * b[2 * c] + xo * b[2 * c + 1];
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// The accumulators in both vector kernels are individually named
+// locals, not arrays indexed by a runtime row count: GCC cannot keep a
+// runtime-indexed __m256i/__m512i array in registers, and the resulting
+// per-iteration stack spill/reload costs more than the madd itself. The
+// full kQMr-row block is the hot shape; ragged tails (< kQMr rows) take
+// a per-row loop whose single accumulator also stays in a register.
+
+__attribute__((target("avx2"))) void qkernel_avx2(
+    const std::int16_t* qx, std::size_t row_stride, std::size_t rows,
+    std::size_t k_pairs, const std::int16_t* panel, std::int32_t* acc) {
+  static_assert(kQMr == 4, "accumulator naming assumes 4-row blocks");
+  if (rows == kQMr) {
+    // Two ymm accumulators per row (columns 0-7 / 8-15); the panel's
+    // k-pair row is loaded once and reused across all four rows.
+    __m256i a00 = _mm256_setzero_si256(), a01 = _mm256_setzero_si256();
+    __m256i a10 = _mm256_setzero_si256(), a11 = _mm256_setzero_si256();
+    __m256i a20 = _mm256_setzero_si256(), a21 = _mm256_setzero_si256();
+    __m256i a30 = _mm256_setzero_si256(), a31 = _mm256_setzero_si256();
+    for (std::size_t kp = 0; kp < k_pairs; ++kp) {
+      const std::int16_t* b = panel + kp * 2 * kQNr;
+      const __m256i b0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+      const __m256i b1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + kQNr));
+      const __m256i x0 = _mm256_set1_epi32(row_pair(qx, kp));
+      const __m256i x1 = _mm256_set1_epi32(row_pair(qx + row_stride, kp));
+      const __m256i x2 =
+          _mm256_set1_epi32(row_pair(qx + 2 * row_stride, kp));
+      const __m256i x3 =
+          _mm256_set1_epi32(row_pair(qx + 3 * row_stride, kp));
+      a00 = _mm256_add_epi32(a00, _mm256_madd_epi16(b0, x0));
+      a01 = _mm256_add_epi32(a01, _mm256_madd_epi16(b1, x0));
+      a10 = _mm256_add_epi32(a10, _mm256_madd_epi16(b0, x1));
+      a11 = _mm256_add_epi32(a11, _mm256_madd_epi16(b1, x1));
+      a20 = _mm256_add_epi32(a20, _mm256_madd_epi16(b0, x2));
+      a21 = _mm256_add_epi32(a21, _mm256_madd_epi16(b1, x2));
+      a30 = _mm256_add_epi32(a30, _mm256_madd_epi16(b0, x3));
+      a31 = _mm256_add_epi32(a31, _mm256_madd_epi16(b1, x3));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc), a00);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 8), a01);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + kQNr), a10);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + kQNr + 8), a11);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * kQNr), a20);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * kQNr + 8),
+                        a21);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * kQNr), a30);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * kQNr + 8),
+                        a31);
+    return;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int16_t* x = qx + r * row_stride;
+    __m256i a0 = _mm256_setzero_si256();
+    __m256i a1 = _mm256_setzero_si256();
+    for (std::size_t kp = 0; kp < k_pairs; ++kp) {
+      const std::int16_t* b = panel + kp * 2 * kQNr;
+      const __m256i b0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+      const __m256i b1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + kQNr));
+      const __m256i xv = _mm256_set1_epi32(row_pair(x, kp));
+      a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(b0, xv));
+      a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(b1, xv));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * kQNr), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * kQNr + 8),
+                        a1);
+  }
+}
+
+__attribute__((target("avx512bw"))) void qkernel_avx512(
+    const std::int16_t* qx, std::size_t row_stride, std::size_t rows,
+    std::size_t k_pairs, const std::int16_t* panel, std::int32_t* acc) {
+  static_assert(kQMr == 4, "accumulator naming assumes 4-row blocks");
+  if (rows == kQMr) {
+    // One zmm accumulator per row covers the whole 16-column panel; the
+    // panel's k-pair row is loaded once and reused across all four rows.
+    __m512i a0 = _mm512_setzero_si512();
+    __m512i a1 = _mm512_setzero_si512();
+    __m512i a2 = _mm512_setzero_si512();
+    __m512i a3 = _mm512_setzero_si512();
+    for (std::size_t kp = 0; kp < k_pairs; ++kp) {
+      const __m512i b = _mm512_loadu_si512(panel + kp * 2 * kQNr);
+      a0 = _mm512_add_epi32(
+          a0, _mm512_madd_epi16(b, _mm512_set1_epi32(row_pair(qx, kp))));
+      a1 = _mm512_add_epi32(
+          a1, _mm512_madd_epi16(
+                  b, _mm512_set1_epi32(row_pair(qx + row_stride, kp))));
+      a2 = _mm512_add_epi32(
+          a2, _mm512_madd_epi16(
+                  b, _mm512_set1_epi32(row_pair(qx + 2 * row_stride, kp))));
+      a3 = _mm512_add_epi32(
+          a3, _mm512_madd_epi16(
+                  b, _mm512_set1_epi32(row_pair(qx + 3 * row_stride, kp))));
+    }
+    _mm512_storeu_si512(acc, a0);
+    _mm512_storeu_si512(acc + kQNr, a1);
+    _mm512_storeu_si512(acc + 2 * kQNr, a2);
+    _mm512_storeu_si512(acc + 3 * kQNr, a3);
+    return;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int16_t* x = qx + r * row_stride;
+    __m512i a = _mm512_setzero_si512();
+    for (std::size_t kp = 0; kp < k_pairs; ++kp) {
+      const __m512i b = _mm512_loadu_si512(panel + kp * 2 * kQNr);
+      a = _mm512_add_epi32(
+          a, _mm512_madd_epi16(b, _mm512_set1_epi32(row_pair(x, kp))));
+    }
+    _mm512_storeu_si512(acc + r * kQNr, a);
+  }
+}
+
+#endif  // x86
+
+using QKernelFn = void (*)(const std::int16_t*, std::size_t, std::size_t,
+                           std::size_t, const std::int16_t*, std::int32_t*);
+
+QKernelFn qkernel_fn(QGemmPath path) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (path) {
+    case QGemmPath::kAvx2: return qkernel_avx2;
+    case QGemmPath::kAvx512: return qkernel_avx512;
+    default: return qkernel_scalar;
+  }
+#else
+  (void)path;
+  return qkernel_scalar;
+#endif
+}
+
+QGemmPath default_qgemm_path() {
+  const CpuFeatures& cpu = cpu_features();
+  if (cpu.avx512bw) return QGemmPath::kAvx512;
+  if (cpu.avx2) return QGemmPath::kAvx2;
+  return QGemmPath::kScalar;
+}
+
+std::atomic<QGemmPath>& qgemm_path_state() {
+  static std::atomic<QGemmPath> state{default_qgemm_path()};
+  return state;
+}
+
+}  // namespace
+
+QuantizedMatrix QuantizedMatrix::quantize(const Tensor& w) {
+  OPAD_EXPECTS(w.rank() == 2);
+  const std::size_t k = w.dim(0);
+  const std::size_t n = w.dim(1);
+  OPAD_EXPECTS_MSG(k < kMaxK, "qgemm k too large for int32 accumulation");
+  QuantizedMatrix q;
+  q.k_ = k;
+  q.n_ = n;
+  q.scales_.assign(n, 0.0f);
+  const std::span<const float> data = w.data();
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float v = data[i * n + j];
+      OPAD_EXPECTS_MSG(std::isfinite(v),
+                       "quantized weights must be finite");
+      q.scales_[j] = std::max(q.scales_[j], std::fabs(v));
+    }
+  }
+  for (float& s : q.scales_) s /= 127.0f;
+  const std::size_t k_pairs = (k + 1) / 2;
+  const std::size_t panels = (n + kPanelCols - 1) / kPanelCols;
+  q.packed_.assign(panels * k_pairs * 2 * kPanelCols, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const float scale = q.scales_[j];
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    const std::size_t p = j / kPanelCols;
+    const std::size_t c = j % kPanelCols;
+    std::int16_t* panel = q.packed_.data() + p * k_pairs * 2 * kPanelCols;
+    for (std::size_t i = 0; i < k; ++i) {
+      panel[(i / 2) * 2 * kPanelCols + 2 * c + (i % 2)] =
+          quantize_value(data[i * n + j], inv);
+    }
+  }
+  return q;
+}
+
+std::int16_t QuantizedMatrix::value_at(std::size_t row,
+                                       std::size_t col) const {
+  OPAD_EXPECTS(row < k_ && col < n_);
+  const std::size_t k_pairs = (k_ + 1) / 2;
+  const std::size_t p = col / kPanelCols;
+  const std::size_t c = col % kPanelCols;
+  return packed_[p * k_pairs * 2 * kPanelCols + (row / 2) * 2 * kPanelCols +
+                 2 * c + (row % 2)];
+}
+
+bool qgemm_path_supported(QGemmPath path) {
+  switch (path) {
+    case QGemmPath::kAvx2: return cpu_features().avx2;
+    case QGemmPath::kAvx512: return cpu_features().avx512bw;
+    default: return true;
+  }
+}
+
+QGemmPath active_qgemm_path() {
+  return qgemm_path_state().load(std::memory_order_relaxed);
+}
+
+void set_qgemm_path(QGemmPath path) {
+  OPAD_EXPECTS_MSG(qgemm_path_supported(path),
+                   "qgemm path '" << qgemm_path_name(path)
+                                  << "' is not supported by this CPU");
+  qgemm_path_state().store(
+      path == QGemmPath::kAuto ? default_qgemm_path() : path,
+      std::memory_order_relaxed);
+}
+
+const char* qgemm_path_name(QGemmPath path) {
+  switch (path) {
+    case QGemmPath::kScalar: return "scalar";
+    case QGemmPath::kAvx2: return "avx2";
+    case QGemmPath::kAvx512: return "avx512";
+    default: return "auto";
+  }
+}
+
+float qgemm_activation_scale(const Tensor& x) {
+  // |v| as an IEEE-754 bit pattern is v with the sign cleared, and for
+  // non-negative floats the bit ordering matches value ordering with
+  // NaN/Inf sorting above every finite value — so an unsigned integer
+  // max both finds max |x| and detects non-finite inputs in one pass,
+  // without the per-element isfinite branch that defeats vectorization.
+  const std::span<const float> data = x.data();
+  const float* p = data.data();
+  const std::size_t size = data.size();
+  std::uint32_t m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= size; i += 4) {
+    std::uint32_t b[4];
+    std::memcpy(b, p + i, sizeof(b));
+    m0 = std::max(m0, b[0] & 0x7fffffffu);
+    m1 = std::max(m1, b[1] & 0x7fffffffu);
+    m2 = std::max(m2, b[2] & 0x7fffffffu);
+    m3 = std::max(m3, b[3] & 0x7fffffffu);
+  }
+  for (; i < size; ++i) {
+    std::uint32_t b;
+    std::memcpy(&b, p + i, sizeof(b));
+    m0 = std::max(m0, b & 0x7fffffffu);
+  }
+  const std::uint32_t max_bits = std::max(std::max(m0, m1), std::max(m2, m3));
+  OPAD_EXPECTS_MSG(max_bits < 0x7f800000u,
+                   "quantized inference requires finite activations");
+  float max_abs;
+  std::memcpy(&max_abs, &max_bits, sizeof(max_abs));
+  return max_abs / 127.0f;
+}
+
+Tensor qgemm(const Tensor& x, const QuantizedMatrix& w,
+             std::span<const float> bias) {
+  OPAD_EXPECTS(x.rank() == 2 && x.dim(1) == w.rows());
+  OPAD_EXPECTS(bias.empty() || bias.size() == w.cols());
+  const std::size_t m = x.dim(0);
+  const std::size_t k = w.rows();
+  const std::size_t n = w.cols();
+  Tensor out({m, n});
+  if (m == 0 || n == 0) return out;
+
+  const float x_scale = qgemm_activation_scale(x);
+  const float inv_x = x_scale > 0.0f ? 1.0f / x_scale : 0.0f;
+  // Per-column combined dequantization scale. Thread-local scratch (here
+  // and for qx below) keeps the serving path malloc-free per call once
+  // the buffers have grown to the workload's steady-state shapes.
+  thread_local std::vector<float> combined;
+  combined.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    combined[j] = x_scale * w.scales()[j];
+  }
+
+  // Quantize the whole batch once: [m, 2*k_pairs] int16, zero-padded at
+  // odd k so kernels can always read full pairs.
+  const std::size_t k_pairs = (k + 1) / 2;
+  const std::size_t row_stride = 2 * k_pairs;
+  thread_local std::vector<std::int16_t> qx;
+  qx.resize(m * row_stride);
+  // Workers must write the caller's buffers: thread_local names inside a
+  // lambda resolve to the *executing* thread's instance, so hand the
+  // pool raw pointers instead.
+  std::int16_t* const qx_data = qx.data();
+  const float* const combined_scales = combined.data();
+  const QuantizeRowFn quantize_row = quantize_row_fn(active_qgemm_path());
+  const std::span<const float> xs = x.data();
+  parallel_for(0, m, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::int16_t* dst = qx_data + i * row_stride;
+      quantize_row(xs.data() + i * k, k, inv_x, dst);
+      if (row_stride > k) dst[k] = 0;  // reused scratch: re-zero the pad
+    }
+  });
+
+  const QKernelFn kernel = qkernel_fn(active_qgemm_path());
+  const std::size_t panels = (n + kQNr - 1) / kQNr;
+  float* po = out.data().data();
+  // Row-parallel: each output row is a pure function of its own
+  // quantized row and the shared read-only panels, so any chunking is
+  // OPAD_THREADS-invariant (and the int32 core is exact besides).
+  parallel_for(0, m, kQMr, [&](std::size_t lo, std::size_t hi) {
+    alignas(64) std::int32_t acc[kQMr * kQNr];
+    for (std::size_t rb = lo; rb < hi; rb += kQMr) {
+      const std::size_t rows = std::min(kQMr, hi - rb);
+      for (std::size_t p = 0; p < panels; ++p) {
+        kernel(qx_data + rb * row_stride, row_stride, rows, k_pairs,
+               w.packed().data() + p * k_pairs * 2 * kQNr, acc);
+        const std::size_t j0 = p * kQNr;
+        const std::size_t cols = std::min(kQNr, n - j0);
+        for (std::size_t r = 0; r < rows; ++r) {
+          float* dst = po + (rb + r) * n + j0;
+          const std::int32_t* a = acc + r * kQNr;
+          for (std::size_t c = 0; c < cols; ++c) {
+            const float de =
+                static_cast<float>(a[c]) * combined_scales[j0 + c];
+            dst[c] = bias.empty() ? de : de + bias[j0 + c];
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace opad

@@ -1,0 +1,104 @@
+// int8 quantized GEMM for the opt-in inference path (nn/quantized.h).
+//
+// Scheme: per-column symmetric weight quantization (one scale per
+// output feature, q = round(w / scale) clamped to [-127, 127]) against
+// a per-batch dynamic activation scale (max |x| over the whole batch),
+// int32 accumulation, dequantize on write-back:
+//
+//   out(i, j) = float(sum_k qx(i, k) * qw(k, j)) * (x_scale * w_scale_j)
+//             + bias_j
+//
+// The integer core is exact — int32 addition is associative — so the
+// scalar, AVX2 and AVX-512BW kernels produce bit-identical accumulators
+// by construction, and row-parallel execution is OPAD_THREADS-invariant
+// for free. The only floating-point steps are the two scale derivations
+// and the final multiply+add, compiled with -ffp-contract=off like the
+// float GEMM kernels so results do not drift across build types.
+//
+// This path is *opt-in, never default*: nothing in the float pipeline
+// routes through it. Accuracy is a contract of the consumer
+// (QuantizedClassifier), which is tolerance-tested against the float
+// model and label-agreement-pinned on the recorded workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace opad {
+
+/// Quantized weight panels kernels multiply against. Values are stored
+/// as int16 (holding int8-range data) in 16-column panels with k-pair
+/// interleaving: panel p row kp holds 32 contiguous int16
+/// [c0·k_even, c0·k_odd, c1·k_even, c1·k_odd, ...] so a madd_epi16
+/// against a broadcast (x_even, x_odd) pair yields 8 (ymm) or 16 (zmm)
+/// int32 dot-product partials per instruction. Odd k and ragged last
+/// panels are zero-padded; zero lanes contribute nothing, so padding
+/// never leaks.
+class QuantizedMatrix {
+ public:
+  /// Width of a column panel in the packed layout.
+  static constexpr std::size_t kPanelCols = 16;
+
+  /// Quantizes a [k, n] float matrix column-wise: scale_j =
+  /// max_i |w(i, j)| / 127 (0 for an all-zero column), values
+  /// round-to-nearest-even (lrintf) and clamp to [-127, 127]. Requires
+  /// all entries finite.
+  static QuantizedMatrix quantize(const Tensor& w);
+
+  std::size_t rows() const { return k_; }
+  std::size_t cols() const { return n_; }
+
+  /// Per-column dequantization scales, length cols().
+  std::span<const float> scales() const { return scales_; }
+
+  /// The packed panel storage (tests poke at the layout).
+  std::span<const std::int16_t> packed() const { return packed_; }
+
+  /// The quantized integer value at (row, col) — a layout-aware lookup
+  /// for tests and oracles, not a hot path.
+  std::int16_t value_at(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+  std::vector<std::int16_t> packed_;
+  std::vector<float> scales_;
+};
+
+/// Integer kernel implementations selectable at runtime (mirrors
+/// GemmKernel; kAuto resolves to the fastest supported path).
+enum class QGemmPath {
+  kAuto,
+  kScalar,
+  kAvx2,    ///< 256-bit madd_epi16, 8 columns per vector
+  kAvx512,  ///< 512-bit madd_epi16 (needs AVX-512BW), 16 columns per vector
+};
+
+/// Whether the running CPU can execute `path` (kAuto/kScalar always).
+bool qgemm_path_supported(QGemmPath path);
+
+/// The path qgemm() currently dispatches to (never kAuto).
+QGemmPath active_qgemm_path();
+
+/// Overrides the dispatched path (tests pin cross-path identity).
+/// Throws PreconditionError if unsupported; kAuto restores the default.
+void set_qgemm_path(QGemmPath path);
+
+/// Human-readable path name ("scalar" / "avx2" / "avx512").
+const char* qgemm_path_name(QGemmPath path);
+
+/// Per-batch symmetric activation scale: max |x| / 127 over the whole
+/// batch (0 when x is all zero). Exposed for tests/oracles.
+float qgemm_activation_scale(const Tensor& x);
+
+/// out = dequant(quant(x) · w) + bias for x [m, k] against w (k x n);
+/// returns [m, n]. `bias` is either empty or length n. Requires finite
+/// x and k small enough that 2*127*127*ceil(k/2) cannot overflow int32
+/// (k < 2^17 — far above any layer in this codebase).
+Tensor qgemm(const Tensor& x, const QuantizedMatrix& w,
+             std::span<const float> bias = {});
+
+}  // namespace opad

@@ -30,13 +30,21 @@ CpuFeatures detect() {
   const bool cpu_avx = (ecx & (1u << 28)) != 0;
   // AVX-class registers are usable only if the OS saves/restores ymm
   // state across context switches: XCR0 bits 1 (xmm) and 2 (ymm).
-  const bool ymm_enabled = osxsave && (read_xcr0() & 0x6) == 0x6;
-  bool cpu_avx2 = false;
+  // AVX-512 additionally needs the opmask (bit 5), zmm_hi256 (bit 6)
+  // and hi16_zmm (bit 7) state components enabled.
+  const unsigned long long xcr0 = osxsave ? read_xcr0() : 0;
+  const bool ymm_enabled = osxsave && (xcr0 & 0x6) == 0x6;
+  const bool zmm_enabled = osxsave && (xcr0 & 0xE6) == 0xE6;
+  bool cpu_avx2 = false, cpu_avx512f = false, cpu_avx512bw = false;
   if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
     cpu_avx2 = (ebx & (1u << 5)) != 0;
+    cpu_avx512f = (ebx & (1u << 16)) != 0;
+    cpu_avx512bw = (ebx & (1u << 30)) != 0;
   }
   f.avx2 = cpu_avx && cpu_avx2 && ymm_enabled;
   f.fma = f.avx2 && cpu_fma;  // the FMA kernel also uses AVX2 loads
+  f.avx512f = cpu_avx512f && zmm_enabled;
+  f.avx512bw = f.avx512f && cpu_avx512bw;
   return f;
 }
 
@@ -51,6 +59,22 @@ CpuFeatures detect() { return CpuFeatures{}; }
 const CpuFeatures& cpu_features() {
   static const CpuFeatures features = detect();
   return features;
+}
+
+std::string cpu_features_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string out;
+  const auto append = [&out](bool present, const char* name) {
+    if (!present) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(f.sse2, "sse2");
+  append(f.avx2, "avx2");
+  append(f.fma, "fma");
+  append(f.avx512f, "avx512f");
+  append(f.avx512bw, "avx512bw");
+  return out.empty() ? "none" : out;
 }
 
 }  // namespace opad

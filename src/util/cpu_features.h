@@ -8,20 +8,32 @@
 // the result is cached for the life of the process.
 #pragma once
 
+#include <string>
+
 namespace opad {
 
 /// Vector ISA capabilities of the running CPU. A feature bit is set only
 /// when the instruction set is *usable*: for AVX2/FMA that means the
 /// cpuid bit is present AND the OS has enabled ymm state saving
-/// (OSXSAVE + XCR0), so a kernel guarded by these flags can never fault.
+/// (OSXSAVE + XCR0); for AVX-512 the OS must additionally save the
+/// opmask and zmm register state (XCR0 bits 5-7), so a kernel guarded
+/// by these flags can never fault.
 struct CpuFeatures {
-  bool sse2 = false;  ///< baseline on every x86-64; false elsewhere
-  bool avx2 = false;  ///< 256-bit integer/float vectors, usable
-  bool fma = false;   ///< fused multiply-add (FMA3), usable
+  bool sse2 = false;      ///< baseline on every x86-64; false elsewhere
+  bool avx2 = false;      ///< 256-bit integer/float vectors, usable
+  bool fma = false;       ///< fused multiply-add (FMA3), usable
+  bool avx512f = false;   ///< 512-bit float/foundation ops, usable
+  bool avx512bw = false;  ///< 512-bit byte/word integer ops, usable
 };
 
 /// The host's capabilities, detected on first call and cached.
 /// Thread-safe (function-local static init).
 const CpuFeatures& cpu_features();
+
+/// Human-readable summary of the usable features, e.g.
+/// "sse2 avx2 fma avx512f avx512bw" ("none" when nothing is usable).
+/// Bench CSVs record this next to the active kernel so perf rows are
+/// attributable to the ISA that produced them.
+std::string cpu_features_string();
 
 }  // namespace opad

@@ -1,5 +1,6 @@
 #include "util/scratch.h"
 
+#include <algorithm>
 #include <new>
 
 #include "util/error.h"
@@ -14,17 +15,21 @@ void ScratchArena::Lease::release() {
   data_ = nullptr;
 }
 
-ScratchArena::Lease ScratchArena::lease_floats(std::size_t count) {
+ScratchArena::Lease ScratchArena::lease_floats(std::size_t count,
+                                               std::size_t alignment) {
   if (count == 0) return Lease();
-  // Prefer the smallest free slot that already fits; otherwise grow the
-  // largest free slot (or append a new one). Slot count stays bounded by
-  // the deepest nesting of simultaneous leases ever seen on this thread.
+  OPAD_EXPECTS(alignment >= alignof(float) &&
+               (alignment & (alignment - 1)) == 0);
+  // Prefer the smallest free slot that already fits (capacity and
+  // alignment both); otherwise reallocate a free slot (or append a new
+  // one). Slot count stays bounded by the deepest nesting of
+  // simultaneous leases ever seen on this thread.
   std::size_t best = slots_.size();
   std::size_t free_any = slots_.size();
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].in_use) continue;
     free_any = i;
-    if (slots_[i].capacity >= count &&
+    if (slots_[i].capacity >= count && slots_[i].alignment >= alignment &&
         (best == slots_.size() || slots_[i].capacity < slots_[best].capacity)) {
       best = i;
     }
@@ -32,10 +37,14 @@ ScratchArena::Lease ScratchArena::lease_floats(std::size_t count) {
   const std::size_t slot = best != slots_.size() ? best : free_any;
   if (slot == slots_.size()) slots_.emplace_back();
   Slot& s = slots_[slot];
-  if (s.capacity < count) {
-    s.data.reset(static_cast<float*>(::operator new(
-        count * sizeof(float), std::align_val_t{kAlignment})));
-    s.capacity = count;
+  if (s.capacity < count || s.alignment < alignment) {
+    const std::size_t bytes = std::max(count, s.capacity) * sizeof(float);
+    const std::size_t align = std::max(alignment, s.alignment);
+    s.data = decltype(s.data)(
+        static_cast<float*>(::operator new(bytes, std::align_val_t{align})),
+        AlignedDelete{align});
+    s.capacity = bytes / sizeof(float);
+    s.alignment = align;
   }
   s.in_use = true;
   return Lease(this, slot, s.data.get());

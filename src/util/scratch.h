@@ -21,8 +21,12 @@ namespace opad {
 /// arena or a lease between threads.
 class ScratchArena {
  public:
-  /// Alignment of every leased buffer, in bytes (one cache line; also
-  /// enough for any vector ISA the autovectorizer may target).
+  /// Default alignment of leased buffers, in bytes (one cache line;
+  /// also enough for 512-bit aligned vector loads). Callers with a
+  /// stricter contract pass their own power-of-two alignment to
+  /// lease_floats and get exactly what they asked for — the GEMM driver
+  /// requests the alignment its packed-panel loads assume instead of
+  /// relying on this constant staying large enough.
   static constexpr std::size_t kAlignment = 64;
 
   /// Move-only handle to a leased buffer; returns the slot to the arena
@@ -68,23 +72,29 @@ class ScratchArena {
   ScratchArena(const ScratchArena&) = delete;
   ScratchArena& operator=(const ScratchArena&) = delete;
 
-  /// Leases an aligned buffer of at least `count` floats, preferring a
-  /// free slot that is already large enough. `count` == 0 yields an
-  /// empty lease.
-  Lease lease_floats(std::size_t count);
+  /// Leases a buffer of at least `count` floats whose base address is
+  /// aligned to `alignment` bytes (a power of two, at least
+  /// alignof(float)), preferring a free slot that already satisfies
+  /// both. `count` == 0 yields an empty lease.
+  Lease lease_floats(std::size_t count, std::size_t alignment = kAlignment);
 
   /// The calling thread's arena.
   static ScratchArena& local();
 
  private:
   struct AlignedDelete {
+    AlignedDelete() = default;
+    explicit AlignedDelete(std::size_t a) : alignment(a) {}
+    std::size_t alignment = kAlignment;
     void operator()(float* p) const {
-      ::operator delete(p, std::align_val_t{kAlignment});
+      ::operator delete(p, std::align_val_t{alignment});
     }
   };
   struct Slot {
+    Slot() : data(nullptr, AlignedDelete{}) {}
     std::unique_ptr<float[], AlignedDelete> data;
     std::size_t capacity = 0;
+    std::size_t alignment = 0;
     bool in_use = false;
   };
 

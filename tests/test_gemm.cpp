@@ -14,6 +14,7 @@
 #include "nn/conv2d.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
+#include "util/error.h"
 #include "util/parallel.h"
 #include "util/scratch.h"
 
@@ -328,6 +329,30 @@ TEST(ScratchArena, AlignedLeasesDoNotAliasAndAreReused) {
 
   auto empty = arena.lease_floats(0);
   EXPECT_EQ(empty.data(), nullptr);
+}
+
+TEST(ScratchArena, LeaseHonorsRequestedAlignment) {
+  auto& arena = ScratchArena::local();
+  // Over-aligned lease (AVX-512 packed panels ask for 64 bytes).
+  auto wide = arena.lease_floats(100, 64);
+  ASSERT_NE(wide.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(wide.data()) % 64, 0u);
+  // A 64-byte slot satisfies a later 32-byte request (reuse), but a
+  // 32-byte slot must never be handed to a 64-byte request.
+  float* wide_ptr = wide.data();
+  wide = ScratchArena::Lease();
+  auto narrow = arena.lease_floats(100, 32);
+  EXPECT_EQ(narrow.data(), wide_ptr);
+  auto narrow2 = arena.lease_floats(64, 32);
+  float* narrow2_ptr = narrow2.data();
+  narrow2 = ScratchArena::Lease();
+  auto wide2 = arena.lease_floats(64, 512);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(wide2.data()) % 512, 0u);
+  if (reinterpret_cast<std::uintptr_t>(narrow2_ptr) % 512 != 0) {
+    EXPECT_NE(wide2.data(), narrow2_ptr);
+  }
+  // Alignment must be a power of two.
+  EXPECT_THROW(arena.lease_floats(16, 24), PreconditionError);
 }
 
 }  // namespace

@@ -9,12 +9,15 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/cpu_features.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -75,19 +78,34 @@ TEST(CpuFeaturesDetection, ConsistentWithKernelSupport) {
   // FMA kernel support implies AVX2 support by construction (the fused
   // kernel also uses 256-bit loads).
   EXPECT_TRUE(!cpu.fma || cpu.avx2);
+  // avx512bw usable implies avx512f usable (same XCR0 zmm state).
+  EXPECT_TRUE(!cpu.avx512bw || cpu.avx512f);
   EXPECT_TRUE(gemm_kernel_supported(GemmKernel::kScalar));
   EXPECT_EQ(gemm_kernel_supported(GemmKernel::kAvx2), cpu.avx2);
   EXPECT_EQ(gemm_kernel_supported(GemmKernel::kFma), cpu.fma);
+  EXPECT_EQ(gemm_kernel_supported(GemmKernel::kAvx512), cpu.avx512f);
 #if defined(__x86_64__)
   EXPECT_TRUE(cpu.sse2);  // architectural baseline
 #endif
 }
 
+TEST(CpuFeaturesDetection, FeatureStringListsDetectedExtensions) {
+  const CpuFeatures& cpu = cpu_features();
+  const std::string s = cpu_features_string();
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.find("avx2") != std::string::npos, cpu.avx2);
+  EXPECT_EQ(s.find("avx512f") != std::string::npos, cpu.avx512f);
+  EXPECT_EQ(s.find("avx512bw") != std::string::npos, cpu.avx512bw);
+  if (!cpu.sse2 && !cpu.avx2 && !cpu.fma && !cpu.avx512f) {
+    EXPECT_EQ(s, "none");
+  }
+}
+
 TEST(GemmDispatch, ActiveKernelIsSupportedAndSettable) {
   DispatchGuard guard;
   EXPECT_TRUE(gemm_kernel_supported(active_gemm_kernel()));
-  for (GemmKernel k :
-       {GemmKernel::kScalar, GemmKernel::kAvx2, GemmKernel::kFma}) {
+  for (GemmKernel k : {GemmKernel::kScalar, GemmKernel::kAvx2,
+                       GemmKernel::kFma, GemmKernel::kAvx512}) {
     if (gemm_kernel_supported(k)) {
       set_gemm_kernel(k);
       EXPECT_EQ(active_gemm_kernel(), k);
@@ -101,6 +119,50 @@ TEST(GemmDispatch, KernelNamesMatchEnvSpellings) {
   EXPECT_STREQ(gemm_kernel_name(GemmKernel::kScalar), "scalar");
   EXPECT_STREQ(gemm_kernel_name(GemmKernel::kAvx2), "avx2");
   EXPECT_STREQ(gemm_kernel_name(GemmKernel::kFma), "fma");
+  EXPECT_STREQ(gemm_kernel_name(GemmKernel::kAvx512), "avx512");
+}
+
+/// Captures OPAD_WARN lines for the duration of a scope.
+struct WarnCapture {
+  std::vector<std::string> lines;
+  LogSink previous;
+  WarnCapture() {
+    previous = set_log_sink([this](LogLevel level, const std::string& msg) {
+      if (level == LogLevel::kWarn) lines.push_back(msg);
+    });
+  }
+  ~WarnCapture() { set_log_sink(std::move(previous)); }
+};
+
+// The env override must never crash or silently pick an unusable
+// kernel: unknown spellings and unsupported-on-this-CPU requests both
+// warn once and fall back to the dispatch default.
+TEST(GemmDispatch, EnvOverrideFallsBackWithWarningOnBadNames) {
+  {
+    WarnCapture capture;
+    const GemmKernel resolved = resolve_gemm_kernel_choice("avx1024");
+    EXPECT_TRUE(gemm_kernel_supported(resolved));
+    ASSERT_EQ(capture.lines.size(), 1u);
+    EXPECT_NE(capture.lines[0].find("avx1024"), std::string::npos);
+    EXPECT_NE(capture.lines[0].find("not one of"), std::string::npos);
+  }
+  for (GemmKernel k : {GemmKernel::kScalar, GemmKernel::kAvx2,
+                       GemmKernel::kFma, GemmKernel::kAvx512}) {
+    WarnCapture capture;
+    const GemmKernel resolved =
+        resolve_gemm_kernel_choice(gemm_kernel_name(k));
+    EXPECT_TRUE(gemm_kernel_supported(resolved));
+    if (gemm_kernel_supported(k)) {
+      // Supported spellings resolve verbatim, silently.
+      EXPECT_EQ(resolved, k);
+      EXPECT_TRUE(capture.lines.empty());
+    } else {
+      // e.g. OPAD_GEMM_KERNEL=avx512 on a non-AVX-512 host: warn and
+      // serve the default instead of crashing on an illegal instruction.
+      ASSERT_EQ(capture.lines.size(), 1u);
+      EXPECT_NE(capture.lines[0].find("not supported"), std::string::npos);
+    }
+  }
 }
 
 // The load-bearing contract of the dispatcher: the AVX2 kernel is a
@@ -141,6 +203,88 @@ TEST(GemmDispatch, ScalarAndAvx2BitwiseIdenticalOverRandomizedShapes) {
             << static_cast<int>(v) << " threads " << threads;
       }
     }
+  }
+}
+
+// Same contract for the AVX-512 kernel: the 16-wide tile re-encodes the
+// scalar accumulation chains lane for lane (each C element keeps its own
+// chain; the wider panel only regroups independent chains), so it must
+// agree with the scalar kernel to the last bit on every shape, layout,
+// and thread count.
+TEST(GemmDispatch, ScalarAndAvx512BitwiseIdenticalOverRandomizedShapes) {
+  if (!gemm_kernel_supported(GemmKernel::kAvx512)) {
+    GTEST_SKIP() << "AVX-512 not usable on this CPU; bit-identity is "
+                    "covered by the forced-avx512 CI leg on capable hosts";
+  }
+  DispatchGuard guard;
+  set_gemm_small_path_limit(0);  // exercise the packed kernels only
+  Rng shape_rng(20260809);
+  struct Case {
+    std::size_t m, k, n;
+  };
+  // Fixed edge cases straddle the kNrWide = 16 panel: full tiles, a
+  // single column, tails of 1 / 15 / 9, and multi-k-block depths.
+  std::vector<Case> cases = {{1, 1, 1},     {6, 8, 16},    {7, 9, 17},
+                             {13, 40, 31},  {48, 256, 64}, {50, 300, 73},
+                             {65, 520, 41}};
+  for (int i = 0; i < 6; ++i) {
+    cases.push_back({shape_rng.uniform_index(96) + 1,
+                     shape_rng.uniform_index(520) + 1,
+                     shape_rng.uniform_index(96) + 1});
+  }
+  Rng rng(23);
+  for (const Case& c : cases) {
+    for (Variant v : kVariants) {
+      const Tensor a = Tensor::randn(stored_a(v, c.m, c.k), rng);
+      const Tensor b = Tensor::randn(stored_b(v, c.k, c.n), rng);
+      for (std::size_t threads : {1u, 8u}) {
+        ThreadPool::configure_global(threads);
+        set_gemm_kernel(GemmKernel::kScalar);
+        const Tensor scalar = run_variant(v, a, b);
+        set_gemm_kernel(GemmKernel::kAvx512);
+        const Tensor avx512 = run_variant(v, a, b);
+        ASSERT_TRUE(bitwise_equal(scalar, avx512))
+            << "[" << c.m << "," << c.k << "," << c.n << "] variant "
+            << static_cast<int>(v) << " threads " << threads;
+      }
+    }
+  }
+}
+
+// Edge tiles of the 16-wide kernel spill through a stack buffer and must
+// add only live lanes into C: poison the last valid column/row with NaN
+// and Inf at odd tail widths and demand bitwise agreement with scalar —
+// a kernel that touched dead lanes or re-read poisoned C storage would
+// smear non-finite values into neighbouring elements.
+TEST(GemmDispatch, Avx512OddTailPanelsPropagateNanInfExactly) {
+  if (!gemm_kernel_supported(GemmKernel::kAvx512)) {
+    GTEST_SKIP() << "AVX-512 not usable on this CPU; bit-identity is "
+                    "covered by the forced-avx512 CI leg on capable hosts";
+  }
+  DispatchGuard guard;
+  set_gemm_small_path_limit(0);
+  Rng rng(29);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // n chosen so the last panel holds 1, 15, 9, and 3 live columns.
+  const std::size_t tails[] = {17, 31, 41, 67};
+  for (const std::size_t n : tails) {
+    const std::size_t m = 7, k = 33;
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    a(m - 1, k - 1) = nan;
+    b(k - 1, n - 1) = inf;
+    b(0, n - 1) = nan;
+    set_gemm_kernel(GemmKernel::kScalar);
+    const Tensor scalar = matmul(a, b);
+    set_gemm_kernel(GemmKernel::kAvx512);
+    const Tensor avx512 = matmul(a, b);
+    ASSERT_TRUE(bitwise_equal(scalar, avx512)) << "n = " << n;
+    // The poison must land where the scalar chains put it: the last
+    // row/column see non-finite values, the untouched corner does not.
+    EXPECT_TRUE(std::isnan(avx512(m - 1, n - 1)));
+    EXPECT_TRUE(std::isnan(avx512(0, n - 1)));
+    EXPECT_TRUE(std::isfinite(avx512(0, 0)));
   }
 }
 
@@ -201,8 +345,8 @@ TEST(GemmSmallPath, BitwiseIdenticalToPackedRoute) {
     for (Variant v : kVariants) {
       const Tensor a = Tensor::randn(stored_a(v, c.m, c.k), rng);
       const Tensor b = Tensor::randn(stored_b(v, c.k, c.n), rng);
-      for (GemmKernel kernel :
-           {GemmKernel::kScalar, GemmKernel::kAvx2, GemmKernel::kFma}) {
+      for (GemmKernel kernel : {GemmKernel::kScalar, GemmKernel::kAvx2,
+                                GemmKernel::kFma, GemmKernel::kAvx512}) {
         if (!gemm_kernel_supported(kernel)) continue;
         set_gemm_kernel(kernel);
         set_gemm_small_path_limit(0);

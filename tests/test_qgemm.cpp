@@ -1,0 +1,371 @@
+// The int8 quantized inference path (DESIGN.md "Quantized inference"):
+// QuantizedMatrix packing/scales, the exact integer-core contract of
+// qgemm (bitwise identity across scalar/AVX2/AVX-512BW paths and thread
+// counts, exact agreement with an int64 dequantization oracle), the
+// quantization-error bound against the float GEMM, and the
+// QuantizedClassifier consumer — tolerance against the float model and
+// the label-agreement pin on trained workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/quantized.h"
+#include "tensor/qgemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+#include "util/cpu_features.h"
+#include "util/error.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace opad {
+namespace {
+
+/// Restores the dispatched qgemm path and the global pool on scope exit.
+struct QPathGuard {
+  ~QPathGuard() {
+    set_qgemm_path(QGemmPath::kAuto);
+    ThreadPool::configure_global(0);
+  }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+std::int16_t quantize_ref(float v, float inv_scale) {
+  // Round-to-nearest-even, replicating qgemm's quantize_value exactly.
+  const long q = std::lrintf(v * inv_scale);
+  return static_cast<std::int16_t>(std::clamp(q, -127L, 127L));
+}
+
+std::vector<QGemmPath> supported_paths() {
+  std::vector<QGemmPath> paths = {QGemmPath::kScalar};
+  if (qgemm_path_supported(QGemmPath::kAvx2)) {
+    paths.push_back(QGemmPath::kAvx2);
+  }
+  if (qgemm_path_supported(QGemmPath::kAvx512)) {
+    paths.push_back(QGemmPath::kAvx512);
+  }
+  return paths;
+}
+
+TEST(QuantizedMatrix, PerColumnScalesAndPackedValues) {
+  Tensor w({5, 3});
+  // Column maxima 4.0, 0 (all-zero column), 1.27.
+  const float vals[5][3] = {{1.0f, 0.0f, 0.01f},
+                            {-4.0f, 0.0f, -1.27f},
+                            {2.0f, 0.0f, 0.5f},
+                            {0.5f, 0.0f, -0.25f},
+                            {-1.0f, 0.0f, 1.0f}};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) w(i, j) = vals[i][j];
+  }
+  const QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  EXPECT_EQ(q.rows(), 5u);
+  EXPECT_EQ(q.cols(), 3u);
+  ASSERT_EQ(q.scales().size(), 3u);
+  EXPECT_FLOAT_EQ(q.scales()[0], 4.0f / 127.0f);
+  EXPECT_FLOAT_EQ(q.scales()[1], 0.0f);
+  EXPECT_FLOAT_EQ(q.scales()[2], 1.27f / 127.0f);
+  // The column maximum always quantizes to +-127; the all-zero column
+  // stays 0 everywhere.
+  EXPECT_EQ(q.value_at(1, 0), -127);
+  EXPECT_EQ(q.value_at(1, 2), -127);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(q.value_at(i, 1), 0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const float scale = q.scales()[j];
+      const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+      EXPECT_EQ(q.value_at(i, j), quantize_ref(w(i, j), inv))
+          << "(" << i << "," << j << ")";
+      EXPECT_LE(std::abs(q.value_at(i, j)), 127);
+    }
+  }
+  // Odd k zero-pads the trailing k-pair; padding lanes must stay zero.
+  const std::size_t k_pairs = (5 + 1) / 2;
+  ASSERT_EQ(q.packed().size(),
+            k_pairs * 2 * QuantizedMatrix::kPanelCols);
+  for (std::size_t c = 0; c < QuantizedMatrix::kPanelCols; ++c) {
+    EXPECT_EQ(q.packed()[(k_pairs - 1) * 2 * QuantizedMatrix::kPanelCols +
+                         2 * c + 1],
+              0);
+  }
+}
+
+TEST(QuantizedMatrix, RejectsNonFiniteWeights) {
+  Tensor w({2, 2}, 1.0f);
+  w(1, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(QuantizedMatrix::quantize(w), PreconditionError);
+}
+
+// The integer core is exact and the float steps are pinned to separate
+// multiplies, so qgemm must agree *bitwise* with an int64 oracle that
+// replays quantize -> accumulate -> dequantize in plain code — on every
+// kernel path and thread count.
+TEST(QGemm, MatchesExactDequantizationOracle) {
+  QPathGuard guard;
+  struct Case {
+    std::size_t m, k, n;
+  };
+  const Case cases[] = {{1, 1, 1},   {3, 7, 5},    {4, 16, 16},
+                        {5, 33, 17}, {17, 64, 40}, {9, 301, 23}};
+  Rng rng(31);
+  for (const Case& c : cases) {
+    const Tensor x = Tensor::randn({c.m, c.k}, rng);
+    const Tensor w = Tensor::randn({c.k, c.n}, rng);
+    std::vector<float> bias(c.n);
+    for (float& b : bias) b = static_cast<float>(rng.normal());
+    const QuantizedMatrix qw = QuantizedMatrix::quantize(w);
+    // Oracle, replaying qgemm's float steps exactly.
+    const float x_scale = qgemm_activation_scale(x);
+    const float inv_x = x_scale > 0.0f ? 1.0f / x_scale : 0.0f;
+    Tensor expect({c.m, c.n});
+    for (std::size_t i = 0; i < c.m; ++i) {
+      for (std::size_t j = 0; j < c.n; ++j) {
+        std::int64_t acc = 0;
+        for (std::size_t kk = 0; kk < c.k; ++kk) {
+          acc += static_cast<std::int64_t>(quantize_ref(x(i, kk), inv_x)) *
+                 qw.value_at(kk, j);
+        }
+        const float combined = x_scale * qw.scales()[j];
+        expect(i, j) =
+            static_cast<float>(acc) * combined + bias[j];
+      }
+    }
+    for (const QGemmPath path : supported_paths()) {
+      set_qgemm_path(path);
+      for (const std::size_t threads : {1u, 8u}) {
+        ThreadPool::configure_global(threads);
+        const Tensor got = qgemm(x, qw, bias);
+        ASSERT_TRUE(bitwise_equal(expect, got))
+            << "[" << c.m << "," << c.k << "," << c.n << "] path "
+            << qgemm_path_name(path) << " threads " << threads;
+      }
+    }
+  }
+}
+
+// First-order quantization error bound against the float product: per
+// element, |deq - float| <= (xs/2) * sum_k |w(k,j)|
+//                         + (ws_j/2) * (sum_k |x(i,k)| + k * xs/2).
+TEST(QGemm, WithinQuantizationErrorOfFloatGemm) {
+  QPathGuard guard;
+  Rng rng(37);
+  const std::size_t m = 11, k = 96, n = 29;
+  const Tensor x = Tensor::randn({m, k}, rng);
+  const Tensor w = Tensor::randn({k, n}, rng);
+  const QuantizedMatrix qw = QuantizedMatrix::quantize(w);
+  const Tensor got = qgemm(x, qw);
+  const Tensor ref = matmul(x, w);
+  const double xs = qgemm_activation_scale(x);
+  for (std::size_t j = 0; j < n; ++j) {
+    double col_abs = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) col_abs += std::abs(w(kk, j));
+    const double ws = qw.scales()[j];
+    for (std::size_t i = 0; i < m; ++i) {
+      double row_abs = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) row_abs += std::abs(x(i, kk));
+      const double bound = 0.5 * xs * col_abs +
+                           0.5 * ws * (row_abs + 0.5 * xs * k) + 1e-4;
+      ASSERT_NEAR(got(i, j), ref(i, j), bound)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(QGemm, ZeroBatchAndEdgeShapes) {
+  QPathGuard guard;
+  Rng rng(41);
+  // All-zero activations: scale 0, quantized row 0, output = bias.
+  const Tensor zero({3, 8}, 0.0f);
+  const QuantizedMatrix qw =
+      QuantizedMatrix::quantize(Tensor::randn({8, 5}, rng));
+  std::vector<float> bias = {1.0f, -2.0f, 0.5f, 0.0f, 3.0f};
+  const Tensor out = qgemm(zero, qw, bias);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(out(i, j), bias[j]);
+    }
+  }
+  // Empty batch round-trips shape-only.
+  EXPECT_EQ(qgemm(Tensor({0, 8}), qw).dim(0), 0u);
+}
+
+TEST(QGemm, RejectsNonFiniteActivations) {
+  Rng rng(43);
+  const QuantizedMatrix qw =
+      QuantizedMatrix::quantize(Tensor::randn({4, 4}, rng));
+  Tensor x({2, 4}, 1.0f);
+  x(0, 3) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(qgemm(x, qw), PreconditionError);
+}
+
+TEST(QGemmDispatch, PathNamesSupportAndAutoRestore) {
+  QPathGuard guard;
+  EXPECT_STREQ(qgemm_path_name(QGemmPath::kScalar), "scalar");
+  EXPECT_STREQ(qgemm_path_name(QGemmPath::kAvx2), "avx2");
+  EXPECT_STREQ(qgemm_path_name(QGemmPath::kAvx512), "avx512");
+  EXPECT_STREQ(qgemm_path_name(QGemmPath::kAuto), "auto");
+  EXPECT_TRUE(qgemm_path_supported(QGemmPath::kScalar));
+  EXPECT_TRUE(qgemm_path_supported(QGemmPath::kAuto));
+  EXPECT_EQ(qgemm_path_supported(QGemmPath::kAvx2), cpu_features().avx2);
+  EXPECT_EQ(qgemm_path_supported(QGemmPath::kAvx512),
+            cpu_features().avx512bw);
+  for (const QGemmPath path :
+       {QGemmPath::kScalar, QGemmPath::kAvx2, QGemmPath::kAvx512}) {
+    if (qgemm_path_supported(path)) {
+      set_qgemm_path(path);
+      EXPECT_EQ(active_qgemm_path(), path);
+    } else {
+      EXPECT_THROW(set_qgemm_path(path), PreconditionError);
+    }
+  }
+  set_qgemm_path(QGemmPath::kAuto);
+  EXPECT_NE(active_qgemm_path(), QGemmPath::kAuto);
+  EXPECT_TRUE(qgemm_path_supported(active_qgemm_path()));
+}
+
+Classifier make_small_cnn(Rng& rng) {
+  // 1x8x8 -> conv(4 ch, 3x3, pad 1) -> ReLU -> dense, like the CNN
+  // integration fixture but small enough to quantize in a unit test.
+  Sequential net(64);
+  ImageGeometry input{1, 8, 8};
+  net.emplace<Conv2D>(input, 4, 3, 1, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(4 * 8 * 8, 10, rng);
+  return Classifier(std::move(net), 10);
+}
+
+// The consumer contract from ISSUE/DESIGN: int8 inference stays within
+// quantization distance of the float model and agrees with its labels
+// on a trained workload — at OPAD_THREADS 1 and 8, bitwise identically.
+TEST(QuantizedClassifier, AgreesWithFloatModelOnTrainedRingTask) {
+  QPathGuard guard;
+  const auto task = testing::make_ring_task(600, 120, 97);
+  Rng rng(47);
+  Classifier model = testing::train_mlp(task.train, 16, 60, rng);
+  QuantizedClassifier quant(model);
+  EXPECT_STREQ(quant.precision(), "int8");
+  EXPECT_STREQ(model.precision(), "float32");
+  EXPECT_EQ(quant.input_dim(), model.input_dim());
+  EXPECT_EQ(quant.num_classes(), model.num_classes());
+  EXPECT_GT(quant.quantized_layer_count(), 0u);
+
+  const Tensor& inputs = task.test.inputs();
+  const std::size_t n = inputs.dim(0);
+  const Tensor float_logits = model.logits(inputs);
+  ThreadPool::configure_global(1);
+  const Tensor q1 = quant.logits(inputs);
+  ThreadPool::configure_global(8);
+  const Tensor q8 = quant.logits(inputs);
+  ASSERT_TRUE(bitwise_equal(q1, q8)) << "int8 logits must be "
+                                        "OPAD_THREADS-invariant";
+
+  // Tolerance against the float model: logit drift stays an order of
+  // magnitude below the ring task's decision margins.
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < q1.dim(1); ++j) {
+      max_diff = std::max(
+          max_diff, std::abs(static_cast<double>(q1(i, j)) -
+                             static_cast<double>(float_logits(i, j))));
+    }
+  }
+  EXPECT_LT(max_diff, 0.25) << "int8 logits drifted from float32";
+
+  // Label-agreement pin: on this recorded workload the quantized path
+  // reproduces every float label.
+  std::vector<int> float_labels(n), quant_labels(n);
+  model.predict_batch(inputs, float_labels);
+  for (const std::size_t threads : {1u, 8u}) {
+    ThreadPool::configure_global(threads);
+    quant.predict_batch(inputs, quant_labels);
+    EXPECT_EQ(quant_labels, float_labels) << "threads " << threads;
+  }
+}
+
+TEST(QuantizedClassifier, ConvModelWithinToleranceAndThreadInvariant) {
+  QPathGuard guard;
+  Rng rng(53);
+  Classifier model = make_small_cnn(rng);
+  QuantizedClassifier quant(model);
+  // Conv + Dense quantize; ReLU passes through.
+  EXPECT_EQ(quant.quantized_layer_count(), 2u);
+  const Tensor inputs = Tensor::rand_uniform({6, 64}, rng);
+  const Tensor float_logits = model.logits(inputs);
+  ThreadPool::configure_global(1);
+  const Tensor q1 = quant.logits(inputs);
+  ThreadPool::configure_global(8);
+  const Tensor q8 = quant.logits(inputs);
+  ASSERT_TRUE(bitwise_equal(q1, q8));
+  double max_ref = 0.0;
+  for (std::size_t i = 0; i < float_logits.size(); ++i) {
+    max_ref = std::max(
+        max_ref, std::abs(static_cast<double>(float_logits.at(i))));
+  }
+  for (std::size_t i = 0; i < float_logits.size(); ++i) {
+    ASSERT_NEAR(q1.at(i), float_logits.at(i), 0.05 * max_ref + 0.02);
+  }
+  // Cross-path identity holds through the full model too.
+  for (const QGemmPath path : supported_paths()) {
+    set_qgemm_path(path);
+    ASSERT_TRUE(bitwise_equal(q1, quant.logits(inputs)))
+        << "path " << qgemm_path_name(path);
+  }
+}
+
+TEST(QuantizedClassifier, ScorerInterfaceCloneQueriesAndTape) {
+  QPathGuard guard;
+  Rng rng(59);
+  Classifier model = testing::make_mlp(4, 8, 3, rng);
+  QuantizedClassifier quant(model);
+  const Tensor inputs = Tensor::randn({5, 4}, rng);
+
+  EXPECT_EQ(quant.query_count(), 0u);
+  ActivationTape tape;
+  const Tensor logits = quant.logits(inputs, &tape);
+  EXPECT_EQ(quant.query_count(), 5u);
+  EXPECT_EQ(tape.layer_count(), model.network().layer_count());
+  EXPECT_TRUE(bitwise_equal(tape.layers.back(), logits));
+
+  // probabilities/predict_batch ride the shared ForwardScorer
+  // implementations: rows sum to 1, labels are the argmax.
+  const Tensor probs = quant.probabilities(inputs);
+  std::vector<int> labels(5);
+  quant.predict_batch(inputs, labels);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) sum += probs(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    float best = logits(i, 0);
+    int arg = 0;
+    for (int j = 1; j < 3; ++j) {
+      if (logits(i, static_cast<std::size_t>(j)) > best) {
+        best = logits(i, static_cast<std::size_t>(j));
+        arg = j;
+      }
+    }
+    EXPECT_EQ(labels[i], arg);
+  }
+
+  // Clones re-quantize deterministically and count independently.
+  const auto scorer = quant.clone_scorer();
+  EXPECT_STREQ(scorer->precision(), "int8");
+  EXPECT_EQ(scorer->query_count(), 0u);
+  ASSERT_TRUE(bitwise_equal(scorer->logits(inputs), logits));
+  EXPECT_EQ(scorer->query_count(), 5u);
+  EXPECT_EQ(quant.query_count(), 10u + 5u);  // logits + probs + predict
+}
+
+}  // namespace
+}  // namespace opad
